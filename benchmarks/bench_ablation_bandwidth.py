@@ -1,0 +1,74 @@
+"""Ablation A3 — bandwidth-constrained uplinks (Wi-Fi-class edge networks).
+
+The paper's introduction motivates Dema with "bandwidth-constrained
+environments such as Wi-Fi networks".  The main figures run on the
+cluster's 25 Gbit/s links, where network transfer time is negligible; this
+ablation re-runs the latency comparison with the local→root uplinks scaled
+down to a congested-wireless 500 kbit/s and shows that the raw-event
+shippers' latency degrades with the link far more than Dema's.
+"""
+
+from repro.bench.generator import GeneratorConfig, workload
+from repro.bench.harness import run_workload
+from repro.bench.reporting import format_seconds, format_table
+from repro.bench.workloads import bench_topology, median_query
+
+#: 500 kbit/s in bytes per second — a congested shared wireless uplink.
+WIFI_BPS = 5e5 / 8
+
+#: The paper's 25 Gbit/s datacenter links.
+DATACENTER_BPS = 25e9 / 8
+
+
+def _latencies(uplink_bps):
+    query = median_query(gamma=100)
+    topology = bench_topology(2, uplink_bandwidth_bps=uplink_bps)
+    streams = workload(
+        [1, 2], GeneratorConfig(event_rate=700.0, duration_s=6.0, seed=31)
+    )
+    return {
+        system: run_workload(system, query, topology, streams).latency.p50
+        for system in ("dema", "scotty", "desis", "tdigest")
+    }
+
+
+def run_experiment():
+    return {
+        "datacenter": _latencies(DATACENTER_BPS),
+        "wifi": _latencies(WIFI_BPS),
+    }
+
+
+def test_ablation_bandwidth(benchmark, once):
+    results = once(benchmark, run_experiment)
+    datacenter, wifi = results["datacenter"], results["wifi"]
+
+    rows = [
+        [
+            system,
+            format_seconds(datacenter[system]),
+            format_seconds(wifi[system]),
+            f"{wifi[system] / datacenter[system]:.2f}x",
+        ]
+        for system in datacenter
+    ]
+    print()
+    print(format_table(
+        ["system", "25 Gbit/s p50", "500 kbit/s p50", "slowdown"],
+        rows,
+        title="Ablation A3 — latency under constrained uplinks",
+    ))
+    benchmark.extra_info["latency_p50_s"] = results
+
+    # Shrinking the link by five orders of magnitude moves Dema modestly
+    # (its synopses and candidates still cross the slow link)...
+    assert wifi["dema"] < 1.6 * datacenter["dema"]
+    # ...while Desis, which ships the whole window at once, degrades much
+    # more in relative terms.
+    dema_slowdown = wifi["dema"] / datacenter["dema"]
+    desis_slowdown = wifi["desis"] / datacenter["desis"]
+    assert desis_slowdown > 1.25 * dema_slowdown
+    # And Dema's absolute advantage over Desis widens on the slow link.
+    assert (wifi["desis"] - wifi["dema"]) > 1.5 * (
+        datacenter["desis"] - datacenter["dema"]
+    )

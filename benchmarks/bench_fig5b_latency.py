@@ -1,0 +1,29 @@
+"""Figure 5b — latency under a common sustainable load.
+
+Paper claim: Scotty highest (central sort burst), Desis lower (offloads
+sorting but still ships all events), Dema and Tdigest lowest.
+"""
+
+from repro.bench.runner import exp_fig5b
+from repro.bench.reporting import format_seconds, format_table
+
+
+def test_fig5b_latency(benchmark, once):
+    results = once(benchmark, exp_fig5b)
+
+    rows = [
+        [system, format_seconds(lat.p50), format_seconds(lat.p95)]
+        for system, lat in sorted(results.items(), key=lambda kv: kv[1].p50)
+    ]
+    print()
+    print(format_table(
+        ["system", "p50", "p95"], rows,
+        title="Figure 5b — latency at a common sustainable rate",
+    ))
+    benchmark.extra_info["latency_p50_s"] = {
+        system: lat.p50 for system, lat in results.items()
+    }
+
+    assert results["scotty"].p50 > results["desis"].p50
+    assert results["desis"].p50 > results["dema"].p50
+    assert results["tdigest"].p50 <= 1.2 * results["dema"].p50

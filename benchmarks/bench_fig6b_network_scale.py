@@ -1,0 +1,36 @@
+"""Figure 6b — network cost as local nodes are added.
+
+Paper claim: all systems grow roughly linearly in node count; Dema is
+consistently the cheapest; Dema's growth is slightly super-linear because
+more nodes create more compound/cover slices and hence candidate events.
+"""
+
+from repro.bench.runner import exp_fig6b
+from repro.bench.reporting import format_bytes, format_table
+
+
+def test_fig6b_network_vs_nodes(benchmark, once):
+    node_counts = (2, 4, 6, 8)
+    results = once(
+        benchmark, exp_fig6b,
+        node_counts=node_counts, per_node_rate=3_000.0, n_windows=2,
+    )
+
+    headers = ["nodes"] + list(results)
+    rows = [
+        [str(n)] + [format_bytes(results[s][n]) for s in results]
+        for n in node_counts
+    ]
+    print()
+    print(format_table(headers, rows, title="Figure 6b — network cost vs nodes"))
+    benchmark.extra_info["bytes_by_nodes"] = {
+        system: dict(series) for system, series in results.items()
+    }
+
+    for system, series in results.items():
+        # Roughly linear growth: 4x nodes => between 3x and 6x bytes.
+        ratio = series[8] / series[2]
+        assert 3.0 < ratio < 6.5, (system, ratio)
+    for n in node_counts:
+        assert results["dema"][n] < results["desis"][n]
+        assert results["dema"][n] < results["scotty"][n]

@@ -1,0 +1,22 @@
+"""Figure 7b — accuracy (1 − MPE) against Scotty ground truth.
+
+Paper claim: Dema is 100 % accurate; Tdigest is close to, but below, 100 %.
+"""
+
+from repro.bench.runner import exp_fig7b
+from repro.bench.reporting import format_table
+
+
+def test_fig7b_accuracy(benchmark, once):
+    results = once(benchmark, exp_fig7b, per_node_rate=3_000.0, n_windows=6)
+
+    rows = [[system, f"{value:.4%}"] for system, value in results.items()]
+    print()
+    print(format_table(
+        ["system", "accuracy (1-MPE)"], rows,
+        title="Figure 7b — accuracy vs Scotty ground truth",
+    ))
+    benchmark.extra_info["accuracy"] = dict(results)
+
+    assert results["dema"] == 1.0
+    assert 0.97 <= results["tdigest"] < 1.0

@@ -1,0 +1,28 @@
+"""Figure 8a — Dema throughput across quantile functions (25/50/75 %).
+
+Paper claim: with similar data distributions across local windows, Dema
+maintains (roughly equal) high throughput for all quantile functions.
+"""
+
+from repro.bench.runner import exp_fig8a
+from repro.bench.reporting import format_rate, format_table
+
+
+def test_fig8a_quantile_functions(benchmark, once):
+    results = once(benchmark, exp_fig8a, iterations=5)
+
+    rows = [
+        [f"{q:.0%}", format_rate(r.aggregate_rate)]
+        for q, r in sorted(results.items())
+    ]
+    print()
+    print(format_table(
+        ["quantile", "aggregate"], rows,
+        title="Figure 8a — Dema throughput per quantile function",
+    ))
+    benchmark.extra_info["aggregate_by_quantile"] = {
+        str(q): r.aggregate_rate for q, r in results.items()
+    }
+
+    rates = [r.aggregate_rate for r in results.values()]
+    assert max(rates) < 1.3 * min(rates)

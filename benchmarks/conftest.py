@@ -1,0 +1,32 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation:
+it runs the experiment once inside ``benchmark.pedantic`` (the interesting
+output is the experiment's *measured series*, not the wall time), prints the
+same rows the paper plots, attaches them to ``benchmark.extra_info``, and
+asserts the paper's qualitative claim so that regressions fail loudly.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scales are reduced relative to ``python -m repro.bench.runner --all`` so the
+whole suite completes in a few minutes; EXPERIMENTS.md records full-scale
+numbers from the runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,67 @@
+"""IoT fleet monitoring: continuous median over a simulated edge deployment.
+
+The scenario follows the paper's motivation: a fleet of sensors (here,
+DEBS-2013-style soccer-monitoring streams) feed edge nodes, and an analyst
+wants the *exact* median sensor value every second.  The example deploys
+Dema on the simulated three-layer network, streams several seconds of data
+through it, and reports per-window medians together with the network cost
+of obtaining them.
+
+Run with::
+
+    python examples/iot_fleet_monitoring.py
+"""
+
+from repro import DemaEngine, QuantileQuery, TopologyConfig
+from repro.bench.generator import GeneratorConfig, workload
+from repro.bench.reporting import format_bytes
+
+
+def main() -> None:
+    n_edge_nodes = 4
+    seconds = 5
+
+    # Each edge node aggregates one stadium zone; zone 3 has a hotter
+    # sensor (scale rate 2) and zone 4 sees twice the event rate.
+    config = GeneratorConfig(event_rate=2_000.0, duration_s=float(seconds),
+                             seed=2013)
+    streams = workload(
+        range(1, n_edge_nodes + 1),
+        config,
+        scale_rates={3: 2.0},
+        event_rates={4: 4_000.0},
+    )
+
+    query = QuantileQuery(q=0.5, window_length_ms=1_000, gamma=2,
+                          adaptive=True)
+    engine = DemaEngine(query, TopologyConfig(n_local_nodes=n_edge_nodes))
+    report = engine.run(streams)
+
+    print("Per-second exact medians across the fleet")
+    print("=" * 66)
+    print(f"{'window':>12}  {'median':>9}  {'events':>7}  "
+          f"{'candidates':>10}  {'γ used':>6}")
+    for outcome in report.outcomes:
+        window = f"[{outcome.window.start/1000:.0f}s,{outcome.window.end/1000:.0f}s)"
+        print(
+            f"{window:>12}  {outcome.value:9.3f}  "
+            f"{outcome.global_window_size:7d}  "
+            f"{outcome.candidate_events:10d}  {outcome.gamma_used:6d}"
+        )
+
+    total_events = report.events_ingested
+    print("-" * 66)
+    print(f"events ingested at the edge : {total_events:,}")
+    print(f"bytes across the network    : "
+          f"{format_bytes(report.network.total_bytes)}")
+    print(f"raw forwarding would cost   : "
+          f"{format_bytes(total_events * 16)}")
+    print(f"median result latency (p50) : {report.latency.p50 * 1e3:.1f} ms")
+    print()
+    print("Note how the adaptive controller walks γ from the pathological")
+    print("initial value (2) to the cost-optimal slice size within a few")
+    print("windows, collapsing the candidate-event volume.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Watch the Dema protocol on the wire, message by message.
+
+Attaches a trace hook to the simulator and runs one tiny window through a
+two-node deployment, printing every message: the synopsis batches of the
+identification step, the candidate requests, the candidate events of the
+calculation step — and how few bytes the whole exchange takes compared to
+the raw data.
+
+Run with::
+
+    python examples/protocol_trace.py
+"""
+
+from repro import DemaEngine, QuantileQuery, TopologyConfig, make_events
+from repro.network.simulator import MessageTrace
+
+
+def main() -> None:
+    trace: list[MessageTrace] = []
+    query = QuantileQuery(q=0.5, window_length_ms=1_000, gamma=4)
+    engine = DemaEngine(
+        query, TopologyConfig(n_local_nodes=2), trace=trace.append
+    )
+
+    # Two tiny local windows with overlapping value ranges.
+    streams = {
+        1: make_events([12, 3, 7, 15, 9, 1, 11, 5], node_id=1,
+                       timestamp_step=100),
+        2: make_events([8, 14, 2, 10, 6, 13, 4, 16], node_id=2,
+                       timestamp_step=100),
+    }
+    report = engine.run(streams)
+
+    print(f"query   : {query.describe()}")
+    print(f"result  : median = {report.outcomes[0].value} over "
+          f"{report.outcomes[0].global_window_size} events")
+    print()
+    print("protocol trace (root is node 0):")
+    for entry in trace:
+        print("  " + entry.describe())
+    print()
+    total = sum(entry.message.wire_bytes for entry in trace)
+    raw = sum(len(events) for events in streams.values()) * 16
+    print(f"total on the wire : {total} B")
+    print(f"raw forwarding    : {raw} B")
+    print()
+    print(f"On a toy 16-event window the protocol overhead dominates "
+          f"({total / raw:.0%} of raw) — which is exactly the Section 3.3 "
+          "cost model's point: γ and the window size must be in proportion. "
+          "At realistic window sizes the same exchange costs a few percent "
+          "of raw (Figure 6a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: exact decentralized quantiles in a few lines.
+
+Dema computes exact quantiles over data that lives on several nodes without
+ever collecting the full dataset in one place: each node sorts locally and
+ships only slice *synopses*; the coordinator identifies the few candidate
+slices that can contain the quantile rank and fetches exactly those.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import dema_quantile, exact_quantile, make_events
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    # Three edge nodes observed different (overlapping) value distributions.
+    readings = {
+        1: [rng.gauss(20.0, 4.0) for _ in range(5_000)],   # cool sensor
+        2: [rng.gauss(25.0, 6.0) for _ in range(8_000)],   # warm sensor
+        3: [rng.gauss(22.0, 2.0) for _ in range(3_000)],   # steady sensor
+    }
+    windows = {
+        node_id: make_events(values, node_id=node_id)
+        for node_id, values in readings.items()
+    }
+    all_values = [v for values in readings.values() for v in values]
+
+    print("Exact decentralized quantiles with Dema")
+    print("=" * 55)
+    for q in (0.25, 0.5, 0.75, 0.99):
+        result = dema_quantile(windows, q=q, gamma=200)
+        oracle = exact_quantile(all_values, q)
+        assert result.value == oracle, "Dema must be bit-exact"
+        moved = result.transfer_events
+        total = result.global_window_size
+        print(
+            f"q={q:4.0%}  value={result.value:8.3f}  "
+            f"(= centralized oracle)  "
+            f"events moved: {moved:5d} of {total} ({moved / total:5.1%})"
+        )
+
+    print()
+    print("The answer is identical to sorting all values centrally, but")
+    print("only a few percent of the events ever cross the network.")
+
+
+if __name__ == "__main__":
+    main()

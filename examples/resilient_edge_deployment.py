@@ -1,0 +1,98 @@
+"""A production-flavoured deployment: lossy links, stragglers, full 3-tier.
+
+Real edge networks lose packets and deliver events late.  This example runs
+Dema in three progressively harsher settings and shows the answer never
+degrades — only the (accounted) network overhead does:
+
+1. clean network, driver-fed locals (the paper's setting);
+2. explicit sensor tier — events cross a real simulated link before the
+   local node ever sees them;
+3. 15 % message loss on every root↔local link, with the retransmission
+   protocol turned on.
+
+Run with::
+
+    python examples/resilient_edge_deployment.py
+"""
+
+from repro import DemaEngine, QuantileQuery, ReliabilityConfig, TopologyConfig
+from repro.bench.generator import GeneratorConfig, workload
+from repro.bench.reporting import format_bytes, format_table
+from repro.streaming.aggregates import exact_quantile
+from repro.streaming.windows import TumblingWindows
+
+
+def ground_truth(streams):
+    assigner = TumblingWindows(1000)
+    per_window = {}
+    for events in streams.values():
+        for event in events:
+            per_window.setdefault(
+                assigner.window_for(event.timestamp), []
+            ).append(event.value)
+    return {w: exact_quantile(v, 0.5) for w, v in per_window.items()}
+
+
+def check(report, truth):
+    exact = sum(
+        1
+        for outcome in report.outcomes
+        if outcome.value == truth[outcome.window]
+    )
+    return f"{exact}/{len(truth)} windows exact"
+
+
+def main() -> None:
+    query = QuantileQuery(q=0.5, window_length_ms=1_000, gamma=60)
+    streams = workload(
+        [1, 2, 3], GeneratorConfig(event_rate=1_500.0, duration_s=4.0, seed=55)
+    )
+    truth = ground_truth(streams)
+    rows = []
+
+    # 1. Clean network, driver-fed (the paper's evaluation setting).
+    engine = DemaEngine(query, TopologyConfig(n_local_nodes=3))
+    report = engine.run(streams)
+    rows.append([
+        "clean network", check(report, truth),
+        format_bytes(report.network.total_bytes), "0",
+    ])
+
+    # 2. Full three-tier topology: sensors transmit over real links.
+    engine = DemaEngine(
+        query, TopologyConfig(n_local_nodes=3, streams_per_local=2)
+    )
+    report = engine.run_via_sensors(streams)
+    rows.append([
+        "explicit sensor tier", check(report, truth),
+        format_bytes(report.network.total_bytes), "0",
+    ])
+
+    # 3. 15 % loss on every root<->local message + retransmission protocol.
+    engine = DemaEngine(
+        query,
+        TopologyConfig(n_local_nodes=3, loss_rate=0.15, loss_seed=3),
+        reliability=ReliabilityConfig(timeout_s=0.05, max_retries=25),
+    )
+    report = engine.run(streams)
+    dropped = sum(
+        channel.stats.dropped
+        for channel in engine.simulator.channels.values()
+    )
+    rows.append([
+        "15% message loss", check(report, truth),
+        format_bytes(report.network.total_bytes), str(dropped),
+    ])
+
+    print(format_table(
+        ["setting", "accuracy", "network", "messages lost"],
+        rows,
+        title="Dema under progressively harsher network conditions",
+    ))
+    print()
+    print("Exactness survives packet loss and real sensor links; the only")
+    print("cost is the retransmission traffic the byte counters expose.")
+
+
+if __name__ == "__main__":
+    main()

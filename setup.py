@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on offline machines without the
+``wheel`` package; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

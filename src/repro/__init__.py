@@ -1,0 +1,75 @@
+"""Dema: efficient decentralized aggregation for non-decomposable quantiles.
+
+A from-scratch Python reproduction of the EDBT 2025 paper.  The package is
+organized as:
+
+* :mod:`repro.core` — Dema itself: slice synopses, the window-cut algorithm,
+  identification and calculation steps, adaptive slice factor, and both a
+  pure in-memory API (:func:`repro.core.dema_quantile`) and a simulated
+  deployment (:class:`repro.core.DemaEngine`).
+* :mod:`repro.streaming` — SPE substrate: events, event time, window types,
+  aggregation-function classification.
+* :mod:`repro.network` — deterministic discrete-event network simulator that
+  stands in for the paper's 9-node cluster.
+* :mod:`repro.sketches` — t-digest and q-digest, implemented from scratch.
+* :mod:`repro.baselines` — Scotty, Desis and t-digest systems on the same
+  simulated topology.
+* :mod:`repro.bench` — workload generator, measurement harness, and the
+  runner that regenerates every figure of the evaluation section.
+
+Quick start::
+
+    from repro import dema_quantile, make_events
+
+    windows = {
+        1: make_events([3.0, 1.0, 4.0, 1.0, 5.0], node_id=1),
+        2: make_events([9.0, 2.0, 6.0, 5.0, 3.0], node_id=2),
+    }
+    result = dema_quantile(windows, q=0.5, gamma=2)
+    print(result.value, result.transfer_events)
+"""
+
+from repro.errors import ReproError
+from repro.streaming.events import Event, make_events
+from repro.streaming.windows import SessionWindows, SlidingWindows, TumblingWindows
+from repro.streaming.aggregates import exact_quantile, get_function, quantile_rank
+from repro.core.engine import DemaEngine, DemaResult, dema_quantile
+from repro.core.multi import MultiQuantileResult, dema_quantiles
+from repro.core.reliability import ReliabilityConfig
+from repro.core.concurrent import ConcurrentDemaEngine
+from repro.core.query import QuantileQuery
+from repro.core.adaptive import AdaptiveGammaController, optimal_gamma
+from repro.network.topology import TopologyConfig
+from repro.sketches.tdigest import TDigest
+from repro.sketches.qdigest import QDigest
+from repro.baselines.base import SYSTEM_NAMES, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Event",
+    "make_events",
+    "TumblingWindows",
+    "SlidingWindows",
+    "SessionWindows",
+    "exact_quantile",
+    "quantile_rank",
+    "get_function",
+    "dema_quantile",
+    "dema_quantiles",
+    "DemaResult",
+    "MultiQuantileResult",
+    "DemaEngine",
+    "ConcurrentDemaEngine",
+    "ReliabilityConfig",
+    "QuantileQuery",
+    "AdaptiveGammaController",
+    "optimal_gamma",
+    "TopologyConfig",
+    "TDigest",
+    "QDigest",
+    "build_system",
+    "SYSTEM_NAMES",
+    "__version__",
+]

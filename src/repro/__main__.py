@@ -1,0 +1,199 @@
+"""Command-line interface for the Dema reproduction.
+
+Usage::
+
+    python -m repro info                 # package and system inventory
+    python -m repro demo                 # 30-second guided demonstration
+    python -m repro quantile --q 0.9 ... # one decentralized quantile
+    python -m repro experiments fig5a    # regenerate paper figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.baselines.base import SYSTEM_NAMES
+    from repro.bench.workloads import EXPERIMENTS
+
+    print(f"repro {repro.__version__} — Dema (EDBT 2025) reproduction")
+    print()
+    print("systems   :", ", ".join(SYSTEM_NAMES))
+    print("experiments:")
+    for name, spec in EXPERIMENTS.items():
+        print(f"  {name:<24} {spec.figure:<16} {spec.title}")
+    print()
+    print("run `python -m repro demo` for a quick demonstration,")
+    print("`python -m repro experiments --all` to regenerate every figure.")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        DemaEngine,
+        QuantileQuery,
+        TopologyConfig,
+        dema_quantile,
+        exact_quantile,
+        make_events,
+    )
+    from repro.bench.generator import GeneratorConfig, workload
+    from repro.bench.reporting import format_bytes
+
+    rng = random.Random(args.seed)
+    print("1. In-memory: exact median over three nodes' data")
+    windows = {
+        node_id: make_events(
+            [rng.gauss(20 * node_id, 5) for _ in range(2_000)],
+            node_id=node_id,
+        )
+        for node_id in (1, 2, 3)
+    }
+    result = dema_quantile(windows, q=0.5, gamma=100)
+    all_values = [e.value for events in windows.values() for e in events]
+    assert result.value == exact_quantile(all_values, 0.5)
+    print(f"   median = {result.value:.3f} (bit-exact), "
+          f"{result.transfer_events} of {result.global_window_size} events moved")
+    print()
+
+    print("2. Simulated deployment: continuous medians, adaptive γ")
+    query = QuantileQuery(q=0.5, gamma=2, adaptive=True)
+    engine = DemaEngine(query, TopologyConfig(n_local_nodes=2))
+    streams = workload(
+        [1, 2],
+        GeneratorConfig(event_rate=2_000.0, duration_s=4.0, seed=args.seed),
+    )
+    report = engine.run(streams)
+    for outcome in report.outcomes:
+        print(
+            f"   window [{outcome.window.start / 1000:.0f}s,"
+            f"{outcome.window.end / 1000:.0f}s): median={outcome.value:8.3f}  "
+            f"γ={outcome.gamma_used:<5d} candidates={outcome.candidate_events}"
+        )
+    print(f"   network: {format_bytes(report.network.total_bytes)} "
+          f"(raw forwarding would be "
+          f"{format_bytes(report.events_ingested * 16)})")
+    return 0
+
+
+def _cmd_quantile(args: argparse.Namespace) -> int:
+    from repro import dema_quantile, make_events
+
+    rng = random.Random(args.seed)
+    windows = {
+        node_id: make_events(
+            [rng.gauss(50.0, 15.0) for _ in range(args.events_per_node)],
+            node_id=node_id,
+        )
+        for node_id in range(1, args.nodes + 1)
+    }
+    result = dema_quantile(windows, q=args.q, gamma=args.gamma)
+    print(f"q={args.q} over {args.nodes} nodes × "
+          f"{args.events_per_node} events (γ={args.gamma})")
+    print(f"value            : {result.value:.6f}")
+    print(f"rank             : {result.rank} / {result.global_window_size}")
+    print(f"candidate slices : {result.candidate_slices}")
+    print(f"events moved     : {result.transfer_events} "
+          f"({result.transfer_events / result.global_window_size:.2%})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import SweepSpec, run_sweep
+
+    def parse_value(raw: str):
+        try:
+            return int(raw)
+        except ValueError:
+            return float(raw)
+
+    spec = SweepSpec(
+        parameter=args.parameter,
+        values=tuple(parse_value(raw) for raw in args.values.split(",")),
+        metric=args.metric,
+        systems=tuple(args.systems.split(",")),
+        n_local_nodes=args.nodes,
+        gamma=args.gamma,
+        q=args.q,
+        event_rate=args.event_rate,
+    )
+    result = run_sweep(spec)
+    print(result.to_table())
+    if args.csv is not None:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import runner
+
+    forwarded: list[str] = list(args.figures)
+    if args.all:
+        forwarded.append("--all")
+    if args.quick:
+        forwarded.append("--quick")
+    return runner.main(forwarded)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment inventory")
+
+    demo = sub.add_parser("demo", help="guided demonstration")
+    demo.add_argument("--seed", type=int, default=42)
+
+    quantile = sub.add_parser("quantile", help="one decentralized quantile")
+    quantile.add_argument("--q", type=float, default=0.5)
+    quantile.add_argument("--gamma", type=int, default=100)
+    quantile.add_argument("--nodes", type=int, default=3)
+    quantile.add_argument("--events-per-node", type=int, default=10_000)
+    quantile.add_argument("--seed", type=int, default=42)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate paper figures"
+    )
+    experiments.add_argument("figures", nargs="*")
+    experiments.add_argument("--all", action="store_true")
+    experiments.add_argument("--quick", action="store_true")
+
+    sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
+    sweep.add_argument("--parameter", required=True,
+                       choices=["gamma", "n_local_nodes", "event_rate", "q",
+                                "loss_rate"])
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated, e.g. 2,20,200")
+    sweep.add_argument("--metric", default="throughput",
+                       choices=["throughput", "network_bytes", "latency_p50"])
+    sweep.add_argument("--systems", default="dema",
+                       help="comma-separated system names")
+    sweep.add_argument("--nodes", type=int, default=2)
+    sweep.add_argument("--gamma", type=int, default=100)
+    sweep.add_argument("--q", type=float, default=0.5)
+    sweep.add_argument("--event-rate", type=float, default=2_000.0)
+    sweep.add_argument("--csv", default=None, metavar="PATH")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "quantile": _cmd_quantile,
+        "experiments": _cmd_experiments,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Baseline systems the paper compares Dema against (Section 4).
+
+* **Scotty** — centralized aggregation: local nodes forward every raw event
+  to the root, which sorts the full global window.  Serves as exact ground
+  truth, as in the paper's accuracy experiment.
+* **Desis (modified)** — decentralized sorting: local nodes sort their
+  windows and ship full sorted runs; the root k-way merges.  Same network
+  cost as Scotty but a cheaper root.
+* **Tdigest** — local nodes build t-digests and ship only centroids; the
+  root merges digests.  Fastest and lightest, but approximate.
+
+All three deploy on the identical simulated topology through the common
+:class:`~repro.baselines.base.BaselineEngine` machinery so every figure
+compares systems under the same workload, links and CPU budgets.
+"""
+
+from repro.baselines.base import (
+    BaselineEngine,
+    SystemReport,
+    WindowRecord,
+    build_system,
+    SYSTEM_NAMES,
+)
+from repro.baselines.scotty import ScottyLocalNode, ScottyRootNode
+from repro.baselines.desis import DesisLocalNode, DesisRootNode
+from repro.baselines.tdigest_system import TDigestLocalNode, TDigestRootNode
+from repro.baselines.qdigest_system import QDigestLocalNode, QDigestRootNode
+from repro.baselines.partial import (
+    PartialAggLocalNode,
+    PartialAggRootNode,
+    build_partial_system,
+)
+
+__all__ = [
+    "PartialAggLocalNode",
+    "PartialAggRootNode",
+    "build_partial_system",
+    "BaselineEngine",
+    "SystemReport",
+    "WindowRecord",
+    "build_system",
+    "SYSTEM_NAMES",
+    "ScottyLocalNode",
+    "ScottyRootNode",
+    "DesisLocalNode",
+    "DesisRootNode",
+    "TDigestLocalNode",
+    "TDigestRootNode",
+    "QDigestLocalNode",
+    "QDigestRootNode",
+]

@@ -1,0 +1,44 @@
+"""Accuracy metrics: mean percentage error and the paper's 1 − MPE.
+
+The accuracy experiment (Fig. 7b) feeds identical inputs to every system,
+takes Scotty's exact answers as ground truth, computes the mean percentage
+error of each system's per-window results, and reports accuracy = 1 − MPE.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import HarnessError
+
+__all__ = ["mean_percentage_error", "accuracy_vs_ground_truth"]
+
+
+def mean_percentage_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """Mean of ``|estimate - truth| / |truth|`` over paired windows.
+
+    Raises:
+        HarnessError: On length mismatch, empty input, or a zero truth
+            (percentage error undefined).
+    """
+    if len(estimates) != len(truths):
+        raise HarnessError(
+            f"got {len(estimates)} estimates for {len(truths)} ground truths"
+        )
+    if not truths:
+        raise HarnessError("cannot compute MPE over zero windows")
+    total = 0.0
+    for estimate, truth in zip(estimates, truths):
+        if truth == 0:
+            raise HarnessError("ground truth of 0 makes percentage error undefined")
+        total += abs(estimate - truth) / abs(truth)
+    return total / len(truths)
+
+
+def accuracy_vs_ground_truth(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """The paper's accuracy metric: ``1 - MPE``, floored at 0."""
+    return max(0.0, 1.0 - mean_percentage_error(estimates, truths))

@@ -1,0 +1,118 @@
+"""Terminal charts: horizontal bars and sparklines for experiment output.
+
+The runner prints each figure as a table plus a small chart so the *shape*
+the paper plots — orderings, linear growth, the γ inverted-U — is visible
+directly in the terminal log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "sparkline", "series_chart"]
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    fmt: Callable[[float], str] = lambda v: f"{v:,.0f}",
+    title: str = "",
+) -> str:
+    """Render horizontal bars scaled to the largest value.
+
+    Args:
+        labels: One label per bar.
+        values: Non-negative values, parallel to ``labels``.
+        width: Character width of the longest bar.
+        fmt: Value formatter appended after each bar.
+        title: Optional heading line.
+
+    Raises:
+        ConfigurationError: On mismatched lengths, no data, or negatives.
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not values:
+        raise ConfigurationError("cannot chart zero bars")
+    if any(value < 0 for value in values):
+        raise ConfigurationError("bar values must be non-negative")
+
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        length = 0 if peak == 0 else round(width * value / peak)
+        if value > 0:
+            length = max(length, 1)
+        bar = "█" * length
+        lines.append(f"{label.ljust(label_width)}  {bar} {fmt(value)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a series as one line of block characters.
+
+    Values are scaled to the series' own min/max; a flat series renders at
+    mid height.
+
+    Raises:
+        ConfigurationError: On empty input.
+    """
+    if not values:
+        raise ConfigurationError("cannot sparkline an empty series")
+    low, high = min(values), max(values)
+    if high == low:
+        return _BLOCKS[3] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def series_chart(
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    fmt: Callable[[float], str] = lambda v: f"{v:,.0f}",
+    title: str = "",
+) -> str:
+    """Render several series as labelled sparklines with end values.
+
+    Args:
+        xs: The shared x-axis (shown as a range annotation).
+        series: Named y-series, each parallel to ``xs``.
+        fmt: Formatter for the first/last values shown beside each line.
+        title: Optional heading line.
+
+    Raises:
+        ConfigurationError: On empty input or length mismatches.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for {len(xs)} xs"
+            )
+    name_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for name, values in series.items():
+        lines.append(
+            f"{name.ljust(name_width)}  {sparkline(values)}  "
+            f"{fmt(values[0])} → {fmt(values[-1])}"
+        )
+    lines.append(
+        f"{'x'.ljust(name_width)}  {xs[0]} … {xs[-1]} ({len(xs)} points)"
+    )
+    return "\n".join(lines)

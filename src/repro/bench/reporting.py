@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment results.
+
+The runner prints the same rows the paper's figures plot; EXPERIMENTS.md
+records these tables next to the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_rate", "format_bytes", "format_seconds"]
+
+
+def format_rate(events_per_second: float) -> str:
+    """Human-readable events/second."""
+    if events_per_second >= 1e6:
+        return f"{events_per_second / 1e6:.2f}M ev/s"
+    if events_per_second >= 1e3:
+        return f"{events_per_second / 1e3:.1f}k ev/s"
+    return f"{events_per_second:.0f} ev/s"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count."""
+    for unit, factor in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if n_bytes >= factor:
+            return f"{n_bytes / factor:.2f} {unit}"
+    return f"{n_bytes:.0f} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} µs"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], *, title: str = ""
+) -> str:
+    """Render a monospaced table with aligned columns."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)

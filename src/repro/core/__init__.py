@@ -1,0 +1,77 @@
+"""Dema: the paper's contribution.
+
+Decentralized window aggregation for non-decomposable quantile functions.
+Local nodes keep their windows incrementally sorted, cut them into γ-sized
+slices and ship only *synopses* (first event, last event, count) to the root.
+The root runs the window-cut algorithm to identify the few candidate slices
+that can contain the requested quantile rank, fetches exactly those events,
+and selects the answer — bit-exact, at a fraction of the network cost of
+centralized aggregation.
+
+Two entry points:
+
+* :func:`repro.core.engine.dema_quantile` — pure in-memory algorithm (no
+  simulator), the easiest way to use or study Dema;
+* :class:`repro.core.engine.DemaEngine` — full decentralized deployment on
+  the simulated network, used by the benchmarks.
+"""
+
+from repro.core.synopsis import SliceSynopsis
+from repro.core.sorted_window import SortedLocalWindow
+from repro.core.slicing import SlicedWindow, slice_sorted_events
+from repro.core.units import SliceKind, SliceUnit, build_units, classify_slice
+from repro.core.window_cut import CutResult, rank_bound_candidates, window_cut
+from repro.core.identification import IdentificationResult, identify
+from repro.core.calculation import calculate_quantile, merge_candidate_runs
+from repro.core.adaptive import (
+    AdaptiveGammaController,
+    NodeGammaController,
+    optimal_gamma,
+    transfer_cost,
+)
+from repro.core.multi import MultiQuantileResult, dema_quantiles
+from repro.core.reliability import ReliabilityConfig
+from repro.core.concurrent import (
+    ConcurrentDemaEngine,
+    ConcurrentOutcome,
+    QueryGroup,
+    group_queries,
+)
+from repro.core.query import QuantileQuery
+from repro.core.local_node import DemaLocalNode
+from repro.core.root_node import DemaRootNode
+from repro.core.engine import DemaEngine, dema_quantile
+
+__all__ = [
+    "SliceSynopsis",
+    "SortedLocalWindow",
+    "SlicedWindow",
+    "slice_sorted_events",
+    "SliceKind",
+    "SliceUnit",
+    "build_units",
+    "classify_slice",
+    "CutResult",
+    "rank_bound_candidates",
+    "window_cut",
+    "IdentificationResult",
+    "identify",
+    "calculate_quantile",
+    "merge_candidate_runs",
+    "AdaptiveGammaController",
+    "NodeGammaController",
+    "optimal_gamma",
+    "transfer_cost",
+    "MultiQuantileResult",
+    "dema_quantiles",
+    "ReliabilityConfig",
+    "ConcurrentDemaEngine",
+    "ConcurrentOutcome",
+    "QueryGroup",
+    "group_queries",
+    "QuantileQuery",
+    "DemaLocalNode",
+    "DemaRootNode",
+    "DemaEngine",
+    "dema_quantile",
+]

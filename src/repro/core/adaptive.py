@@ -1,0 +1,249 @@
+"""Adaptive slice factor (Section 3.3).
+
+Dema's network cost per global window is
+
+    Cost(γ) = 2·l_G / γ  +  m · (γ − 2)
+
+where ``l_G`` is the global window size and ``m`` the number of candidate
+slices: the first term counts the events inside all synopses (two per
+slice), the second counts the candidate events shipped in the calculation
+step beyond the two already known from each candidate's synopsis.  The cost
+is convex in γ with closed-form minimizer ``γ* = sqrt(2·l_G / m)``.
+
+The controller re-estimates γ after every window from the observed ``l_G``
+and ``m``, exactly as the paper's root node does, and reuses the previous
+optimum while conditions are stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.slicing import MIN_GAMMA
+
+__all__ = [
+    "transfer_cost",
+    "optimal_gamma",
+    "AdaptiveGammaController",
+    "NodeGammaController",
+]
+
+
+def transfer_cost(gamma: int, global_window_size: int, n_candidates: int) -> float:
+    """Events-on-the-wire cost model of Section 3.3.
+
+    Args:
+        gamma: Slice factor, ≥ 2.
+        global_window_size: ``l_G``.
+        n_candidates: ``m``, the number of candidate slices.
+
+    Raises:
+        ConfigurationError: On a gamma below the minimum or negative inputs.
+    """
+    if gamma < MIN_GAMMA:
+        raise ConfigurationError(f"gamma must be >= {MIN_GAMMA}, got {gamma}")
+    if global_window_size < 0 or n_candidates < 0:
+        raise ConfigurationError("window size and candidate count must be >= 0")
+    return 2.0 * global_window_size / gamma + n_candidates * (gamma - 2)
+
+
+def optimal_gamma(
+    global_window_size: int,
+    n_candidates: int,
+    *,
+    max_gamma: int | None = None,
+) -> int:
+    """Integer γ minimizing :func:`transfer_cost`.
+
+    The real-valued minimizer is ``sqrt(2·l_G/m)``; the two neighbouring
+    integers are compared to pick the true integer optimum.  With no
+    candidate slices observed (``m == 0``) the identification term dominates
+    and the best γ is as large as allowed.
+
+    Args:
+        global_window_size: ``l_G`` from the previous window.
+        n_candidates: ``m`` from the previous window.
+        max_gamma: Optional clamp; defaults to ``l_G`` (a single slice per
+            window is the coarsest useful cut).
+
+    Returns:
+        The optimal slice factor, always ≥ 2.
+    """
+    if global_window_size < 0 or n_candidates < 0:
+        raise ConfigurationError("window size and candidate count must be >= 0")
+    ceiling = max(max_gamma if max_gamma is not None else global_window_size,
+                  MIN_GAMMA)
+    if global_window_size == 0:
+        return MIN_GAMMA
+    if n_candidates == 0:
+        return ceiling
+    raw = math.sqrt(2.0 * global_window_size / n_candidates)
+    lo = max(MIN_GAMMA, min(ceiling, math.floor(raw)))
+    hi = max(MIN_GAMMA, min(ceiling, math.ceil(raw)))
+    cost_lo = transfer_cost(lo, global_window_size, n_candidates)
+    cost_hi = transfer_cost(hi, global_window_size, n_candidates)
+    return lo if cost_lo <= cost_hi else hi
+
+
+@dataclass
+class AdaptiveGammaController:
+    """Per-window γ adaptation driven by observed workload statistics.
+
+    Attributes:
+        gamma: The slice factor currently in force.
+        smoothing: Exponential-smoothing weight for the observed ``l_G`` and
+            ``m`` (1.0 = use the latest window only, matching the paper's
+            description; lower values damp oscillation between windows).
+        max_gamma: Optional upper clamp on γ.
+    """
+
+    gamma: int = 100
+    smoothing: float = 1.0
+    max_gamma: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.gamma < MIN_GAMMA:
+            raise ConfigurationError(
+                f"initial gamma must be >= {MIN_GAMMA}, got {self.gamma}"
+            )
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {self.smoothing}"
+            )
+        self._window_size_estimate: float | None = None
+        self._candidate_estimate: float | None = None
+
+    def observe(self, global_window_size: int, n_candidates: int) -> int:
+        """Fold one finished window's stats into the estimates; return new γ.
+
+        Args:
+            global_window_size: ``l_G`` of the window that just completed.
+            n_candidates: Candidate-slice count ``m`` of that window.
+        """
+        self._window_size_estimate = self._smooth(
+            self._window_size_estimate, float(global_window_size)
+        )
+        self._candidate_estimate = self._smooth(
+            self._candidate_estimate, float(n_candidates)
+        )
+        self.gamma = optimal_gamma(
+            round(self._window_size_estimate),
+            round(self._candidate_estimate),
+            max_gamma=self.max_gamma,
+        )
+        return self.gamma
+
+    def expected_cost(self) -> float | None:
+        """Modelled cost of the current γ under the current estimates."""
+        if self._window_size_estimate is None or self._candidate_estimate is None:
+            return None
+        return transfer_cost(
+            self.gamma,
+            round(self._window_size_estimate),
+            round(self._candidate_estimate),
+        )
+
+    def _smooth(self, previous: float | None, observed: float) -> float:
+        if previous is None:
+            return observed
+        return self.smoothing * observed + (1.0 - self.smoothing) * previous
+
+
+class NodeGammaController:
+    """Per-node slice factors (the paper's Section 3.3 extension).
+
+    The transfer cost decomposes over nodes:
+
+        Cost = Σ_i [ 2·l_i / γ_i  +  m_i · (γ_i − 2) ]
+
+    where ``l_i`` is node *i*'s local window size and ``m_i`` its candidate
+    slices, so each node's factor can be optimized independently:
+    ``γ_i* = sqrt(2·l_i / m_i)``.  Nodes with high event rates get coarser
+    slices; quiet nodes get finer ones — exactly the adaptation the paper
+    sketches for "networks with nodes that have varying workloads".
+
+    A node never observed as contributing candidates uses ``m_i = 1``
+    rather than the cost model's degenerate ``m_i = 0`` (which would push
+    γ to the window size and make the *next* window's candidate slice the
+    whole window).
+    """
+
+    def __init__(self, initial_gamma: int = 100, *,
+                 smoothing: float = 1.0,
+                 max_gamma: int | None = None) -> None:
+        if initial_gamma < MIN_GAMMA:
+            raise ConfigurationError(
+                f"initial gamma must be >= {MIN_GAMMA}, got {initial_gamma}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self._initial_gamma = initial_gamma
+        self._smoothing = smoothing
+        self._max_gamma = max_gamma
+        self._size_estimates: dict[int, float] = {}
+        self._candidate_estimates: dict[int, float] = {}
+        self._gammas: dict[int, int] = {}
+
+    def gamma_for(self, node_id: int) -> int:
+        """The factor currently prescribed for ``node_id``."""
+        return self._gammas.get(node_id, self._initial_gamma)
+
+    @property
+    def gammas(self) -> dict[int, int]:
+        """All per-node factors prescribed so far."""
+        return dict(self._gammas)
+
+    def observe(
+        self,
+        window_sizes: dict[int, int],
+        candidates_by_node: dict[int, int],
+    ) -> dict[int, int]:
+        """Fold one window's per-node statistics; return the new factors.
+
+        Args:
+            window_sizes: Local window size ``l_i`` per node.
+            candidates_by_node: Candidate-slice count ``m_i`` per node
+                (nodes with no candidates may be omitted).
+
+        Returns:
+            New γ per node, for every node present in ``window_sizes``.
+        """
+        updated: dict[int, int] = {}
+        for node_id, size in window_sizes.items():
+            observed_m = max(candidates_by_node.get(node_id, 0), 1)
+            self._size_estimates[node_id] = self._smooth(
+                self._size_estimates.get(node_id), float(size)
+            )
+            self._candidate_estimates[node_id] = self._smooth(
+                self._candidate_estimates.get(node_id), float(observed_m)
+            )
+            gamma = optimal_gamma(
+                round(self._size_estimates[node_id]),
+                round(self._candidate_estimates[node_id]),
+                max_gamma=self._max_gamma,
+            )
+            self._gammas[node_id] = gamma
+            updated[node_id] = gamma
+        return updated
+
+    def expected_cost(self) -> float | None:
+        """Modelled total cost of the current factors, if any observed."""
+        if not self._gammas:
+            return None
+        total = 0.0
+        for node_id, gamma in self._gammas.items():
+            total += transfer_cost(
+                gamma,
+                round(self._size_estimates[node_id]),
+                round(self._candidate_estimates[node_id]),
+            )
+        return total
+
+    def _smooth(self, previous: float | None, observed: float) -> float:
+        if previous is None:
+            return observed
+        return self._smoothing * observed + (1.0 - self._smoothing) * previous

@@ -1,0 +1,589 @@
+"""Concurrent continuous queries over one Dema deployment.
+
+The systems Dema builds on (Scotty, Desis) are fundamentally about serving
+*many* windowed queries at once.  This module brings that capability to
+Dema: any number of continuous quantile queries — different quantiles,
+different window lengths or steps — run over the same event streams on the
+same physical nodes.
+
+Sharing structure.  Queries are partitioned into **groups** by their window
+shape and slice factor.  Within a group the expensive local work happens
+once: one sorted window, one slicing pass, one synopsis batch on the wire.
+The root answers every quantile of the group from those synopses, fetching
+the *union* of the candidate slices (the same sharing as
+:func:`repro.core.multi.dema_quantiles`).  Groups with different window
+shapes share only the physical substrate — ingestion CPU, channels and
+their contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError, IdentificationError, SliceError
+from repro.network.driver import MS_PER_SECOND
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    Message,
+    SynopsisMessage,
+)
+from repro.network.metrics import LatencyStats, NetworkMetrics
+from repro.network.simulator import (
+    INGEST_OPS,
+    SimulatedNode,
+    Simulator,
+    merge_cost,
+    receive_ops,
+)
+from repro.network.topology import Topology, TopologyConfig
+from repro.streaming.aggregates import quantile_rank
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+from repro.core.calculation import calculate_quantile
+from repro.core.query import QuantileQuery
+from repro.core.slicing import SlicedWindow, slice_sorted_events
+from repro.core.sorted_window import SortedLocalWindow
+from repro.core.synopsis import SliceSynopsis
+from repro.core.window_cut import CutResult, window_cut
+
+import math
+
+__all__ = [
+    "QueryGroup",
+    "group_queries",
+    "ConcurrentOutcome",
+    "ConcurrentDemaLocalNode",
+    "ConcurrentDemaRootNode",
+    "ConcurrentDemaEngine",
+]
+
+#: Abstract ops for the slicing pass (per event), as in the single-query node.
+_SLICE_OPS_PER_EVENT = 0.5
+
+#: Abstract ops for serving one candidate event.
+_SERVE_OPS_PER_EVENT = 0.5
+
+#: Abstract ops per synopsis during identification.
+_IDENTIFY_OPS_PER_SYNOPSIS = 4.0
+
+
+@dataclass(frozen=True)
+class QueryGroup:
+    """Queries sharing window shape and slice factor.
+
+    Attributes:
+        group_id: Index used to multiplex protocol messages.
+        queries: ``(query_index, query)`` pairs; the index refers to the
+            caller's original query list.
+    """
+
+    group_id: int
+    queries: tuple[tuple[int, QuantileQuery], ...]
+
+    @property
+    def shape(self) -> tuple[int, int | None, int]:
+        """The shared ``(length, step, gamma)`` signature."""
+        query = self.queries[0][1]
+        return (query.window_length_ms, query.window_step_ms, query.gamma)
+
+    @property
+    def prototype(self) -> QuantileQuery:
+        """A representative query (window shape and γ are shared)."""
+        return self.queries[0][1]
+
+    @property
+    def quantiles(self) -> tuple[tuple[int, float], ...]:
+        """``(query_index, q)`` pairs answered by this group."""
+        return tuple(
+            (index, query.q) for index, query in self.queries
+        )
+
+
+def group_queries(queries: Sequence[QuantileQuery]) -> list[QueryGroup]:
+    """Partition queries into sharing groups by window shape and γ.
+
+    Raises:
+        ConfigurationError: If no queries are given or any query is
+            adaptive (concurrent deployments use fixed per-group γ; the
+            adaptive controller assumes a single query per root).
+    """
+    if not queries:
+        raise ConfigurationError("need at least one query")
+    for query in queries:
+        if query.adaptive:
+            raise ConfigurationError(
+                "concurrent deployments require fixed-γ queries"
+            )
+    by_shape: dict[tuple, list[tuple[int, QuantileQuery]]] = {}
+    for index, query in enumerate(queries):
+        shape = (query.window_length_ms, query.window_step_ms, query.gamma)
+        by_shape.setdefault(shape, []).append((index, query))
+    return [
+        QueryGroup(group_id=group_id, queries=tuple(members))
+        for group_id, members in enumerate(
+            by_shape[shape] for shape in sorted(by_shape, key=str)
+        )
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class ConcurrentOutcome:
+    """One query's result for one window in a concurrent deployment."""
+
+    query_index: int
+    q: float
+    window: Window
+    value: float | None
+    global_window_size: int
+    result_time: float
+
+
+@dataclass
+class _GroupLocalState:
+    """Per-group window state on a local node."""
+
+    open: dict[Window, SortedLocalWindow] = field(default_factory=dict)
+    pending: dict[Window, SlicedWindow] = field(default_factory=dict)
+    completed: set[Window] = field(default_factory=set)
+
+
+class ConcurrentDemaLocalNode(SimulatedNode):
+    """Edge operator serving every query group from shared ingestion."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        root_id: int,
+        groups: Sequence[QueryGroup],
+        ops_per_second: float = 1e8,
+    ) -> None:
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        self._root_id = root_id
+        self._groups = {group.group_id: group for group in groups}
+        self._assigners = {
+            group.group_id: group.prototype.assigner() for group in groups
+        }
+        self._state = {
+            group.group_id: _GroupLocalState() for group in groups
+        }
+        self._events_ingested = 0
+
+    @property
+    def events_ingested(self) -> int:
+        """Raw events accepted so far (once, regardless of group count)."""
+        return self._events_ingested
+
+    def ingest(self, events: Sequence[Event], now: float) -> float:
+        """Route each event into every group's open windows.
+
+        Ingestion (parse + route) is paid once per event; the sorted insert
+        is paid once per *group* per event because each group maintains its
+        own sorted windows.
+        """
+        insert_ops = 0.0
+        for event in events:
+            for group_id, assigner in self._assigners.items():
+                state = self._state[group_id]
+                for window in assigner.assign_event(event):
+                    if window in state.completed:
+                        continue
+                    sorted_window = state.open.setdefault(
+                        window, SortedLocalWindow()
+                    )
+                    sorted_window.add(event)
+                    insert_ops += math.log2(max(len(sorted_window), 2))
+        self._events_ingested += len(events)
+        return self.work(INGEST_OPS * len(events) + insert_ops, now)
+
+    def on_group_window_complete(
+        self, group_id: int, window: Window, now: float
+    ) -> None:
+        """Seal one group's window; slice once; ship one synopsis batch."""
+        state = self._state[group_id]
+        if window in state.completed:
+            return
+        state.completed.add(window)
+        sorted_window = state.open.pop(window, SortedLocalWindow())
+        events = sorted_window.seal()
+        finish = self.work(_SLICE_OPS_PER_EVENT * len(events), now)
+        gamma = self._groups[group_id].prototype.gamma
+        sliced = slice_sorted_events(events, gamma, self.node_id)
+        state.pending[window] = sliced
+        message = SynopsisMessage(
+            sender=self.node_id,
+            window=window,
+            group_id=group_id,
+            synopses=sliced.synopses,
+            local_window_size=sliced.window_size,
+        )
+        self.send(message, self._root_id, finish)
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Serve candidate requests for any group."""
+        if not isinstance(message, CandidateRequestMessage):
+            raise SliceError(
+                f"concurrent local node cannot handle "
+                f"{type(message).__name__}"
+            )
+        state = self._state[message.group_id]
+        sliced = state.pending.pop(message.window, None)
+        if sliced is None:
+            raise SliceError(
+                f"node {self.node_id} has no sealed window {message.window} "
+                f"for group {message.group_id}"
+            )
+        send_at = self.work(receive_ops(message.payload_bytes), now)
+        for slice_index in message.slice_indices:
+            run = sliced.run_for(slice_index)
+            send_at = self.work(_SERVE_OPS_PER_EVENT * len(run), send_at)
+            reply = CandidateEventsMessage(
+                sender=self.node_id,
+                window=message.window,
+                group_id=message.group_id,
+                slice_index=slice_index,
+                events=run,
+            )
+            self.send(reply, self._root_id, send_at)
+
+
+@dataclass
+class _GroupWindowState:
+    """Root-side bookkeeping for one (group, window) pair."""
+
+    synopses: dict[int, tuple[SliceSynopsis, ...]] = field(default_factory=dict)
+    sizes: dict[int, int] = field(default_factory=dict)
+    cuts: dict[int, CutResult] = field(default_factory=dict)
+    requests: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    runs: dict[tuple[int, int], tuple[Event, ...]] = field(default_factory=dict)
+    expected_runs: int = 0
+
+
+class ConcurrentDemaRootNode(SimulatedNode):
+    """Root operator answering every group's quantiles from shared synopses."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        local_ids: Sequence[int],
+        groups: Sequence[QueryGroup],
+        ops_per_second: float = 2e8,
+    ) -> None:
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        if not local_ids:
+            raise IdentificationError("root needs at least one local node")
+        self._local_ids = tuple(local_ids)
+        self._groups = {group.group_id: group for group in groups}
+        self._states: dict[tuple[int, Window], _GroupWindowState] = {}
+        self._outcomes: list[ConcurrentOutcome] = []
+
+    @property
+    def outcomes(self) -> list[ConcurrentOutcome]:
+        """Per-query, per-window results in completion order."""
+        return list(self._outcomes)
+
+    @property
+    def open_windows(self) -> int:
+        """(group, window) pairs still in flight."""
+        return len(self._states)
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Dispatch synopsis batches and candidate runs by group."""
+        if isinstance(message, SynopsisMessage):
+            self._on_synopses(message, now)
+        elif isinstance(message, CandidateEventsMessage):
+            self._on_candidates(message, now)
+        else:
+            raise IdentificationError(
+                f"concurrent root cannot handle {type(message).__name__}"
+            )
+
+    def _on_synopses(self, message: SynopsisMessage, now: float) -> None:
+        now = self.work(receive_ops(message.payload_bytes), now)
+        key = (message.group_id, message.window)
+        state = self._states.setdefault(key, _GroupWindowState())
+        if message.sender in state.synopses:
+            raise IdentificationError(
+                f"duplicate synopsis batch from node {message.sender} for "
+                f"group {message.group_id}, window {message.window}"
+            )
+        state.synopses[message.sender] = message.synopses
+        state.sizes[message.sender] = message.local_window_size
+        if len(state.synopses) == len(self._local_ids):
+            self._identify(message.group_id, message.window, state, now)
+
+    def _identify(
+        self,
+        group_id: int,
+        window: Window,
+        state: _GroupWindowState,
+        now: float,
+    ) -> None:
+        group = self._groups[group_id]
+        total = sum(state.sizes.values())
+        if total == 0:
+            self._states.pop((group_id, window))
+            for query_index, q in group.quantiles:
+                self._outcomes.append(
+                    ConcurrentOutcome(
+                        query_index=query_index,
+                        q=q,
+                        window=window,
+                        value=None,
+                        global_window_size=0,
+                        result_time=now,
+                    )
+                )
+            return
+
+        all_synopses = [
+            synopsis
+            for batch in state.synopses.values()
+            for synopsis in batch
+        ]
+        n_synopses = len(all_synopses)
+        ops = _IDENTIFY_OPS_PER_SYNOPSIS * n_synopses * max(
+            1.0, math.log2(max(n_synopses, 2))
+        ) * len(group.quantiles)
+        finish = self.work(ops, now)
+
+        union: set[tuple[int, int]] = set()
+        for query_index, q in group.quantiles:
+            rank = quantile_rank(q, total)
+            cut = window_cut(all_synopses, rank, global_window_size=total)
+            state.cuts[query_index] = cut
+            union.update(cut.candidate_ids)
+
+        requests: dict[int, list[int]] = {}
+        for node_id, slice_index in union:
+            requests.setdefault(node_id, []).append(slice_index)
+        state.requests = {
+            node_id: tuple(sorted(indices))
+            for node_id, indices in requests.items()
+        }
+        state.expected_runs = len(union)
+        for local_id in self._local_ids:
+            request = CandidateRequestMessage(
+                sender=self.node_id,
+                window=window,
+                group_id=group_id,
+                slice_indices=state.requests.get(local_id, ()),
+            )
+            self.send(request, local_id, finish)
+
+    def _on_candidates(
+        self, message: CandidateEventsMessage, now: float
+    ) -> None:
+        now = self.work(receive_ops(message.payload_bytes), now)
+        key = (message.group_id, message.window)
+        state = self._states.get(key)
+        if state is None or not state.cuts:
+            raise IdentificationError(
+                f"unexpected candidate events for group {message.group_id}, "
+                f"window {message.window}"
+            )
+        run_key = (message.sender, message.slice_index)
+        if run_key in state.runs:
+            raise IdentificationError(
+                f"duplicate candidate run {run_key} for window {message.window}"
+            )
+        state.runs[run_key] = message.events
+        if len(state.runs) == state.expected_runs:
+            self._calculate(message.group_id, message.window, state, now)
+
+    def _calculate(
+        self,
+        group_id: int,
+        window: Window,
+        state: _GroupWindowState,
+        now: float,
+    ) -> None:
+        group = self._groups[group_id]
+        total_fetched = sum(len(run) for run in state.runs.values())
+        finish = self.work(
+            merge_cost(total_fetched, max(len(state.runs), 1)), now
+        )
+        total = sum(state.sizes.values())
+        self._states.pop((group_id, window))
+        for query_index, q in group.quantiles:
+            cut = state.cuts[query_index]
+            runs = [
+                state.runs[synopsis.slice_id] for synopsis in cut.candidates
+            ]
+            answer = calculate_quantile(cut, runs)
+            self._outcomes.append(
+                ConcurrentOutcome(
+                    query_index=query_index,
+                    q=q,
+                    window=window,
+                    value=answer.value,
+                    global_window_size=total,
+                    result_time=finish,
+                )
+            )
+
+
+@dataclass
+class ConcurrentRunReport:
+    """Results of one concurrent-deployment run."""
+
+    outcomes: list[ConcurrentOutcome]
+    network: NetworkMetrics
+    latency: LatencyStats
+    final_time: float
+    events_ingested: int
+
+    def outcomes_for(self, query_index: int) -> list[ConcurrentOutcome]:
+        """Chronological outcomes of one query."""
+        return sorted(
+            (o for o in self.outcomes if o.query_index == query_index),
+            key=lambda o: o.window,
+        )
+
+
+class ConcurrentDemaEngine:
+    """A multi-query Dema deployment on the simulated network."""
+
+    def __init__(
+        self,
+        queries: Sequence[QuantileQuery],
+        topology_config: TopologyConfig,
+        *,
+        batch_size: int = 512,
+    ) -> None:
+        self._queries = list(queries)
+        self._groups = group_queries(queries)
+        self._simulator = Simulator()
+        self._root: ConcurrentDemaRootNode | None = None
+        local_ids = list(range(1, topology_config.n_local_nodes + 1))
+
+        def root_factory(node_id: int, ops: float) -> ConcurrentDemaRootNode:
+            self._root = ConcurrentDemaRootNode(
+                node_id,
+                local_ids=local_ids,
+                groups=self._groups,
+                ops_per_second=ops,
+            )
+            return self._root
+
+        def local_factory(node_id: int, ops: float) -> ConcurrentDemaLocalNode:
+            return ConcurrentDemaLocalNode(
+                node_id,
+                root_id=0,
+                groups=self._groups,
+                ops_per_second=ops,
+            )
+
+        self._topology = Topology.build(
+            self._simulator,
+            topology_config,
+            root_factory=root_factory,
+            local_factory=local_factory,
+        )
+        self._batch_size = batch_size
+        self._events_ingested = 0
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying discrete-event engine."""
+        return self._simulator
+
+    @property
+    def topology(self) -> Topology:
+        """The wired deployment."""
+        return self._topology
+
+    @property
+    def groups(self) -> list[QueryGroup]:
+        """The sharing groups the queries were partitioned into."""
+        return list(self._groups)
+
+    @property
+    def root(self) -> ConcurrentDemaRootNode:
+        """The root operator."""
+        assert self._root is not None
+        return self._root
+
+    def run(
+        self, streams: Mapping[int, Sequence[Event]]
+    ) -> ConcurrentRunReport:
+        """Feed per-local-node streams through every query at once."""
+        unknown = set(streams) - set(self._topology.local_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"streams reference unknown local nodes {sorted(unknown)}"
+            )
+        group_windows: dict[int, set[Window]] = {
+            group.group_id: set() for group in self._groups
+        }
+        for local_id in self._topology.local_ids:
+            events = streams.get(local_id, ())
+            self._feed(self._simulator.nodes[local_id], events)
+            for group in self._groups:
+                assigner = group.prototype.assigner()
+                for event in events:
+                    group_windows[group.group_id].update(
+                        assigner.assign(event.timestamp)
+                    )
+        for local_id in self._topology.local_ids:
+            operator = self._simulator.nodes[local_id]
+            for group_id, windows in group_windows.items():
+                for window in sorted(windows):
+                    completion = window.end / MS_PER_SECOND + 1e-6
+                    self._simulator.schedule(
+                        completion,
+                        lambda now, op=operator, g=group_id, w=window: (
+                            op.on_group_window_complete(g, w, now)
+                        ),
+                    )
+
+        final_time = self._simulator.run()
+        outcomes = self.root.outcomes
+        latency = LatencyStats()
+        for outcome in outcomes:
+            latency.add(
+                outcome.result_time - outcome.window.end / MS_PER_SECOND
+            )
+        return ConcurrentRunReport(
+            outcomes=outcomes,
+            network=NetworkMetrics.capture(self._simulator),
+            latency=latency,
+            final_time=final_time,
+            events_ingested=self._events_ingested,
+        )
+
+    def _feed(self, operator, events: Sequence[Event]) -> None:
+        """Schedule ingestion batches; splits whenever any group's window
+        assignment changes so arrivals stay within their windows."""
+        assigners = [group.prototype.assigner() for group in self._groups]
+
+        def signature(timestamp: int):
+            return tuple(assigner.assign(timestamp) for assigner in assigners)
+
+        batch: list[Event] = []
+        last_timestamp: int | None = None
+        for event in events:
+            if last_timestamp is not None and event.timestamp < last_timestamp:
+                raise ConfigurationError(
+                    "event timestamps must be non-decreasing"
+                )
+            last_timestamp = event.timestamp
+            if batch and (
+                len(batch) >= self._batch_size
+                or signature(batch[0].timestamp) != signature(event.timestamp)
+            ):
+                self._schedule_batch(operator, tuple(batch))
+                batch = []
+            batch.append(event)
+        if batch:
+            self._schedule_batch(operator, tuple(batch))
+
+    def _schedule_batch(self, operator, batch: tuple[Event, ...]) -> None:
+        arrival = batch[-1].timestamp / MS_PER_SECOND
+        self._events_ingested += len(batch)
+        self._simulator.schedule(
+            arrival, lambda now, b=batch: operator.ingest(b, now)
+        )

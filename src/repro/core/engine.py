@@ -1,0 +1,354 @@
+"""Dema entry points: pure algorithm and full simulated deployment.
+
+:func:`dema_quantile` runs identification + calculation in-process over
+already-collected local windows — no simulator, no messages.  It is the
+algorithmic heart of the paper in one call, used by tests, examples and the
+accuracy experiment.
+
+:class:`DemaEngine` deploys Dema operators on the simulated three-layer
+network, drives per-node workloads through it, and reports results together
+with network and latency metrics.  The benchmark harness builds every Dema
+datapoint through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.driver import MS_PER_SECOND, BatchSourceDriver
+from repro.network.metrics import LatencyStats, NetworkMetrics
+from repro.network.simulator import Simulator
+from repro.network.topology import Topology, TopologyConfig
+from repro.streaming.events import Event
+from repro.core.calculation import calculate_quantile
+from repro.core.identification import identify
+from repro.core.local_node import DemaLocalNode
+from repro.core.query import QuantileQuery
+from repro.core.root_node import DemaRootNode, WindowOutcome
+from repro.core.slicing import slice_sorted_events
+from repro.core.window_cut import CutResult
+
+__all__ = ["DemaResult", "DemaRunReport", "dema_quantile", "DemaEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class DemaResult:
+    """Outcome of one in-memory Dema computation.
+
+    Attributes:
+        value: The exact quantile value.
+        rank: Global rank ``Pos(q)`` that was located.
+        global_window_size: Total events across the local windows.
+        candidate_events: Events a deployment would transfer in the
+            calculation step.
+        candidate_slices: Number of candidate slices selected.
+        synopses: Number of synopses a deployment would transfer in the
+            identification step.
+        transfer_events: Synopsis-equivalent plus candidate events — the
+            paper's network cost model evaluated on this window.
+    """
+
+    value: float
+    rank: int
+    global_window_size: int
+    candidate_events: int
+    candidate_slices: int
+    synopses: int
+
+    @property
+    def transfer_events(self) -> int:
+        """Events-on-the-wire cost: two per synopsis plus candidates."""
+        return 2 * self.synopses + self.candidate_events
+
+
+def dema_quantile(
+    local_windows: Mapping[int, Sequence[Event]],
+    q: float,
+    gamma: int,
+) -> DemaResult:
+    """Compute an exact quantile the Dema way, in memory.
+
+    Each entry of ``local_windows`` plays the role of one local node's
+    window: it is sorted locally, sliced with ``gamma``, reduced to
+    synopses, and only candidate slices are "transferred" to the
+    calculation step.
+
+    Args:
+        local_windows: Per-node event collections (any order within a node).
+        q: The quantile in ``(0, 1]``.
+        gamma: The slice factor, ≥ 2.
+
+    Returns:
+        The result with transfer-cost accounting.
+
+    Raises:
+        ConfigurationError: If no nodes are given.
+        IdentificationError: If all windows are empty.
+    """
+    if not local_windows:
+        raise ConfigurationError("need at least one local window")
+
+    sliced = {
+        node_id: slice_sorted_events(
+            sorted(events, key=lambda e: e.key), gamma, node_id
+        )
+        for node_id, events in local_windows.items()
+    }
+    synopses_by_node = {n: s.synopses for n, s in sliced.items()}
+    sizes = {n: s.window_size for n, s in sliced.items()}
+    identification = identify(synopses_by_node, sizes, q)
+
+    runs = [
+        sliced[node_id].run_for(index)
+        for node_id, indices in identification.requests.items()
+        for index in indices
+    ]
+    answer = calculate_quantile(identification.cut, runs)
+    return DemaResult(
+        value=answer.value,
+        rank=identification.rank,
+        global_window_size=identification.global_window_size,
+        candidate_events=identification.candidate_events,
+        candidate_slices=len(identification.cut.candidates),
+        synopses=sum(len(batch) for batch in synopses_by_node.values()),
+    )
+
+
+@dataclass
+class DemaRunReport:
+    """Everything a benchmark needs from one simulated Dema run."""
+
+    outcomes: list[WindowOutcome]
+    network: NetworkMetrics
+    latency: LatencyStats
+    final_time: float
+    events_ingested: int
+
+    @property
+    def values(self) -> list[float | None]:
+        """Per-window quantile values in completion order."""
+        return [outcome.value for outcome in self.outcomes]
+
+
+class DemaEngine:
+    """A Dema deployment on the simulated three-layer network."""
+
+    def __init__(
+        self,
+        query: QuantileQuery,
+        topology_config: TopologyConfig,
+        *,
+        batch_size: int = 512,
+        reliability=None,
+        trace=None,
+    ) -> None:
+        self._query = query
+        self._simulator = Simulator(trace=trace)
+        self._root: DemaRootNode | None = None
+
+        local_ids = list(
+            range(1, topology_config.n_local_nodes + 1)
+        )
+
+        def root_factory(node_id: int, ops: float) -> DemaRootNode:
+            self._root = DemaRootNode(
+                node_id,
+                local_ids=local_ids,
+                query=query,
+                ops_per_second=ops,
+                reliability=reliability,
+            )
+            return self._root
+
+        def local_factory(node_id: int, ops: float) -> DemaLocalNode:
+            return DemaLocalNode(
+                node_id,
+                root_id=0,
+                query=query,
+                ops_per_second=ops,
+                reliability=reliability,
+            )
+
+        def stream_factory(node_id: int, ops: float, local_id: int):
+            from repro.network.sources import StreamSensorNode
+
+            return StreamSensorNode(
+                node_id,
+                local_id=local_id,
+                ops_per_second=ops,
+                batch_size=batch_size,
+            )
+
+        self._topology = Topology.build(
+            self._simulator,
+            topology_config,
+            root_factory=root_factory,
+            local_factory=local_factory,
+            stream_factory=stream_factory,
+        )
+        self._driver = BatchSourceDriver(self._simulator, batch_size=batch_size)
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying discrete-event engine."""
+        return self._simulator
+
+    @property
+    def topology(self) -> Topology:
+        """The wired deployment."""
+        return self._topology
+
+    @property
+    def root(self) -> DemaRootNode:
+        """The root operator."""
+        assert self._root is not None
+        return self._root
+
+    def run(self, streams: Mapping[int, Sequence[Event]]) -> DemaRunReport:
+        """Feed per-local-node streams through the deployment and drain it.
+
+        Args:
+            streams: Event streams keyed by *local node id* (the ids in
+                ``topology.local_ids``); missing nodes receive no events.
+
+        Returns:
+            The run report with per-window outcomes and metrics.
+
+        Raises:
+            ConfigurationError: If a stream targets an unknown node.
+        """
+        unknown = set(streams) - set(self._topology.local_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"streams reference unknown local nodes {sorted(unknown)}"
+            )
+        assigner = self._query.assigner()
+        all_windows: set = set()
+        for local_id in self._topology.local_ids:
+            events = streams.get(local_id, ())
+            operator = self._simulator.nodes[local_id]
+            all_windows.update(self._driver.feed(operator, events, assigner))
+        return self._finish(all_windows, allowed_lateness_ms=0)
+
+    def run_unordered(
+        self,
+        arrivals: Mapping[int, Sequence[tuple[Event, int]]],
+        *,
+        allowed_lateness_ms: int = 0,
+    ) -> DemaRunReport:
+        """Like :meth:`run`, but events arrive with per-event delays.
+
+        Args:
+            arrivals: ``(event, arrival_ms)`` pairs keyed by local node id
+                (see :meth:`SensorStreamGenerator.generate_with_arrivals`).
+            allowed_lateness_ms: How long past its event-time end each
+                window stays open.  Arrivals later than this are dropped by
+                the local nodes and counted in their ``late_events``.
+        """
+        unknown = set(arrivals) - set(self._topology.local_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"streams reference unknown local nodes {sorted(unknown)}"
+            )
+        assigner = self._query.assigner()
+        all_windows: set = set()
+        for local_id in self._topology.local_ids:
+            pairs = arrivals.get(local_id, ())
+            operator = self._simulator.nodes[local_id]
+            all_windows.update(
+                self._driver.feed_unordered(operator, pairs, assigner)
+            )
+        return self._finish(
+            all_windows, allowed_lateness_ms=allowed_lateness_ms
+        )
+
+    def run_via_sensors(
+        self,
+        streams: Mapping[int, Sequence[Event]],
+        *,
+        allowed_lateness_ms: int | None = None,
+    ) -> DemaRunReport:
+        """Run the full three-tier deployment: sensors → locals → root.
+
+        Requires a topology built with ``streams_per_local > 0``.  Streams
+        are keyed by *local node id* and distributed round-robin over that
+        node's sensors; events then cross a real channel before reaching the
+        local operator, paying bytes, latency and CPU at both ends.
+
+        Args:
+            streams: Per-local-node event streams in timestamp order.
+            allowed_lateness_ms: Window grace to absorb the sensor→local
+                link delay.  Defaults to a bound derived from the link
+                latency, so no event is dropped as late.
+
+        Raises:
+            ConfigurationError: If the topology has no sensor tier or a
+                stream targets an unknown local node.
+        """
+        if not any(self._topology.stream_ids.values()):
+            raise ConfigurationError(
+                "run_via_sensors requires TopologyConfig.streams_per_local > 0"
+            )
+        unknown = set(streams) - set(self._topology.local_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"streams reference unknown local nodes {sorted(unknown)}"
+            )
+        if allowed_lateness_ms is None:
+            # The sensor may hold a reading for up to its batch-age bound,
+            # plus link latency and a transfer allowance.
+            from repro.network.sources import StreamSensorNode
+
+            first_sensor_id = next(
+                sid for sids in self._topology.stream_ids.values() for sid in sids
+            )
+            sensor = self._simulator.nodes[first_sensor_id]
+            assert isinstance(sensor, StreamSensorNode)
+            allowed_lateness_ms = (
+                sensor.max_batch_delay_ms
+                + int(self._topology.config.link_latency_s * 1000 * 4)
+                + 2
+            )
+        assigner = self._query.assigner()
+        all_windows: set = set()
+        for local_id in self._topology.local_ids:
+            events = streams.get(local_id, ())
+            sensors = self._topology.stream_ids[local_id]
+            shares: list[list[Event]] = [[] for _ in sensors]
+            for index, event in enumerate(events):
+                shares[index % len(sensors)].append(event)
+            for sensor_id, share in zip(sensors, shares):
+                sensor = self._simulator.nodes[sensor_id]
+                sensor.load(share)
+            for event in events:
+                all_windows.update(assigner.assign(event.timestamp))
+            self._driver.account_external_events(len(events))
+        return self._finish(
+            all_windows, allowed_lateness_ms=allowed_lateness_ms
+        )
+
+    def _finish(
+        self, all_windows: set, *, allowed_lateness_ms: int
+    ) -> DemaRunReport:
+        ordered = sorted(all_windows)
+        for local_id in self._topology.local_ids:
+            operator = self._simulator.nodes[local_id]
+            self._driver.announce_windows(
+                operator, ordered, allowed_lateness_ms=allowed_lateness_ms
+            )
+
+        final_time = self._simulator.run()
+        outcomes = self.root.outcomes
+        latency = LatencyStats()
+        for outcome in outcomes:
+            window_end_s = outcome.window.end / MS_PER_SECOND
+            latency.add(outcome.result_time - window_end_s)
+        return DemaRunReport(
+            outcomes=outcomes,
+            network=NetworkMetrics.capture(self._simulator),
+            latency=latency,
+            final_time=final_time,
+            events_ingested=self._driver.scheduled_events,
+        )

@@ -1,0 +1,113 @@
+"""Dema's identification step (Section 3.1).
+
+The root node has received one synopsis batch per local node for a global
+window.  Identification computes the quantile rank from the global window
+size, runs window-cut to select the candidate slices, and emits a fetch plan
+— which slice indices to request from which node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import IdentificationError
+from repro.streaming.aggregates import quantile_rank
+from repro.core.synopsis import SliceSynopsis
+from repro.core.window_cut import CutResult, window_cut
+
+__all__ = ["IdentificationResult", "identify"]
+
+
+@dataclass(frozen=True, slots=True)
+class IdentificationResult:
+    """Fetch plan produced by the identification step.
+
+    Attributes:
+        q: The requested quantile in ``(0, 1]``.
+        global_window_size: Total events across all local windows.
+        cut: The window-cut outcome (candidates, rank, ``n_below``).
+        requests: Slice indices to fetch, keyed by local node id.  Nodes
+            owning no candidate slices do not appear.
+    """
+
+    q: float
+    global_window_size: int
+    cut: CutResult
+    requests: Mapping[int, tuple[int, ...]]
+
+    @property
+    def rank(self) -> int:
+        """The global rank ``Pos(q) = ceil(q * l_G)``."""
+        return self.cut.rank
+
+    @property
+    def candidate_events(self) -> int:
+        """Events the calculation step will pull over the network."""
+        return self.cut.candidate_events
+
+
+def identify(
+    synopses_by_node: Mapping[int, Sequence[SliceSynopsis]],
+    window_sizes: Mapping[int, int],
+    q: float,
+) -> IdentificationResult:
+    """Run the identification step over one global window.
+
+    Args:
+        synopses_by_node: Synopsis batches keyed by local node id.  A node
+            with an empty local window contributes an empty batch.
+        window_sizes: Reported local window sizes keyed by node id; must be
+            consistent with the synopses.
+        q: The quantile in ``(0, 1]``.
+
+    Returns:
+        The fetch plan.
+
+    Raises:
+        IdentificationError: If the reported sizes disagree with the
+            synopses, node sets mismatch, or the global window is empty.
+    """
+    if set(synopses_by_node) != set(window_sizes):
+        raise IdentificationError(
+            "synopsis batches and window sizes cover different node sets: "
+            f"{sorted(synopses_by_node)} vs {sorted(window_sizes)}"
+        )
+    for node_id, batch in synopses_by_node.items():
+        covered = sum(synopsis.count for synopsis in batch)
+        if covered != window_sizes[node_id]:
+            raise IdentificationError(
+                f"node {node_id} reports window size {window_sizes[node_id]} "
+                f"but its synopses cover {covered} events"
+            )
+
+    global_window_size = sum(window_sizes.values())
+    if global_window_size == 0:
+        raise IdentificationError("global window is empty")
+
+    rank = quantile_rank(q, global_window_size)
+    all_synopses = _flatten(synopses_by_node)
+    cut = window_cut(all_synopses, rank, global_window_size=global_window_size)
+
+    requests: dict[int, list[int]] = {}
+    for synopsis in cut.candidates:
+        requests.setdefault(synopsis.node_id, []).append(synopsis.slice_index)
+    frozen = {
+        node_id: tuple(sorted(indices))
+        for node_id, indices in requests.items()
+    }
+    return IdentificationResult(
+        q=q,
+        global_window_size=global_window_size,
+        cut=cut,
+        requests=frozen,
+    )
+
+
+def _flatten(
+    synopses_by_node: Mapping[int, Sequence[SliceSynopsis]],
+) -> list[SliceSynopsis]:
+    flat: list[SliceSynopsis] = []
+    for batch in synopses_by_node.values():
+        flat.extend(batch)
+    return flat

@@ -1,0 +1,258 @@
+"""Dema local-node operator (edge device).
+
+A local node ingests raw events from its data streams, keeps each open
+window incrementally sorted, and on window end cuts the sorted run into
+γ-slices and ships only the synopses to the root.  It retains the sliced
+runs until the root's candidate request arrives, answers with exactly the
+requested slices, and then frees the window.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SliceError
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    EventBatchMessage,
+    GammaUpdateMessage,
+    Message,
+    SynopsisMessage,
+    SynopsisRequestMessage,
+    WindowReleaseMessage,
+)
+import math
+
+from repro.network.simulator import INGEST_OPS, SimulatedNode, receive_ops
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+from repro.core.query import QuantileQuery
+from repro.core.slicing import SlicedWindow, slice_sorted_events
+from repro.core.sorted_window import SortedLocalWindow
+
+__all__ = ["DemaLocalNode"]
+
+#: Abstract ops for cutting a sorted window into slices (per event).
+_SLICE_OPS_PER_EVENT = 0.5
+
+#: Abstract ops for serving one candidate slice request.
+_SERVE_OPS_PER_EVENT = 0.5
+
+
+class DemaLocalNode(SimulatedNode):
+    """Edge operator implementing Dema's local-node protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        root_id: int,
+        query: QuantileQuery,
+        ops_per_second: float = 1e8,
+        retain_until_release: bool = False,
+        reliability=None,
+    ) -> None:
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        self._root_id = root_id
+        self._query = query
+        self._assigner = query.assigner()
+        self._gamma = query.gamma
+        self._reliability = reliability
+        self._retain = retain_until_release or reliability is not None
+        self._open: dict[Window, SortedLocalWindow] = {}
+        self._pending: dict[Window, SlicedWindow] = {}
+        self._completed: set[Window] = set()
+        self._acknowledged: set[Window] = set()
+        self._resend_retries: dict[Window, int] = {}
+        self._events_ingested = 0
+        self._windows_completed = 0
+        self._late_events = 0
+
+    @property
+    def gamma(self) -> int:
+        """Slice factor currently in force on this node."""
+        return self._gamma
+
+    @property
+    def events_ingested(self) -> int:
+        """Raw events accepted so far."""
+        return self._events_ingested
+
+    @property
+    def windows_completed(self) -> int:
+        """Local windows sealed and shipped so far."""
+        return self._windows_completed
+
+    @property
+    def pending_windows(self) -> int:
+        """Sealed windows still awaiting a candidate request (or release)."""
+        return len(self._pending)
+
+    @property
+    def late_events(self) -> int:
+        """Events dropped because their window had already been sealed."""
+        return self._late_events
+
+    def ingest(self, events: Sequence[Event], now: float) -> float:
+        """Accept a batch of raw events; returns CPU completion time.
+
+        Events are routed to their tumbling window and inserted in sorted
+        position immediately (the paper's incremental sorting), so the
+        per-event sort cost is charged here rather than as a burst at window
+        end.
+        """
+        batch_counts: dict[Window, int] = {}
+        sizes: dict[Window, int] = {}
+        for event in events:
+            for window in self._assigner.assign_event(event):
+                if window in self._completed:
+                    # The window already shipped its synopses; a late event
+                    # cannot be folded in without breaking the root's rank
+                    # arithmetic, so it is dropped and counted.
+                    self._late_events += 1
+                    continue
+                sorted_window = self._open.setdefault(
+                    window, SortedLocalWindow()
+                )
+                sorted_window.add(event)
+                batch_counts[window] = batch_counts.get(window, 0) + 1
+                sizes[window] = len(sorted_window)
+        self._events_ingested += len(events)
+        insert_ops = sum(
+            count * math.log2(max(sizes[window], 2))
+            for window, count in batch_counts.items()
+        )
+        return self.work(INGEST_OPS * len(events) + insert_ops, now)
+
+    def on_window_complete(self, window: Window, now: float) -> None:
+        """Seal ``window``, slice it, and send synopses to the root.
+
+        Windows that received no events still announce themselves with an
+        empty synopsis batch so the root's completeness check can fire.
+        Completion is idempotent: repeated announcements are ignored.
+        """
+        if window in self._completed:
+            return
+        self._completed.add(window)
+        sorted_window = self._open.pop(window, SortedLocalWindow())
+        events = sorted_window.seal()
+        # Sorting was charged incrementally at ingest; only the slicing pass
+        # remains at window end.
+        finish = self.work(_SLICE_OPS_PER_EVENT * len(events), now)
+        sliced = slice_sorted_events(events, self._gamma, self.node_id)
+        self._pending[window] = sliced
+        self._windows_completed += 1
+        message = SynopsisMessage(
+            sender=self.node_id,
+            window=window,
+            synopses=sliced.synopses,
+            local_window_size=sliced.window_size,
+        )
+        self.send(message, self._root_id, finish)
+        if self._reliability is not None:
+            self._arm_resend_timer(window, finish)
+
+    def _arm_resend_timer(self, window: Window, now: float) -> None:
+        """Local-side retransmission: if the root never reacts (all our
+        synopsis messages were lost, so it may not even know the window
+        exists), resend until it does or retries run out."""
+        self.simulator.schedule(
+            now + self._reliability.timeout_s,
+            lambda t, w=window: self._check_acknowledged(w, t),
+        )
+
+    def _check_acknowledged(self, window: Window, now: float) -> None:
+        if window in self._acknowledged or window not in self._pending:
+            return
+        retries = self._resend_retries.get(window, 0)
+        if retries >= self._reliability.max_retries:
+            return
+        self._resend_retries[window] = retries + 1
+        sliced = self._pending[window]
+        message = SynopsisMessage(
+            sender=self.node_id,
+            window=window,
+            synopses=sliced.synopses,
+            local_window_size=sliced.window_size,
+        )
+        self.send(message, self._root_id, now)
+        self._arm_resend_timer(window, now)
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Dispatch protocol messages (root → local and sensor → local)."""
+        if isinstance(message, EventBatchMessage):
+            finish = self.work(receive_ops(message.payload_bytes), now)
+            self.ingest(message.events, finish)
+        elif isinstance(message, CandidateRequestMessage):
+            self._acknowledged.add(message.window)
+            self._serve_candidates(message, now)
+        elif isinstance(message, GammaUpdateMessage):
+            self._gamma = max(message.gamma, 2)
+        elif isinstance(message, SynopsisRequestMessage):
+            # A re-request proves the root tracks the window.
+            self._acknowledged.add(message.window)
+            self._resend_synopses(message, now)
+        elif isinstance(message, WindowReleaseMessage):
+            self._acknowledged.add(message.window)
+            # Releases are cumulative: windows complete in end order at the
+            # root, so an acknowledgement for this window also covers any
+            # earlier window whose own release was lost.
+            self._pending = {
+                window: sliced
+                for window, sliced in self._pending.items()
+                if window.end > message.window.end
+            }
+        else:
+            raise SliceError(
+                f"local node {self.node_id} cannot handle "
+                f"{type(message).__name__}"
+            )
+
+    def _resend_synopses(
+        self, request: SynopsisRequestMessage, now: float
+    ) -> None:
+        """Answer a root retransmission request from retained state."""
+        sliced = self._pending.get(request.window)
+        if sliced is None:
+            # Either never completed (the root's timer raced the original
+            # send) or already released; either way the root will sort it
+            # out — re-answering with nothing is the safe option.
+            return
+        finish = self.work(receive_ops(request.payload_bytes), now)
+        message = SynopsisMessage(
+            sender=self.node_id,
+            window=request.window,
+            synopses=sliced.synopses,
+            local_window_size=sliced.window_size,
+        )
+        self.send(message, self._root_id, finish)
+
+    def _serve_candidates(
+        self, request: CandidateRequestMessage, now: float
+    ) -> None:
+        """Ship the requested slices' events; free the window unless
+        retention (reliability mode) is on."""
+        if self._retain:
+            sliced = self._pending.get(request.window)
+            if sliced is None:
+                # Stale retransmit for a window already released.
+                return
+        else:
+            sliced = self._pending.pop(request.window, None)
+            if sliced is None:
+                raise SliceError(
+                    f"node {self.node_id} has no sealed window "
+                    f"{request.window}"
+                )
+        send_at = self.work(receive_ops(request.payload_bytes), now)
+        for slice_index in request.slice_indices:
+            run = sliced.run_for(slice_index)
+            send_at = self.work(_SERVE_OPS_PER_EVENT * len(run), send_at)
+            reply = CandidateEventsMessage(
+                sender=self.node_id,
+                window=request.window,
+                slice_index=slice_index,
+                events=run,
+            )
+            self.send(reply, self._root_id, send_at)

@@ -1,0 +1,58 @@
+"""Reliability configuration for the Dema protocol over lossy links.
+
+The paper's cluster network is effectively reliable; real edge deployments
+(Wi-Fi, LTE) are not.  This extension makes the Dema protocol tolerate
+message loss with a timeout-and-retransmit scheme driven entirely by the
+root:
+
+* **Synopsis phase** — when the first synopsis batch of a window arrives,
+  the root arms a completeness timer.  If it fires before every local node
+  reported, the root sends :class:`~repro.network.messages.SynopsisRequestMessage`
+  to the missing nodes and re-arms, up to ``max_retries`` times.
+* **Calculation phase** — after sending candidate requests, the root arms a
+  timer; on expiry it re-requests exactly the runs that have not arrived.
+* **State retention** — local nodes retain sealed windows until the root's
+  :class:`~repro.network.messages.WindowReleaseMessage` confirms the window
+  is answered, so any retransmission can be served from local state.
+* **Idempotence** — duplicate synopsis batches and candidate runs (caused
+  by retransmitted requests whose original answer was merely delayed) are
+  ignored rather than rejected.
+
+With ``reliability=None`` (the default) the protocol behaves exactly as the
+paper describes — one-shot messages, duplicates are protocol errors — and
+carries zero overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReliabilityConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Timeout/retry parameters for the lossy-network protocol.
+
+    Attributes:
+        timeout_s: How long the root waits for a phase to complete before
+            retransmitting requests.  Should comfortably exceed one
+            round-trip plus processing (default 50 ms).
+        max_retries: Retransmission attempts per phase before the root
+            gives up on a window and emits no result for it.
+    """
+
+    timeout_s: float = 0.05
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )

@@ -1,0 +1,327 @@
+"""Dema root-node operator (cloud server).
+
+The root collects one synopsis batch per local node per global window.  Once
+the batch set is complete it runs the identification step (window-cut),
+requests exactly the candidate slices, merges the pre-sorted candidate runs
+as they arrive, and emits the exact quantile.  With adaptivity enabled it
+then re-optimizes γ from the observed window statistics and broadcasts the
+new factor to every local node (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import IdentificationError
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    GammaUpdateMessage,
+    Message,
+    SynopsisMessage,
+    SynopsisRequestMessage,
+    WindowReleaseMessage,
+)
+from repro.network.simulator import SimulatedNode, merge_cost, receive_ops
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+from repro.core.adaptive import AdaptiveGammaController, NodeGammaController
+from repro.core.calculation import calculate_quantile
+from repro.core.identification import IdentificationResult, identify
+from repro.core.query import QuantileQuery
+from repro.core.reliability import ReliabilityConfig
+from repro.core.synopsis import SliceSynopsis
+
+__all__ = ["WindowOutcome", "DemaRootNode"]
+
+#: Abstract ops for sorting and sweeping s synopses during identification.
+_IDENTIFY_OPS_PER_SYNOPSIS = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class WindowOutcome:
+    """One global window's final result plus reproduction metrics."""
+
+    window: Window
+    value: float | None
+    global_window_size: int
+    result_time: float
+    candidate_events: int
+    candidate_slices: int
+    synopses_received: int
+    gamma_used: int
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the global window held no events."""
+        return self.global_window_size == 0
+
+
+@dataclass
+class _WindowState:
+    """Root-side bookkeeping for one in-flight global window."""
+
+    synopses: dict[int, tuple[SliceSynopsis, ...]] = field(default_factory=dict)
+    sizes: dict[int, int] = field(default_factory=dict)
+    identification: IdentificationResult | None = None
+    runs: dict[tuple[int, int], tuple[Event, ...]] = field(default_factory=dict)
+    expected_runs: int = 0
+    gamma_used: int = 0
+    retries: int = 0
+
+
+class DemaRootNode(SimulatedNode):
+    """Cloud operator implementing Dema's root-node protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        local_ids: Sequence[int],
+        query: QuantileQuery,
+        ops_per_second: float = 2e8,
+        reliability: ReliabilityConfig | None = None,
+    ) -> None:
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        if not local_ids:
+            raise IdentificationError("root needs at least one local node")
+        self._reliability = reliability
+        self._aborted_windows = 0
+        self._local_ids = tuple(local_ids)
+        self._query = query
+        self._gamma = query.gamma
+        self._controller: AdaptiveGammaController | None = None
+        self._node_controller: NodeGammaController | None = None
+        if query.adaptive:
+            if query.per_node_gamma:
+                self._node_controller = NodeGammaController(query.gamma)
+            else:
+                self._controller = AdaptiveGammaController(gamma=query.gamma)
+        self._states: dict[Window, _WindowState] = {}
+        self._outcomes: list[WindowOutcome] = []
+
+    @property
+    def outcomes(self) -> list[WindowOutcome]:
+        """Completed global windows, in completion order."""
+        return list(self._outcomes)
+
+    @property
+    def gamma(self) -> int:
+        """Slice factor the root currently prescribes."""
+        return self._gamma
+
+    @property
+    def node_gammas(self) -> dict[int, int]:
+        """Per-node factors in force (empty unless ``per_node_gamma``)."""
+        if self._node_controller is None:
+            return {}
+        return self._node_controller.gammas
+
+    @property
+    def open_windows(self) -> int:
+        """Global windows still awaiting synopses or candidate events."""
+        return len(self._states)
+
+    @property
+    def aborted_windows(self) -> int:
+        """Windows abandoned after exhausting reliability retries."""
+        return self._aborted_windows
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Dispatch local → root protocol messages."""
+        if isinstance(message, SynopsisMessage):
+            self._on_synopses(message, now)
+        elif isinstance(message, CandidateEventsMessage):
+            self._on_candidates(message, now)
+        else:
+            raise IdentificationError(
+                f"root cannot handle {type(message).__name__}"
+            )
+
+    def _on_synopses(self, message: SynopsisMessage, now: float) -> None:
+        now = self.work(receive_ops(message.payload_bytes), now)
+        fresh = message.window not in self._states
+        state = self._states.setdefault(message.window, _WindowState())
+        if message.sender in state.synopses:
+            if self._reliability is not None:
+                return  # retransmission of a batch that did arrive
+            raise IdentificationError(
+                f"duplicate synopsis batch from node {message.sender} "
+                f"for window {message.window}"
+            )
+        state.synopses[message.sender] = message.synopses
+        state.sizes[message.sender] = message.local_window_size
+        if fresh and self._reliability is not None:
+            self._arm_timer(message.window, now)
+        if len(state.synopses) == len(self._local_ids):
+            self._identify(message.window, state, now)
+
+    def _arm_timer(self, window: Window, now: float) -> None:
+        assert self._reliability is not None
+        self.simulator.schedule(
+            now + self._reliability.timeout_s,
+            lambda t, w=window: self._check_window(w, t),
+        )
+
+    def _check_window(self, window: Window, now: float) -> None:
+        """Reliability timer: retransmit whatever is still missing."""
+        state = self._states.get(window)
+        if state is None:
+            return  # window completed meanwhile
+        assert self._reliability is not None
+        if state.retries >= self._reliability.max_retries:
+            self._states.pop(window)
+            self._aborted_windows += 1
+            self._release(window, now)
+            return
+        state.retries += 1
+        if state.identification is None:
+            missing = set(self._local_ids) - set(state.synopses)
+            for local_id in sorted(missing):
+                request = SynopsisRequestMessage(
+                    sender=self.node_id, window=window
+                )
+                self.send(request, local_id, now)
+        else:
+            received = set(state.runs)
+            for local_id, indices in state.identification.requests.items():
+                outstanding = tuple(
+                    index
+                    for index in indices
+                    if (local_id, index) not in received
+                )
+                if outstanding:
+                    request = CandidateRequestMessage(
+                        sender=self.node_id,
+                        window=window,
+                        slice_indices=outstanding,
+                    )
+                    self.send(request, local_id, now)
+        self._arm_timer(window, now)
+
+    def _release(self, window: Window, now: float) -> None:
+        """Tell every local node to free its retained state for ``window``."""
+        for local_id in self._local_ids:
+            self.send(
+                WindowReleaseMessage(sender=self.node_id, window=window),
+                local_id,
+                now,
+            )
+
+    def _identify(self, window: Window, state: _WindowState, now: float) -> None:
+        state.gamma_used = self._gamma
+        total = sum(state.sizes.values())
+        if total == 0:
+            self._states.pop(window)
+            if self._reliability is not None:
+                self._release(window, now)
+            self._outcomes.append(
+                WindowOutcome(
+                    window=window,
+                    value=None,
+                    global_window_size=0,
+                    result_time=now,
+                    candidate_events=0,
+                    candidate_slices=0,
+                    synopses_received=0,
+                    gamma_used=state.gamma_used,
+                )
+            )
+            return
+
+        n_synopses = sum(len(batch) for batch in state.synopses.values())
+        ops = _IDENTIFY_OPS_PER_SYNOPSIS * n_synopses * max(
+            1.0, math.log2(max(n_synopses, 2))
+        )
+        finish = self.work(ops, now)
+        state.identification = identify(
+            state.synopses, state.sizes, self._query.q
+        )
+        state.expected_runs = sum(
+            len(indices) for indices in state.identification.requests.values()
+        )
+        for local_id in self._local_ids:
+            indices = state.identification.requests.get(local_id, ())
+            request = CandidateRequestMessage(
+                sender=self.node_id,
+                window=window,
+                slice_indices=tuple(indices),
+            )
+            self.send(request, local_id, finish)
+
+    def _on_candidates(self, message: CandidateEventsMessage, now: float) -> None:
+        now = self.work(receive_ops(message.payload_bytes), now)
+        state = self._states.get(message.window)
+        if state is None or state.identification is None:
+            if self._reliability is not None:
+                return  # stale run for a window already answered or aborted
+            raise IdentificationError(
+                f"unexpected candidate events for window {message.window}"
+            )
+        key = (message.sender, message.slice_index)
+        if key in state.runs:
+            if self._reliability is not None:
+                return  # retransmission of a run that did arrive
+            raise IdentificationError(
+                f"duplicate candidate run {key} for window {message.window}"
+            )
+        state.runs[key] = message.events
+        if len(state.runs) == state.expected_runs:
+            self._calculate(message.window, state, now)
+
+    def _calculate(self, window: Window, state: _WindowState, now: float) -> None:
+        identification = state.identification
+        assert identification is not None
+        cut = identification.cut
+        n = cut.candidate_events
+        finish = self.work(merge_cost(n, max(len(state.runs), 1)), now)
+        answer = calculate_quantile(cut, state.runs.values())
+        self._states.pop(window)
+        if self._reliability is not None:
+            self._release(window, finish)
+        self._outcomes.append(
+            WindowOutcome(
+                window=window,
+                value=answer.value,
+                global_window_size=identification.global_window_size,
+                result_time=finish,
+                candidate_events=n,
+                candidate_slices=len(cut.candidates),
+                synopses_received=sum(
+                    len(batch) for batch in state.synopses.values()
+                ),
+                gamma_used=state.gamma_used,
+            )
+        )
+        if self._controller is not None:
+            new_gamma = self._controller.observe(
+                identification.global_window_size, len(cut.candidates)
+            )
+            if new_gamma != self._gamma:
+                self._gamma = new_gamma
+                for local_id in self._local_ids:
+                    update = GammaUpdateMessage(
+                        sender=self.node_id,
+                        window=window,
+                        gamma=new_gamma,
+                    )
+                    self.send(update, local_id, finish)
+        elif self._node_controller is not None:
+            candidates_by_node: dict[int, int] = {}
+            for synopsis in cut.candidates:
+                candidates_by_node[synopsis.node_id] = (
+                    candidates_by_node.get(synopsis.node_id, 0) + 1
+                )
+            previous = self._node_controller.gammas
+            updated = self._node_controller.observe(
+                dict(state.sizes), candidates_by_node
+            )
+            for local_id, gamma in updated.items():
+                if previous.get(local_id) == gamma:
+                    continue
+                update = GammaUpdateMessage(
+                    sender=self.node_id, window=window, gamma=gamma
+                )
+                self.send(update, local_id, finish)

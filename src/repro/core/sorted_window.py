@@ -1,0 +1,98 @@
+"""Incrementally sorted local windows.
+
+Dema "incrementally sorts arriving events into windows" (Section 3.1): when
+the window ends, its events are already in key order, so slicing is a single
+linear pass.  The implementation keeps an insertion buffer and merges it into
+the sorted run whenever it grows past a bound — an adaptive strategy that is
+O(n log n) total like a final sort, but spreads the work over the window's
+lifetime the way the paper's local nodes do.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.errors import SliceError
+from repro.streaming.events import Event, event_key
+
+__all__ = ["SortedLocalWindow"]
+
+#: The insertion buffer is merged once it exceeds this fraction of the run.
+_BUFFER_FRACTION = 0.25
+
+#: ...but never before it holds this many events.
+_BUFFER_MIN = 64
+
+
+class SortedLocalWindow:
+    """Events of one local window, kept sorted by total-order key."""
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._run: list[Event] = sorted(events, key=event_key)
+        self._buffer: list[Event] = []
+        self._sealed = False
+
+    def __len__(self) -> int:
+        return len(self._run) + len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate events in sorted order (compacts first)."""
+        self._compact()
+        return iter(self._run)
+
+    @property
+    def is_sealed(self) -> bool:
+        """Whether the window has been closed to further inserts."""
+        return self._sealed
+
+    def add(self, event: Event) -> None:
+        """Insert one event.
+
+        Raises:
+            SliceError: If the window was already sealed.
+        """
+        if self._sealed:
+            raise SliceError("cannot add events to a sealed window")
+        bisect.insort(self._buffer, event, key=event_key)
+        threshold = max(_BUFFER_MIN, int(len(self._run) * _BUFFER_FRACTION))
+        if len(self._buffer) > threshold:
+            self._compact()
+
+    def add_all(self, events: Iterable[Event]) -> None:
+        """Insert a batch of events."""
+        for event in events:
+            self.add(event)
+
+    def seal(self) -> list[Event]:
+        """Close the window and return its events in sorted order.
+
+        Sealing is idempotent; the returned list is owned by the window
+        (callers slice it, they do not mutate it).
+        """
+        self._compact()
+        self._sealed = True
+        return self._run
+
+    def sorted_events(self) -> list[Event]:
+        """A snapshot of the events in sorted order (window stays open)."""
+        self._compact()
+        return list(self._run)
+
+    def _compact(self) -> None:
+        if not self._buffer:
+            return
+        merged: list[Event] = []
+        run, buf = self._run, self._buffer
+        i = j = 0
+        while i < len(run) and j < len(buf):
+            if run[i].key <= buf[j].key:
+                merged.append(run[i])
+                i += 1
+            else:
+                merged.append(buf[j])
+                j += 1
+        merged.extend(run[i:])
+        merged.extend(buf[j:])
+        self._run = merged
+        self._buffer = []

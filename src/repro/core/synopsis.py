@@ -1,0 +1,90 @@
+"""Slice synopses: the unit of information in Dema's identification step.
+
+A synopsis describes one slice of a locally sorted window: its first and
+last event keys, how many events it holds, which slice of how many it is, and
+which node owns it.  The root node reasons about quantile ranks exclusively
+through synopses; the events themselves stay at the local node until the
+calculation step requests them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SliceError
+from repro.streaming.events import EventKey
+
+__all__ = ["SliceSynopsis"]
+
+
+@dataclass(frozen=True, slots=True)
+class SliceSynopsis:
+    """Summary of one sorted slice of a local window.
+
+    Attributes:
+        first_key: Total-order key of the smallest event in the slice.
+        last_key: Total-order key of the largest event in the slice.
+        count: Number of events in the slice (≥ 1; ≥ 2 for non-final
+            slices per the paper, enforced by the slicer, not here).
+        node_id: Local node that owns the slice.
+        slice_index: 0-based position of the slice within its window.
+        n_slices: Total number of slices the window was cut into.
+    """
+
+    first_key: EventKey
+    last_key: EventKey
+    count: int
+    node_id: int
+    slice_index: int
+    n_slices: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SliceError(f"slice count must be >= 1, got {self.count}")
+        if self.first_key > self.last_key:
+            raise SliceError(
+                f"slice first_key {self.first_key} exceeds last_key "
+                f"{self.last_key}"
+            )
+        if not 0 <= self.slice_index < self.n_slices:
+            raise SliceError(
+                f"slice_index {self.slice_index} out of range for "
+                f"{self.n_slices} slices"
+            )
+
+    @property
+    def slice_id(self) -> tuple[int, int]:
+        """Globally unique id of the slice: ``(node_id, slice_index)``."""
+        return (self.node_id, self.slice_index)
+
+    @property
+    def first_value(self) -> float:
+        """Value component of the smallest event."""
+        return self.first_key[0]
+
+    @property
+    def last_value(self) -> float:
+        """Value component of the largest event."""
+        return self.last_key[0]
+
+    def overlaps(self, other: "SliceSynopsis") -> bool:
+        """Whether the two inclusive key ranges share any key."""
+        return (
+            self.first_key <= other.last_key
+            and other.first_key <= self.last_key
+        )
+
+    def encloses(self, other: "SliceSynopsis") -> bool:
+        """Whether ``other``'s key range lies entirely within this one."""
+        return (
+            self.first_key <= other.first_key
+            and other.last_key <= self.last_key
+        )
+
+    def certainly_below(self, other: "SliceSynopsis") -> bool:
+        """Whether every event here is strictly smaller than all of ``other``."""
+        return self.last_key < other.first_key
+
+    def certainly_above(self, other: "SliceSynopsis") -> bool:
+        """Whether every event here is strictly larger than all of ``other``."""
+        return self.first_key > other.last_key

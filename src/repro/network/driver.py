@@ -1,0 +1,206 @@
+"""Drives per-node event streams into simulated local operators.
+
+Every system under evaluation (Dema, Scotty, Desis, t-digest) exposes local
+operators with the same two entry points — ``ingest(events, now)`` and
+``on_window_complete(window, now)`` — so a single driver can feed identical
+workloads to all of them.  The driver schedules event batches at their
+event-time instants (simulated seconds = timestamp milliseconds / 1000) and
+announces window completion right after the window's last instant, playing
+the role of the data-stream layer plus a perfect watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.simulator import Simulator
+from repro.streaming.events import Event
+from repro.streaming.windows import Window, WindowAssigner
+
+__all__ = ["LocalOperator", "BatchSourceDriver", "MS_PER_SECOND"]
+
+#: Event timestamps are milliseconds; the simulator clock runs in seconds.
+MS_PER_SECOND = 1000.0
+
+
+class LocalOperator(Protocol):
+    """What the driver requires of a local node operator."""
+
+    def ingest(self, events: Sequence[Event], now: float) -> float:
+        """Accept a batch of events arriving at simulated time ``now``."""
+
+    def on_window_complete(self, window: Window, now: float) -> None:
+        """React to the event-time end of ``window``."""
+
+
+class BatchSourceDriver:
+    """Schedules one node's event stream as timed ingestion batches."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        batch_size: int = 512,
+        window_grace_s: float = 1e-6,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if window_grace_s < 0:
+            raise ConfigurationError(
+                f"window_grace_s must be >= 0, got {window_grace_s}"
+            )
+        self._simulator = simulator
+        self._batch_size = batch_size
+        self._window_grace_s = window_grace_s
+        self._scheduled_events = 0
+
+    @property
+    def scheduled_events(self) -> int:
+        """Events scheduled across all :meth:`feed` calls."""
+        return self._scheduled_events
+
+    def account_external_events(self, count: int) -> None:
+        """Count events injected outside the driver (e.g. sensor nodes)."""
+        self._scheduled_events += count
+
+    def feed(
+        self,
+        operator: LocalOperator,
+        events: Sequence[Event],
+        assigner: WindowAssigner,
+    ) -> list[Window]:
+        """Schedule ``events`` into ``operator`` and announce window ends.
+
+        Args:
+            operator: The local operator to drive.
+            events: The node's stream in non-decreasing timestamp order.
+            assigner: Tumbling windows that frame the stream.
+
+        Window completion is *not* scheduled here: in a multi-node deployment
+        every local node must announce every global window (a node whose
+        local window is empty still sends an empty synopsis batch), so the
+        caller unions the windows of all nodes and then calls
+        :meth:`announce_windows` per operator.
+
+        Returns:
+            The windows this node's events touch, in chronological order.
+
+        Raises:
+            ConfigurationError: If timestamps regress.
+        """
+        windows: set[Window] = set()
+        batch: list[Event] = []
+        last_timestamp: int | None = None
+
+        def flush(batch_events: list[Event]) -> None:
+            arrival = batch_events[-1].timestamp / MS_PER_SECOND
+            self._simulator.schedule(
+                arrival, lambda now, b=tuple(batch_events): operator.ingest(b, now)
+            )
+
+        for event in events:
+            if last_timestamp is not None and event.timestamp < last_timestamp:
+                raise ConfigurationError(
+                    f"event timestamps must be non-decreasing; saw "
+                    f"{event.timestamp} after {last_timestamp}"
+                )
+            last_timestamp = event.timestamp
+            windows.update(assigner.assign(event.timestamp))
+            # Never let a batch span a window boundary: arrival times must
+            # stay within the owning window(s).
+            crosses_window = batch and assigner.assign(
+                batch[0].timestamp
+            ) != assigner.assign(event.timestamp)
+            if crosses_window:
+                flush(batch)
+                self._scheduled_events += len(batch)
+                batch = []
+            batch.append(event)
+            if len(batch) >= self._batch_size:
+                flush(batch)
+                self._scheduled_events += len(batch)
+                batch = []
+        if batch:
+            flush(batch)
+            self._scheduled_events += len(batch)
+
+        return sorted(windows)
+
+    def feed_unordered(
+        self,
+        operator: LocalOperator,
+        arrivals: Sequence[tuple[Event, int]],
+        assigner: WindowAssigner,
+    ) -> list[Window]:
+        """Schedule events by *arrival* time; arrivals may be out of order
+        with respect to event time.
+
+        Args:
+            operator: The local operator to drive.
+            arrivals: ``(event, arrival_ms)`` pairs in any order.
+            assigner: Windows framing the stream (by event time).
+
+        Returns:
+            The windows the events belong to, in chronological order.
+            Combine with :meth:`announce_windows` and a positive
+            ``allowed_lateness_ms`` to tolerate the disorder; events whose
+            window was sealed before they arrived are dropped by the
+            operator and counted as late.
+        """
+        ordered = sorted(enumerate(arrivals), key=lambda ia: (ia[1][1], ia[0]))
+        windows: set[Window] = set()
+        batch: list[Event] = []
+        batch_arrival = 0
+
+        def flush() -> None:
+            arrival_s = batch_arrival / MS_PER_SECOND
+            self._simulator.schedule(
+                arrival_s,
+                lambda now, b=tuple(batch): operator.ingest(b, now),
+            )
+
+        for _, (event, arrival_ms) in ordered:
+            if arrival_ms < 0:
+                raise ConfigurationError(
+                    f"negative arrival time {arrival_ms} for {event}"
+                )
+            windows.update(assigner.assign(event.timestamp))
+            # A batch only groups events sharing one arrival instant, so
+            # nothing is delivered earlier or later than it arrived.
+            if batch and (
+                arrival_ms != batch_arrival or len(batch) >= self._batch_size
+            ):
+                flush()
+                self._scheduled_events += len(batch)
+                batch = []
+            batch.append(event)
+            batch_arrival = arrival_ms
+        if batch:
+            flush()
+            self._scheduled_events += len(batch)
+        return sorted(windows)
+
+    def announce_windows(
+        self,
+        operator: LocalOperator,
+        windows: Sequence[Window],
+        *,
+        allowed_lateness_ms: int = 0,
+    ) -> None:
+        """Schedule window-completion callbacks on ``operator``.
+
+        Call once per operator with the union of all nodes' windows so that
+        empty local windows are still announced.  ``allowed_lateness_ms``
+        delays completion past the window's event-time end so that
+        bounded-delay arrivals can still be folded in.
+        """
+        for window in windows:
+            completion = (
+                (window.end + allowed_lateness_ms) / MS_PER_SECOND
+                + self._window_grace_s
+            )
+            self._simulator.schedule(
+                completion,
+                lambda now, w=window: operator.on_window_complete(w, now),
+            )

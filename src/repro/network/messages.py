@@ -1,0 +1,233 @@
+"""Typed messages with byte-exact serialized sizes.
+
+Network cost in the evaluation is counted in bytes on the wire, so every
+message type declares how large its serialized form would be.  The sizes
+follow the paper's event layout (8-byte value, 4-byte timestamp, 4-byte id)
+plus small fixed headers; what matters for the reproduced figures is that the
+*relative* costs of synopses, candidate events and raw events are faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.streaming.events import EVENT_WIRE_BYTES, Event
+from repro.streaming.windows import Window
+
+__all__ = [
+    "MESSAGE_HEADER_BYTES",
+    "SYNOPSIS_WIRE_BYTES",
+    "Message",
+    "EventBatchMessage",
+    "SynopsisMessage",
+    "SynopsisRequestMessage",
+    "WindowReleaseMessage",
+    "CandidateRequestMessage",
+    "CandidateEventsMessage",
+    "GammaUpdateMessage",
+    "DigestMessage",
+    "QDigestMessage",
+    "PartialAggregateMessage",
+    "SortedRunMessage",
+    "WatermarkMessage",
+    "ResultMessage",
+]
+
+#: Fixed per-message framing overhead (type tag, sender, window id, length).
+MESSAGE_HEADER_BYTES = 24
+
+#: One slice synopsis: first event + last event + count + slice index +
+#: slice total (three 4-byte integers on top of two events).
+SYNOPSIS_WIRE_BYTES = 2 * EVENT_WIRE_BYTES + 12
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for everything that crosses a channel.
+
+    ``group_id`` multiplexes concurrent query groups over the same
+    channels (0 for single-query deployments); its 4 bytes are part of the
+    fixed header.
+    """
+
+    sender: int
+    window: Window
+    group_id: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        """Serialized payload size, excluding the fixed header."""
+        return 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total serialized size on the wire."""
+        return MESSAGE_HEADER_BYTES + self.payload_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class EventBatchMessage(Message):
+    """Raw events forwarded upstream (centralized aggregation)."""
+
+    events: tuple[Event, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.events) * EVENT_WIRE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class SortedRunMessage(Message):
+    """A fully sorted local window (Desis-style decentralized sorting)."""
+
+    events: tuple[Event, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.events) * EVENT_WIRE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class SynopsisMessage(Message):
+    """Dema identification step: slice synopses of one local window."""
+
+    synopses: tuple = ()  # tuple[SliceSynopsis, ...]; typed loosely to avoid a cycle
+    local_window_size: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.synopses) * SYNOPSIS_WIRE_BYTES + 8
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateRequestMessage(Message):
+    """Dema calculation step: root requests candidate slices by index."""
+
+    slice_indices: tuple[int, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.slice_indices) * 4
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateEventsMessage(Message):
+    """Dema calculation step: the requested candidate events (pre-sorted)."""
+
+    slice_index: int = 0
+    events: tuple[Event, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return 4 + len(self.events) * EVENT_WIRE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class SynopsisRequestMessage(Message):
+    """Root asks a local node to (re)send its synopsis batch for a window.
+
+    Part of the reliability extension: sent when the root's completeness
+    timeout fires before every local reported.
+    """
+
+    @property
+    def payload_bytes(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True, slots=True)
+class WindowReleaseMessage(Message):
+    """Root tells a local node the window is fully answered; free its state.
+
+    Part of the reliability extension: with retransmissions enabled, local
+    nodes retain sealed windows until this acknowledgement arrives.
+    """
+
+    @property
+    def payload_bytes(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True, slots=True)
+class GammaUpdateMessage(Message):
+    """Root broadcasts a new slice factor γ for the next window."""
+
+    gamma: int = 2
+
+    @property
+    def payload_bytes(self) -> int:
+        return 4
+
+
+@dataclass(frozen=True, slots=True)
+class DigestMessage(Message):
+    """A serialized quantile sketch (t-digest baseline).
+
+    The payload is ``centroid_count`` (mean, weight) pairs of 8 bytes each.
+    """
+
+    centroids: tuple[tuple[float, float], ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.centroids) * 16 + 8
+
+
+@dataclass(frozen=True, slots=True)
+class PartialAggregateMessage(Message):
+    """A decomposable function's partial aggregate for one local window.
+
+    The payload is a small fixed-size state (e.g. ``(count, sum, sum_sq)``
+    for variance) — the reason decomposable functions aggregate cheaply at
+    the edge and non-decomposable ones need Dema.
+    """
+
+    state: tuple[float, ...] = ()
+    local_window_size: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.state) * 8 + 8
+
+
+@dataclass(frozen=True, slots=True)
+class QDigestMessage(Message):
+    """A serialized q-digest: ``(level, index, count)`` tree nodes."""
+
+    nodes: tuple[tuple[int, int, int], ...] = ()
+    local_count: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.nodes) * 12 + 8
+
+
+@dataclass(frozen=True, slots=True)
+class WatermarkMessage(Message):
+    """Event-time progress announcement from a local node."""
+
+    watermark_time: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class ResultMessage(Message):
+    """Final aggregate emitted by the root (for latency bookkeeping)."""
+
+    value: float = 0.0
+    global_window_size: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return 16
+
+
+def batch_events(
+    sender: int, window: Window, events: Sequence[Event]
+) -> EventBatchMessage:
+    """Convenience constructor for a raw-event batch."""
+    return EventBatchMessage(sender=sender, window=window, events=tuple(events))

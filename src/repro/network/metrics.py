@@ -1,0 +1,126 @@
+"""Network and CPU accounting for evaluation runs.
+
+The paper's network-cost metric is "the individual cost for each node ...
+aggregated across the system" (Section 4).  :class:`NetworkMetrics` snapshots
+the per-channel byte counters of a simulator and aggregates them per node,
+per direction and per layer; latency statistics are collected from result
+records by the harness.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.network.simulator import Simulator
+
+__all__ = ["LinkUsage", "NetworkMetrics", "LatencyStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkUsage:
+    """Traffic observed on one directed channel."""
+
+    src: int
+    dst: int
+    messages: int
+    bytes: int
+    events: int
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregated traffic snapshot of a simulation."""
+
+    links: list[LinkUsage] = field(default_factory=list)
+
+    @classmethod
+    def capture(cls, simulator: Simulator) -> "NetworkMetrics":
+        """Snapshot every channel's counters."""
+        links = [
+            LinkUsage(
+                src=src,
+                dst=dst,
+                messages=channel.stats.messages,
+                bytes=channel.stats.bytes,
+                events=channel.stats.events,
+            )
+            for (src, dst), channel in sorted(simulator.channels.items())
+        ]
+        return cls(links=links)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes summed over every channel."""
+        return sum(link.bytes for link in self.links)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages summed over every channel."""
+        return sum(link.messages for link in self.links)
+
+    @property
+    def total_events_on_wire(self) -> int:
+        """Events that crossed any channel (counted once per hop)."""
+        return sum(link.events for link in self.links)
+
+    def bytes_sent_by(self, node_id: int) -> int:
+        """Bytes transmitted by ``node_id`` across all its outgoing links."""
+        return sum(link.bytes for link in self.links if link.src == node_id)
+
+    def bytes_received_by(self, node_id: int) -> int:
+        """Bytes delivered to ``node_id`` across all its incoming links."""
+        return sum(link.bytes for link in self.links if link.dst == node_id)
+
+    def bytes_into(self, node_id: int) -> int:
+        """Alias of :meth:`bytes_received_by` (root ingress in the figures)."""
+        return self.bytes_received_by(node_id)
+
+    def reduction_vs(self, other: "NetworkMetrics") -> float:
+        """Fractional byte reduction of ``self`` relative to ``other``.
+
+        Returns 0.0 when ``other`` carried no traffic.
+        """
+        if other.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.total_bytes / other.total_bytes
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over per-window result latencies (seconds)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, latency_s: float) -> None:
+        """Record one latency sample."""
+        self.samples.append(latency_s)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency; 0.0 with no samples."""
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        """Median latency; 0.0 with no samples."""
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency; 0.0 with no samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def max(self) -> float:
+        """Largest latency; 0.0 with no samples."""
+        return max(self.samples) if self.samples else 0.0

@@ -1,0 +1,130 @@
+"""Explicit data-stream sensor nodes (the bottom tier of Figure 1).
+
+The benchmark driver normally plays the stream layer by calling local-node
+``ingest`` directly — cheap and sufficient for the figures.  This module
+provides the *physical* alternative: weak sensor nodes that transmit their
+readings to the local node over a real simulated channel, paying bytes,
+bandwidth, latency and CPU on both ends.  Local operators accept the
+resulting :class:`~repro.network.messages.EventBatchMessage`s through their
+``on_message`` path, so the whole three-tier topology of the paper can be
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.messages import EventBatchMessage, Message
+from repro.network.simulator import INGEST_OPS, SimulatedNode
+from repro.streaming.events import Event
+
+__all__ = ["StreamSensorNode"]
+
+
+class StreamSensorNode(SimulatedNode):
+    """A weak sensor that produces events and ships them to its local node.
+
+    Load the sensor with :meth:`load` before the simulation starts; it
+    schedules one transmission per batch at the batch's last event time.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        local_id: int,
+        ops_per_second: float = 2e7,
+        batch_size: int = 256,
+        max_batch_delay_ms: int = 20,
+    ) -> None:
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if max_batch_delay_ms < 1:
+            raise ConfigurationError(
+                f"max_batch_delay_ms must be >= 1, got {max_batch_delay_ms}"
+            )
+        self._local_id = local_id
+        self._batch_size = batch_size
+        self._max_batch_delay_ms = max_batch_delay_ms
+        self._events_produced = 0
+
+    @property
+    def local_id(self) -> int:
+        """The edge node this sensor reports to."""
+        return self._local_id
+
+    @property
+    def max_batch_delay_ms(self) -> int:
+        """Longest a reading may sit in the transmit buffer."""
+        return self._max_batch_delay_ms
+
+    @property
+    def events_produced(self) -> int:
+        """Events scheduled for transmission so far."""
+        return self._events_produced
+
+    def load(self, events: Sequence[Event]) -> None:
+        """Schedule the sensor's readings for transmission.
+
+        Args:
+            events: The sensor's stream in non-decreasing timestamp order.
+
+        Raises:
+            ConfigurationError: If timestamps regress.
+        """
+        batch: list[Event] = []
+        last_timestamp: int | None = None
+        for event in events:
+            if last_timestamp is not None and event.timestamp < last_timestamp:
+                raise ConfigurationError(
+                    f"sensor timestamps must be non-decreasing; saw "
+                    f"{event.timestamp} after {last_timestamp}"
+                )
+            last_timestamp = event.timestamp
+            # Flush before the oldest buffered reading grows stale; this
+            # also bounds how far a batch can spill past a window boundary.
+            if batch and (
+                event.timestamp - batch[0].timestamp
+                >= self._max_batch_delay_ms
+            ):
+                self._schedule_batch(tuple(batch))
+                batch = []
+            batch.append(event)
+            if len(batch) >= self._batch_size:
+                self._schedule_batch(tuple(batch))
+                batch = []
+        if batch:
+            self._schedule_batch(tuple(batch))
+
+    def _schedule_batch(self, batch: tuple[Event, ...]) -> None:
+        send_time = batch[-1].timestamp / 1000.0
+        self._events_produced += len(batch)
+        self.simulator.schedule(
+            send_time, lambda now, b=batch: self._transmit(b, now)
+        )
+
+    def _transmit(self, batch: tuple[Event, ...], now: float) -> None:
+        finish = self.work(INGEST_OPS * len(batch), now)
+        message = EventBatchMessage(
+            sender=self.node_id,
+            window=_span_of(batch),
+            events=batch,
+        )
+        self.send(message, self._local_id, finish)
+
+    def on_message(self, message: Message, now: float) -> None:
+        raise ConfigurationError(
+            f"sensor {self.node_id} does not accept messages, got "
+            f"{type(message).__name__}"
+        )
+
+
+def _span_of(batch: tuple[Event, ...]):
+    """An advisory window tag covering the batch (receivers re-assign)."""
+    from repro.streaming.windows import Window
+
+    start = batch[0].timestamp
+    end = batch[-1].timestamp + 1
+    return Window(start, end)

@@ -1,0 +1,24 @@
+"""Approximate quantile sketches: t-digest and q-digest.
+
+These are the approximate competitors the paper positions Dema against
+(Section 5): compact mergeable summaries that trade exactness for speed and
+fixed memory.  Both are implemented from scratch — the t-digest following
+Dunning & Ertl's merging variant with the k1 scale function, the q-digest
+following Shrivastava et al.'s sensor-network construction.
+"""
+
+from repro.sketches.scale_functions import ScaleFunction, K0, K1, K2
+from repro.sketches.tdigest import Centroid, TDigest
+from repro.sketches.qdigest import QDigest
+from repro.sketches.kll import KllSketch
+
+__all__ = [
+    "ScaleFunction",
+    "K0",
+    "K1",
+    "K2",
+    "Centroid",
+    "TDigest",
+    "QDigest",
+    "KllSketch",
+]

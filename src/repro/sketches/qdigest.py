@@ -1,0 +1,252 @@
+"""A from-scratch q-digest (Shrivastava et al. 2004).
+
+The q-digest summarizes counts over an integer universe ``[0, 2^depth)``
+using nodes of an implicit binary tree.  A node survives compression only if
+its count together with its parent's and sibling's exceeds ``n / k`` (the
+digest property), which bounds the structure at ``O(k·depth)`` nodes while
+guaranteeing rank error at most ``n·depth / k``.
+
+Designed for sensor networks, q-digests merge by adding counts node-wise and
+re-compressing — the decentralized aggregation pattern the paper cites.
+Values outside the integer universe are clamped; real-valued streams are
+quantized by the caller (see :meth:`QDigest.for_range`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import SketchError
+
+__all__ = ["QDigest"]
+
+#: A tree node is identified by ``(level, index)``: level 0 is the root
+#: covering the whole universe; a node at level L covers
+#: ``universe / 2^L`` consecutive integers starting at ``index << (depth-L)``.
+NodeId = Tuple[int, int]
+
+
+class QDigest:
+    """q-digest over the integer universe ``[0, 2**depth)``."""
+
+    def __init__(self, k: int, depth: int = 16) -> None:
+        if k < 1:
+            raise SketchError(f"compression k must be >= 1, got {k}")
+        if not 1 <= depth <= 62:
+            raise SketchError(f"depth must be in [1, 62], got {depth}")
+        self._k = k
+        self._depth = depth
+        self._universe = 1 << depth
+        self._counts: Dict[NodeId, int] = {}
+        self._n = 0
+
+    @classmethod
+    def for_range(
+        cls, k: int, low: float, high: float, depth: int = 16
+    ) -> "QDigestQuantizer":
+        """Build a digest over real values in ``[low, high]``.
+
+        Returns a quantizing wrapper that maps values to buckets and
+        quantile answers back to representative values.
+        """
+        return QDigestQuantizer(cls(k, depth), low, high)
+
+    @property
+    def k(self) -> int:
+        """The compression factor (larger → bigger, more accurate digest)."""
+        return self._k
+
+    @property
+    def depth(self) -> int:
+        """Tree depth; the universe is ``2**depth``."""
+        return self._depth
+
+    @property
+    def universe(self) -> int:
+        """Size of the integer value universe."""
+        return self._universe
+
+    @property
+    def n(self) -> int:
+        """Total count absorbed."""
+        return self._n
+
+    @property
+    def node_count(self) -> int:
+        """Number of stored tree nodes (the digest's size)."""
+        return len(self._counts)
+
+    def rank_error_bound(self) -> float:
+        """Worst-case absolute rank error of any quantile query."""
+        return self._n * self._depth / self._k
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Absorb ``count`` occurrences of integer ``value``.
+
+        Raises:
+            SketchError: If the value is outside the universe or the count
+                is non-positive.
+        """
+        if not 0 <= value < self._universe:
+            raise SketchError(
+                f"value {value} outside the universe [0, {self._universe})"
+            )
+        if count < 1:
+            raise SketchError(f"count must be >= 1, got {count}")
+        leaf = (self._depth, value)
+        self._counts[leaf] = self._counts.get(leaf, 0) + count
+        self._n += count
+        if len(self._counts) > 6 * self._k:
+            self.compress()
+
+    def add_all(self, values: Iterable[int]) -> None:
+        """Absorb a batch of integer values."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QDigest") -> None:
+        """Add another digest's node counts and re-compress.
+
+        Raises:
+            SketchError: If universes differ.
+        """
+        if other._depth != self._depth:
+            raise SketchError(
+                f"cannot merge digests of depth {self._depth} and "
+                f"{other._depth}"
+            )
+        for node, count in other._counts.items():
+            self._counts[node] = self._counts.get(node, 0) + count
+        self._n += other._n
+        self.compress()
+
+    def compress(self) -> None:
+        """Restore the digest property bottom-up.
+
+        A child pair whose combined count with their parent is at most
+        ``n/k`` is folded into the parent, shrinking the digest while
+        pushing counts toward coarser ranges.
+        """
+        if self._n == 0:
+            return
+        threshold = self._n // self._k
+        for level in range(self._depth, 0, -1):
+            nodes = [node for node in self._counts if node[0] == level]
+            for node in nodes:
+                count = self._counts.get(node, 0)
+                if count == 0:
+                    self._counts.pop(node, None)
+                    continue
+                sibling = (level, node[1] ^ 1)
+                parent = (level - 1, node[1] >> 1)
+                family = (
+                    count
+                    + self._counts.get(sibling, 0)
+                    + self._counts.get(parent, 0)
+                )
+                if family <= threshold:
+                    self._counts[parent] = family
+                    self._counts.pop(node, None)
+                    self._counts.pop(sibling, None)
+
+    def to_node_tuples(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Serialize to ``(level, index, count)`` triples (compresses first)."""
+        self.compress()
+        return tuple(
+            (level, index, count)
+            for (level, index), count in sorted(self._counts.items())
+        )
+
+    @classmethod
+    def from_node_tuples(
+        cls,
+        triples: Iterable[Tuple[int, int, int]],
+        k: int,
+        depth: int = 16,
+    ) -> "QDigest":
+        """Deserialize a digest shipped over the network.
+
+        Raises:
+            SketchError: If a node id lies outside the tree.
+        """
+        digest = cls(k, depth)
+        for level, index, count in triples:
+            if not 0 <= level <= depth or not 0 <= index < (1 << level):
+                raise SketchError(
+                    f"node (level={level}, index={index}) outside a "
+                    f"depth-{depth} tree"
+                )
+            if count < 1:
+                raise SketchError(f"node count must be >= 1, got {count}")
+            digest._counts[(level, index)] = (
+                digest._counts.get((level, index), 0) + count
+            )
+            digest._n += count
+        return digest
+
+    def quantile(self, q: float) -> int:
+        """Approximate the ``q``-quantile as an integer value.
+
+        Walks stored nodes in post-order of their value ranges (ascending
+        range end, then ascending level) accumulating counts until the rank
+        is reached; answers with the node's range maximum, per the paper.
+
+        Raises:
+            SketchError: On an empty digest or ``q`` outside ``(0, 1]``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise SketchError(f"q must be in (0, 1], got {q}")
+        if self._n == 0:
+            raise SketchError("cannot query an empty digest")
+        rank = math.ceil(q * self._n)
+        ordered = sorted(
+            self._counts.items(),
+            key=lambda item: (self._range_end(item[0]), item[0][0]),
+        )
+        cumulative = 0
+        for node, count in ordered:
+            cumulative += count
+            if cumulative >= rank:
+                return self._range_end(node)
+        return self._range_end(ordered[-1][0])
+
+    def _range_end(self, node: NodeId) -> int:
+        level, index = node
+        width = 1 << (self._depth - level)
+        return index * width + width - 1
+
+
+class QDigestQuantizer:
+    """Maps real values into a q-digest's integer universe and back."""
+
+    def __init__(self, digest: QDigest, low: float, high: float) -> None:
+        if not high > low:
+            raise SketchError(f"need high > low, got [{low}, {high}]")
+        self._digest = digest
+        self._low = low
+        self._high = high
+        self._buckets = digest.universe
+
+    @property
+    def digest(self) -> QDigest:
+        """The wrapped integer digest."""
+        return self._digest
+
+    def add(self, value: float) -> None:
+        """Quantize and absorb one real value (clamped to the range)."""
+        clamped = min(max(value, self._low), self._high)
+        span = self._high - self._low
+        bucket = int((clamped - self._low) / span * (self._buckets - 1))
+        self._digest.add(bucket)
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Quantize and absorb a batch of real values."""
+        for value in values:
+            self.add(value)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile mapped back to the real value range."""
+        bucket = self._digest.quantile(q)
+        span = self._high - self._low
+        return self._low + bucket / (self._buckets - 1) * span

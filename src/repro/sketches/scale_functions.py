@@ -1,0 +1,81 @@
+"""Scale functions for the t-digest.
+
+A scale function ``k(q)`` maps quantiles to a "k-scale" in which every
+centroid is allowed to span at most one unit.  The slope of ``k`` controls
+the size budget: steep near the tails → small centroids → accurate extreme
+quantiles.  Dunning & Ertl define
+
+* ``k0(q) = δ·q/2`` — uniform centroid sizes;
+* ``k1(q) = δ/(2π)·asin(2q−1)`` — the canonical choice, tail-accurate;
+* ``k2(q) = δ/Z·log(q/(1−q))`` — even stronger tail bias, with the
+  normalizer ``Z = 4·log(n/δ) + 24`` depending on the stream size ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.errors import SketchError
+
+__all__ = ["ScaleFunction", "K0", "K1", "K2"]
+
+
+class ScaleFunction(ABC):
+    """Maps quantile space to k-space for a given compression δ."""
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise SketchError(f"compression delta must be > 0, got {delta}")
+        self._delta = delta
+
+    @property
+    def delta(self) -> float:
+        """The compression parameter δ (larger → more centroids)."""
+        return self._delta
+
+    @abstractmethod
+    def k(self, q: float, n: int) -> float:
+        """Map quantile ``q`` to k-space for a stream of ``n`` points."""
+
+    def max_centroid_weight(self, q: float, n: int) -> float:
+        """Largest weight a centroid centred at quantile ``q`` may carry.
+
+        Derived from the slope of ``k``: a centroid may span one k-unit, so
+        its quantile width is bounded by ``1 / k'(q)`` and its weight by
+        ``n / k'(q)``.  Implemented numerically so subclasses only define
+        ``k``.
+        """
+        eps = 1e-6
+        lo = min(max(q - eps, 0.0), 1.0 - 2 * eps)
+        slope = (self.k(lo + 2 * eps, n) - self.k(lo, n)) / (2 * eps)
+        if slope <= 0:
+            return 1.0
+        return max(1.0, n / slope)
+
+
+class K0(ScaleFunction):
+    """Uniform scale function: all centroids the same size."""
+
+    def k(self, q: float, n: int) -> float:
+        return self._delta * q / 2.0
+
+
+class K1(ScaleFunction):
+    """The canonical arcsine scale function (tail-accurate)."""
+
+    def k(self, q: float, n: int) -> float:
+        q = min(max(q, 0.0), 1.0)
+        return self._delta / (2.0 * math.pi) * math.asin(2.0 * q - 1.0)
+
+
+class K2(ScaleFunction):
+    """Logit scale function with very strong tail bias."""
+
+    #: Quantiles are clamped away from 0/1 to keep the logit finite.
+    _EPS = 1e-12
+
+    def k(self, q: float, n: int) -> float:
+        q = min(max(q, self._EPS), 1.0 - self._EPS)
+        normalizer = 4.0 * math.log(max(n, 2) / self._delta) + 24.0
+        return self._delta / normalizer * math.log(q / (1.0 - q))

@@ -1,0 +1,293 @@
+"""A from-scratch merging t-digest (Dunning & Ertl 2019).
+
+The digest keeps a sorted list of centroids ``(mean, weight)`` whose sizes
+obey a scale function: tiny near the tails, large in the middle.  Incoming
+points land in an unsorted buffer; when the buffer fills, buffer and
+centroids are merged in one sorted pass that greedily grows each output
+centroid until the scale function forbids it.  Digests merge the same way,
+which is what the t-digest baseline ships over the network: local nodes
+digest their windows and the root merges the digests.
+
+Quantile queries interpolate between centroid means weighted by centroid
+masses; the true minimum and maximum are tracked exactly so extreme
+quantiles stay sane.  Results are approximate — the whole point of the
+paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SketchError
+from repro.sketches.scale_functions import K1, ScaleFunction
+
+__all__ = ["Centroid", "TDigest"]
+
+#: Default compression δ; ~100 gives <1 % mid-quantile error in practice.
+DEFAULT_COMPRESSION = 100.0
+
+#: Buffer this many points per centroid budget before merging.
+_BUFFER_FACTOR = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Centroid:
+    """A cluster of points summarized by its mean and total weight."""
+
+    mean: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise SketchError(f"centroid weight must be > 0, got {self.weight}")
+
+
+class TDigest:
+    """Merging t-digest with a pluggable scale function."""
+
+    def __init__(
+        self,
+        compression: float = DEFAULT_COMPRESSION,
+        *,
+        scale: ScaleFunction | None = None,
+    ) -> None:
+        if compression < 10:
+            raise SketchError(
+                f"compression must be >= 10 for a usable digest, got "
+                f"{compression}"
+            )
+        self._compression = compression
+        self._scale = scale if scale is not None else K1(compression)
+        self._centroids: list[Centroid] = []
+        self._buffer: list[float] = []
+        self._buffer_limit = int(_BUFFER_FACTOR * compression)
+        self._count = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def compression(self) -> float:
+        """The compression parameter δ."""
+        return self._compression
+
+    @property
+    def count(self) -> float:
+        """Total weight absorbed so far."""
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Exact minimum of the absorbed points."""
+        if self._count == 0:
+            raise SketchError("empty digest has no minimum")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum of the absorbed points."""
+        if self._count == 0:
+            raise SketchError("empty digest has no maximum")
+        return self._max
+
+    def centroids(self) -> list[Centroid]:
+        """The compressed centroids, sorted by mean (flushes the buffer)."""
+        self._merge_buffer()
+        return list(self._centroids)
+
+    @property
+    def centroid_count(self) -> int:
+        """Number of centroids after compressing pending points."""
+        return len(self.centroids())
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Absorb one point (optionally weighted)."""
+        if weight <= 0:
+            raise SketchError(f"weight must be > 0, got {weight}")
+        if weight == 1.0:
+            self._buffer.append(value)
+        else:
+            # Weighted points skip the scalar buffer and merge directly.
+            self._merge_sorted(
+                [Centroid(float(value), float(weight))], flush_buffer=True
+            )
+        self._count += weight
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if len(self._buffer) >= self._buffer_limit:
+            self._merge_buffer()
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Absorb a batch of unit-weight points."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "TDigest") -> None:
+        """Absorb another digest's centroids (the decentralized merge)."""
+        if other._count == 0:
+            return
+        self._count += other._count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._merge_sorted(other.centroids(), flush_buffer=True)
+
+    @classmethod
+    def merge_all(cls, digests: Sequence["TDigest"],
+                  compression: float = DEFAULT_COMPRESSION) -> "TDigest":
+        """Merge many digests into a fresh one (root-node aggregation)."""
+        merged = cls(compression)
+        for digest in digests:
+            merged.merge(digest)
+        return merged
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile, ``q`` in ``[0, 1]``.
+
+        Raises:
+            SketchError: If the digest is empty or ``q`` is out of range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise SketchError(f"q must be in [0, 1], got {q}")
+        if self._count == 0:
+            raise SketchError("cannot query an empty digest")
+        self._merge_buffer()
+        centroids = self._centroids
+        if len(centroids) == 1:
+            return centroids[0].mean
+
+        target = q * self._count
+        # Cumulative weight at each centroid's midpoint.
+        cumulative = 0.0
+        midpoints = []
+        for centroid in centroids:
+            midpoints.append(cumulative + centroid.weight / 2.0)
+            cumulative += centroid.weight
+
+        if target <= midpoints[0]:
+            # Interpolate between the exact minimum and the first centroid.
+            first = centroids[0]
+            if midpoints[0] == 0:
+                return first.mean
+            fraction = target / midpoints[0]
+            return self._min + fraction * (first.mean - self._min)
+        if target >= midpoints[-1]:
+            last = centroids[-1]
+            span = self._count - midpoints[-1]
+            if span == 0:
+                return last.mean
+            fraction = (target - midpoints[-1]) / span
+            return last.mean + fraction * (self._max - last.mean)
+
+        for i in range(len(centroids) - 1):
+            if midpoints[i] <= target <= midpoints[i + 1]:
+                width = midpoints[i + 1] - midpoints[i]
+                fraction = 0.0 if width == 0 else (target - midpoints[i]) / width
+                return centroids[i].mean + fraction * (
+                    centroids[i + 1].mean - centroids[i].mean
+                )
+        raise SketchError("quantile interpolation failed")  # pragma: no cover
+
+    def cdf(self, x: float) -> float:
+        """Approximate the fraction of points ≤ ``x``."""
+        if self._count == 0:
+            raise SketchError("cannot query an empty digest")
+        self._merge_buffer()
+        if x < self._min:
+            return 0.0
+        if x >= self._max:
+            return 1.0
+        centroids = self._centroids
+        if len(centroids) == 1:
+            # All mass in one centroid: linear ramp between min and max.
+            if self._max == self._min:
+                return 1.0
+            return (x - self._min) / (self._max - self._min)
+
+        cumulative = 0.0
+        midpoints = []
+        for centroid in centroids:
+            midpoints.append(cumulative + centroid.weight / 2.0)
+            cumulative += centroid.weight
+
+        if x < centroids[0].mean:
+            span = centroids[0].mean - self._min
+            fraction = 1.0 if span == 0 else (x - self._min) / span
+            return fraction * midpoints[0] / self._count
+        if x >= centroids[-1].mean:
+            span = self._max - centroids[-1].mean
+            fraction = 1.0 if span == 0 else (x - centroids[-1].mean) / span
+            return (midpoints[-1] + fraction * (self._count - midpoints[-1])) / self._count
+
+        for i in range(len(centroids) - 1):
+            left, right = centroids[i].mean, centroids[i + 1].mean
+            if left <= x < right:
+                span = right - left
+                fraction = 0.0 if span == 0 else (x - left) / span
+                weight = midpoints[i] + fraction * (midpoints[i + 1] - midpoints[i])
+                return weight / self._count
+        raise SketchError("cdf interpolation failed")  # pragma: no cover
+
+    def to_centroid_tuples(self) -> tuple[tuple[float, float], ...]:
+        """Serialize to ``(mean, weight)`` pairs for :class:`DigestMessage`."""
+        return tuple((c.mean, c.weight) for c in self.centroids())
+
+    @classmethod
+    def from_centroid_tuples(
+        cls,
+        pairs: Sequence[tuple[float, float]],
+        compression: float = DEFAULT_COMPRESSION,
+    ) -> "TDigest":
+        """Deserialize a digest shipped over the network."""
+        digest = cls(compression)
+        if not pairs:
+            return digest
+        centroids = sorted(
+            (Centroid(float(m), float(w)) for m, w in pairs),
+            key=lambda c: c.mean,
+        )
+        digest._centroids = centroids
+        digest._count = sum(c.weight for c in centroids)
+        digest._min = centroids[0].mean
+        digest._max = centroids[-1].mean
+        return digest
+
+    def _merge_buffer(self) -> None:
+        if not self._buffer:
+            return
+        incoming = [Centroid(v, 1.0) for v in sorted(self._buffer)]
+        self._buffer = []
+        self._merge_sorted(incoming, flush_buffer=False)
+
+    def _merge_sorted(
+        self, incoming: list[Centroid], *, flush_buffer: bool
+    ) -> None:
+        """One compression pass over existing centroids plus ``incoming``."""
+        if flush_buffer:
+            self._merge_buffer()
+        merged_input = sorted(
+            self._centroids + incoming, key=lambda c: c.mean
+        )
+        if not merged_input:
+            return
+        total = sum(c.weight for c in merged_input)
+
+        output: list[Centroid] = []
+        current_mean = merged_input[0].mean
+        current_weight = merged_input[0].weight
+        weight_so_far = 0.0
+        for centroid in merged_input[1:]:
+            q_mid = (weight_so_far + (current_weight + centroid.weight) / 2.0) / total
+            limit = self._scale.max_centroid_weight(q_mid, int(total))
+            if current_weight + centroid.weight <= limit:
+                combined = current_weight + centroid.weight
+                current_mean += (
+                    centroid.weight * (centroid.mean - current_mean) / combined
+                )
+                current_weight = combined
+            else:
+                output.append(Centroid(current_mean, current_weight))
+                weight_so_far += current_weight
+                current_mean = centroid.mean
+                current_weight = centroid.weight
+        output.append(Centroid(current_mean, current_weight))
+        self._centroids = output

@@ -1,0 +1,151 @@
+"""Windowed aggregation operators over event streams.
+
+The operator keeps per-window partial state, closes windows as the watermark
+passes their end, and emits one result per closed window.  Decomposable
+functions keep O(1)-sized partials; non-decomposable functions buffer values
+— the asymmetry that motivates Dema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import WindowError
+from repro.streaming.aggregates import AggregationFunction
+from repro.streaming.events import Event
+from repro.streaming.time import Watermark
+from repro.streaming.windows import Window, WindowAssigner
+
+__all__ = ["WindowResult", "KeyedWindowState", "WindowedAggregationOperator"]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowResult:
+    """The aggregate emitted for one closed window."""
+
+    window: Window
+    value: float
+    count: int
+
+
+class KeyedWindowState:
+    """Per-window partial aggregates plus event counts.
+
+    State is keyed by :class:`Window`; the operator owns exactly one instance.
+    """
+
+    def __init__(self, function: AggregationFunction) -> None:
+        self._function = function
+        self._partials: dict[Window, Any] = {}
+        self._counts: dict[Window, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+    @property
+    def open_windows(self) -> list[Window]:
+        """Windows with buffered state, in chronological order."""
+        return sorted(self._partials)
+
+    def add(self, window: Window, value: float) -> None:
+        """Fold one value into the partial aggregate of ``window``."""
+        lifted = self._function.lift(value)
+        if window in self._partials:
+            self._partials[window] = self._function.combine(
+                self._partials[window], lifted
+            )
+            self._counts[window] += 1
+        else:
+            self._partials[window] = lifted
+            self._counts[window] = 1
+
+    def close(self, window: Window) -> WindowResult:
+        """Finalize ``window`` and drop its state.
+
+        Raises:
+            WindowError: If the window holds no state.
+        """
+        if window not in self._partials:
+            raise WindowError(f"no state for window {window}")
+        partial = self._partials.pop(window)
+        count = self._counts.pop(window)
+        return WindowResult(window, self._function.lower(partial), count)
+
+    def closeable(self, watermark: Watermark) -> list[Window]:
+        """Windows whose end has been passed by ``watermark``."""
+        return sorted(w for w in self._partials if w.end <= watermark.time + 1)
+
+
+class WindowedAggregationOperator:
+    """Assigns events to windows, aggregates, and fires on watermarks.
+
+    This is the generic SPE operator; Dema replaces it at local and root
+    nodes with the operators in :mod:`repro.core`, while the baselines reuse
+    it directly.
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        function: AggregationFunction,
+        *,
+        on_result: Callable[[WindowResult], None] | None = None,
+    ) -> None:
+        self._assigner = assigner
+        self._function = function
+        self._state = KeyedWindowState(function)
+        self._on_result = on_result
+        self._results: list[WindowResult] = []
+        self._late_events = 0
+
+    @property
+    def results(self) -> list[WindowResult]:
+        """Results emitted so far, in emission order."""
+        return list(self._results)
+
+    @property
+    def late_events(self) -> int:
+        """Events dropped because their window had already closed."""
+        return self._late_events
+
+    @property
+    def open_window_count(self) -> int:
+        """Number of windows currently holding state."""
+        return len(self._state)
+
+    def process(self, event: Event) -> None:
+        """Route one event into all windows it belongs to."""
+        windows = self._assigner.assign_event(event)
+        if not windows:
+            self._late_events += 1
+            return
+        for window in windows:
+            self._state.add(window, event.value)
+
+    def process_all(self, events: Iterable[Event]) -> None:
+        """Route a batch of events."""
+        for event in events:
+            self.process(event)
+
+    def advance_watermark(self, watermark: Watermark) -> list[WindowResult]:
+        """Close every window the watermark has passed and emit results."""
+        emitted = []
+        for window in self._state.closeable(watermark):
+            result = self._state.close(window)
+            self._results.append(result)
+            emitted.append(result)
+            if self._on_result is not None:
+                self._on_result(result)
+        return emitted
+
+    def flush(self) -> list[WindowResult]:
+        """Force-close every open window (end of stream)."""
+        emitted = []
+        for window in self._state.open_windows:
+            result = self._state.close(window)
+            self._results.append(result)
+            emitted.append(result)
+            if self._on_result is not None:
+                self._on_result(result)
+        return emitted

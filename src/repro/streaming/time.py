@@ -1,0 +1,110 @@
+"""Event-time utilities: watermarks and per-source progress tracking.
+
+Dema processes events by event time (Section 3.1): a window closes when the
+system knows that no earlier-timestamped events can still arrive.  In a
+decentralized topology each upstream source advances independently, so the
+root's notion of progress is the *minimum* of the per-source watermarks —
+exactly the rule implemented by :class:`WatermarkTracker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, WindowError
+
+__all__ = ["Watermark", "EventTimeClock", "WatermarkTracker"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Watermark:
+    """A promise that no event with ``timestamp <= time`` is still in flight."""
+
+    time: int
+
+
+class EventTimeClock:
+    """Tracks event-time progress of a single source.
+
+    The clock advances to the maximum observed timestamp minus an allowed
+    out-of-orderness bound.  With the default bound of zero the source
+    promises strictly in-order timestamps.
+    """
+
+    def __init__(self, *, max_out_of_orderness: int = 0) -> None:
+        if max_out_of_orderness < 0:
+            raise ConfigurationError(
+                "max_out_of_orderness must be >= 0, got "
+                f"{max_out_of_orderness}"
+            )
+        self._max_out_of_orderness = max_out_of_orderness
+        self._max_timestamp: int | None = None
+
+    @property
+    def max_timestamp(self) -> int | None:
+        """Largest timestamp observed so far, or ``None`` before any event."""
+        return self._max_timestamp
+
+    def observe(self, timestamp: int) -> None:
+        """Record an event timestamp."""
+        if self._max_timestamp is None or timestamp > self._max_timestamp:
+            self._max_timestamp = timestamp
+
+    def current_watermark(self) -> Watermark | None:
+        """Return the watermark implied by the observed timestamps."""
+        if self._max_timestamp is None:
+            return None
+        return Watermark(self._max_timestamp - self._max_out_of_orderness)
+
+
+class WatermarkTracker:
+    """Combines watermarks from several upstream sources.
+
+    The combined watermark is the minimum across sources, and it only exists
+    once *every* registered source has reported at least one watermark —
+    otherwise an idle source could retract the promise.
+    """
+
+    def __init__(self, source_ids: list[int] | None = None) -> None:
+        self._watermarks: dict[int, int] = {}
+        self._registered: set[int] = set(source_ids or [])
+
+    def register(self, source_id: int) -> None:
+        """Declare ``source_id`` as an upstream that must report progress."""
+        self._registered.add(source_id)
+
+    @property
+    def sources(self) -> frozenset[int]:
+        """The registered upstream source ids."""
+        return frozenset(self._registered)
+
+    def advance(self, source_id: int, watermark: Watermark) -> None:
+        """Record a new watermark for one source.
+
+        Watermarks must not regress: a source that reports an earlier
+        watermark than before violates its promise.
+
+        Raises:
+            WindowError: If ``source_id`` is not registered, or the watermark
+                moves backwards.
+        """
+        if source_id not in self._registered:
+            raise WindowError(f"unknown watermark source {source_id}")
+        previous = self._watermarks.get(source_id)
+        if previous is not None and watermark.time < previous:
+            raise WindowError(
+                f"watermark for source {source_id} regressed from "
+                f"{previous} to {watermark.time}"
+            )
+        self._watermarks[source_id] = watermark.time
+
+    def combined(self) -> Watermark | None:
+        """Return the minimum watermark across all registered sources.
+
+        Returns ``None`` until every registered source has reported.
+        """
+        if not self._registered:
+            return None
+        if set(self._watermarks) != self._registered:
+            return None
+        return Watermark(min(self._watermarks.values()))

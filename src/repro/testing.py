@@ -1,0 +1,114 @@
+"""Verification utilities: check any deployment against the exact oracle.
+
+Downstream users extending the library (new operators, new systems) need a
+way to prove their variant still answers exactly.  These helpers compute
+per-window ground truth by brute force — collect everything, sort, select —
+and compare a run's outcomes against it.  The reproduction's own test suite
+uses them; they are public API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import HarnessError
+from repro.streaming.aggregates import exact_quantile
+from repro.streaming.events import Event
+from repro.streaming.windows import Window, WindowAssigner
+from repro.core.query import QuantileQuery
+
+__all__ = [
+    "ground_truth",
+    "verify_outcomes",
+    "VerificationReport",
+]
+
+
+def ground_truth(
+    streams: Mapping[int, Sequence[Event]],
+    query: QuantileQuery,
+) -> dict[Window, float]:
+    """Per-window exact quantiles, computed centrally by brute force."""
+    assigner: WindowAssigner = query.assigner()
+    per_window: dict[Window, list[float]] = {}
+    for events in streams.values():
+        for event in events:
+            for window in assigner.assign(event.timestamp):
+                per_window.setdefault(window, []).append(event.value)
+    return {
+        window: exact_quantile(values, query.q)
+        for window, values in per_window.items()
+    }
+
+
+class VerificationReport:
+    """Outcome of comparing a run against the oracle."""
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.exact = 0
+        self.mismatches: list[tuple[Window, float, float]] = []
+        self.missing_windows: list[Window] = []
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether every produced window matched and none were missing."""
+        return not self.mismatches and not self.missing_windows
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.is_exact:
+            return f"exact on all {self.checked} windows"
+        parts = [f"{self.exact}/{self.checked} windows exact"]
+        if self.mismatches:
+            parts.append(f"{len(self.mismatches)} mismatched")
+        if self.missing_windows:
+            parts.append(f"{len(self.missing_windows)} missing")
+        return ", ".join(parts)
+
+
+def verify_outcomes(
+    outcomes: Iterable,
+    streams: Mapping[int, Sequence[Event]],
+    query: QuantileQuery,
+    *,
+    require_all_windows: bool = True,
+) -> VerificationReport:
+    """Compare a run's window outcomes against the brute-force oracle.
+
+    Args:
+        outcomes: Objects with ``window`` and ``value`` attributes — the
+            outcomes of any engine in this library.
+        streams: The exact streams the run consumed.
+        query: The query the run executed.
+        require_all_windows: Whether windows present in the streams but
+            absent from the outcomes count as failures.
+
+    Returns:
+        The verification report; inspect :attr:`VerificationReport.is_exact`
+        or raise on it in a test.
+
+    Raises:
+        HarnessError: If an outcome references a window not present in the
+            streams (the run invented data).
+    """
+    truth = ground_truth(streams, query)
+    report = VerificationReport()
+    seen: set[Window] = set()
+    for outcome in outcomes:
+        if outcome.value is None:
+            continue
+        window = outcome.window
+        if window not in truth:
+            raise HarnessError(
+                f"outcome for window {window} which no stream event covers"
+            )
+        seen.add(window)
+        report.checked += 1
+        if outcome.value == truth[window]:
+            report.exact += 1
+        else:
+            report.mismatches.append((window, outcome.value, truth[window]))
+    if require_all_windows:
+        report.missing_windows = sorted(set(truth) - seen)
+    return report

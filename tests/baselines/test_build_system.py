@@ -1,0 +1,90 @@
+"""Tests for the uniform system factory and cross-system contracts."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topology import TopologyConfig
+from repro.streaming.events import make_events
+from repro.core.query import QuantileQuery
+from repro.baselines.base import SYSTEM_NAMES, build_system
+
+
+def make_streams(n_nodes=2, per_node=500, seed=0):
+    rng = random.Random(seed)
+    return {
+        node_id: make_events(
+            [rng.uniform(0, 100) for _ in range(per_node)],
+            node_id=node_id,
+            timestamp_step=2,
+        )
+        for node_id in range(1, n_nodes + 1)
+    }
+
+
+QUERY = QuantileQuery(q=0.5, window_length_ms=1000, gamma=20)
+TOPO = TopologyConfig(n_local_nodes=2)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_all_systems_constructible(self, name):
+        engine = build_system(name, QUERY, TOPO)
+        assert hasattr(engine, "run")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_system("flink", QUERY, TOPO)
+
+
+class TestUniformReports:
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_report_shape(self, name):
+        engine = build_system(name, QUERY, TOPO)
+        report = engine.run(make_streams())
+        assert report.events_ingested == 1000
+        assert len(report.outcomes) >= 1
+        for outcome in report.outcomes:
+            assert outcome.global_window_size > 0
+            assert outcome.result_time >= outcome.window.end / 1000.0
+        assert report.latency.count == len(report.outcomes)
+        assert report.network.total_bytes > 0
+
+    @pytest.mark.parametrize("name", SYSTEM_NAMES)
+    def test_unknown_stream_node_rejected(self, name):
+        engine = build_system(name, QUERY, TOPO)
+        with pytest.raises(ConfigurationError):
+            engine.run({9: make_events([1.0], node_id=9)})
+
+
+class TestCrossSystemAgreement:
+    def test_exact_systems_agree_everywhere(self):
+        streams = make_streams(per_node=800, seed=3)
+        values = {}
+        for name in ("dema", "scotty", "desis"):
+            report = build_system(name, QUERY, TOPO).run(streams)
+            values[name] = [
+                (o.window, o.value)
+                for o in sorted(report.outcomes, key=lambda o: o.window)
+            ]
+        assert values["dema"] == values["scotty"] == values["desis"]
+
+    def test_tdigest_close_but_not_exact_contract(self):
+        streams = make_streams(per_node=2000, seed=4)
+        exact = build_system("scotty", QUERY, TOPO).run(streams)
+        approx = build_system("tdigest", QUERY, TOPO).run(streams)
+        exact_by_window = {o.window: o.value for o in exact.outcomes}
+        for outcome in approx.outcomes:
+            truth = exact_by_window[outcome.window]
+            assert outcome.value == pytest.approx(truth, rel=0.05)
+
+    def test_network_ordering_matches_paper(self):
+        streams = make_streams(per_node=3000, seed=5)
+        byte_counts = {
+            name: build_system(name, QUERY, TOPO).run(streams).network.total_bytes
+            for name in SYSTEM_NAMES
+        }
+        assert byte_counts["tdigest"] < byte_counts["dema"]
+        assert byte_counts["dema"] < byte_counts["desis"] / 2
+        assert byte_counts["dema"] < byte_counts["scotty"] / 2

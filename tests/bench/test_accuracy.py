@@ -1,0 +1,48 @@
+"""Tests for accuracy metrics."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.bench.accuracy import accuracy_vs_ground_truth, mean_percentage_error
+
+
+class TestMeanPercentageError:
+    def test_exact_estimates_give_zero(self):
+        assert mean_percentage_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_single_window(self):
+        assert mean_percentage_error([110.0], [100.0]) == pytest.approx(0.1)
+
+    def test_averages_over_windows(self):
+        assert mean_percentage_error(
+            [110.0, 100.0], [100.0, 100.0]
+        ) == pytest.approx(0.05)
+
+    def test_sign_ignored(self):
+        assert mean_percentage_error([90.0], [100.0]) == pytest.approx(0.1)
+
+    def test_negative_truth_supported(self):
+        assert mean_percentage_error([-90.0], [-100.0]) == pytest.approx(0.1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(HarnessError):
+            mean_percentage_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HarnessError):
+            mean_percentage_error([], [])
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(HarnessError):
+            mean_percentage_error([1.0], [0.0])
+
+
+class TestAccuracy:
+    def test_perfect_accuracy(self):
+        assert accuracy_vs_ground_truth([5.0], [5.0]) == 1.0
+
+    def test_matches_paper_definition(self):
+        assert accuracy_vs_ground_truth([99.0], [100.0]) == pytest.approx(0.99)
+
+    def test_floored_at_zero(self):
+        assert accuracy_vs_ground_truth([300.0], [100.0]) == 0.0

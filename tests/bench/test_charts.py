@@ -1,0 +1,87 @@
+"""Tests for terminal charts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.charts import bar_chart, series_chart, sparkline
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_renders_no_bar(self):
+        chart = bar_chart(["a", "b"], [4.0, 0.0])
+        assert chart.splitlines()[1].count("█") == 0
+
+    def test_tiny_nonzero_value_still_visible(self):
+        chart = bar_chart(["a", "b"], [1000.0, 1.0], width=10)
+        assert chart.splitlines()[1].count("█") == 1
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_custom_format(self):
+        chart = bar_chart(["a"], [1234.0], fmt=lambda v: f"{v/1000:.1f}k")
+        assert "1.2k" in chart
+
+    def test_title_included(self):
+        chart = bar_chart(["a"], [1.0], title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_min_max_mapped_to_extremes(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_flat_series_mid_height(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestSeriesChart:
+    def test_all_series_rendered(self):
+        chart = series_chart(
+            [1, 2, 3],
+            {"dema": [1.0, 2.0, 3.0], "scotty": [1.0, 1.0, 1.0]},
+        )
+        assert "dema" in chart
+        assert "scotty" in chart
+        assert "1 … 3" in chart
+
+    def test_end_values_shown(self):
+        chart = series_chart([1, 2], {"s": [10.0, 20.0]})
+        assert "10" in chart and "20" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_chart([1], {})

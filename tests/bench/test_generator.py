@@ -1,0 +1,116 @@
+"""Tests for the synthetic DEBS-style workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.bench.generator import GeneratorConfig, SensorStreamGenerator, workload
+
+
+def config(**kwargs):
+    defaults = dict(event_rate=1000.0, duration_s=2.0, seed=7)
+    defaults.update(kwargs)
+    return GeneratorConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_n_events(self):
+        assert config(event_rate=500, duration_s=3.0).n_events == 1500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"event_rate": 0},
+            {"duration_s": 0},
+            {"scale_rate": 0},
+            {"reversion": 0.0},
+            {"reversion": 1.5},
+            {"volatility": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(GeneratorError):
+            config(**kwargs)
+
+
+class TestStreams:
+    def test_deterministic_per_seed(self):
+        a = SensorStreamGenerator(config()).generate(1)
+        b = SensorStreamGenerator(config()).generate(1)
+        assert a == b
+
+    def test_different_nodes_differ(self):
+        generator = SensorStreamGenerator(config())
+        assert generator.generate(1) != generator.generate(2)
+
+    def test_replay_offset_changes_stream(self):
+        a = SensorStreamGenerator(config(replay_offset=0)).values(1)
+        b = SensorStreamGenerator(config(replay_offset=1)).values(1)
+        assert not np.allclose(a, b)
+
+    def test_event_count_matches_rate(self):
+        events = SensorStreamGenerator(config()).generate(1)
+        assert len(events) == 2000
+
+    def test_timestamps_non_decreasing_within_duration(self):
+        events = SensorStreamGenerator(config()).generate(1)
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 0
+        assert stamps[-1] < 2000
+
+    def test_node_id_and_seq_stamped(self):
+        events = SensorStreamGenerator(config()).generate(3)
+        assert all(e.node_id == 3 for e in events)
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_values_non_negative(self):
+        values = SensorStreamGenerator(config()).values(1)
+        assert (values >= 0).all()
+
+    def test_values_autocorrelated(self):
+        values = SensorStreamGenerator(config(event_rate=5000)).values(1)
+        deviations = values - values.mean()
+        autocorr = float(
+            np.corrcoef(deviations[:-1], deviations[1:])[0, 1]
+        )
+        assert autocorr > 0.8
+
+    def test_scale_rate_multiplies_values(self):
+        base = SensorStreamGenerator(config(scale_rate=1.0)).values(1)
+        scaled = SensorStreamGenerator(config(scale_rate=10.0)).values(1)
+        assert np.allclose(scaled, base * 10.0)
+
+    def test_scaled_streams_still_overlap_near_origin(self):
+        # The paper's Dema #10 configuration relies on scaled streams
+        # remaining "denser on the left": the scale-1 stream must overlap
+        # the scale-10 stream's lower range.
+        base = SensorStreamGenerator(config(event_rate=5000)).values(1)
+        scaled = base * 10.0
+        assert scaled.min() < np.percentile(base, 95)
+
+
+class TestWorkload:
+    def test_per_node_streams(self):
+        streams = workload(range(1, 4), config())
+        assert set(streams) == {1, 2, 3}
+        assert all(len(events) == 2000 for events in streams.values())
+
+    def test_scale_rate_overrides(self):
+        streams = workload(
+            [1, 2], config(), scale_rates={2: 10.0}
+        )
+        mean_1 = np.mean([e.value for e in streams[1]])
+        mean_2 = np.mean([e.value for e in streams[2]])
+        assert mean_2 > 5 * mean_1
+
+    def test_event_rate_overrides(self):
+        streams = workload([1, 2], config(), event_rates={2: 250.0})
+        assert len(streams[1]) == 2000
+        assert len(streams[2]) == 500
+
+    def test_nodes_replay_from_different_offsets(self):
+        streams = workload([1, 2], config())
+        values_1 = [e.value for e in streams[1]]
+        values_2 = [e.value for e in streams[2]]
+        assert values_1 != values_2

@@ -1,0 +1,118 @@
+"""Tests validating the analytical model against the simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.generator import GeneratorConfig, workload
+from repro.bench.harness import capacity_estimate, run_workload
+from repro.bench.model import SystemModel, predict
+from repro.bench.workloads import bench_topology, median_query
+
+MODEL = SystemModel(n_local_nodes=2, node_ops_per_second=1e5, gamma=100)
+
+
+class TestThroughputPredictions:
+    @pytest.mark.parametrize(
+        "system", ["dema", "scotty", "desis", "tdigest", "qdigest"]
+    )
+    def test_matches_simulation_within_tolerance(self, system):
+        predicted = MODEL.throughput(system).per_node_rate
+        simulated = capacity_estimate(
+            system, median_query(100), bench_topology(2)
+        ).per_node_rate
+        assert predicted == pytest.approx(simulated, rel=0.15)
+
+    def test_bottleneck_identification(self):
+        assert MODEL.throughput("scotty").bottleneck == "root"
+        assert MODEL.throughput("desis").bottleneck == "root"
+        assert MODEL.throughput("dema").bottleneck == "local"
+        assert MODEL.throughput("tdigest").bottleneck == "local"
+
+    def test_ordering_matches_paper(self):
+        rates = {
+            system: MODEL.aggregate_throughput(system)
+            for system in ("dema", "scotty", "desis", "tdigest")
+        }
+        assert (
+            rates["tdigest"]
+            > rates["dema"]
+            > rates["desis"]
+            > rates["scotty"]
+        )
+
+    def test_dema_scales_with_nodes_desis_does_not(self):
+        small = SystemModel(n_local_nodes=2, node_ops_per_second=1e5)
+        large = SystemModel(n_local_nodes=8, node_ops_per_second=1e5)
+        assert large.aggregate_throughput("dema") > 3.5 * (
+            small.aggregate_throughput("dema")
+        )
+        assert large.aggregate_throughput("desis") < 1.2 * (
+            small.aggregate_throughput("desis")
+        )
+
+    def test_predict_wrapper(self):
+        prediction = predict("dema", node_ops_per_second=1e5)
+        assert prediction.system == "dema"
+        assert prediction.per_node_rate > 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.throughput("flink")
+
+
+class TestNetworkPredictions:
+    @pytest.mark.parametrize("system", ["scotty", "desis", "dema", "tdigest"])
+    def test_bytes_match_simulation(self, system):
+        rate, n_windows = 2_000, 3
+        streams = workload(
+            [1, 2],
+            GeneratorConfig(event_rate=rate, duration_s=float(n_windows),
+                            seed=23),
+        )
+        report = run_workload(
+            system, median_query(100), bench_topology(2), streams
+        )
+        # Calibrate the data-dependent knobs from the run itself.
+        candidate_slices = 3
+        if system == "dema":
+            candidate_slices = round(
+                sum(o.candidate_slices for o in report.outcomes)
+                / len(report.outcomes)
+            )
+        model = SystemModel(
+            n_local_nodes=2, gamma=100, candidate_slices=candidate_slices
+        )
+        predicted = model.network_bytes(system, rate, n_windows)
+        tolerance = 0.30 if system in ("tdigest",) else 0.10
+        assert predicted == pytest.approx(
+            report.network.total_bytes, rel=tolerance
+        )
+
+    def test_dema_bytes_scale_with_synopses_not_events(self):
+        small = MODEL.network_bytes("dema", 1_000, 1)
+        large = MODEL.network_bytes("dema", 4_000, 1)
+        assert large < 3 * small
+
+    def test_centralized_bytes_linear_in_events(self):
+        small = MODEL.network_bytes("scotty", 1_000, 1)
+        large = MODEL.network_bytes("scotty", 4_000, 1)
+        assert large == pytest.approx(4 * small, rel=0.02)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.network_bytes("flink", 100, 1)
+
+
+class TestModelValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemModel(n_local_nodes=0)
+        with pytest.raises(ConfigurationError):
+            SystemModel(gamma=1)
+
+    def test_gamma_tradeoff_visible_in_model(self):
+        tiny = SystemModel(node_ops_per_second=1e5, gamma=2)
+        mid = SystemModel(node_ops_per_second=1e5, gamma=100)
+        huge = SystemModel(node_ops_per_second=1e5, gamma=50_000)
+        assert mid.root_capacity("dema") > tiny.root_capacity("dema")
+        assert mid.root_capacity("dema") > huge.root_capacity("dema")

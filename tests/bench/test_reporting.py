@@ -1,0 +1,50 @@
+"""Tests for table and unit formatting."""
+
+from repro.bench.reporting import (
+    format_bytes,
+    format_rate,
+    format_seconds,
+    format_table,
+)
+
+
+class TestFormatters:
+    def test_rate_scales(self):
+        assert format_rate(1_500_000) == "1.50M ev/s"
+        assert format_rate(2_500) == "2.5k ev/s"
+        assert format_rate(42) == "42 ev/s"
+
+    def test_bytes_scales(self):
+        assert format_bytes(2.5e9) == "2.50 GB"
+        assert format_bytes(3.2e6) == "3.20 MB"
+        assert format_bytes(1_500) == "1.50 KB"
+        assert format_bytes(12) == "12 B"
+
+    def test_seconds_scales(self):
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(0.0123) == "12.3 ms"
+        assert format_seconds(45e-6) == "45 µs"
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        table = format_table(
+            ["name", "value"], [["a", "1"], ["longer", "22"]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line.rstrip()) <= len(lines[1]) + 2 for line in lines)
+        assert "------" in lines[1]
+
+    def test_title_included(self):
+        table = format_table(["h"], [["x"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_wide_cells_extend_columns(self):
+        table = format_table(["h"], [["wide-cell-content"]])
+        header, divider, row = table.splitlines()
+        assert len(divider) >= len("wide-cell-content")

@@ -1,0 +1,72 @@
+"""Tests for experiment specifications and bench topologies."""
+
+from repro.bench.workloads import (
+    BENCH_GAMMA,
+    BENCH_OPS,
+    EXPERIMENTS,
+    bench_topology,
+    median_query,
+)
+
+
+class TestBenchTopology:
+    def test_identical_node_budgets(self):
+        topo = bench_topology(3)
+        assert topo.root_ops_per_second == BENCH_OPS
+        assert topo.local_ops_per_second == BENCH_OPS
+
+    def test_node_count(self):
+        assert bench_topology(5).n_local_nodes == 5
+
+    def test_custom_budget(self):
+        assert bench_topology(2, ops_per_second=123.0).root_ops_per_second == 123.0
+
+    def test_no_explicit_stream_layer(self):
+        assert bench_topology(2).streams_per_local == 0
+
+
+class TestMedianQuery:
+    def test_defaults_match_paper(self):
+        query = median_query()
+        assert query.q == 0.5
+        assert query.window_length_ms == 1000
+        assert query.gamma == BENCH_GAMMA
+        assert not query.adaptive
+
+    def test_quantile_override(self):
+        assert median_query(q=0.25).q == 0.25
+
+    def test_adaptive_flag(self):
+        assert median_query(adaptive=True).adaptive
+
+
+class TestExperimentIndex:
+    def test_every_paper_figure_present(self):
+        figures = {spec.figure for spec in EXPERIMENTS.values()}
+        for expected in (
+            "Figure 5a", "Figure 5b", "Figure 6a", "Figure 6b",
+            "Figure 7a", "Figure 7b", "Figure 8a", "Figure 8b",
+        ):
+            assert expected in figures
+
+    def test_experiment_ids_unique(self):
+        ids = [spec.experiment_id for spec in EXPERIMENTS.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_fig8b_sweeps_gamma_and_scales(self):
+        spec = EXPERIMENTS["fig8b"]
+        assert len(spec.gammas) >= 5
+        assert set(spec.scale_rate_configs) == {"dema#1", "dema#2", "dema#10"}
+        assert spec.q == (0.3,)
+
+    def test_scalability_covers_multiple_node_counts(self):
+        assert len(EXPERIMENTS["fig7a"].n_local_nodes) >= 3
+
+    def test_ablations_included(self):
+        assert "ablation_window_cut" in EXPERIMENTS
+        assert "ablation_adaptive_gamma" in EXPERIMENTS
+
+    def test_every_system_in_fig5a(self):
+        assert set(EXPERIMENTS["fig5a"].systems) == {
+            "dema", "scotty", "desis", "tdigest",
+        }

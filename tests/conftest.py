@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streaming.events import Event, make_events
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for workload construction inside tests."""
+    return random.Random(0xDE51)
+
+
+@pytest.fixture
+def two_node_windows(rng: random.Random) -> dict[int, list[Event]]:
+    """Two overlapping local windows, ~1k events each."""
+    values_a = [rng.gauss(100.0, 20.0) for _ in range(1000)]
+    values_b = [rng.gauss(110.0, 5.0) for _ in range(1200)]
+    return {
+        1: make_events(values_a, node_id=1),
+        2: make_events(values_b, node_id=2),
+    }
+
+
+def sorted_values(windows: dict[int, list[Event]]) -> list[float]:
+    """All values across local windows, sorted ascending."""
+    values = [event.value for events in windows.values() for event in events]
+    return sorted(values)

@@ -1,0 +1,64 @@
+"""Tests for the calculation step."""
+
+import pytest
+
+from repro.errors import CalculationError
+from repro.core.calculation import calculate_quantile, merge_candidate_runs
+from repro.core.slicing import slice_sorted_events
+from repro.core.window_cut import window_cut
+from repro.streaming.events import event_key, make_events
+
+
+class TestMergeCandidateRuns:
+    def test_merges_sorted_runs(self):
+        run_a = make_events([1, 3, 5], node_id=1)
+        run_b = make_events([2, 4, 6], node_id=2)
+        merged = merge_candidate_runs([run_a, run_b])
+        assert [e.value for e in merged] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_empty_runs(self):
+        assert merge_candidate_runs([]) == []
+        assert merge_candidate_runs([[], []]) == []
+
+    def test_unsorted_run_rejected(self):
+        bad = make_events([3, 1], node_id=1)
+        with pytest.raises(CalculationError):
+            merge_candidate_runs([bad])
+
+    def test_duplicate_values_keep_key_order(self):
+        run_a = make_events([2.0, 2.0], node_id=1)
+        run_b = make_events([2.0], node_id=2)
+        merged = merge_candidate_runs([run_a, run_b])
+        assert [e.key for e in merged] == sorted(e.key for e in merged)
+
+
+class TestCalculateQuantile:
+    def make_cut_and_runs(self, values, gamma, rank):
+        events = sorted(make_events(values, node_id=1), key=event_key)
+        sliced = slice_sorted_events(events, gamma, 1)
+        cut = window_cut(sliced.synopses, rank)
+        runs = [sliced.run_for(s.slice_index) for s in cut.candidates]
+        return cut, runs, events
+
+    def test_selects_exact_rank(self):
+        cut, runs, events = self.make_cut_and_runs(range(100), gamma=10, rank=42)
+        assert calculate_quantile(cut, runs) == events[41]
+
+    def test_wrong_event_count_rejected(self):
+        cut, runs, _ = self.make_cut_and_runs(range(100), gamma=10, rank=42)
+        with pytest.raises(CalculationError):
+            calculate_quantile(cut, runs[:-1] if len(runs) > 1 else [])
+
+    def test_rank_one(self):
+        cut, runs, events = self.make_cut_and_runs(range(50), gamma=7, rank=1)
+        assert calculate_quantile(cut, runs) == events[0]
+
+    def test_rank_last(self):
+        cut, runs, events = self.make_cut_and_runs(range(50), gamma=7, rank=50)
+        assert calculate_quantile(cut, runs) == events[-1]
+
+    def test_tampered_run_rejected(self):
+        cut, runs, _ = self.make_cut_and_runs(range(100), gamma=10, rank=42)
+        tampered = [list(reversed(run)) for run in runs]
+        with pytest.raises(CalculationError):
+            calculate_quantile(cut, tampered)

@@ -1,0 +1,161 @@
+"""Tests for the Dema local-node operator on the simulator."""
+
+import pytest
+
+from repro.errors import SliceError
+from repro.network.channels import Channel
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    GammaUpdateMessage,
+    SynopsisMessage,
+)
+from repro.network.simulator import SimulatedNode, Simulator
+from repro.streaming.events import make_events
+from repro.streaming.windows import Window
+from repro.core.local_node import DemaLocalNode
+from repro.core.query import QuantileQuery
+
+
+class RootStub(SimulatedNode):
+    def __init__(self):
+        super().__init__(0)
+        self.received = []
+
+    def on_message(self, message, now):
+        self.received.append(message)
+
+
+def deploy(gamma=5):
+    simulator = Simulator()
+    root = RootStub()
+    query = QuantileQuery(q=0.5, window_length_ms=1000, gamma=gamma)
+    local = DemaLocalNode(1, root_id=0, query=query, ops_per_second=1e9)
+    simulator.add_node(root)
+    simulator.add_node(local)
+    simulator.connect(Channel(1, 0))
+    simulator.connect(Channel(0, 1))
+    return simulator, root, local
+
+
+WINDOW = Window(0, 1000)
+
+
+class TestIngestAndSynopses:
+    def test_window_complete_sends_synopses(self):
+        simulator, root, local = deploy(gamma=5)
+        events = make_events(range(12), node_id=1, timestamp_step=10)
+        simulator.schedule(0.5, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.run()
+        assert len(root.received) == 1
+        message = root.received[0]
+        assert isinstance(message, SynopsisMessage)
+        assert message.local_window_size == 12
+        assert len(message.synopses) == 3  # 12 events / gamma 5 -> 5,5,2
+
+    def test_empty_window_still_announced(self):
+        simulator, root, local = deploy()
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.run()
+        assert len(root.received) == 1
+        assert root.received[0].local_window_size == 0
+        assert root.received[0].synopses == ()
+
+    def test_events_split_across_windows(self):
+        simulator, root, local = deploy()
+        events = make_events(range(4), node_id=1, timestamp_step=400)
+        simulator.schedule(1.3, lambda t: local.ingest(events, t))
+        simulator.schedule(1.5, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.schedule(
+            2.5, lambda t: local.on_window_complete(Window(1000, 2000), t)
+        )
+        simulator.run()
+        sizes = [m.local_window_size for m in root.received]
+        assert sizes == [3, 1]  # timestamps 0,400,800 | 1200
+
+    def test_counters(self):
+        simulator, root, local = deploy()
+        events = make_events(range(7), node_id=1, timestamp_step=1)
+        simulator.schedule(0.1, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.run()
+        assert local.events_ingested == 7
+        assert local.windows_completed == 1
+        assert local.pending_windows == 1
+
+    def test_synopses_cover_sorted_values(self):
+        simulator, root, local = deploy(gamma=4)
+        events = make_events([9, 1, 5, 3, 7, 2, 8, 4], node_id=1, timestamp_step=1)
+        simulator.schedule(0.1, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.run()
+        synopses = root.received[0].synopses
+        assert synopses[0].first_value == 1.0
+        assert synopses[-1].last_value == 9.0
+
+
+class TestCandidateServing:
+    def run_with_request(self, indices):
+        simulator, root, local = deploy(gamma=4)
+        events = make_events(range(10), node_id=1, timestamp_step=10)
+        simulator.schedule(0.1, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        request = CandidateRequestMessage(
+            sender=0, window=WINDOW, slice_indices=indices
+        )
+        simulator.schedule(1.5, lambda t: root.send(request, 1, t))
+        simulator.run()
+        return [
+            m for m in root.received if isinstance(m, CandidateEventsMessage)
+        ], local
+
+    def test_requested_slices_returned(self):
+        replies, local = self.run_with_request((0, 2))
+        assert [m.slice_index for m in replies] == [0, 2]
+        assert [e.value for e in replies[0].events] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_window_freed_after_serving(self):
+        replies, local = self.run_with_request((0,))
+        assert local.pending_windows == 0
+
+    def test_empty_request_frees_window(self):
+        replies, local = self.run_with_request(())
+        assert replies == []
+        assert local.pending_windows == 0
+
+    def test_unknown_window_rejected(self):
+        simulator, root, local = deploy()
+        request = CandidateRequestMessage(
+            sender=0, window=Window(5000, 6000), slice_indices=(0,)
+        )
+        simulator.schedule(0.0, lambda t: root.send(request, 1, t))
+        with pytest.raises(SliceError):
+            simulator.run()
+
+
+class TestGammaUpdates:
+    def test_gamma_update_applies_to_next_window(self):
+        simulator, root, local = deploy(gamma=5)
+        update = GammaUpdateMessage(sender=0, window=WINDOW, gamma=3)
+        simulator.schedule(0.0, lambda t: root.send(update, 1, t))
+        events = make_events(range(9), node_id=1, timestamp_step=10)
+        simulator.schedule(0.5, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(WINDOW, t))
+        simulator.run()
+        assert local.gamma == 3
+        assert len(root.received[-1].synopses) == 3  # 9 events / gamma 3
+
+    def test_gamma_update_clamped_to_minimum(self):
+        simulator, root, local = deploy()
+        update = GammaUpdateMessage(sender=0, window=WINDOW, gamma=0)
+        simulator.schedule(0.0, lambda t: root.send(update, 1, t))
+        simulator.run()
+        assert local.gamma == 2
+
+    def test_unexpected_message_rejected(self):
+        simulator, root, local = deploy()
+        bad = SynopsisMessage(sender=0, window=WINDOW)
+        simulator.schedule(0.0, lambda t: root.send(bad, 1, t))
+        with pytest.raises(SliceError):
+            simulator.run()

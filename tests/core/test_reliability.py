@@ -1,0 +1,160 @@
+"""Tests for the lossy-network reliability extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.engine import DemaEngine
+from repro.core.query import QuantileQuery
+from repro.core.reliability import ReliabilityConfig
+from repro.network.topology import TopologyConfig
+from repro.streaming.aggregates import exact_quantile
+from repro.streaming.windows import TumblingWindows
+from repro.bench.generator import GeneratorConfig, workload
+
+
+def ground_truth(streams, q=0.5):
+    assigner = TumblingWindows(1000)
+    per_window = {}
+    for events in streams.values():
+        for event in events:
+            per_window.setdefault(
+                assigner.window_for(event.timestamp), []
+            ).append(event.value)
+    return {w: exact_quantile(v, q) for w, v in per_window.items()}
+
+
+def run_lossy(loss_rate, *, reliability, n_nodes=3, seed=77, loss_seed=7):
+    query = QuantileQuery(q=0.5, gamma=50)
+    topo = TopologyConfig(
+        n_local_nodes=n_nodes, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    engine = DemaEngine(query, topo, reliability=reliability)
+    streams = workload(
+        range(1, n_nodes + 1),
+        GeneratorConfig(event_rate=800.0, duration_s=4.0, seed=seed),
+    )
+    report = engine.run(streams)
+    return engine, report, streams
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ReliabilityConfig()
+        assert config.timeout_s > 0
+        assert config.max_retries >= 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(max_retries=0)
+
+    def test_channel_loss_rate_validation(self):
+        from repro.network.channels import Channel
+
+        with pytest.raises(ConfigurationError):
+            Channel(1, 0, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            Channel(1, 0, loss_rate=-0.1)
+
+
+class TestLossyChannels:
+    def test_lossless_by_default(self):
+        engine, report, streams = run_lossy(0.0, reliability=None)
+        dropped = sum(
+            c.stats.dropped for c in engine.simulator.channels.values()
+        )
+        assert dropped == 0
+
+    def test_loss_actually_drops(self):
+        engine, _, _ = run_lossy(
+            0.15, reliability=ReliabilityConfig(max_retries=30)
+        )
+        dropped = sum(
+            c.stats.dropped for c in engine.simulator.channels.values()
+        )
+        assert dropped > 0
+
+    def test_dropped_bytes_still_counted(self):
+        # Per-channel sent bytes include lost messages: the packet left.
+        engine, report, _ = run_lossy(
+            0.15, reliability=ReliabilityConfig(max_retries=30)
+        )
+        assert report.network.total_bytes > 0
+
+    def test_loss_deterministic_per_seed(self):
+        def dropped_count(loss_seed):
+            engine, _, _ = run_lossy(
+                0.15,
+                reliability=ReliabilityConfig(max_retries=30),
+                loss_seed=loss_seed,
+            )
+            return sum(
+                c.stats.dropped for c in engine.simulator.channels.values()
+            )
+
+        assert dropped_count(1) == dropped_count(1)
+
+
+class TestExactnessUnderLoss:
+    @pytest.mark.parametrize("loss_rate", [0.05, 0.15])
+    def test_all_windows_exact(self, loss_rate):
+        engine, report, streams = run_lossy(
+            loss_rate, reliability=ReliabilityConfig(max_retries=30)
+        )
+        truth = ground_truth(streams)
+        assert len(report.outcomes) == len(truth)
+        assert engine.root.aborted_windows == 0
+        for outcome in report.outcomes:
+            assert outcome.value == truth[outcome.window]
+
+    def test_retransmissions_cost_extra_bytes(self):
+        _, lossless, _ = run_lossy(
+            0.0, reliability=ReliabilityConfig(max_retries=30)
+        )
+        _, lossy, _ = run_lossy(
+            0.20, reliability=ReliabilityConfig(max_retries=30)
+        )
+        assert lossy.network.total_bytes > lossless.network.total_bytes
+
+    def test_reliability_off_is_protocol_identical(self):
+        _, plain, streams = run_lossy(0.0, reliability=None)
+        truth = ground_truth(streams)
+        for outcome in plain.outcomes:
+            assert outcome.value == truth[outcome.window]
+
+    def test_local_state_released(self):
+        engine, _, _ = run_lossy(
+            0.10, reliability=ReliabilityConfig(max_retries=30)
+        )
+        pending = [
+            engine.simulator.nodes[i].pending_windows
+            for i in engine.topology.local_ids
+        ]
+        # Cumulative releases free everything except possibly the very last
+        # window on nodes whose final release was itself lost.
+        assert all(count <= 1 for count in pending)
+
+
+class TestAbort:
+    def test_hopeless_loss_aborts_not_hangs(self):
+        engine, report, _ = run_lossy(
+            0.6,
+            reliability=ReliabilityConfig(timeout_s=0.02, max_retries=2),
+        )
+        # The run terminates; any window that could not be completed is
+        # counted as aborted rather than producing a wrong answer.
+        truth_count = 4
+        assert len(report.outcomes) + engine.root.aborted_windows <= truth_count + 1
+        for outcome in report.outcomes:
+            assert outcome.value is not None or outcome.is_empty
+
+    def test_aborted_results_never_wrong(self):
+        engine, report, streams = run_lossy(
+            0.5,
+            reliability=ReliabilityConfig(timeout_s=0.02, max_retries=2),
+        )
+        truth = ground_truth(streams)
+        for outcome in report.outcomes:
+            if outcome.value is not None:
+                assert outcome.value == truth[outcome.window]

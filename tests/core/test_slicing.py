@@ -1,0 +1,93 @@
+"""Tests for γ-slicing of sorted windows."""
+
+import pytest
+
+from repro.errors import SliceError
+from repro.core.slicing import MIN_GAMMA, slice_sorted_events
+from repro.streaming.events import event_key, make_events
+
+
+def sorted_events(n, node_id=1):
+    return sorted(make_events(range(n), node_id=node_id), key=event_key)
+
+
+class TestSliceSizes:
+    def test_paper_example_1000_events_gamma_150(self):
+        # Section 3.1: l=1000, gamma=150 -> 7 slices; 6 of 150 and one of 100.
+        sliced = slice_sorted_events(sorted_events(1000), 150, 1)
+        sizes = [len(run) for run in sliced.runs]
+        assert sizes == [150] * 6 + [100]
+
+    def test_exact_division(self):
+        sliced = slice_sorted_events(sorted_events(100), 25, 1)
+        assert [len(run) for run in sliced.runs] == [25] * 4
+
+    def test_trailing_single_event_folded_into_previous(self):
+        # Every slice needs two events for a synopsis (Section 3.1).
+        sliced = slice_sorted_events(sorted_events(7), 3, 1)
+        assert [len(run) for run in sliced.runs] == [3, 4]
+
+    def test_single_event_window(self):
+        sliced = slice_sorted_events(sorted_events(1), 10, 1)
+        assert sliced.n_slices == 1
+        assert sliced.synopses[0].count == 1
+
+    def test_empty_window(self):
+        sliced = slice_sorted_events([], 10, 1)
+        assert sliced.n_slices == 0
+        assert sliced.window_size == 0
+
+    def test_gamma_larger_than_window(self):
+        sliced = slice_sorted_events(sorted_events(5), 100, 1)
+        assert sliced.n_slices == 1
+        assert len(sliced.runs[0]) == 5
+
+    def test_minimum_gamma_enforced(self):
+        with pytest.raises(SliceError):
+            slice_sorted_events(sorted_events(10), MIN_GAMMA - 1, 1)
+
+    def test_no_slice_smaller_than_two_when_window_allows(self):
+        for n in range(2, 40):
+            for gamma in range(2, 12):
+                sliced = slice_sorted_events(sorted_events(n), gamma, 1)
+                assert all(len(run) >= 2 for run in sliced.runs), (n, gamma)
+
+
+class TestSynopses:
+    def test_synopsis_boundaries_match_runs(self):
+        sliced = slice_sorted_events(sorted_events(10), 3, 7)
+        for run, synopsis in zip(sliced.runs, sliced.synopses):
+            assert synopsis.first_key == run[0].key
+            assert synopsis.last_key == run[-1].key
+            assert synopsis.count == len(run)
+            assert synopsis.node_id == 7
+
+    def test_synopses_indexed_in_order(self):
+        sliced = slice_sorted_events(sorted_events(10), 3, 1)
+        assert [s.slice_index for s in sliced.synopses] == list(
+            range(sliced.n_slices)
+        )
+        assert all(s.n_slices == sliced.n_slices for s in sliced.synopses)
+
+    def test_counts_cover_window(self):
+        sliced = slice_sorted_events(sorted_events(997), 31, 1)
+        assert sum(s.count for s in sliced.synopses) == 997
+        assert sliced.window_size == 997
+
+    def test_slices_value_disjoint_within_node(self):
+        sliced = slice_sorted_events(sorted_events(100), 9, 1)
+        for left, right in zip(sliced.synopses, sliced.synopses[1:]):
+            assert left.last_key < right.first_key
+
+
+class TestRunAccess:
+    def test_run_for_valid_index(self):
+        sliced = slice_sorted_events(sorted_events(10), 5, 1)
+        assert len(sliced.run_for(1)) == 5
+
+    def test_run_for_invalid_index(self):
+        sliced = slice_sorted_events(sorted_events(10), 5, 1)
+        with pytest.raises(SliceError):
+            sliced.run_for(2)
+        with pytest.raises(SliceError):
+            sliced.run_for(-1)

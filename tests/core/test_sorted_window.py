@@ -1,0 +1,76 @@
+"""Tests for the incrementally sorted local window."""
+
+import random
+
+import pytest
+
+from repro.errors import SliceError
+from repro.core.sorted_window import SortedLocalWindow
+from repro.streaming.events import make_events
+
+
+class TestInsertion:
+    def test_events_come_out_sorted(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([5, 1, 4, 2, 3]))
+        assert [e.value for e in window.seal()] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_large_random_insert_matches_sorted(self):
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(5000)]
+        window = SortedLocalWindow()
+        window.add_all(make_events(values))
+        assert [e.value for e in window.seal()] == sorted(values)
+
+    def test_duplicates_ordered_by_key(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([2.0, 2.0, 2.0]))
+        sealed = window.seal()
+        assert [e.seq for e in sealed] == [0, 1, 2]
+
+    def test_constructor_seed_events(self):
+        window = SortedLocalWindow(make_events([3, 1, 2]))
+        assert [e.value for e in window.sorted_events()] == [1.0, 2.0, 3.0]
+
+    def test_len_counts_buffered_and_merged(self):
+        window = SortedLocalWindow()
+        events = make_events(range(100))
+        for event in events:
+            window.add(event)
+        assert len(window) == 100
+
+    def test_iteration_is_sorted(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([3, 1, 2]))
+        assert [e.value for e in window] == [1.0, 2.0, 3.0]
+
+
+class TestSealing:
+    def test_seal_is_idempotent(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([2, 1]))
+        first = window.seal()
+        second = window.seal()
+        assert first == second
+
+    def test_add_after_seal_rejected(self):
+        window = SortedLocalWindow()
+        window.seal()
+        with pytest.raises(SliceError):
+            window.add(make_events([1.0])[0])
+
+    def test_is_sealed_flag(self):
+        window = SortedLocalWindow()
+        assert not window.is_sealed
+        window.seal()
+        assert window.is_sealed
+
+    def test_empty_seal(self):
+        assert SortedLocalWindow().seal() == []
+
+    def test_snapshot_does_not_seal(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([1.0]))
+        window.sorted_events()
+        window.add(make_events([2.0], start_seq=10)[0])
+        assert len(window) == 2

@@ -1,0 +1,104 @@
+"""Tests for slice synopses."""
+
+import pytest
+
+from repro.errors import SliceError
+from repro.core.synopsis import SliceSynopsis
+
+
+def synopsis(first, last, count=10, node_id=1, index=0, total=1):
+    return SliceSynopsis(
+        first_key=(float(first), node_id, 0),
+        last_key=(float(last), node_id, count - 1),
+        count=count,
+        node_id=node_id,
+        slice_index=index,
+        n_slices=total,
+    )
+
+
+class TestValidation:
+    def test_valid_synopsis(self):
+        s = synopsis(1.0, 5.0)
+        assert s.count == 10
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(SliceError):
+            synopsis(1.0, 5.0, count=0)
+
+    def test_inverted_keys_rejected(self):
+        with pytest.raises(SliceError):
+            synopsis(5.0, 1.0)
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(SliceError):
+            synopsis(1.0, 5.0, index=1, total=1)
+
+    def test_single_event_slice_allowed(self):
+        s = SliceSynopsis(
+            first_key=(1.0, 1, 0),
+            last_key=(1.0, 1, 0),
+            count=1,
+            node_id=1,
+            slice_index=0,
+            n_slices=1,
+        )
+        assert s.first_key == s.last_key
+
+
+class TestAccessors:
+    def test_slice_id(self):
+        assert synopsis(1, 2, node_id=3, index=0).slice_id == (3, 0)
+
+    def test_values(self):
+        s = synopsis(1.5, 7.5)
+        assert s.first_value == 1.5
+        assert s.last_value == 7.5
+
+
+class TestRelations:
+    def test_overlap_symmetric(self):
+        a = synopsis(1, 5)
+        b = synopsis(4, 9, node_id=2)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_ranges_overlap(self):
+        # Inclusive ranges sharing exactly the boundary key overlap.
+        a = SliceSynopsis(
+            first_key=(1.0, 1, 0), last_key=(5.0, 1, 4), count=5,
+            node_id=1, slice_index=0, n_slices=2,
+        )
+        b = SliceSynopsis(
+            first_key=(5.0, 1, 4), last_key=(9.0, 1, 8), count=5,
+            node_id=1, slice_index=1, n_slices=2,
+        )
+        assert a.overlaps(b)
+
+    def test_disjoint_ranges_do_not_overlap(self):
+        a = synopsis(1, 5)
+        b = synopsis(6, 9, node_id=2)
+        assert not a.overlaps(b)
+        assert a.certainly_below(b)
+        assert b.certainly_above(a)
+
+    def test_same_value_different_node_not_certainly_below(self):
+        a = SliceSynopsis(
+            first_key=(1.0, 1, 0), last_key=(5.0, 1, 4), count=5,
+            node_id=1, slice_index=0, n_slices=1,
+        )
+        b = SliceSynopsis(
+            first_key=(5.0, 2, 0), last_key=(9.0, 2, 4), count=5,
+            node_id=2, slice_index=0, n_slices=1,
+        )
+        # a.last_key = (5.0, 1, 4) < b.first_key = (5.0, 2, 0) by node tiebreak.
+        assert a.certainly_below(b)
+
+    def test_encloses(self):
+        outer = synopsis(1, 10)
+        inner = synopsis(3, 7, node_id=2)
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+
+    def test_encloses_self(self):
+        s = synopsis(1, 10)
+        assert s.encloses(s)

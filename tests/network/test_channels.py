@@ -1,0 +1,88 @@
+"""Tests for channel bandwidth, latency and accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.network.channels import Channel
+from repro.network.messages import EventBatchMessage, Message
+from repro.streaming.events import make_events
+from repro.streaming.windows import Window
+
+WINDOW = Window(0, 1000)
+
+
+def make_channel(bandwidth=1000.0, latency=0.5):
+    return Channel(1, 0, bandwidth_bps=bandwidth, latency_s=latency)
+
+
+class TestTransmit:
+    def test_delivery_time_includes_transfer_and_latency(self):
+        channel = make_channel(bandwidth=1000.0, latency=0.5)
+        message = Message(sender=1, window=WINDOW)  # 24 bytes
+        delivery = channel.transmit(message, now=0.0)
+        assert delivery == pytest.approx(24 / 1000.0 + 0.5)
+
+    def test_fifo_serialization(self):
+        channel = make_channel(bandwidth=1000.0, latency=0.0)
+        message = Message(sender=1, window=WINDOW)
+        first = channel.transmit(message, now=0.0)
+        second = channel.transmit(message, now=0.0)
+        assert second == pytest.approx(first + 24 / 1000.0)
+
+    def test_idle_gap_not_accumulated(self):
+        channel = make_channel(bandwidth=1000.0, latency=0.0)
+        message = Message(sender=1, window=WINDOW)
+        channel.transmit(message, now=0.0)
+        delivery = channel.transmit(message, now=100.0)
+        assert delivery == pytest.approx(100.0 + 24 / 1000.0)
+
+    def test_busy_until_tracks_link_occupancy(self):
+        channel = make_channel(bandwidth=24.0, latency=1.0)
+        message = Message(sender=1, window=WINDOW)
+        channel.transmit(message, now=0.0)
+        assert channel.busy_until == pytest.approx(1.0)
+
+    def test_negative_time_rejected(self):
+        channel = make_channel()
+        with pytest.raises(NetworkError):
+            channel.transmit(Message(sender=1, window=WINDOW), now=-1.0)
+
+
+class TestStats:
+    def test_bytes_and_messages_counted(self):
+        channel = make_channel()
+        events = tuple(make_events([1, 2, 3]))
+        message = EventBatchMessage(sender=1, window=WINDOW, events=events)
+        channel.transmit(message, now=0.0)
+        channel.transmit(message, now=1.0)
+        assert channel.stats.messages == 2
+        assert channel.stats.bytes == 2 * message.wire_bytes
+        assert channel.stats.events == 6
+
+    def test_non_event_messages_count_zero_events(self):
+        channel = make_channel()
+        channel.transmit(Message(sender=1, window=WINDOW), now=0.0)
+        assert channel.stats.events == 0
+
+    def test_reset_stats_preserves_occupancy(self):
+        channel = make_channel(bandwidth=10.0)
+        channel.transmit(Message(sender=1, window=WINDOW), now=0.0)
+        busy = channel.busy_until
+        channel.reset_stats()
+        assert channel.stats.bytes == 0
+        assert channel.busy_until == busy
+
+
+class TestValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(0, 1, bandwidth_bps=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(0, 1, latency_s=-0.1)
+
+    def test_endpoints_exposed(self):
+        channel = Channel(3, 7)
+        assert channel.src == 3
+        assert channel.dst == 7

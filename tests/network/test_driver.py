@@ -1,0 +1,117 @@
+"""Tests for the batch source driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.simulator import Simulator
+from repro.streaming.events import Event, make_events
+from repro.streaming.windows import TumblingWindows, Window
+from repro.network.driver import BatchSourceDriver
+
+
+class RecordingOperator:
+    """Minimal LocalOperator that records call times."""
+
+    def __init__(self):
+        self.batches = []
+        self.completed = []
+
+    def ingest(self, events, now):
+        self.batches.append((tuple(events), now))
+        return now
+
+    def on_window_complete(self, window, now):
+        self.completed.append((window, now))
+
+
+class TestFeed:
+    def test_events_arrive_at_event_time(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator, batch_size=2)
+        operator = RecordingOperator()
+        events = make_events([1, 2, 3, 4], timestamp_step=100)
+        driver.feed(operator, events, TumblingWindows(1000))
+        simulator.run()
+        # Batches arrive at the timestamp of their last event.
+        arrivals = [now for _, now in operator.batches]
+        assert arrivals == pytest.approx([0.1, 0.3])
+
+    def test_all_events_delivered_once(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator, batch_size=3)
+        operator = RecordingOperator()
+        events = make_events(range(10), timestamp_step=10)
+        driver.feed(operator, events, TumblingWindows(1000))
+        simulator.run()
+        delivered = [e for batch, _ in operator.batches for e in batch]
+        assert delivered == events
+        assert driver.scheduled_events == 10
+
+    def test_batches_never_span_windows(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator, batch_size=100)
+        operator = RecordingOperator()
+        assigner = TumblingWindows(50)
+        events = make_events(range(10), timestamp_step=10)
+        driver.feed(operator, events, assigner)
+        simulator.run()
+        for batch, _ in operator.batches:
+            windows = {assigner.window_for(e.timestamp) for e in batch}
+            assert len(windows) == 1
+
+    def test_returns_touched_windows(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator)
+        operator = RecordingOperator()
+        events = make_events([1, 2], timestamp_step=1500)
+        windows = driver.feed(operator, events, TumblingWindows(1000))
+        assert windows == [Window(0, 1000), Window(1000, 2000)]
+
+    def test_regressing_timestamps_rejected(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator)
+        operator = RecordingOperator()
+        events = [
+            Event(value=1.0, timestamp=10, node_id=0, seq=0),
+            Event(value=2.0, timestamp=5, node_id=0, seq=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            driver.feed(operator, events, TumblingWindows(1000))
+
+    def test_empty_stream(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator)
+        operator = RecordingOperator()
+        assert driver.feed(operator, [], TumblingWindows(1000)) == []
+        assert driver.scheduled_events == 0
+
+
+class TestAnnounceWindows:
+    def test_completion_after_window_end(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator, window_grace_s=0.001)
+        operator = RecordingOperator()
+        driver.announce_windows(operator, [Window(0, 1000)])
+        simulator.run()
+        window, when = operator.completed[0]
+        assert window == Window(0, 1000)
+        assert when == pytest.approx(1.001)
+
+    def test_every_window_announced(self):
+        simulator = Simulator()
+        driver = BatchSourceDriver(simulator)
+        operator = RecordingOperator()
+        windows = [Window(0, 1000), Window(1000, 2000)]
+        driver.announce_windows(operator, windows)
+        simulator.run()
+        assert [w for w, _ in operator.completed] == windows
+
+
+class TestValidation:
+    def test_batch_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            BatchSourceDriver(Simulator(), batch_size=0)
+
+    def test_grace_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            BatchSourceDriver(Simulator(), window_grace_s=-1.0)

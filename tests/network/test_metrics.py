@@ -1,0 +1,99 @@
+"""Tests for network metrics aggregation and latency statistics."""
+
+import pytest
+
+from repro.network.channels import Channel
+from repro.network.messages import EventBatchMessage, Message
+from repro.network.metrics import LatencyStats, NetworkMetrics
+from repro.network.simulator import SimulatedNode, Simulator
+from repro.streaming.events import make_events
+from repro.streaming.windows import Window
+
+WINDOW = Window(0, 1000)
+
+
+class Sink(SimulatedNode):
+    def on_message(self, message, now):
+        pass
+
+
+def simulate_traffic():
+    simulator = Simulator()
+    for node_id in (0, 1, 2):
+        simulator.add_node(Sink(node_id))
+    simulator.connect(Channel(1, 0))
+    simulator.connect(Channel(2, 0))
+    simulator.connect(Channel(0, 1))
+    events = tuple(make_events([1, 2, 3]))
+    simulator.schedule(
+        0.0,
+        lambda t: simulator.nodes[1].send(
+            EventBatchMessage(sender=1, window=WINDOW, events=events), 0, t
+        ),
+    )
+    simulator.schedule(
+        0.0,
+        lambda t: simulator.nodes[2].send(
+            Message(sender=2, window=WINDOW), 0, t
+        ),
+    )
+    simulator.run()
+    return simulator
+
+
+class TestNetworkMetrics:
+    def test_capture_snapshots_all_links(self):
+        metrics = NetworkMetrics.capture(simulate_traffic())
+        assert len(metrics.links) == 3
+
+    def test_totals(self):
+        metrics = NetworkMetrics.capture(simulate_traffic())
+        assert metrics.total_messages == 2
+        assert metrics.total_bytes == (24 + 48) + 24
+        assert metrics.total_events_on_wire == 3
+
+    def test_per_node_direction(self):
+        metrics = NetworkMetrics.capture(simulate_traffic())
+        assert metrics.bytes_sent_by(1) == 72
+        assert metrics.bytes_sent_by(0) == 0
+        assert metrics.bytes_received_by(0) == 96
+        assert metrics.bytes_into(0) == metrics.bytes_received_by(0)
+
+    def test_reduction_vs(self):
+        heavy = NetworkMetrics.capture(simulate_traffic())
+        simulator = Simulator()
+        simulator.add_node(Sink(0))
+        light = NetworkMetrics.capture(simulator)
+        assert light.reduction_vs(heavy) == pytest.approx(1.0)
+        assert heavy.reduction_vs(light) == 0.0  # vacuous baseline
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_zero(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+        assert stats.p95 == 0.0
+        assert stats.max == 0.0
+
+    def test_summary_statistics(self):
+        stats = LatencyStats()
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            stats.add(value)
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.p50 == pytest.approx(3.0)
+        assert stats.max == 5.0
+
+    def test_p95_near_tail(self):
+        stats = LatencyStats()
+        for value in range(100):
+            stats.add(float(value))
+        assert stats.p95 == 95.0
+
+    def test_p95_unordered_input(self):
+        stats = LatencyStats()
+        for value in [5.0, 1.0, 3.0]:
+            stats.add(value)
+        assert stats.p95 == 5.0

@@ -1,0 +1,212 @@
+"""Tests for the discrete-event engine and CPU model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError, SimulationError
+from repro.network.channels import Channel
+from repro.network.messages import Message
+from repro.network.simulator import (
+    CpuModel,
+    SimulatedNode,
+    Simulator,
+    merge_cost,
+    receive_ops,
+    sort_cost,
+)
+from repro.streaming.windows import Window
+
+WINDOW = Window(0, 1000)
+
+
+class Recorder(SimulatedNode):
+    """Node that records delivered messages with their delivery times."""
+
+    def __init__(self, node_id, ops_per_second=1e9):
+        super().__init__(node_id, ops_per_second=ops_per_second)
+        self.received = []
+
+    def on_message(self, message, now):
+        self.received.append((message, now))
+
+
+class TestCpuModel:
+    def test_work_serializes(self):
+        cpu = CpuModel(100.0)
+        assert cpu.execute(50.0, now=0.0) == pytest.approx(0.5)
+        assert cpu.execute(50.0, now=0.0) == pytest.approx(1.0)
+
+    def test_idle_time_not_accumulated(self):
+        cpu = CpuModel(100.0)
+        cpu.execute(10.0, now=0.0)
+        assert cpu.execute(10.0, now=5.0) == pytest.approx(5.1)
+
+    def test_total_ops_tracked(self):
+        cpu = CpuModel(100.0)
+        cpu.execute(30.0, now=0.0)
+        cpu.execute(20.0, now=0.0)
+        assert cpu.total_ops == 50.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SimulationError):
+            CpuModel(1.0).execute(-1.0, now=0.0)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuModel(0.0)
+
+
+class TestCostHelpers:
+    def test_sort_cost_superlinear(self):
+        assert sort_cost(1000) > 2 * sort_cost(500)
+
+    def test_sort_cost_small_inputs(self):
+        assert sort_cost(0) == 0.0
+        assert sort_cost(1) == 1.0
+
+    def test_merge_cost_scales_with_runs(self):
+        assert merge_cost(1000, 8) > merge_cost(1000, 2)
+
+    def test_merge_single_run_linear(self):
+        assert merge_cost(1000, 1) == 1000.0
+
+    def test_merge_cost_empty(self):
+        assert merge_cost(0, 4) == 0.0
+
+    def test_sort_more_expensive_than_merge_per_element(self):
+        # The cost model encodes bulk sort >> sequential merge, which is
+        # what separates Scotty's root from Desis's root.
+        assert sort_cost(10_000) > merge_cost(10_000, 16)
+
+    def test_receive_ops_proportional_to_payload(self):
+        assert receive_ops(160) - receive_ops(0) == pytest.approx(120.0)
+
+
+class TestScheduling:
+    def test_actions_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(2.0, lambda t: order.append("b"))
+        simulator.schedule(1.0, lambda t: order.append("a"))
+        simulator.run()
+        assert order == ["a", "b"]
+
+    def test_ties_run_in_schedule_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, lambda t: order.append(1))
+        simulator.schedule(1.0, lambda t: order.append(2))
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_past_scheduling_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda t: simulator.schedule(0.5, lambda t2: None))
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_run_until_leaves_future_events(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda t: fired.append(t))
+        simulator.schedule(5.0, lambda t: fired.append(t))
+        simulator.run(until=2.0)
+        assert fired == [1.0]
+        assert simulator.pending == 1
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def reschedule(t):
+            simulator.schedule(t + 1.0, reschedule)
+
+        simulator.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=10)
+
+    def test_clock_advances(self):
+        simulator = Simulator()
+        simulator.schedule(3.5, lambda t: None)
+        assert simulator.run() == 3.5
+
+
+class TestRouting:
+    def make_pair(self):
+        simulator = Simulator()
+        a = Recorder(1)
+        b = Recorder(2)
+        simulator.add_node(a)
+        simulator.add_node(b)
+        simulator.connect(Channel(1, 2, bandwidth_bps=1e6, latency_s=0.001))
+        return simulator, a, b
+
+    def test_message_delivered_with_channel_delay(self):
+        simulator, a, b = self.make_pair()
+        message = Message(sender=1, window=WINDOW)
+        simulator.schedule(0.0, lambda t: a.send(message, 2, t))
+        simulator.run()
+        assert len(b.received) == 1
+        _, delivery = b.received[0]
+        assert delivery == pytest.approx(24 / 1e6 + 0.001)
+
+    def test_missing_channel_rejected(self):
+        simulator, a, b = self.make_pair()
+        message = Message(sender=2, window=WINDOW)
+        simulator.schedule(0.0, lambda t: b.send(message, 1, t))
+        with pytest.raises(RoutingError):
+            simulator.run()
+
+    def test_duplicate_node_rejected(self):
+        simulator, a, _ = self.make_pair()
+        with pytest.raises(ConfigurationError):
+            simulator.add_node(Recorder(1))
+
+    def test_duplicate_channel_rejected(self):
+        simulator, _, _ = self.make_pair()
+        with pytest.raises(ConfigurationError):
+            simulator.connect(Channel(1, 2))
+
+    def test_channel_to_unknown_node_rejected(self):
+        simulator = Simulator()
+        simulator.add_node(Recorder(1))
+        with pytest.raises(ConfigurationError):
+            simulator.connect(Channel(1, 99))
+
+    def test_totals_aggregate_channels(self):
+        simulator, a, b = self.make_pair()
+        message = Message(sender=1, window=WINDOW)
+        simulator.schedule(0.0, lambda t: a.send(message, 2, t))
+        simulator.schedule(1.0, lambda t: a.send(message, 2, t))
+        simulator.run()
+        assert simulator.total_network_messages() == 2
+        assert simulator.total_network_bytes() == 48
+
+
+class TestNodeLifecycle:
+    def test_unattached_node_cannot_send(self):
+        node = Recorder(1)
+        with pytest.raises(SimulationError):
+            node.send(Message(sender=1, window=WINDOW), 2, 0.0)
+
+    def test_on_start_called_once(self):
+        class Starter(Recorder):
+            def __init__(self):
+                super().__init__(1)
+                self.starts = 0
+
+            def on_start(self, now):
+                self.starts += 1
+
+        simulator = Simulator()
+        node = Starter()
+        simulator.add_node(node)
+        simulator.schedule(0.0, lambda t: None)
+        simulator.run()
+        simulator.schedule(1.0, lambda t: None)
+        simulator.run()
+        assert node.starts == 1
+
+    def test_work_charged_to_node_cpu(self):
+        node = Recorder(1, ops_per_second=100.0)
+        finish = node.work(50.0, now=0.0)
+        assert finish == pytest.approx(0.5)
+        assert node.cpu.total_ops == 50.0

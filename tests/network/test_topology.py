@@ -1,0 +1,113 @@
+"""Tests for the three-layer topology builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.simulator import SimulatedNode, Simulator
+from repro.network.topology import NodeRole, Topology, TopologyConfig
+
+
+class Stub(SimulatedNode):
+    def on_message(self, message, now):
+        pass
+
+
+def build(n_local=2, streams_per_local=0, **kwargs):
+    simulator = Simulator()
+    config = TopologyConfig(
+        n_local_nodes=n_local, streams_per_local=streams_per_local, **kwargs
+    )
+    topology = Topology.build(
+        simulator,
+        config,
+        root_factory=lambda nid, ops: Stub(nid, ops_per_second=ops),
+        local_factory=lambda nid, ops: Stub(nid, ops_per_second=ops),
+        stream_factory=lambda nid, ops, local: Stub(nid, ops_per_second=ops),
+    )
+    return simulator, topology
+
+
+class TestBuild:
+    def test_root_is_node_zero(self):
+        _, topology = build()
+        assert topology.root_id == 0
+
+    def test_local_ids_sequential(self):
+        _, topology = build(n_local=3)
+        assert topology.local_ids == [1, 2, 3]
+
+    def test_bidirectional_root_links(self):
+        simulator, topology = build(n_local=2)
+        for local_id in topology.local_ids:
+            assert (local_id, 0) in simulator.channels
+            assert (0, local_id) in simulator.channels
+
+    def test_stream_nodes_attach_to_locals(self):
+        simulator, topology = build(n_local=2, streams_per_local=2)
+        assert all(len(v) == 2 for v in topology.stream_ids.values())
+        for local_id, streams in topology.stream_ids.items():
+            for stream_id in streams:
+                assert (stream_id, local_id) in simulator.channels
+
+    def test_stream_factory_required_when_streams_requested(self):
+        simulator = Simulator()
+        config = TopologyConfig(n_local_nodes=1, streams_per_local=1)
+        with pytest.raises(ConfigurationError):
+            Topology.build(
+                simulator,
+                config,
+                root_factory=lambda nid, ops: Stub(nid, ops_per_second=ops),
+                local_factory=lambda nid, ops: Stub(nid, ops_per_second=ops),
+            )
+
+    def test_factory_must_return_node(self):
+        simulator = Simulator()
+        config = TopologyConfig(n_local_nodes=1)
+        with pytest.raises(ConfigurationError):
+            Topology.build(
+                simulator,
+                config,
+                root_factory=lambda nid, ops: object(),
+                local_factory=lambda nid, ops: Stub(nid, ops_per_second=ops),
+            )
+
+    def test_cpu_budgets_applied(self):
+        simulator, topology = build(
+            n_local=1,
+            root_ops_per_second=123.0,
+            local_ops_per_second=456.0,
+        )
+        assert simulator.nodes[0].cpu.ops_per_second == 123.0
+        assert simulator.nodes[1].cpu.ops_per_second == 456.0
+
+    def test_uplink_bandwidth_applied(self):
+        simulator, topology = build(n_local=1, uplink_bandwidth_bps=777.0)
+        assert topology.uplink(1).bandwidth_bps == 777.0
+
+    def test_downlink_accessor(self):
+        _, topology = build(n_local=1)
+        assert topology.downlink(1).src == 0
+
+
+class TestRoles:
+    def test_role_classification(self):
+        _, topology = build(n_local=1, streams_per_local=1)
+        assert topology.role_of(0) is NodeRole.ROOT
+        assert topology.role_of(1) is NodeRole.LOCAL
+        stream_id = topology.stream_ids[1][0]
+        assert topology.role_of(stream_id) is NodeRole.STREAM
+
+    def test_unknown_node_rejected(self):
+        _, topology = build()
+        with pytest.raises(ConfigurationError):
+            topology.role_of(99)
+
+
+class TestConfigValidation:
+    def test_zero_locals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(n_local_nodes=0)
+
+    def test_negative_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(n_local_nodes=1, streams_per_local=-1)

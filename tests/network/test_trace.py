@@ -1,0 +1,86 @@
+"""Tests for simulator message tracing."""
+
+from repro.core.engine import DemaEngine
+from repro.core.query import QuantileQuery
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    SynopsisMessage,
+)
+from repro.network.simulator import MessageTrace
+from repro.network.topology import TopologyConfig
+from repro.streaming.events import make_events
+
+
+def run_traced(loss_rate=0.0, reliability=None):
+    trace: list[MessageTrace] = []
+    query = QuantileQuery(q=0.5, gamma=4)
+    engine = DemaEngine(
+        query,
+        TopologyConfig(n_local_nodes=2, loss_rate=loss_rate, loss_seed=2),
+        trace=trace.append,
+        reliability=reliability,
+    )
+    streams = {
+        node_id: make_events(range(node_id, node_id + 8), node_id=node_id,
+                             timestamp_step=100)
+        for node_id in (1, 2)
+    }
+    report = engine.run(streams)
+    return trace, report
+
+
+class TestTrace:
+    def test_protocol_phases_in_order(self):
+        trace, _ = run_traced()
+        kinds = [type(entry.message).__name__ for entry in trace]
+        first_synopsis = kinds.index("SynopsisMessage")
+        first_request = kinds.index("CandidateRequestMessage")
+        first_candidates = kinds.index("CandidateEventsMessage")
+        assert first_synopsis < first_request < first_candidates
+
+    def test_every_message_has_endpoints_and_times(self):
+        trace, _ = run_traced()
+        for entry in trace:
+            assert entry.delivered_at is not None
+            assert entry.delivered_at > entry.sent_at
+            assert entry.src != entry.dst
+
+    def test_trace_bytes_match_metrics(self):
+        trace, report = run_traced()
+        traced_bytes = sum(entry.message.wire_bytes for entry in trace)
+        assert traced_bytes == report.network.total_bytes
+
+    def test_synopsis_per_local_per_window(self):
+        trace, report = run_traced()
+        synopses = [
+            entry for entry in trace
+            if isinstance(entry.message, SynopsisMessage)
+        ]
+        assert len(synopses) == 2 * len(report.outcomes)
+
+    def test_requests_to_every_local(self):
+        trace, _ = run_traced()
+        requests = [
+            entry for entry in trace
+            if isinstance(entry.message, CandidateRequestMessage)
+        ]
+        assert {entry.dst for entry in requests} == {1, 2}
+
+    def test_lost_messages_marked(self):
+        from repro.core.reliability import ReliabilityConfig
+
+        trace, _ = run_traced(
+            loss_rate=0.4,
+            reliability=ReliabilityConfig(timeout_s=0.02, max_retries=20),
+        )
+        lost = [entry for entry in trace if entry.delivered_at is None]
+        assert lost
+        assert "LOST" in lost[0].describe()
+
+    def test_describe_is_one_line(self):
+        trace, _ = run_traced()
+        for entry in trace:
+            description = entry.describe()
+            assert "\n" not in description
+            assert "Synopsis" in description or "Candidate" in description

@@ -1,0 +1,90 @@
+"""Property: Dema's answer is bit-identical to the centralized oracle.
+
+This is the paper's central claim (Section 3.1, "Correctness of Dema
+approach"): for any workload, any quantile and any slice factor, the value
+Dema returns equals the value obtained by sorting the complete dataset and
+picking rank ``ceil(q * l_G)``.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import dema_quantile
+from repro.streaming.aggregates import exact_quantile
+from repro.streaming.events import make_events
+
+values_strategy = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+node_windows = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=6),
+    values=values_strategy,
+    min_size=1,
+    max_size=4,
+).filter(lambda d: any(len(v) > 0 for v in d.values()))
+
+
+@st.composite
+def workloads(draw):
+    per_node = draw(node_windows)
+    q = draw(
+        st.floats(min_value=0.001, max_value=1.0, exclude_min=False)
+    )
+    gamma = draw(st.integers(min_value=2, max_value=200))
+    return per_node, q, gamma
+
+
+@given(workloads())
+@settings(max_examples=300, deadline=None)
+def test_dema_matches_centralized_oracle(case):
+    per_node, q, gamma = case
+    windows = {
+        node_id: make_events(vals, node_id=node_id)
+        for node_id, vals in per_node.items()
+    }
+    all_values = [v for vals in per_node.values() for v in vals]
+    result = dema_quantile(windows, q=q, gamma=gamma)
+    assert result.value == exact_quantile(all_values, q)
+    assert result.rank == math.ceil(q * len(all_values))
+
+
+@given(workloads())
+@settings(max_examples=150, deadline=None)
+def test_transfer_never_exceeds_centralized(case):
+    """Dema's event transfer is bounded by the dataset (plus synopsis pairs)."""
+    per_node, q, gamma = case
+    windows = {
+        node_id: make_events(vals, node_id=node_id)
+        for node_id, vals in per_node.items()
+    }
+    total = sum(len(v) for v in per_node.values())
+    result = dema_quantile(windows, q=q, gamma=gamma)
+    assert result.candidate_events <= total
+    # Every slice holds >= 2 events except a possible single-event window
+    # per node, so 2*synopses <= total + n_nodes.
+    assert 2 * result.synopses <= total + len(per_node)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=150, deadline=None)
+def test_duplicate_heavy_streams_stay_exact(values, gamma):
+    """Massive ties across nodes must not break rank arithmetic."""
+    windows = {
+        1: make_events(values, node_id=1),
+        2: make_events(values, node_id=2),  # identical values, distinct keys
+    }
+    result = dema_quantile(windows, q=0.5, gamma=gamma)
+    assert result.value == exact_quantile(values + values, 0.5)

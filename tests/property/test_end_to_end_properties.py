@@ -1,0 +1,85 @@
+"""End-to-end property: the simulated deployment equals the oracle.
+
+The strongest property in the suite: for random small workloads, random
+quantiles and random γ, run the *full* simulated Dema deployment — driver,
+channels, CPU model, protocol — and compare every window's result against
+the brute-force oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import DemaEngine
+from repro.core.query import QuantileQuery
+from repro.network.topology import TopologyConfig
+from repro.streaming.events import Event
+from repro.testing import verify_outcomes
+
+
+@st.composite
+def deployments(draw):
+    n_nodes = draw(st.integers(min_value=1, max_value=3))
+    streams = {}
+    for node_id in range(1, n_nodes + 1):
+        n_events = draw(st.integers(min_value=0, max_value=40))
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False
+                ),
+                min_size=n_events,
+                max_size=n_events,
+            )
+        )
+        timestamps = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=2_999),
+                    min_size=n_events,
+                    max_size=n_events,
+                )
+            )
+        )
+        streams[node_id] = [
+            Event(value=v, timestamp=t, node_id=node_id, seq=i)
+            for i, (v, t) in enumerate(zip(values, timestamps))
+        ]
+    q = draw(st.floats(min_value=0.01, max_value=1.0))
+    gamma = draw(st.integers(min_value=2, max_value=40))
+    return streams, q, gamma
+
+
+@given(deployments())
+@settings(max_examples=120, deadline=None)
+def test_simulated_deployment_equals_oracle(case):
+    streams, q, gamma = case
+    if not any(streams.values()):
+        return
+    query = QuantileQuery(q=q, window_length_ms=1000, gamma=gamma)
+    engine = DemaEngine(
+        query, TopologyConfig(n_local_nodes=len(streams))
+    )
+    report = engine.run(streams)
+    verification = verify_outcomes(report.outcomes, streams, query)
+    assert verification.is_exact, verification.summary()
+
+
+@given(deployments(), st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_simulated_deployment_exact_under_loss(case, loss_seed):
+    from repro.core.reliability import ReliabilityConfig
+
+    streams, q, gamma = case
+    if not any(streams.values()):
+        return
+    query = QuantileQuery(q=q, window_length_ms=1000, gamma=gamma)
+    engine = DemaEngine(
+        query,
+        TopologyConfig(
+            n_local_nodes=len(streams), loss_rate=0.1, loss_seed=loss_seed
+        ),
+        reliability=ReliabilityConfig(timeout_s=0.05, max_retries=30),
+    )
+    report = engine.run(streams)
+    assert engine.root.aborted_windows == 0
+    verification = verify_outcomes(report.outcomes, streams, query)
+    assert verification.is_exact, verification.summary()

@@ -1,0 +1,89 @@
+"""Properties of the t-digest: conservation, monotonicity, merge invariance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.tdigest import TDigest
+
+bounded_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+datasets = st.lists(bounded_floats, min_size=1, max_size=400)
+
+
+@given(datasets)
+@settings(max_examples=150, deadline=None)
+def test_weight_conserved(values):
+    digest = TDigest(50)
+    digest.add_all(values)
+    assert digest.count == len(values)
+    assert sum(c.weight for c in digest.centroids()) == pytest.approx(
+        len(values)
+    )
+
+
+@given(datasets)
+@settings(max_examples=150, deadline=None)
+def test_min_max_exact(values):
+    digest = TDigest(50)
+    digest.add_all(values)
+    assert digest.min == min(values)
+    assert digest.max == max(values)
+
+
+@given(datasets)
+@settings(max_examples=100, deadline=None)
+def test_quantile_monotone_and_bounded(values):
+    digest = TDigest(50)
+    digest.add_all(values)
+    qs = [i / 20 for i in range(21)]
+    estimates = [digest.quantile(q) for q in qs]
+    for left, right in zip(estimates, estimates[1:]):
+        assert left <= right + 1e-9
+    assert all(digest.min - 1e-9 <= e <= digest.max + 1e-9 for e in estimates)
+
+
+@given(datasets)
+@settings(max_examples=100, deadline=None)
+def test_cdf_monotone_and_bounded(values):
+    digest = TDigest(50)
+    digest.add_all(values)
+    span = digest.max - digest.min
+    xs = [digest.min + span * i / 10 for i in range(11)]
+    cdfs = [digest.cdf(x) for x in xs]
+    for left, right in zip(cdfs, cdfs[1:]):
+        assert left <= right + 1e-9
+    assert all(0.0 <= c <= 1.0 for c in cdfs)
+
+
+@given(datasets, st.integers(min_value=1, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_merge_preserves_weight_and_extremes(values, n_parts):
+    parts = [TDigest(50) for _ in range(n_parts)]
+    for i, value in enumerate(values):
+        parts[i % n_parts].add(value)
+    merged = TDigest.merge_all(parts, compression=50)
+    assert merged.count == len(values)
+    assert merged.min == min(values)
+    assert merged.max == max(values)
+
+
+@given(datasets)
+@settings(max_examples=75, deadline=None)
+def test_serialization_roundtrip_preserves_distribution(values):
+    digest = TDigest(50)
+    digest.add_all(values)
+    restored = TDigest.from_centroid_tuples(digest.to_centroid_tuples(), 50)
+    assert restored.count == pytest.approx(digest.count)
+    for q in (0.25, 0.5, 0.75):
+        assert restored.quantile(q) == pytest.approx(
+            digest.quantile(q), rel=1e-6, abs=1e-6
+        )
+
+
+@given(st.lists(bounded_floats, min_size=50, max_size=400))
+@settings(max_examples=75, deadline=None)
+def test_centroid_budget_holds(values):
+    digest = TDigest(20)
+    digest.add_all(values)
+    assert digest.centroid_count <= 2 * 20 + 10

@@ -1,0 +1,101 @@
+"""Properties of window assigners and the sorted-window structure."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.slicing import slice_sorted_events
+from repro.core.sorted_window import SortedLocalWindow
+from repro.streaming.events import event_key, make_events
+from repro.streaming.windows import SessionWindows, SlidingWindows, TumblingWindows
+
+timestamps = st.integers(min_value=0, max_value=10**9)
+
+
+@given(timestamps, st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_tumbling_windows_partition_time(timestamp, length):
+    assigner = TumblingWindows(length)
+    windows = assigner.assign(timestamp)
+    assert len(windows) == 1
+    window = windows[0]
+    assert window.contains(timestamp)
+    assert window.start % length == 0
+    assert window.length == length
+
+
+@given(
+    timestamps,
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_sliding_windows_cover_and_bound(timestamp, length, step):
+    if step > length:
+        step = length
+    assigner = SlidingWindows(length, step)
+    windows = assigner.assign(timestamp)
+    assert windows
+    expected = -(-length // step)  # ceil
+    assert len(windows) <= expected
+    for window in windows:
+        assert window.contains(timestamp)
+        assert window.start % step == 0
+    starts = [w.start for w in windows]
+    assert starts == sorted(starts)
+
+
+@given(st.lists(timestamps, min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=10**4))
+@settings(max_examples=200, deadline=None)
+def test_session_windows_disjoint_and_cover(stamps, gap):
+    assigner = SessionWindows(gap)
+    events = [
+        event
+        for i, t in enumerate(stamps)
+        for event in make_events([0.0], start_timestamp=t, start_seq=i)
+    ]
+    sessions = assigner.sessions_for_events(events)
+    # Every event lies in exactly one session.
+    for event in events:
+        containing = [s for s in sessions if s.contains(event.timestamp)]
+        assert len(containing) == 1
+    # Sessions are disjoint and separated by at least the gap.
+    for left, right in zip(sessions, sessions[1:]):
+        assert left.end <= right.start
+    # No session is longer than events + gap allow.
+    for session in sessions:
+        assert session.length >= gap
+
+
+@given(st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    max_size=300,
+))
+@settings(max_examples=200, deadline=None)
+def test_sorted_window_is_a_sorting_network(values):
+    window = SortedLocalWindow()
+    window.add_all(make_events(values))
+    sealed = window.seal()
+    assert [e.value for e in sealed] == sorted(values)
+    assert [e.key for e in sealed] == sorted(e.key for e in sealed)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+             max_size=200),
+    st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=200, deadline=None)
+def test_slicing_invariants(values, gamma):
+    events = sorted(make_events(values), key=event_key)
+    sliced = slice_sorted_events(events, gamma, node_id=0)
+    assert sliced.window_size == len(values)
+    assert sum(s.count for s in sliced.synopses) == len(values)
+    # Slice sizes: every slice <= gamma + 1 (remainder fold), and >= 2
+    # except a single-event window.
+    for run in sliced.runs:
+        assert len(run) <= gamma + 1
+        if len(values) > 1:
+            assert len(run) >= 2
+    # Reassembling runs reproduces the sorted window.
+    reassembled = [e for run in sliced.runs for e in run]
+    assert reassembled == events

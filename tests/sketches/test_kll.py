@@ -1,0 +1,151 @@
+"""Tests for the from-scratch KLL sketch."""
+
+import random
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketches.kll import KllSketch
+
+
+def uniform(n=20_000, seed=0):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+class TestBasics:
+    def test_count_and_extremes(self):
+        sketch = KllSketch(64)
+        sketch.add_all([3.0, -1.0, 7.0])
+        assert sketch.count == 3
+        assert sketch.min == -1.0
+        assert sketch.max == 7.0
+
+    def test_empty_queries_rejected(self):
+        sketch = KllSketch(64)
+        with pytest.raises(SketchError):
+            sketch.quantile(0.5)
+        with pytest.raises(SketchError):
+            sketch.rank(0.0)
+        with pytest.raises(SketchError):
+            sketch.min
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SketchError):
+            KllSketch(4)
+
+    def test_invalid_q_rejected(self):
+        sketch = KllSketch(64)
+        sketch.add(1.0)
+        with pytest.raises(SketchError):
+            sketch.quantile(1.5)
+
+    def test_extreme_quantiles_exact(self):
+        sketch = KllSketch(64)
+        sketch.add_all(uniform(5_000))
+        assert sketch.quantile(0.0) == sketch.min
+        assert sketch.quantile(1.0) == sketch.max
+
+    def test_small_input_near_exact(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        sketch = KllSketch(64)
+        sketch.add_all(values)
+        assert sketch.quantile(0.5) == 3.0
+
+
+class TestCompaction:
+    def test_footprint_sublinear(self):
+        sketch = KllSketch(100)
+        sketch.add_all(uniform(50_000))
+        assert sketch.size < 600
+
+    def test_weight_conserved(self):
+        sketch = KllSketch(100)
+        sketch.add_all(uniform(12_345))
+        total_weight = sum(w for _, w in sketch.to_weighted_tuples())
+        assert total_weight == 12_345
+
+    def test_deterministic_per_seed(self):
+        data = uniform(5_000, seed=2)
+        a, b = KllSketch(64, seed=9), KllSketch(64, seed=9)
+        a.add_all(data)
+        b.add_all(data)
+        assert a.to_weighted_tuples() == b.to_weighted_tuples()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [0.05, 0.25, 0.5, 0.75, 0.95])
+    def test_rank_error_within_bound(self, q):
+        data = uniform(30_000, seed=3)
+        sketch = KllSketch(200)
+        sketch.add_all(data)
+        estimate = sketch.quantile(q)
+        true_rank = sum(1 for v in data if v <= estimate) / len(data)
+        assert abs(true_rank - q) <= 2 * sketch.rank_error_bound()
+
+    def test_quantile_monotone(self):
+        sketch = KllSketch(100)
+        sketch.add_all(uniform(10_000, seed=4))
+        values = [sketch.quantile(i / 20) for i in range(21)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_rank_quantile_consistency(self):
+        sketch = KllSketch(200)
+        sketch.add_all(uniform(20_000, seed=5))
+        for q in (0.2, 0.5, 0.8):
+            assert sketch.rank(sketch.quantile(q)) == pytest.approx(
+                q, abs=2 * sketch.rank_error_bound()
+            )
+
+
+class TestMerge:
+    def test_merge_conserves_count_and_extremes(self):
+        data = uniform(10_000, seed=6)
+        a, b = KllSketch(100, seed=1), KllSketch(100, seed=2)
+        a.add_all(data[:5_000])
+        b.add_all(data[5_000:])
+        a.merge(b)
+        assert a.count == 10_000
+        assert a.min == min(data)
+        assert a.max == max(data)
+
+    def test_merged_accuracy(self):
+        data = uniform(20_000, seed=7)
+        parts = [KllSketch(200, seed=i) for i in range(4)]
+        for i, value in enumerate(data):
+            parts[i % 4].add(value)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        for q in (0.25, 0.5, 0.75):
+            estimate = merged.quantile(q)
+            true_rank = sum(1 for v in data if v <= estimate) / len(data)
+            assert abs(true_rank - q) <= 3 * merged.rank_error_bound()
+
+    def test_merge_empty_noop(self):
+        sketch = KllSketch(64)
+        sketch.add_all([1.0, 2.0])
+        sketch.merge(KllSketch(64))
+        assert sketch.count == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        sketch = KllSketch(100)
+        sketch.add_all(uniform(10_000, seed=8))
+        restored = KllSketch.from_weighted_tuples(
+            sketch.to_weighted_tuples(), k=100
+        )
+        assert restored.count == sketch.count
+        assert restored.quantile(0.5) == pytest.approx(
+            sketch.quantile(0.5), abs=0.05
+        )
+
+    def test_empty_roundtrip(self):
+        assert KllSketch.from_weighted_tuples(()).count == 0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(SketchError):
+            KllSketch.from_weighted_tuples([(1.0, 3)])
+        with pytest.raises(SketchError):
+            KllSketch.from_weighted_tuples([(1.0, 0)])

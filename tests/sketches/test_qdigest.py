@@ -1,0 +1,154 @@
+"""Tests for the from-scratch q-digest."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketches.qdigest import QDigest
+
+
+class TestBasics:
+    def test_add_and_count(self):
+        digest = QDigest(k=16, depth=8)
+        digest.add_all([1, 2, 3, 3])
+        assert digest.n == 4
+
+    def test_universe_size(self):
+        assert QDigest(k=4, depth=10).universe == 1024
+
+    def test_out_of_universe_rejected(self):
+        digest = QDigest(k=4, depth=4)
+        with pytest.raises(SketchError):
+            digest.add(16)
+        with pytest.raises(SketchError):
+            digest.add(-1)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(SketchError):
+            QDigest(k=4, depth=4).add(1, count=0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SketchError):
+            QDigest(k=0)
+        with pytest.raises(SketchError):
+            QDigest(k=4, depth=0)
+        with pytest.raises(SketchError):
+            QDigest(k=4, depth=63)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SketchError):
+            QDigest(k=4).quantile(0.5)
+
+    def test_invalid_q_rejected(self):
+        digest = QDigest(k=4)
+        digest.add(1)
+        with pytest.raises(SketchError):
+            digest.quantile(0.0)
+
+
+class TestCompression:
+    def test_node_count_bounded(self):
+        rng = random.Random(0)
+        digest = QDigest(k=32, depth=12)
+        for _ in range(20_000):
+            digest.add(rng.randrange(4096))
+        digest.compress()
+        # Shrivastava et al.: at most 3k nodes after compression.
+        assert digest.node_count <= 3 * 32 + 32  # small slack for laziness
+
+    def test_count_preserved_by_compress(self):
+        rng = random.Random(1)
+        digest = QDigest(k=8, depth=10)
+        for _ in range(5_000):
+            digest.add(rng.randrange(1024))
+        before = digest.n
+        digest.compress()
+        assert digest.n == before
+
+    def test_rank_error_bound_formula(self):
+        digest = QDigest(k=100, depth=10)
+        for value in range(1000):
+            digest.add(value)
+        assert digest.rank_error_bound() == pytest.approx(1000 * 10 / 100)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [0.1, 0.25, 0.5, 0.75, 0.9])
+    def test_rank_error_within_bound(self, q):
+        rng = random.Random(2)
+        values = [rng.randrange(1 << 12) for _ in range(20_000)]
+        digest = QDigest(k=256, depth=12)
+        digest.add_all(values)
+        estimate = digest.quantile(q)
+        true_rank = math.ceil(q * len(values))
+        rank_lo = sum(1 for v in values if v < estimate)
+        rank_hi = sum(1 for v in values if v <= estimate)
+        bound = digest.rank_error_bound()
+        assert rank_lo - bound <= true_rank <= rank_hi + bound
+
+    def test_exact_on_tiny_input(self):
+        digest = QDigest(k=1000, depth=6)
+        digest.add_all([1, 2, 3, 4, 5])
+        assert digest.quantile(0.5) == 3
+
+    def test_quantile_monotone(self):
+        rng = random.Random(3)
+        digest = QDigest(k=64, depth=10)
+        for _ in range(5_000):
+            digest.add(rng.randrange(1024))
+        values = [digest.quantile(q / 20) for q in range(1, 21)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestMerging:
+    def test_merge_counts(self):
+        a, b = QDigest(k=16, depth=8), QDigest(k=16, depth=8)
+        a.add_all([1, 2, 3])
+        b.add_all([4, 5])
+        a.merge(b)
+        assert a.n == 5
+
+    def test_merge_depth_mismatch_rejected(self):
+        with pytest.raises(SketchError):
+            QDigest(k=16, depth=8).merge(QDigest(k=16, depth=9))
+
+    def test_merged_accuracy_within_bound(self):
+        rng = random.Random(4)
+        values = [rng.randrange(1 << 10) for _ in range(10_000)]
+        parts = [QDigest(k=128, depth=10) for _ in range(4)]
+        for i, value in enumerate(values):
+            parts[i % 4].add(value)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        assert merged.n == len(values)
+        estimate = merged.quantile(0.5)
+        true_rank = math.ceil(0.5 * len(values))
+        rank_lo = sum(1 for v in values if v < estimate)
+        rank_hi = sum(1 for v in values if v <= estimate)
+        bound = merged.rank_error_bound()
+        assert rank_lo - bound <= true_rank <= rank_hi + bound
+
+
+class TestQuantizer:
+    def test_real_values_roundtrip(self):
+        rng = random.Random(5)
+        values = [rng.uniform(-10, 10) for _ in range(20_000)]
+        quantizer = QDigest.for_range(256, -10, 10, depth=12)
+        quantizer.add_all(values)
+        estimate = quantizer.quantile(0.5)
+        ordered = sorted(values)
+        true_median = ordered[len(ordered) // 2]
+        assert estimate == pytest.approx(true_median, abs=0.5)
+
+    def test_values_clamped_to_range(self):
+        quantizer = QDigest.for_range(16, 0, 1, depth=8)
+        quantizer.add(5.0)  # clamped to 1.0
+        quantizer.add(-5.0)  # clamped to 0.0
+        assert quantizer.digest.n == 2
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(SketchError):
+            QDigest.for_range(16, 1.0, 1.0)

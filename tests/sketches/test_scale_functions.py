@@ -1,0 +1,70 @@
+"""Tests for t-digest scale functions."""
+
+import pytest
+
+from repro.errors import SketchError
+from repro.sketches.scale_functions import K0, K1, K2
+
+
+@pytest.mark.parametrize("cls", [K0, K1, K2])
+class TestAllScaleFunctions:
+    def test_monotone_in_q(self, cls):
+        scale = cls(100.0)
+        ks = [scale.k(q / 100, 10_000) for q in range(1, 100)]
+        assert all(a < b for a, b in zip(ks, ks[1:]))
+
+    def test_invalid_delta_rejected(self, cls):
+        with pytest.raises(SketchError):
+            cls(0.0)
+
+    def test_max_weight_at_least_one(self, cls):
+        scale = cls(100.0)
+        for q in (0.001, 0.5, 0.999):
+            assert scale.max_centroid_weight(q, 100_000) >= 1.0
+
+    def test_delta_exposed(self, cls):
+        assert cls(42.0).delta == 42.0
+
+
+class TestK0:
+    def test_uniform_budget(self):
+        scale = K0(100.0)
+        mid = scale.max_centroid_weight(0.5, 10_000)
+        edge = scale.max_centroid_weight(0.05, 10_000)
+        assert mid == pytest.approx(edge, rel=0.05)
+
+    def test_k_linear(self):
+        scale = K0(100.0)
+        assert scale.k(0.5, 1000) == pytest.approx(25.0)
+
+
+class TestK1:
+    def test_tails_get_smaller_centroids(self):
+        scale = K1(100.0)
+        mid = scale.max_centroid_weight(0.5, 100_000)
+        tail = scale.max_centroid_weight(0.01, 100_000)
+        assert tail < mid / 3
+
+    def test_bounded_range(self):
+        scale = K1(100.0)
+        assert scale.k(0.0, 1000) == pytest.approx(-25.0)
+        assert scale.k(1.0, 1000) == pytest.approx(25.0)
+
+    def test_clamps_out_of_range_q(self):
+        scale = K1(100.0)
+        assert scale.k(-0.1, 1000) == scale.k(0.0, 1000)
+        assert scale.k(1.1, 1000) == scale.k(1.0, 1000)
+
+
+class TestK2:
+    def test_even_stronger_tail_bias_than_k1(self):
+        k1, k2 = K1(100.0), K2(100.0)
+        n = 100_000
+        ratio_k1 = k1.max_centroid_weight(0.001, n) / k1.max_centroid_weight(0.5, n)
+        ratio_k2 = k2.max_centroid_weight(0.001, n) / k2.max_centroid_weight(0.5, n)
+        assert ratio_k2 < ratio_k1
+
+    def test_finite_at_extremes(self):
+        scale = K2(100.0)
+        assert scale.k(0.0, 1000) == scale.k(0.0, 1000)  # not NaN
+        assert abs(scale.k(0.0, 1000)) < float("inf")

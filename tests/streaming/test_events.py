@@ -1,0 +1,93 @@
+"""Tests for the event model and total-order keys."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streaming.events import (
+    EVENT_WIRE_BYTES,
+    Event,
+    event_key,
+    make_events,
+)
+
+
+class TestEvent:
+    def test_key_is_value_node_seq(self):
+        event = Event(value=3.5, timestamp=10, node_id=2, seq=7)
+        assert event.key == (3.5, 2, 7)
+
+    def test_ordering_by_value(self):
+        low = Event(value=1.0, timestamp=0, node_id=0, seq=0)
+        high = Event(value=2.0, timestamp=0, node_id=0, seq=1)
+        assert low < high
+        assert high > low
+        assert low <= high
+        assert high >= low
+
+    def test_equal_values_break_ties_by_node(self):
+        a = Event(value=1.0, timestamp=0, node_id=1, seq=0)
+        b = Event(value=1.0, timestamp=0, node_id=2, seq=0)
+        assert a < b
+
+    def test_equal_values_and_nodes_break_ties_by_seq(self):
+        a = Event(value=1.0, timestamp=0, node_id=1, seq=3)
+        b = Event(value=1.0, timestamp=0, node_id=1, seq=4)
+        assert a < b
+
+    def test_events_are_frozen(self):
+        event = Event(value=1.0, timestamp=0, node_id=0, seq=0)
+        with pytest.raises(AttributeError):
+            event.value = 2.0
+
+    def test_events_are_hashable(self):
+        event = Event(value=1.0, timestamp=0, node_id=0, seq=0)
+        assert event in {event}
+
+    def test_wire_bytes_constant(self):
+        event = Event(value=1.0, timestamp=0, node_id=0, seq=0)
+        assert event.wire_bytes == EVENT_WIRE_BYTES
+
+    def test_event_key_function_matches_property(self):
+        event = Event(value=9.0, timestamp=5, node_id=3, seq=11)
+        assert event_key(event) == event.key
+
+
+class TestMakeEvents:
+    def test_values_preserved_in_order(self):
+        events = make_events([3.0, 1.0, 2.0])
+        assert [e.value for e in events] == [3.0, 1.0, 2.0]
+
+    def test_timestamps_evenly_spaced(self):
+        events = make_events([1, 2, 3], start_timestamp=100, timestamp_step=5)
+        assert [e.timestamp for e in events] == [100, 105, 110]
+
+    def test_sequence_numbers_consecutive(self):
+        events = make_events([1, 2, 3], start_seq=10)
+        assert [e.seq for e in events] == [10, 11, 12]
+
+    def test_node_id_stamped(self):
+        events = make_events([1.0], node_id=9)
+        assert events[0].node_id == 9
+
+    def test_values_coerced_to_float(self):
+        events = make_events([1, 2])
+        assert all(isinstance(e.value, float) for e in events)
+
+    def test_empty_input_gives_empty_list(self):
+        assert make_events([]) == []
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_events([1.0], timestamp_step=-1)
+
+    def test_zero_step_allowed(self):
+        events = make_events([1, 2], timestamp_step=0)
+        assert [e.timestamp for e in events] == [0, 0]
+
+    def test_generator_input_accepted(self):
+        events = make_events(v for v in (1.0, 2.0))
+        assert len(events) == 2
+
+    def test_keys_unique_across_make_events(self):
+        events = make_events([1.0] * 100, node_id=1)
+        assert len({e.key for e in events}) == 100

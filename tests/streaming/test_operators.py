@@ -1,0 +1,97 @@
+"""Tests for the windowed aggregation operator."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.streaming.aggregates import MedianFunction, SumFunction
+from repro.streaming.events import make_events
+from repro.streaming.operators import KeyedWindowState, WindowedAggregationOperator
+from repro.streaming.time import Watermark
+from repro.streaming.windows import TumblingWindows, Window
+
+
+class TestKeyedWindowState:
+    def test_add_and_close(self):
+        state = KeyedWindowState(SumFunction())
+        window = Window(0, 10)
+        state.add(window, 1.0)
+        state.add(window, 2.0)
+        result = state.close(window)
+        assert result.value == 3.0
+        assert result.count == 2
+        assert len(state) == 0
+
+    def test_close_unknown_window_rejected(self):
+        state = KeyedWindowState(SumFunction())
+        with pytest.raises(WindowError):
+            state.close(Window(0, 10))
+
+    def test_open_windows_sorted(self):
+        state = KeyedWindowState(SumFunction())
+        state.add(Window(10, 20), 1.0)
+        state.add(Window(0, 10), 1.0)
+        assert state.open_windows == [Window(0, 10), Window(10, 20)]
+
+    def test_closeable_respects_watermark(self):
+        state = KeyedWindowState(SumFunction())
+        state.add(Window(0, 10), 1.0)
+        state.add(Window(10, 20), 1.0)
+        assert state.closeable(Watermark(9)) == [Window(0, 10)]
+        assert state.closeable(Watermark(19)) == [Window(0, 10), Window(10, 20)]
+        assert state.closeable(Watermark(8)) == []
+
+
+class TestWindowedAggregationOperator:
+    def make_operator(self, function=None):
+        return WindowedAggregationOperator(
+            TumblingWindows(10), function or SumFunction()
+        )
+
+    def test_per_window_sums(self):
+        operator = self.make_operator()
+        operator.process_all(make_events([1, 2, 3, 4], timestamp_step=5))
+        results = operator.flush()
+        assert [(r.window, r.value) for r in results] == [
+            (Window(0, 10), 3.0),
+            (Window(10, 20), 7.0),
+        ]
+
+    def test_watermark_fires_only_complete_windows(self):
+        operator = self.make_operator()
+        operator.process_all(make_events([1, 2, 3], timestamp_step=8))
+        fired = operator.advance_watermark(Watermark(15))
+        assert [r.window for r in fired] == [Window(0, 10)]
+        assert operator.open_window_count == 1
+
+    def test_results_accumulate(self):
+        operator = self.make_operator()
+        operator.process_all(make_events([1], timestamp_step=1))
+        operator.advance_watermark(Watermark(100))
+        assert len(operator.results) == 1
+
+    def test_median_operator(self):
+        operator = self.make_operator(MedianFunction())
+        operator.process_all(make_events([5, 1, 9], timestamp_step=1))
+        results = operator.flush()
+        assert results[0].value == 5.0
+
+    def test_on_result_callback(self):
+        seen = []
+        operator = WindowedAggregationOperator(
+            TumblingWindows(10), SumFunction(), on_result=seen.append
+        )
+        operator.process_all(make_events([1.0]))
+        operator.flush()
+        assert len(seen) == 1
+
+    def test_count_reported(self):
+        operator = self.make_operator()
+        operator.process_all(make_events([1, 1, 1], timestamp_step=1))
+        assert operator.flush()[0].count == 3
+
+    def test_flush_empties_state(self):
+        operator = self.make_operator()
+        operator.process_all(make_events([1.0]))
+        operator.flush()
+        assert operator.open_window_count == 0
+        assert operator.flush() == []

@@ -1,0 +1,87 @@
+"""Tests for watermarks and event-time progress tracking."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WindowError
+from repro.streaming.time import EventTimeClock, Watermark, WatermarkTracker
+
+
+class TestWatermark:
+    def test_ordering(self):
+        assert Watermark(5) < Watermark(6)
+
+    def test_equality(self):
+        assert Watermark(5) == Watermark(5)
+
+
+class TestEventTimeClock:
+    def test_no_watermark_before_events(self):
+        assert EventTimeClock().current_watermark() is None
+
+    def test_watermark_tracks_max_timestamp(self):
+        clock = EventTimeClock()
+        clock.observe(10)
+        clock.observe(5)
+        assert clock.current_watermark() == Watermark(10)
+
+    def test_out_of_orderness_subtracted(self):
+        clock = EventTimeClock(max_out_of_orderness=3)
+        clock.observe(10)
+        assert clock.current_watermark() == Watermark(7)
+
+    def test_max_timestamp_exposed(self):
+        clock = EventTimeClock()
+        assert clock.max_timestamp is None
+        clock.observe(42)
+        assert clock.max_timestamp == 42
+
+    def test_negative_out_of_orderness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventTimeClock(max_out_of_orderness=-1)
+
+
+class TestWatermarkTracker:
+    def test_combined_is_minimum(self):
+        tracker = WatermarkTracker([1, 2])
+        tracker.advance(1, Watermark(10))
+        tracker.advance(2, Watermark(7))
+        assert tracker.combined() == Watermark(7)
+
+    def test_combined_none_until_all_report(self):
+        tracker = WatermarkTracker([1, 2])
+        tracker.advance(1, Watermark(10))
+        assert tracker.combined() is None
+
+    def test_combined_none_with_no_sources(self):
+        assert WatermarkTracker().combined() is None
+
+    def test_register_after_construction(self):
+        tracker = WatermarkTracker()
+        tracker.register(3)
+        assert tracker.sources == frozenset({3})
+
+    def test_unknown_source_rejected(self):
+        tracker = WatermarkTracker([1])
+        with pytest.raises(WindowError):
+            tracker.advance(2, Watermark(5))
+
+    def test_regression_rejected(self):
+        tracker = WatermarkTracker([1])
+        tracker.advance(1, Watermark(10))
+        with pytest.raises(WindowError):
+            tracker.advance(1, Watermark(9))
+
+    def test_repeated_same_watermark_allowed(self):
+        tracker = WatermarkTracker([1])
+        tracker.advance(1, Watermark(10))
+        tracker.advance(1, Watermark(10))
+        assert tracker.combined() == Watermark(10)
+
+    def test_advance_moves_combined(self):
+        tracker = WatermarkTracker([1, 2])
+        tracker.advance(1, Watermark(5))
+        tracker.advance(2, Watermark(5))
+        tracker.advance(1, Watermark(20))
+        assert tracker.combined() == Watermark(5)
+        tracker.advance(2, Watermark(8))
+        assert tracker.combined() == Watermark(8)

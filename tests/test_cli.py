@@ -1,0 +1,65 @@
+"""Tests for the package CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_lists_systems_and_experiments(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dema", "scotty", "desis", "tdigest", "qdigest"):
+            assert name in out
+        assert "fig5a" in out
+        assert "Figure 8b" in out
+
+
+class TestQuantile:
+    def test_defaults(self, capsys):
+        assert main(["quantile"]) == 0
+        out = capsys.readouterr().out
+        assert "value" in out
+        assert "rank" in out
+
+    def test_parameters_respected(self, capsys):
+        assert main([
+            "quantile", "--q", "0.25", "--nodes", "2",
+            "--events-per-node", "100", "--gamma", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "q=0.25 over 2 nodes" in out
+        assert "/ 200" in out
+
+    def test_deterministic_per_seed(self, capsys):
+        main(["quantile", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["quantile", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestDemo:
+    def test_runs_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "adaptive" in out
+        assert "network" in out
+
+
+class TestExperiments:
+    def test_forwards_to_runner(self, capsys):
+        assert main(["experiments", "fig7b"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7b" in out
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

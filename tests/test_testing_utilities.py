@@ -1,0 +1,90 @@
+"""Tests for the public verification utilities."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.core.engine import DemaEngine
+from repro.core.query import QuantileQuery
+from repro.network.topology import TopologyConfig
+from repro.streaming.events import make_events
+from repro.streaming.windows import Window
+from repro.testing import ground_truth, verify_outcomes
+from repro.bench.generator import GeneratorConfig, workload
+
+
+QUERY = QuantileQuery(q=0.5, gamma=30)
+
+
+def run_dema(streams):
+    engine = DemaEngine(QUERY, TopologyConfig(n_local_nodes=len(streams)))
+    return engine.run(streams)
+
+
+class TestGroundTruth:
+    def test_matches_manual_computation(self):
+        streams = {1: make_events([3.0, 1.0, 2.0], node_id=1, timestamp_step=1)}
+        truth = ground_truth(streams, QUERY)
+        assert truth == {Window(0, 1000): 2.0}
+
+    def test_sliding_windows_covered(self):
+        query = QuantileQuery(q=0.5, window_length_ms=1000,
+                              window_step_ms=500, gamma=30)
+        streams = {1: make_events(range(10), node_id=1, timestamp_step=100)}
+        truth = ground_truth(streams, query)
+        assert len(truth) > 1
+
+
+class TestVerifyOutcomes:
+    def test_exact_run_verifies(self):
+        streams = workload(
+            [1, 2], GeneratorConfig(event_rate=500, duration_s=2.0, seed=3)
+        )
+        report = run_dema(streams)
+        verification = verify_outcomes(report.outcomes, streams, QUERY)
+        assert verification.is_exact
+        assert verification.checked == len(report.outcomes)
+        assert "exact on all" in verification.summary()
+
+    def test_mismatch_detected(self):
+        class Fake:
+            window = Window(0, 1000)
+            value = 123.456
+
+        streams = {1: make_events([1.0, 2.0], node_id=1, timestamp_step=1)}
+        verification = verify_outcomes([Fake()], streams, QUERY)
+        assert not verification.is_exact
+        assert len(verification.mismatches) == 1
+        assert "mismatched" in verification.summary()
+
+    def test_missing_window_detected(self):
+        streams = {1: make_events([1.0], node_id=1)}
+        verification = verify_outcomes([], streams, QUERY)
+        assert not verification.is_exact
+        assert verification.missing_windows == [Window(0, 1000)]
+
+    def test_missing_windows_can_be_ignored(self):
+        streams = {1: make_events([1.0], node_id=1)}
+        verification = verify_outcomes(
+            [], streams, QUERY, require_all_windows=False
+        )
+        assert verification.is_exact
+
+    def test_invented_window_rejected(self):
+        class Fake:
+            window = Window(99_000, 100_000)
+            value = 1.0
+
+        streams = {1: make_events([1.0], node_id=1)}
+        with pytest.raises(HarnessError):
+            verify_outcomes([Fake()], streams, QUERY)
+
+    def test_none_values_skipped(self):
+        class Empty:
+            window = Window(0, 1000)
+            value = None
+
+        streams = {1: make_events([1.0], node_id=1)}
+        verification = verify_outcomes(
+            [Empty()], streams, QUERY, require_all_windows=False
+        )
+        assert verification.checked == 0
