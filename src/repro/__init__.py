@@ -16,6 +16,8 @@ organized as:
   simulated topology.
 * :mod:`repro.bench` — workload generator, measurement harness, and the
   runner that regenerates every figure of the evaluation section.
+* :mod:`repro.obs` — observability: span tracer on the simulated clock,
+  metrics registry, JSONL / Chrome-trace / Prometheus exporters.
 
 Quick start::
 
@@ -40,6 +42,9 @@ from repro.core.concurrent import ConcurrentDemaEngine
 from repro.core.query import QuantileQuery
 from repro.core.adaptive import AdaptiveGammaController, optimal_gamma
 from repro.network.topology import TopologyConfig
+from repro.obs.events import MessageTrace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Span, Tracer
 from repro.sketches.tdigest import TDigest
 from repro.sketches.qdigest import QDigest
 from repro.baselines.base import SYSTEM_NAMES, build_system
@@ -67,6 +72,12 @@ __all__ = [
     "AdaptiveGammaController",
     "optimal_gamma",
     "TopologyConfig",
+    "MessageTrace",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
     "TDigest",
     "QDigest",
     "build_system",

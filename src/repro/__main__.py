@@ -6,6 +6,8 @@ Usage::
     python -m repro demo                 # 30-second guided demonstration
     python -m repro quantile --q 0.9 ... # one decentralized quantile
     python -m repro experiments fig5a    # regenerate paper figures
+    python -m repro trace quickstart     # record a traced scenario
+    python -m repro report run.jsonl     # per-phase latency/byte breakdown
 """
 
 from __future__ import annotations
@@ -130,6 +132,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        trace_records,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+    from repro.obs.report import format_report
+    from repro.obs.scenarios import SCENARIOS, run_scenario
+
+    if args.list:
+        for name, (description, _) in SCENARIOS.items():
+            print(f"{name:<12} {description}")
+        return 0
+    result = run_scenario(args.scenario, seed=args.seed)
+    print(f"scenario {result.name}: {result.description}")
+    output = args.output or f"{result.name}.trace.jsonl"
+    n_records = write_jsonl(output, result.tracer)
+    print(f"wrote {output} ({n_records} records)")
+    if args.chrome is not None:
+        n_events = write_chrome_trace(args.chrome, result.tracer)
+        print(f"wrote {args.chrome} ({n_events} trace events; "
+              "open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics is not None:
+        write_prometheus(args.metrics, result.tracer)
+        print(f"wrote {args.metrics}")
+    if args.report:
+        print()
+        print(format_report(trace_records(result.tracer)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl
+    from repro.obs.report import format_report
+
+    print(format_report(read_jsonl(args.trace)))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
@@ -168,6 +210,30 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--all", action="store_true")
     experiments.add_argument("--quick", action="store_true")
 
+    trace = sub.add_parser(
+        "trace", help="run a named scenario under the recording tracer"
+    )
+    trace.add_argument(
+        "scenario", nargs="?", default="quickstart",
+        help="scenario name (see --list); default: quickstart",
+    )
+    trace.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="JSONL output path (default <scenario>.trace.jsonl)")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also write a Chrome trace_event JSON file")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also write Prometheus-format metrics")
+    trace.add_argument("--report", action="store_true",
+                       help="print the per-phase breakdown after tracing")
+
+    report = sub.add_parser(
+        "report", help="per-phase latency/byte breakdown of a JSONL trace"
+    )
+    report.add_argument("trace", help="path to a .trace.jsonl file")
+
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,
                        choices=["gamma", "n_local_nodes", "event_rate", "q",
@@ -191,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
         "quantile": _cmd_quantile,
         "experiments": _cmd_experiments,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

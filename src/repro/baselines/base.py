@@ -18,6 +18,7 @@ from repro.network.driver import MS_PER_SECOND, BatchSourceDriver
 from repro.network.metrics import LatencyStats, NetworkMetrics
 from repro.network.simulator import SimulatedNode, Simulator
 from repro.network.topology import Topology, TopologyConfig
+from repro.obs.tracer import NOOP_TRACER
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
 from repro.core.query import QuantileQuery
@@ -80,6 +81,18 @@ class BaselineRootMixin:
         size: int,
         result_time: float,
     ) -> None:
+        tracer = getattr(self, "_tracer", NOOP_TRACER)
+        if tracer.enabled:
+            # End-to-end window span, mirroring the Dema root's "window"
+            # span so per-window latency is comparable across systems.
+            tracer.record(
+                "window",
+                self.node_id,  # type: ignore[attr-defined]
+                window.end / MS_PER_SECOND,
+                result_time,
+                window=window,
+                global_window_size=size,
+            )
         self._records.append(
             WindowRecord(
                 window=window,
@@ -101,9 +114,11 @@ class BaselineEngine:
         root_factory: Callable[[int, float, Sequence[int], QuantileQuery], SimulatedNode],
         local_factory: Callable[[int, float, int, QuantileQuery], SimulatedNode],
         batch_size: int = 512,
+        tracer=None,
     ) -> None:
         self._query = query
-        self._simulator = Simulator()
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._simulator = Simulator(tracer=self._tracer)
         local_ids = list(range(1, topology_config.n_local_nodes + 1))
         self._root_holder: list[SimulatedNode] = []
 
@@ -122,11 +137,19 @@ class BaselineEngine:
             local_factory=make_local,
         )
         self._driver = BatchSourceDriver(self._simulator, batch_size=batch_size)
+        if self._tracer.enabled:
+            for node in self._simulator.nodes.values():
+                node.set_tracer(self._tracer)
 
     @property
     def simulator(self) -> Simulator:
         """The underlying discrete-event engine."""
         return self._simulator
+
+    @property
+    def tracer(self):
+        """The run's span tracer (the shared no-op tracer by default)."""
+        return self._tracer
 
     @property
     def topology(self) -> Topology:
@@ -196,6 +219,11 @@ class BaselineEngine:
         latency = LatencyStats()
         for record in records:
             latency.add(record.result_time - record.window.end / MS_PER_SECOND)
+        if self._tracer.enabled:
+            self._tracer.registry.counter(
+                "windows_completed_total", "Windows that produced a result."
+            ).inc(len(records))
+            self._tracer.finalize(self._simulator, final_time)
         return SystemReport(
             outcomes=records,
             network=NetworkMetrics.capture(self._simulator),
@@ -211,10 +239,13 @@ def build_system(
     topology_config: TopologyConfig,
     *,
     batch_size: int = 512,
+    tracer=None,
 ):
     """Factory for any system by name: dema, scotty, desis, tdigest.
 
     Returns an engine with a uniform ``run(streams) -> report`` interface.
+    Passing a :class:`~repro.obs.tracer.RecordingTracer` instruments the
+    deployment; the default is the shared no-op tracer.
 
     Raises:
         ConfigurationError: On an unknown system name.
@@ -228,7 +259,9 @@ def build_system(
     from repro.baselines.kll_system import KllLocalNode, KllRootNode
 
     if name == "dema":
-        return DemaEngine(query, topology_config, batch_size=batch_size)
+        return DemaEngine(
+            query, topology_config, batch_size=batch_size, tracer=tracer
+        )
     if query.is_sliding:
         raise ConfigurationError(
             f"{name} supports tumbling windows only; sliding-window "
@@ -256,6 +289,7 @@ def build_system(
             nid, root_id=root_id, query=q, ops_per_second=ops
         ),
         batch_size=batch_size,
+        tracer=tracer,
     )
 
 

@@ -156,6 +156,16 @@ class DesisRootNode(SimulatedNode, BaselineRootMixin):
             return
         non_empty = [run for run in runs.values() if run]
         finish = self.work(merge_cost(total, len(non_empty)), now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "merge",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                events=total,
+                runs=len(non_empty),
+            )
         merged = list(heapq.merge(*non_empty, key=event_key))
         rank = quantile_rank(self._query.q, total)
         self._emit(window, merged[rank - 1].value, total, finish)

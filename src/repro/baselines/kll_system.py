@@ -165,6 +165,15 @@ class KllRootNode(SimulatedNode, BaselineRootMixin):
                     )
                 )
         finish = self.work(_MERGE_OPS_PER_ITEM * total_items, now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "digest_merge",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                items=total_items,
+            )
         if merged.count == 0:
             self._emit(window, None, 0, finish)
             return

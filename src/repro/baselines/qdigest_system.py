@@ -181,6 +181,15 @@ class QDigestRootNode(SimulatedNode, BaselineRootMixin):
                     )
                 )
         finish = self.work(_MERGE_OPS_PER_NODE * total_nodes, now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "digest_merge",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                nodes=total_nodes,
+            )
         if merged.n == 0:
             self._emit(window, None, 0, finish)
             return

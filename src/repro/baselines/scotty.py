@@ -157,6 +157,15 @@ class ScottyRootNode(SimulatedNode, BaselineRootMixin):
             self._emit(window, None, 0, now)
             return
         finish = self.work(sort_cost(len(events)), now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "sort",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                events=len(events),
+            )
         ordered = sorted(events, key=event_key)
         rank = quantile_rank(self._query.q, len(ordered))
         self._emit(window, ordered[rank - 1].value, len(ordered), finish)

@@ -158,6 +158,15 @@ class TDigestRootNode(SimulatedNode, BaselineRootMixin):
                     )
                 )
         finish = self.work(_MERGE_OPS_PER_CENTROID * total_centroids, now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "digest_merge",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                centroids=total_centroids,
+            )
         if merged.count == 0:
             self._emit(window, None, 0, finish)
             return

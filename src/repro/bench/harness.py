@@ -176,13 +176,14 @@ def measure_latency(
     n_windows: int = 10,
     seed: int = 42,
     scale_rates: Mapping[int, float] | None = None,
+    tracer=None,
 ):
     """Latency statistics at a fixed rate (use ~90 % of the sustainable one)."""
     streams = _build_streams(
         per_node_rate, topology.n_local_nodes, n_windows,
         seed=seed, scale_rates=scale_rates,
     )
-    engine = build_system(system, query, topology)
+    engine = build_system(system, query, topology, tracer=tracer)
     report = engine.run(streams)
     return report.latency
 
@@ -192,9 +193,15 @@ def run_workload(
     query: QuantileQuery,
     topology: TopologyConfig,
     streams: Mapping[int, Sequence[Event]],
+    *,
+    tracer=None,
 ):
-    """Run one deployment over explicit streams; returns the full report."""
-    engine = build_system(system, query, topology)
+    """Run one deployment over explicit streams; returns the full report.
+
+    Pass a :class:`~repro.obs.tracer.RecordingTracer` to capture the run's
+    spans, messages and metrics alongside the report.
+    """
+    engine = build_system(system, query, topology, tracer=tracer)
     return engine.run(streams)
 
 

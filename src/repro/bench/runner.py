@@ -544,8 +544,33 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the measured series to a JSON file",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="run one traced Dema deployment under the benchmark workload "
+        "and write a Chrome trace_event file to PATH",
+    )
     args = parser.parse_args(argv)
     collected: dict = {}
+
+    if args.trace is not None:
+        from repro.obs import RecordingTracer
+        from repro.obs.export import write_chrome_trace
+
+        tracer = RecordingTracer()
+        run_workload(
+            "dema",
+            median_query(BENCH_GAMMA),
+            bench_topology(2),
+            workload(
+                [1, 2],
+                GeneratorConfig(event_rate=2_000.0, duration_s=4.0, seed=42),
+            ),
+            tracer=tracer,
+        )
+        n_events = write_chrome_trace(args.trace, tracer)
+        print(f"wrote {args.trace} ({n_events} trace events)")
+        if not (args.all or args.quick or args.experiments):
+            return 0
 
     selected = set(args.experiments)
     if args.all or (not selected and not args.quick):

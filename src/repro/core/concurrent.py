@@ -38,6 +38,7 @@ from repro.network.simulator import (
     receive_ops,
 )
 from repro.network.topology import Topology, TopologyConfig
+from repro.obs.tracer import NOOP_TRACER
 from repro.streaming.aggregates import quantile_rank
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
@@ -349,6 +350,17 @@ class ConcurrentDemaRootNode(SimulatedNode):
             1.0, math.log2(max(n_synopses, 2))
         ) * len(group.quantiles)
         finish = self.work(ops, now)
+        if self._tracer.enabled:
+            self._tracer.record(
+                "identification",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                group=group_id,
+                synopses=n_synopses,
+                quantiles=len(group.quantiles),
+            )
 
         union: set[tuple[int, int]] = set()
         for query_index, q in group.quantiles:
@@ -406,6 +418,17 @@ class ConcurrentDemaRootNode(SimulatedNode):
         finish = self.work(
             merge_cost(total_fetched, max(len(state.runs), 1)), now
         )
+        if self._tracer.enabled:
+            self._tracer.record(
+                "calculation",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                group=group_id,
+                candidate_events=total_fetched,
+                runs=len(state.runs),
+            )
         total = sum(state.sizes.values())
         self._states.pop((group_id, window))
         for query_index, q in group.quantiles:
@@ -453,10 +476,12 @@ class ConcurrentDemaEngine:
         topology_config: TopologyConfig,
         *,
         batch_size: int = 512,
+        tracer=None,
     ) -> None:
         self._queries = list(queries)
         self._groups = group_queries(queries)
-        self._simulator = Simulator()
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._simulator = Simulator(tracer=self._tracer)
         self._root: ConcurrentDemaRootNode | None = None
         local_ids = list(range(1, topology_config.n_local_nodes + 1))
 
@@ -485,6 +510,9 @@ class ConcurrentDemaEngine:
         )
         self._batch_size = batch_size
         self._events_ingested = 0
+        if self._tracer.enabled:
+            for node in self._simulator.nodes.values():
+                node.set_tracer(self._tracer)
 
     @property
     def simulator(self) -> Simulator:
@@ -547,6 +575,11 @@ class ConcurrentDemaEngine:
             latency.add(
                 outcome.result_time - outcome.window.end / MS_PER_SECOND
             )
+        if self._tracer.enabled:
+            self._tracer.registry.counter(
+                "windows_completed_total", "Windows that produced a result."
+            ).inc(len(outcomes))
+            self._tracer.finalize(self._simulator, final_time)
         return ConcurrentRunReport(
             outcomes=outcomes,
             network=NetworkMetrics.capture(self._simulator),

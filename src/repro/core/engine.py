@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.network.driver import MS_PER_SECOND, BatchSourceDriver
 from repro.network.metrics import LatencyStats, NetworkMetrics
 from repro.network.simulator import Simulator
+from repro.obs.tracer import NOOP_TRACER
 from repro.network.topology import Topology, TopologyConfig
 from repro.streaming.events import Event
 from repro.core.calculation import calculate_quantile
@@ -143,9 +144,11 @@ class DemaEngine:
         batch_size: int = 512,
         reliability=None,
         trace=None,
+        tracer=None,
     ) -> None:
         self._query = query
-        self._simulator = Simulator(trace=trace)
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._simulator = Simulator(trace=trace, tracer=self._tracer)
         self._root: DemaRootNode | None = None
 
         local_ids = list(
@@ -189,6 +192,14 @@ class DemaEngine:
             stream_factory=stream_factory,
         )
         self._driver = BatchSourceDriver(self._simulator, batch_size=batch_size)
+        if self._tracer.enabled:
+            for node in self._simulator.nodes.values():
+                node.set_tracer(self._tracer)
+
+    @property
+    def tracer(self):
+        """The run's span tracer (the shared no-op tracer by default)."""
+        return self._tracer
 
     @property
     def simulator(self) -> Simulator:
@@ -345,6 +356,17 @@ class DemaEngine:
         for outcome in outcomes:
             window_end_s = outcome.window.end / MS_PER_SECOND
             latency.add(outcome.result_time - window_end_s)
+        if self._tracer.enabled:
+            registry = self._tracer.registry
+            registry.counter(
+                "windows_completed_total", "Windows that produced a result."
+            ).inc(len(outcomes))
+            for outcome in outcomes:
+                registry.counter(
+                    "candidate_events_total",
+                    "Candidate events fetched for calculation.",
+                ).inc(outcome.candidate_events)
+            self._tracer.finalize(self._simulator, final_time)
         return DemaRunReport(
             outcomes=outcomes,
             network=NetworkMetrics.capture(self._simulator),

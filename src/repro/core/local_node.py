@@ -123,7 +123,17 @@ class DemaLocalNode(SimulatedNode):
             count * math.log2(max(sizes[window], 2))
             for window, count in batch_counts.items()
         )
-        return self.work(INGEST_OPS * len(events) + insert_ops, now)
+        finish = self.work(INGEST_OPS * len(events) + insert_ops, now)
+        if self._tracer.enabled and events:
+            self._tracer.record(
+                "ingest",
+                self.node_id,
+                now,
+                finish,
+                events=len(events),
+                ops=INGEST_OPS * len(events) + insert_ops,
+            )
+        return finish
 
     def on_window_complete(self, window: Window, now: float) -> None:
         """Seal ``window``, slice it, and send synopses to the root.
@@ -143,6 +153,17 @@ class DemaLocalNode(SimulatedNode):
         sliced = slice_sorted_events(events, self._gamma, self.node_id)
         self._pending[window] = sliced
         self._windows_completed += 1
+        if self._tracer.enabled:
+            self._tracer.record(
+                "slice",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                events=len(events),
+                gamma=self._gamma,
+                synopses=len(sliced.synopses),
+            )
         message = SynopsisMessage(
             sender=self.node_id,
             window=window,
@@ -246,6 +267,7 @@ class DemaLocalNode(SimulatedNode):
                     f"{request.window}"
                 )
         send_at = self.work(receive_ops(request.payload_bytes), now)
+        served = 0
         for slice_index in request.slice_indices:
             run = sliced.run_for(slice_index)
             send_at = self.work(_SERVE_OPS_PER_EVENT * len(run), send_at)
@@ -256,3 +278,14 @@ class DemaLocalNode(SimulatedNode):
                 events=run,
             )
             self.send(reply, self._root_id, send_at)
+            served += len(run)
+        if self._tracer.enabled and request.slice_indices:
+            self._tracer.record(
+                "serve_candidates",
+                self.node_id,
+                now,
+                send_at,
+                window=request.window,
+                slices=len(request.slice_indices),
+                events=served,
+            )

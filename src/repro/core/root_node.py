@@ -24,6 +24,7 @@ from repro.network.messages import (
     SynopsisRequestMessage,
     WindowReleaseMessage,
 )
+from repro.network.driver import MS_PER_SECOND
 from repro.network.simulator import SimulatedNode, merge_cost, receive_ops
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
@@ -70,6 +71,10 @@ class _WindowState:
     expected_runs: int = 0
     gamma_used: int = 0
     retries: int = 0
+    #: Tracing bookkeeping: the window's parent span id and the time the
+    #: candidate requests went out (start of the candidate_fetch phase).
+    window_span: int = 0
+    fetch_started: float = 0.0
 
 
 class DemaRootNode(SimulatedNode):
@@ -101,6 +106,12 @@ class DemaRootNode(SimulatedNode):
                 self._controller = AdaptiveGammaController(gamma=query.gamma)
         self._states: dict[Window, _WindowState] = {}
         self._outcomes: list[WindowOutcome] = []
+        #: Tombstones for released windows: a synopsis arriving for one of
+        #: these means the local never saw the release (it was lost) and is
+        #: resending; answering with a fresh release — instead of opening
+        #: phantom window state — keeps the protocol convergent.  Entries
+        #: expire once the local's own resend retries must have run out.
+        self._released: dict[Window, float] = {}
 
     @property
     def outcomes(self) -> list[WindowOutcome]:
@@ -142,6 +153,19 @@ class DemaRootNode(SimulatedNode):
 
     def _on_synopses(self, message: SynopsisMessage, now: float) -> None:
         now = self.work(receive_ops(message.payload_bytes), now)
+        if self._reliability is not None and self._was_released(
+            message.window, now
+        ):
+            # The window is already answered; this synopsis is a local
+            # resend, so the release we sent it must have been lost.
+            self.send(
+                WindowReleaseMessage(
+                    sender=self.node_id, window=message.window
+                ),
+                message.sender,
+                now,
+            )
+            return
         fresh = message.window not in self._states
         state = self._states.setdefault(message.window, _WindowState())
         if message.sender in state.synopses:
@@ -153,6 +177,15 @@ class DemaRootNode(SimulatedNode):
             )
         state.synopses[message.sender] = message.synopses
         state.sizes[message.sender] = message.local_window_size
+        if fresh and self._tracer.enabled:
+            # The window span covers the full end-to-end latency interval,
+            # so it starts at the window's event-time end, not at arrival.
+            state.window_span = self._tracer.begin(
+                "window",
+                self.node_id,
+                message.window.end / MS_PER_SECOND,
+                window=message.window,
+            )
         if fresh and self._reliability is not None:
             self._arm_timer(message.window, now)
         if len(state.synopses) == len(self._local_ids):
@@ -174,6 +207,31 @@ class DemaRootNode(SimulatedNode):
         if state.retries >= self._reliability.max_retries:
             self._states.pop(window)
             self._aborted_windows += 1
+            if self._tracer.enabled:
+                # Close out whichever phase the window died in, so aborted
+                # windows still partition their (truncated) lifetime.
+                if state.identification is None:
+                    self._tracer.record(
+                        "synopsis_wait",
+                        self.node_id,
+                        window.end / MS_PER_SECOND,
+                        now,
+                        window=window,
+                        parent=state.window_span,
+                        aborted=1,
+                    )
+                else:
+                    self._tracer.record(
+                        "candidate_fetch",
+                        self.node_id,
+                        state.fetch_started,
+                        now,
+                        window=window,
+                        parent=state.window_span,
+                        runs=len(state.runs),
+                        aborted=1,
+                    )
+                self._tracer.end(state.window_span, now, aborted=1)
             self._release(window, now)
             return
         state.retries += 1
@@ -201,8 +259,21 @@ class DemaRootNode(SimulatedNode):
                     self.send(request, local_id, now)
         self._arm_timer(window, now)
 
+    def _was_released(self, window: Window, now: float) -> bool:
+        """Whether ``window`` was already released (pruning stale tombstones)."""
+        expired = [w for w, expiry in self._released.items() if expiry <= now]
+        for stale in expired:
+            del self._released[stale]
+        return window in self._released
+
     def _release(self, window: Window, now: float) -> None:
         """Tell every local node to free its retained state for ``window``."""
+        assert self._reliability is not None
+        # A local that misses this release resends its synopsis every
+        # timeout until its own retries run out; remember the window long
+        # enough to answer every possible resend with a fresh release.
+        horizon = (self._reliability.max_retries + 2) * self._reliability.timeout_s
+        self._released[window] = now + horizon
         for local_id in self._local_ids:
             self.send(
                 WindowReleaseMessage(sender=self.node_id, window=window),
@@ -213,10 +284,27 @@ class DemaRootNode(SimulatedNode):
     def _identify(self, window: Window, state: _WindowState, now: float) -> None:
         state.gamma_used = self._gamma
         total = sum(state.sizes.values())
+        tracing = self._tracer.enabled
+        if tracing:
+            # synopsis_wait runs from the window's event-time end until the
+            # last synopsis has been received and deserialized; the phases
+            # recorded below are deliberately contiguous so that, per
+            # window, their durations sum to the end-to-end latency.
+            self._tracer.record(
+                "synopsis_wait",
+                self.node_id,
+                window.end / MS_PER_SECOND,
+                now,
+                window=window,
+                parent=state.window_span,
+                synopses=sum(len(batch) for batch in state.synopses.values()),
+            )
         if total == 0:
             self._states.pop(window)
             if self._reliability is not None:
                 self._release(window, now)
+            if tracing:
+                self._tracer.end(state.window_span, now, empty=1)
             self._outcomes.append(
                 WindowOutcome(
                     window=window,
@@ -239,6 +327,20 @@ class DemaRootNode(SimulatedNode):
         state.identification = identify(
             state.synopses, state.sizes, self._query.q
         )
+        if tracing:
+            self._tracer.record(
+                "identification",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                parent=state.window_span,
+                ops=ops,
+                synopses=n_synopses,
+                gamma=state.gamma_used,
+                rank=state.identification.rank,
+            )
+            state.fetch_started = finish
         state.expected_runs = sum(
             len(indices) for indices in state.identification.requests.values()
         )
@@ -278,6 +380,34 @@ class DemaRootNode(SimulatedNode):
         n = cut.candidate_events
         finish = self.work(merge_cost(n, max(len(state.runs), 1)), now)
         answer = calculate_quantile(cut, state.runs.values())
+        if self._tracer.enabled:
+            self._tracer.record(
+                "candidate_fetch",
+                self.node_id,
+                state.fetch_started,
+                now,
+                window=window,
+                parent=state.window_span,
+                runs=len(state.runs),
+                candidate_events=n,
+            )
+            self._tracer.record(
+                "calculation",
+                self.node_id,
+                now,
+                finish,
+                window=window,
+                parent=state.window_span,
+                candidate_events=n,
+                value=answer.value,
+            )
+            self._tracer.end(
+                state.window_span,
+                finish,
+                global_window_size=identification.global_window_size,
+                candidate_events=n,
+                gamma=state.gamma_used,
+            )
         self._states.pop(window)
         if self._reliability is not None:
             self._release(window, finish)

@@ -19,7 +19,7 @@ deterministic per-channel RNG so simulations stay reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, NetworkError
 from repro.network.messages import Message
@@ -41,11 +41,18 @@ class ChannelStats:
     bytes: int = 0
     events: int = 0
     dropped: int = 0
+    #: Bytes by concrete message class name (e.g. ``"SynopsisMessage"``) —
+    #: the per-message-type split the observability report renders.
+    bytes_by_type: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
         """Account one transmitted message."""
         self.messages += 1
         self.bytes += message.wire_bytes
+        kind = type(message).__name__
+        self.bytes_by_type[kind] = (
+            self.bytes_by_type.get(kind, 0) + message.wire_bytes
+        )
         events = getattr(message, "events", None)
         if events is not None:
             self.events += len(events)

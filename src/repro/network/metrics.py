@@ -76,6 +76,52 @@ class NetworkMetrics:
         """Alias of :meth:`bytes_received_by` (root ingress in the figures)."""
         return self.bytes_received_by(node_id)
 
+    @property
+    def mean_bytes_per_link(self) -> float:
+        """Mean bytes per channel; 0.0 with no channels."""
+        if not self.links:
+            return 0.0
+        return statistics.fmean(link.bytes for link in self.links)
+
+    @property
+    def max_link_bytes(self) -> int:
+        """Bytes on the busiest channel; 0 with no channels."""
+        return max((link.bytes for link in self.links), default=0)
+
+    def diff(self, earlier: "NetworkMetrics") -> "NetworkMetrics":
+        """Traffic between two snapshots of the *same* simulator.
+
+        ``NetworkMetrics.capture`` reads cumulative counters; capturing once
+        per window boundary and diffing consecutive snapshots yields the
+        per-window-interval traffic the paper plots over time.  Links absent
+        from ``earlier`` (e.g. channels connected mid-run) count in full.
+
+        Raises:
+            ValueError: If any counter went backwards, which means the two
+                snapshots are not ordered captures of one simulator.
+        """
+        baseline = {(link.src, link.dst): link for link in earlier.links}
+        links = []
+        for link in self.links:
+            before = baseline.get((link.src, link.dst))
+            if before is None:
+                links.append(link)
+                continue
+            delta = LinkUsage(
+                src=link.src,
+                dst=link.dst,
+                messages=link.messages - before.messages,
+                bytes=link.bytes - before.bytes,
+                events=link.events - before.events,
+            )
+            if delta.messages < 0 or delta.bytes < 0 or delta.events < 0:
+                raise ValueError(
+                    f"channel ({link.src}, {link.dst}) counters decreased; "
+                    "'earlier' is not an earlier snapshot of this simulator"
+                )
+            links.append(delta)
+        return NetworkMetrics(links=links)
+
     def reduction_vs(self, other: "NetworkMetrics") -> float:
         """Fractional byte reduction of ``self`` relative to ``other``.
 

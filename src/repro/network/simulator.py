@@ -23,6 +23,11 @@ from repro.errors import ConfigurationError, RoutingError, SimulationError
 from repro.network.channels import Channel
 from repro.network.messages import Message
 
+# MessageTrace moved to the observability event model; re-exported here so
+# ``from repro.network.simulator import MessageTrace`` keeps working.
+from repro.obs.events import MessageTrace
+from repro.obs.tracer import NOOP_TRACER, Tracer
+
 __all__ = [
     "CpuModel",
     "SimulatedNode",
@@ -81,36 +86,6 @@ def merge_cost(n: int, runs: int) -> float:
     return MERGE_OPS_PER_CMP * n * math.log2(runs)
 
 
-from dataclasses import dataclass
-
-
-@dataclass(frozen=True, slots=True)
-class MessageTrace:
-    """One routed message, as observed by a simulator trace hook.
-
-    ``delivered_at`` is ``None`` for messages lost on a lossy channel.
-    """
-
-    sent_at: float
-    delivered_at: float | None
-    src: int
-    dst: int
-    message: Message
-
-    def describe(self) -> str:
-        """One protocol-trace line (used by the debugging example)."""
-        kind = type(self.message).__name__.removesuffix("Message")
-        status = (
-            "LOST"
-            if self.delivered_at is None
-            else f"{(self.delivered_at - self.sent_at) * 1e6:7.1f} µs"
-        )
-        return (
-            f"t={self.sent_at * 1e3:9.3f} ms  {self.src} → {self.dst}  "
-            f"{kind:<16} {self.message.wire_bytes:>6} B  {status}"
-        )
-
-
 class CpuModel:
     """Serialized abstract-work executor for one node."""
 
@@ -159,6 +134,7 @@ class SimulatedNode:
         self._node_id = node_id
         self._cpu = CpuModel(ops_per_second)
         self._simulator: Simulator | None = None
+        self._tracer: Tracer = NOOP_TRACER
 
     @property
     def node_id(self) -> int:
@@ -185,6 +161,15 @@ class SimulatedNode:
         """Called by :meth:`Simulator.add_node`."""
         self._simulator = simulator
 
+    @property
+    def tracer(self) -> Tracer:
+        """The node's span tracer (the shared no-op tracer by default)."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer; engines call this on every node after build."""
+        self._tracer = tracer
+
     def send(self, message: Message, dst: int, now: float) -> None:
         """Transmit ``message`` to node ``dst`` starting at time ``now``."""
         self.simulator.route(message, self._node_id, dst, now)
@@ -208,6 +193,7 @@ class Simulator:
         self,
         *,
         trace: Callable[["MessageTrace"], None] | None = None,
+        tracer: Tracer = NOOP_TRACER,
     ) -> None:
         self._queue: list[tuple[float, int, Callable[[float], None]]] = []
         self._seq = 0
@@ -217,6 +203,12 @@ class Simulator:
         self._processed_events = 0
         self._started = False
         self._trace = trace
+        self._tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        """The run's span tracer (the shared no-op tracer by default)."""
+        return self._tracer
 
     @property
     def now(self) -> float:
@@ -300,16 +292,17 @@ class Simulator:
         """
         channel = self.channel(src, dst)
         delivery = channel.transmit(message, now)
-        if self._trace is not None:
-            self._trace(
-                MessageTrace(
-                    sent_at=now,
-                    delivered_at=delivery,
-                    src=src,
-                    dst=dst,
-                    message=message,
-                )
+        if self._trace is not None or self._tracer.enabled:
+            observed = MessageTrace(
+                sent_at=now,
+                delivered_at=delivery,
+                src=src,
+                dst=dst,
+                message=message,
             )
+            if self._trace is not None:
+                self._trace(observed)
+            self._tracer.record_message(observed)
         if delivery is None:
             return
         receiver = self._nodes[dst]

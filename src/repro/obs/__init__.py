@@ -1,0 +1,88 @@
+"""Unified observability: protocol tracing, metrics, exporters.
+
+The paper's evaluation (§4) reasons in per-node network cost, per-window
+latency and per-phase CPU work; this subpackage makes all three visible
+*inside* a run instead of as end-of-run snapshots:
+
+* :mod:`repro.obs.tracer` — span-based tracing of the Dema window
+  lifecycle (ingest → slice → synopsis → identification → candidate fetch →
+  calculation → result) on the simulated clock.  A no-op tracer is the
+  default everywhere, so disabled runs pay nothing.
+* :mod:`repro.obs.events` — the shared timeline event model; the home of
+  :class:`MessageTrace` (formerly in :mod:`repro.network.simulator`).
+* :mod:`repro.obs.metrics` — a Prometheus-style registry of counters,
+  gauges and histograms, fed live by the recording tracer.
+* :mod:`repro.obs.export` — JSONL, Chrome ``trace_event`` and Prometheus
+  text renderings of a traced run.
+* :mod:`repro.obs.report` — per-phase latency/byte breakdown tables
+  (``python -m repro report``).
+* :mod:`repro.obs.scenarios` — small named deployments for
+  ``python -m repro trace``.
+
+Attach a tracer by passing it to any engine::
+
+    from repro import DemaEngine, QuantileQuery, TopologyConfig
+    from repro.obs import RecordingTracer
+    from repro.obs.export import write_chrome_trace
+
+    tracer = RecordingTracer()
+    engine = DemaEngine(QuantileQuery(q=0.5, gamma=16),
+                        TopologyConfig(n_local_nodes=2), tracer=tracer)
+    engine.run(streams)
+    write_chrome_trace("run.json", tracer)   # open in chrome://tracing
+    print(tracer.registry.render_prometheus())
+"""
+
+from repro.obs.events import MessageTrace, message_to_dict
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    RecordingTracer,
+    Span,
+    Tracer,
+    span_to_dict,
+)
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    trace_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.report import (
+    MessageSummary,
+    PhaseSummary,
+    WindowBreakdown,
+    format_report,
+    message_summary,
+    phase_summary,
+    window_breakdown,
+)
+
+__all__ = [
+    "MessageTrace",
+    "message_to_dict",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "RecordingTracer",
+    "Span",
+    "Tracer",
+    "span_to_dict",
+    "chrome_trace",
+    "read_jsonl",
+    "trace_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+    "MessageSummary",
+    "PhaseSummary",
+    "WindowBreakdown",
+    "format_report",
+    "message_summary",
+    "phase_summary",
+    "window_breakdown",
+]

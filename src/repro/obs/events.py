@@ -1,0 +1,70 @@
+"""Observability event model: everything a run can put on one timeline.
+
+Two record kinds share the simulated-clock timeline:
+
+* :class:`MessageTrace` — one routed message, observed by the simulator's
+  trace hook at the moment it leaves its source channel.  This class
+  originated in :mod:`repro.network.simulator`; it now lives here so that
+  message-level and span-level views are one event model (the old import
+  path remains valid as a deprecated alias).
+* :class:`~repro.obs.tracer.Span` — one named phase of work on one node
+  (defined next to the tracer that records it).
+
+Both serialize to the same JSONL stream (see :mod:`repro.obs.export`), so a
+single trace file interleaves protocol traffic with the compute phases it
+triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a cycle with
+    # repro.network.simulator, which imports this module at runtime.
+    from repro.network.messages import Message
+
+__all__ = ["MessageTrace", "message_to_dict"]
+
+
+@dataclass(frozen=True, slots=True)
+class MessageTrace:
+    """One routed message, as observed by a simulator trace hook.
+
+    ``delivered_at`` is ``None`` for messages lost on a lossy channel.
+    """
+
+    sent_at: float
+    delivered_at: float | None
+    src: int
+    dst: int
+    message: Message
+
+    def describe(self) -> str:
+        """One protocol-trace line (used by the debugging example)."""
+        kind = type(self.message).__name__.removesuffix("Message")
+        status = (
+            "LOST"
+            if self.delivered_at is None
+            else f"{(self.delivered_at - self.sent_at) * 1e6:7.1f} µs"
+        )
+        return (
+            f"t={self.sent_at * 1e3:9.3f} ms  {self.src} → {self.dst}  "
+            f"{kind:<16} {self.message.wire_bytes:>6} B  {status}"
+        )
+
+
+def message_to_dict(trace: MessageTrace) -> dict:
+    """Flatten one message observation for JSONL export."""
+    events = getattr(trace.message, "events", None)
+    return {
+        "kind": "message",
+        "type": type(trace.message).__name__,
+        "src": trace.src,
+        "dst": trace.dst,
+        "sent": trace.sent_at,
+        "delivered": trace.delivered_at,
+        "bytes": trace.message.wire_bytes,
+        "events": len(events) if events is not None else 0,
+        "window": [trace.message.window.start, trace.message.window.end],
+    }

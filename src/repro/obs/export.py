@@ -1,0 +1,171 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three renderings of one traced run:
+
+* **JSONL** — one record per line, spans and messages interleaved on the
+  simulated timeline.  Lossless; ``python -m repro report`` consumes it.
+* **Chrome trace** — the ``trace_event`` format understood by
+  ``chrome://tracing`` and Perfetto.  Spans become complete (``"ph": "X"``)
+  events on per-node tracks; messages become events on a per-node network
+  track, so channel occupancy renders as a second lane under each node's
+  compute lane.
+* **Prometheus text** — the metrics registry's scrape rendering, delegated
+  to :meth:`repro.obs.metrics.MetricsRegistry.render_prometheus`.
+
+Simulated seconds are converted to microseconds for Chrome (its native
+timestamp unit), so a 100 µs link latency is visible at full resolution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import RecordingTracer
+
+__all__ = [
+    "trace_records",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+]
+
+#: Chrome trace timestamps are microseconds.
+_US_PER_S = 1e6
+
+#: Synthetic thread ids inside each node's process: compute vs. network.
+_COMPUTE_TRACK = 0
+_NETWORK_TRACK = 1
+
+
+def trace_records(tracer: RecordingTracer) -> list[dict]:
+    """Flatten a tracer's spans + messages into timeline-ordered dicts."""
+    return tracer.records()
+
+
+def write_jsonl(path: str | Path, tracer: RecordingTracer) -> int:
+    """Write one record per line; returns the number of records."""
+    rows = trace_records(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return len(rows)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL trace back into record dicts.
+
+    Raises:
+        ConfigurationError: If a line is not a JSON object or lacks the
+            ``kind`` discriminator.
+    """
+    rows: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{path}:{number}: not valid JSON ({error})"
+                ) from None
+            if not isinstance(row, dict) or "kind" not in row:
+                raise ConfigurationError(
+                    f"{path}:{number}: expected an object with a 'kind' field"
+                )
+            rows.append(row)
+    return rows
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Convert trace records to a Chrome ``trace_event`` document.
+
+    Spans map to complete events on ``pid = node`` / ``tid = 0``; messages
+    map to complete events on the *sender's* ``tid = 1`` network track with
+    their transfer-plus-latency duration (lost messages get a ``lost``
+    arg and zero duration).
+    """
+    events: list[dict] = []
+    pids: set[int] = set()
+    for record in records:
+        if record["kind"] == "span":
+            pids.add(record["node"])
+            events.append({
+                "name": record["name"],
+                "cat": "span",
+                "ph": "X",
+                "pid": record["node"],
+                "tid": _COMPUTE_TRACK,
+                "ts": record["start"] * _US_PER_S,
+                "dur": max(record["end"] - record["start"], 0.0) * _US_PER_S,
+                "args": {
+                    "id": record["id"],
+                    "parent": record["parent"],
+                    "window": record["window"],
+                    **record.get("attrs", {}),
+                },
+            })
+        elif record["kind"] == "message":
+            pids.add(record["src"])
+            delivered = record["delivered"]
+            duration = (
+                (delivered - record["sent"]) if delivered is not None else 0.0
+            )
+            events.append({
+                "name": f"{record['type']} → {record['dst']}",
+                "cat": "message",
+                "ph": "X",
+                "pid": record["src"],
+                "tid": _NETWORK_TRACK,
+                "ts": record["sent"] * _US_PER_S,
+                "dur": duration * _US_PER_S,
+                "args": {
+                    "bytes": record["bytes"],
+                    "events": record["events"],
+                    "lost": delivered is None,
+                    "window": record.get("window"),
+                },
+            })
+    for pid in sorted(pids):
+        label = "node 0 (root)" if pid == 0 else f"node {pid}"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": _COMPUTE_TRACK, "args": {"name": "compute"},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": _NETWORK_TRACK, "args": {"name": "network out"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, source: RecordingTracer | Sequence[dict]
+) -> int:
+    """Write a Chrome trace JSON file; returns the number of trace events."""
+    records = (
+        trace_records(source)
+        if isinstance(source, RecordingTracer)
+        else list(source)
+    )
+    document = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+def write_prometheus(path: str | Path, tracer: RecordingTracer) -> None:
+    """Write the tracer's metrics registry in Prometheus text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tracer.registry.render_prometheus())

@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges and histograms with text rendering.
+
+The registry follows the Prometheus data model — named metric families,
+instruments distinguished by label sets, histograms with cumulative-bucket
+rendering — but stays dependency-free and in-process: simulations are
+single-threaded and deterministic, so there is no locking and no clock.
+Every instrument is get-or-create, so instrumentation sites can call
+``registry.counter("bytes_total", type="SynopsisMessage").inc(n)`` without
+registration ceremony.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets, sized for simulated-seconds span durations
+#: (100 µs discrete-event latencies up to multi-second backlogs).
+DEFAULT_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter.
+
+        Raises:
+            ConfigurationError: On a negative increment.
+        """
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (utilization, queue depth)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's level."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self._value += amount
+
+
+class Histogram:
+    """A distribution with fixed upper-bound buckets.
+
+    Buckets are stored per-interval and rendered cumulatively (the
+    Prometheus convention, including the implicit ``+Inf`` bucket).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_inf", "_sum", "_count")
+
+    def __init__(
+        self, name: str, labels: _LabelKey, buckets: tuple[float, ...]
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name} needs ascending, non-empty buckets"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * len(self.buckets)
+        self._inf = 0
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        self._inf += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self._inf))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket boundaries (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self._count))
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            if running >= target:
+                return bound
+        return math.inf
+
+
+class MetricsRegistry:
+    """Keeps every instrument of one run; renders Prometheus text format."""
+
+    _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._families: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+        self._instruments: dict[tuple[str, _LabelKey], object] = {}
+
+    def _get(
+        self, kind: str, name: str, help_: str, labels: Mapping[str, str],
+        buckets: tuple[float, ...] | None = None,
+    ):
+        family = self._families.get(name)
+        if family is None:
+            self._families[name] = kind
+            self._help[name] = help_
+        elif family != kind:
+            raise ConfigurationError(
+                f"metric {name} already registered as a {family}"
+            )
+        elif help_ and not self._help[name]:
+            self._help[name] = help_
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            if kind == "histogram":
+                instrument = Histogram(name, key[1], buckets or DEFAULT_BUCKETS)
+            else:
+                instrument = self._TYPES[kind](name, key[1])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help_: str = "", **labels: str) -> Counter:
+        """Get or create a counter for this name + label set."""
+        return self._get("counter", name, help_, labels)
+
+    def gauge(self, name: str, help_: str = "", **labels: str) -> Gauge:
+        """Get or create a gauge for this name + label set."""
+        return self._get("gauge", name, help_, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_: str = "",
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create a histogram for this name + label set."""
+        return self._get("histogram", name, help_, labels, buckets)
+
+    def instruments(self) -> Iterator[object]:
+        """All instruments, grouped by family name then label set."""
+        for key in sorted(self._instruments, key=lambda k: (k[0], k[1])):
+            yield self._instruments[key]
+
+    def value(self, name: str, **labels: str) -> float:
+        """Read one counter/gauge value; 0.0 if never touched.
+
+        Raises:
+            ConfigurationError: If ``name`` names a histogram family.
+        """
+        if self._families.get(name) == "histogram":
+            raise ConfigurationError(
+                f"metric {name} is a histogram; read it via its instrument"
+            )
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_families: set[str] = set()
+        for instrument in self.instruments():
+            name = instrument.name  # type: ignore[attr-defined]
+            if name not in seen_families:
+                seen_families.add(name)
+                help_ = self._help.get(name, "")
+                if help_:
+                    lines.append(f"# HELP {name} {help_}")
+                lines.append(f"# TYPE {name} {self._families[name]}")
+            if isinstance(instrument, Histogram):
+                for bound, count in instrument.cumulative_buckets():
+                    le = "+Inf" if math.isinf(bound) else repr(bound)
+                    labels = _render_labels(instrument.labels, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {count}")
+                labels = _render_labels(instrument.labels)
+                lines.append(f"{name}_sum{labels} {instrument.sum}")
+                lines.append(f"{name}_count{labels} {instrument.count}")
+            else:
+                labels = _render_labels(instrument.labels)  # type: ignore[attr-defined]
+                value = instrument.value  # type: ignore[attr-defined]
+                lines.append(f"{name}{labels} {_format_number(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,308 @@
+"""Span tracer for the simulated window lifecycle.
+
+A *span* is one named phase of work on one node — ``ingest``, ``slice``,
+``identification``, ``candidate_fetch``, ``calculation`` — with start/end
+times from the simulated clock and free-form numeric attributes (event
+counts, byte counts, γ in force).  Spans nest through ``parent_id``: the
+root opens one ``window`` span per global window and hangs its protocol
+phases off it, so an exported trace shows exactly where inside a window's
+lifecycle time and bytes go.
+
+Tracing is **off by default and free when off**: every node and engine holds
+the module-level :data:`NOOP_TRACER`, whose ``enabled`` flag is ``False``.
+Instrumentation sites guard on that flag, so a disabled run pays one
+attribute check per *window phase* (never per event) and allocates nothing.
+
+:class:`RecordingTracer` collects spans and :class:`MessageTrace` records on
+one timeline and simultaneously feeds a :class:`MetricsRegistry` — span
+counts and durations, bytes by message type, loss and retransmit counters —
+so a single traced run yields both a flamegraph-ready trace and a
+Prometheus-style scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.obs.events import MessageTrace
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.simulator import Simulator
+    from repro.streaming.windows import Window
+
+__all__ = ["Span", "Tracer", "NOOP_TRACER", "RecordingTracer", "span_to_dict"]
+
+#: Message types that legitimately repeat within one (window, sender) pair,
+#: excluded from duplicate-as-retransmit detection.
+_STREAMING_MESSAGES = frozenset(
+    {"EventBatchMessage", "WatermarkMessage", "ResultMessage"}
+)
+
+
+@dataclass(slots=True)
+class Span:
+    """One phase of work on one node, on the simulated clock."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    node_id: int
+    start: float
+    end: float
+    window: "Window | None" = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.start
+
+
+def span_to_dict(span: Span) -> dict:
+    """Flatten one span for JSONL export."""
+    return {
+        "kind": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "node": span.node_id,
+        "start": span.start,
+        "end": span.end,
+        "window": (
+            [span.window.start, span.window.end]
+            if span.window is not None
+            else None
+        ),
+        "attrs": dict(span.attrs),
+    }
+
+
+class Tracer:
+    """No-op tracer: the default on every node, engine and simulator.
+
+    All methods do nothing and return immediately; ``enabled`` is ``False``
+    so instrumentation sites can skip even argument construction.  Subclass
+    and flip ``enabled`` to actually record (see :class:`RecordingTracer`).
+    """
+
+    enabled: bool = False
+
+    def begin(
+        self,
+        name: str,
+        node_id: int,
+        start: float,
+        *,
+        window: "Window | None" = None,
+        parent: int | None = None,
+        **attrs: float,
+    ) -> int:
+        """Open a span; returns its id (0 for the no-op tracer)."""
+        return 0
+
+    def end(self, span_id: int, end: float, **attrs: float) -> None:
+        """Close the span opened as ``span_id`` at time ``end``."""
+
+    def record(
+        self,
+        name: str,
+        node_id: int,
+        start: float,
+        end: float,
+        *,
+        window: "Window | None" = None,
+        parent: int | None = None,
+        **attrs: float,
+    ) -> int:
+        """Record a complete span in one call; returns its id (0 here)."""
+        return 0
+
+    def record_message(self, trace: MessageTrace) -> None:
+        """Observe one routed message (called by the simulator)."""
+
+    def finalize(self, simulator: "Simulator", duration: float) -> None:
+        """Capture end-of-run gauges (CPU busy fractions, channel totals)."""
+
+
+#: The shared do-nothing tracer; safe to hand to any number of nodes.
+NOOP_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Collects spans + messages and keeps live metrics while recording."""
+
+    enabled = True
+
+    def __init__(self, *, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._spans: list[Span] = []
+        self._open: dict[int, Span] = {}
+        self._messages: list[MessageTrace] = []
+        self._next_id = 1
+        self._seen_messages: set = set()
+
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans ordered by start time (ties by creation)."""
+        return sorted(self._spans, key=lambda s: (s.start, s.span_id))
+
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended."""
+        return len(self._open)
+
+    @property
+    def messages(self) -> list[MessageTrace]:
+        """Observed messages in send order."""
+        return list(self._messages)
+
+    def begin(
+        self,
+        name: str,
+        node_id: int,
+        start: float,
+        *,
+        window: "Window | None" = None,
+        parent: int | None = None,
+        **attrs: float,
+    ) -> int:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent or None,
+            name=name,
+            node_id=node_id,
+            start=start,
+            end=start,
+            window=window,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._open[span.span_id] = span
+        return span.span_id
+
+    def end(self, span_id: int, end: float, **attrs: float) -> None:
+        span = self._open.pop(span_id, None)
+        if span is None:
+            raise ConfigurationError(
+                f"span {span_id} is not open (ended twice or never begun)"
+            )
+        span.end = end
+        span.attrs.update(attrs)
+        self._spans.append(span)
+        self._span_metrics(span)
+
+    def record(
+        self,
+        name: str,
+        node_id: int,
+        start: float,
+        end: float,
+        *,
+        window: "Window | None" = None,
+        parent: int | None = None,
+        **attrs: float,
+    ) -> int:
+        span_id = self.begin(
+            name, node_id, start, window=window, parent=parent, **attrs
+        )
+        self.end(span_id, end)
+        return span_id
+
+    def _span_metrics(self, span: Span) -> None:
+        registry = self.registry
+        registry.counter(
+            "spans_total", "Completed spans by phase.", phase=span.name
+        ).inc()
+        registry.counter(
+            "span_seconds_total",
+            "Summed span duration by phase, simulated seconds.",
+            phase=span.name,
+        ).inc(span.duration)
+        registry.histogram(
+            "span_duration_seconds",
+            "Span duration distribution by phase.",
+            phase=span.name,
+        ).observe(span.duration)
+
+    def record_message(self, trace: MessageTrace) -> None:
+        self._messages.append(trace)
+        registry = self.registry
+        message = trace.message
+        kind = type(message).__name__
+        registry.counter(
+            "messages_total", "Messages sent by type.", type=kind
+        ).inc()
+        registry.counter(
+            "bytes_total", "Bytes on the wire by message type.", type=kind
+        ).inc(message.wire_bytes)
+        events = getattr(message, "events", None)
+        if events is not None:
+            registry.counter(
+                "events_on_wire_total",
+                "Raw events that crossed a channel, by message type.",
+                type=kind,
+            ).inc(len(events))
+        if trace.delivered_at is None:
+            registry.counter(
+                "messages_lost_total", "Messages lost in transit.", type=kind
+            ).inc()
+        if kind not in _STREAMING_MESSAGES:
+            key = (
+                kind,
+                trace.src,
+                trace.dst,
+                message.window,
+                getattr(message, "slice_index", None),
+                getattr(message, "slice_indices", None),
+            )
+            if key in self._seen_messages:
+                registry.counter(
+                    "retransmits_total",
+                    "Protocol messages sent more than once "
+                    "(reliability retries).",
+                    type=kind,
+                ).inc()
+            else:
+                self._seen_messages.add(key)
+
+    def finalize(self, simulator: "Simulator", duration: float) -> None:
+        registry = self.registry
+        for node_id, node in sorted(simulator.nodes.items()):
+            busy = (
+                node.cpu.total_ops / (node.cpu.ops_per_second * duration)
+                if duration > 0
+                else 0.0
+            )
+            registry.gauge(
+                "node_cpu_busy_fraction",
+                "Fraction of the run each node's CPU was busy.",
+                node=str(node_id),
+            ).set(min(busy, 1.0))
+            registry.gauge(
+                "node_cpu_total_ops",
+                "Abstract operations accepted per node.",
+                node=str(node_id),
+            ).set(node.cpu.total_ops)
+        for (src, dst), channel in sorted(simulator.channels.items()):
+            registry.gauge(
+                "channel_bytes",
+                "Bytes that crossed each directed channel.",
+                src=str(src), dst=str(dst),
+            ).set(channel.stats.bytes)
+            registry.gauge(
+                "channel_dropped_messages",
+                "Messages dropped by each lossy channel.",
+                src=str(src), dst=str(dst),
+            ).set(channel.stats.dropped)
+
+    def records(self) -> list[dict]:
+        """Spans and messages flattened to dicts, ordered by timeline."""
+        from repro.obs.events import message_to_dict
+
+        rows = [span_to_dict(span) for span in self.spans]
+        rows.extend(message_to_dict(trace) for trace in self._messages)
+        rows.sort(key=lambda r: r.get("start", r.get("sent", 0.0)))
+        return rows

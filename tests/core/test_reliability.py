@@ -123,6 +123,26 @@ class TestExactnessUnderLoss:
         for outcome in plain.outcomes:
             assert outcome.value == truth[outcome.window]
 
+    def test_lost_release_answered_with_fresh_release(self):
+        # Regression: when a WindowReleaseMessage is lost, the local keeps
+        # resending its synopsis.  The root must answer the resend with a
+        # fresh release — not open phantom state for the already-answered
+        # window, wait for the *other* locals' synopses (which never come),
+        # and abort.  Found by the end-to-end hypothesis property test.
+        from repro.streaming.events import Event
+
+        streams = {1: [Event(value=0.0, timestamp=0, node_id=1, seq=0)], 2: []}
+        query = QuantileQuery(q=1.0, window_length_ms=1000, gamma=2)
+        engine = DemaEngine(
+            query,
+            TopologyConfig(n_local_nodes=2, loss_rate=0.1, loss_seed=33),
+            reliability=ReliabilityConfig(timeout_s=0.05, max_retries=30),
+        )
+        report = engine.run(streams)
+        assert engine.root.aborted_windows == 0
+        assert engine.root.open_windows == 0
+        assert [o.value for o in report.outcomes] == [0.0]
+
     def test_local_state_released(self):
         engine, _, _ = run_lossy(
             0.10, reliability=ReliabilityConfig(max_retries=30)

@@ -59,6 +59,20 @@ class TestNetworkMetrics:
         assert metrics.bytes_received_by(0) == 96
         assert metrics.bytes_into(0) == metrics.bytes_received_by(0)
 
+    def test_empty_simulator_statistics(self):
+        simulator = Simulator()
+        simulator.add_node(Sink(0))
+        metrics = NetworkMetrics.capture(simulator)
+        assert metrics.links == []
+        assert metrics.total_bytes == 0
+        assert metrics.mean_bytes_per_link == 0.0
+        assert metrics.max_link_bytes == 0
+
+    def test_mean_and_max_link_bytes(self):
+        metrics = NetworkMetrics.capture(simulate_traffic())
+        assert metrics.max_link_bytes == 72
+        assert metrics.mean_bytes_per_link == pytest.approx((72 + 24 + 0) / 3)
+
     def test_reduction_vs(self):
         heavy = NetworkMetrics.capture(simulate_traffic())
         simulator = Simulator()
@@ -66,6 +80,69 @@ class TestNetworkMetrics:
         light = NetworkMetrics.capture(simulator)
         assert light.reduction_vs(heavy) == pytest.approx(1.0)
         assert heavy.reduction_vs(light) == 0.0  # vacuous baseline
+
+
+class TestDiff:
+    def _send(self, simulator, src, n_events):
+        events = tuple(make_events(list(range(n_events)), node_id=src))
+        simulator.schedule(
+            simulator.now,
+            lambda t: simulator.nodes[src].send(
+                EventBatchMessage(sender=src, window=WINDOW, events=events),
+                0, t,
+            ),
+        )
+        simulator.run()
+
+    def test_diff_isolates_interval_traffic(self):
+        simulator = Simulator()
+        for node_id in (0, 1):
+            simulator.add_node(Sink(node_id))
+        simulator.connect(Channel(1, 0))
+        self._send(simulator, 1, 2)
+        earlier = NetworkMetrics.capture(simulator)
+        self._send(simulator, 1, 3)
+        later = NetworkMetrics.capture(simulator)
+
+        interval = later.diff(earlier)
+        assert interval.total_messages == 1
+        assert interval.total_events_on_wire == 3
+        assert interval.total_bytes == later.total_bytes - earlier.total_bytes
+
+    def test_diff_against_self_is_zero(self):
+        simulator = simulate_traffic()
+        metrics = NetworkMetrics.capture(simulator)
+        zero = metrics.diff(metrics)
+        assert zero.total_bytes == 0
+        assert zero.total_messages == 0
+        assert len(zero.links) == len(metrics.links)
+
+    def test_diff_counts_new_links_in_full(self):
+        simulator = Simulator()
+        for node_id in (0, 1, 2):
+            simulator.add_node(Sink(node_id))
+        simulator.connect(Channel(1, 0))
+        self._send(simulator, 1, 2)
+        earlier = NetworkMetrics.capture(simulator)
+        simulator.connect(Channel(2, 0))
+        self._send(simulator, 2, 4)
+        later = NetworkMetrics.capture(simulator)
+
+        interval = later.diff(earlier)
+        new_link = next(l for l in interval.links if l.src == 2)
+        assert new_link.events == 4
+        assert interval.total_events_on_wire == 4
+
+    def test_diff_rejects_reversed_snapshots(self):
+        simulator = Simulator()
+        for node_id in (0, 1):
+            simulator.add_node(Sink(node_id))
+        simulator.connect(Channel(1, 0))
+        earlier = NetworkMetrics.capture(simulator)
+        self._send(simulator, 1, 2)
+        later = NetworkMetrics.capture(simulator)
+        with pytest.raises(ValueError):
+            earlier.diff(later)
 
 
 class TestLatencyStats:

@@ -1,0 +1,152 @@
+"""Tests for the JSONL, Chrome trace and Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.messages import Message, SynopsisMessage
+from repro.obs.events import MessageTrace, message_to_dict
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    trace_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.tracer import RecordingTracer
+from repro.streaming.windows import Window
+
+WINDOW = Window(0, 1000)
+
+
+def sample_tracer() -> RecordingTracer:
+    tracer = RecordingTracer()
+    parent = tracer.begin("window", 0, 1.0, window=WINDOW)
+    tracer.record("identification", 0, 1.0, 1.1, window=WINDOW, parent=parent)
+    tracer.end(parent, 1.5)
+    message = SynopsisMessage(sender=1, window=WINDOW)
+    tracer.record_message(MessageTrace(0.9, 1.0, 1, 0, message))
+    lost = Message(sender=2, window=WINDOW)
+    tracer.record_message(MessageTrace(0.95, None, 2, 0, lost))
+    return tracer
+
+
+class TestMessageToDict:
+    def test_fields(self):
+        message = SynopsisMessage(sender=1, window=WINDOW)
+        row = message_to_dict(MessageTrace(0.9, 1.0, 1, 0, message))
+        assert row["kind"] == "message"
+        assert row["type"] == "SynopsisMessage"
+        assert row["src"] == 1
+        assert row["dst"] == 0
+        assert row["sent"] == 0.9
+        assert row["delivered"] == 1.0
+        assert row["bytes"] == message.wire_bytes
+        assert row["window"] == [0, 1000]
+
+    def test_lost_message_has_null_delivery(self):
+        row = message_to_dict(
+            MessageTrace(0.9, None, 1, 0, Message(sender=1, window=WINDOW))
+        )
+        assert row["delivered"] is None
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "run.trace.jsonl"
+        count = write_jsonl(path, tracer)
+        assert count == 4
+        rows = read_jsonl(path)
+        assert rows == trace_records(tracer)
+
+    def test_lines_are_independent_json(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        write_jsonl(path, sample_tracer())
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 4
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"}\n\n{"kind": "message"}\n')
+        assert len(read_jsonl(path)) == 2
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            read_jsonl(path)
+
+    def test_read_rejects_records_without_kind(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_text('{"name": "window"}\n')
+        with pytest.raises(ConfigurationError):
+            read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        document = chrome_trace(trace_records(sample_tracer()))
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert phases == {"X", "M"}
+
+    def test_spans_on_compute_track_in_microseconds(self):
+        document = chrome_trace(trace_records(sample_tracer()))
+        span = next(
+            e for e in document["traceEvents"] if e["name"] == "identification"
+        )
+        assert span["pid"] == 0
+        assert span["tid"] == 0
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(0.1e6)
+
+    def test_messages_on_sender_network_track(self):
+        document = chrome_trace(trace_records(sample_tracer()))
+        message = next(
+            e for e in document["traceEvents"]
+            if e["name"].startswith("SynopsisMessage")
+        )
+        assert message["pid"] == 1
+        assert message["tid"] == 1
+        assert message["args"]["lost"] is False
+
+    def test_lost_message_zero_duration(self):
+        document = chrome_trace(trace_records(sample_tracer()))
+        lost = next(
+            e for e in document["traceEvents"]
+            if e.get("args", {}).get("lost") is True
+        )
+        assert lost["dur"] == 0.0
+
+    def test_metadata_names_root_process(self):
+        document = chrome_trace(trace_records(sample_tracer()))
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["name"] == "process_name"
+        }
+        assert "node 0 (root)" in names
+
+    def test_write_accepts_tracer_or_records(self, tmp_path):
+        tracer = sample_tracer()
+        from_tracer = write_chrome_trace(tmp_path / "a.json", tracer)
+        from_records = write_chrome_trace(
+            tmp_path / "b.json", trace_records(tracer)
+        )
+        assert from_tracer == from_records
+        document = json.loads((tmp_path / "a.json").read_text())
+        assert len(document["traceEvents"]) == from_tracer
+
+
+class TestPrometheusFile:
+    def test_write(self, tmp_path):
+        path = tmp_path / "run.prom"
+        write_prometheus(path, sample_tracer())
+        text = path.read_text()
+        assert "# TYPE spans_total counter" in text
+        assert 'messages_lost_total{type="Message"} 1' in text

@@ -1,0 +1,153 @@
+"""Tests for the metrics registry and its Prometheus text rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("windows_completed_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("bytes_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("messages_total", type="SynopsisMessage")
+        second = registry.counter("messages_total", type="SynopsisMessage")
+        assert first is second
+
+    def test_label_sets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("messages_total", type="SynopsisMessage").inc()
+        registry.counter("messages_total", type="ResultMessage").inc(2)
+        assert registry.value("messages_total", type="SynopsisMessage") == 1
+        assert registry.value("messages_total", type="ResultMessage") == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("channel_bytes", src="1", dst="0").inc(10)
+        assert registry.value("channel_bytes", dst="0", src="1") == 10
+
+
+class TestGauge:
+    def test_set_and_shift(self):
+        gauge = MetricsRegistry().gauge("node_cpu_busy_fraction", node="1")
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+        gauge.inc(-0.25)
+        assert gauge.value == pytest.approx(0.5)
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("lat", (), (0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+        assert histogram.cumulative_buckets() == [
+            (0.1, 1), (1.0, 2), (math.inf, 3),
+        ]
+
+    def test_quantile_from_buckets(self):
+        histogram = Histogram("lat", (), (0.1, 1.0, 10.0))
+        for _ in range(9):
+            histogram.observe(0.05)
+        histogram.observe(2.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(0.99) == 10.0
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram("lat", (), (1.0,)).quantile(0.5) == 0.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", (), (1.0, 0.1))
+
+    def test_default_buckets_cover_span_durations(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-5
+        assert DEFAULT_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("messages_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("messages_total")
+
+    def test_value_of_untouched_metric_is_zero(self):
+        assert MetricsRegistry().value("nothing", type="x") == 0.0
+
+    def test_value_refuses_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("span_duration_seconds")
+        with pytest.raises(ConfigurationError):
+            registry.value("span_duration_seconds")
+
+    def test_instruments_sorted_by_family_then_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", type="z")
+        registry.counter("b_total", type="a")
+        registry.counter("a_total")
+        names = [
+            (instrument.name, instrument.labels)
+            for instrument in registry.instruments()
+        ]
+        assert names == [
+            ("a_total", ()),
+            ("b_total", (("type", "a"),)),
+            ("b_total", (("type", "z"),)),
+        ]
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "messages_total", "Messages sent by type.", type="SynopsisMessage"
+        ).inc(7)
+        registry.gauge("node_cpu_busy_fraction", node="0").set(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP messages_total Messages sent by type." in text
+        assert "# TYPE messages_total counter" in text
+        assert 'messages_total{type="SynopsisMessage"} 7' in text
+        assert 'node_cpu_busy_fraction{node="0"} 0.25' in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 0.55" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_help_appears_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_total", "Bytes by type.", type="A").inc()
+        registry.counter("bytes_total", "Bytes by type.", type="B").inc()
+        text = registry.render_prometheus()
+        assert text.count("# HELP bytes_total") == 1
+        assert text.count("# TYPE bytes_total") == 1

@@ -1,0 +1,155 @@
+"""Tests for the per-phase / per-window breakdown report."""
+
+import pytest
+
+from repro.obs.report import (
+    format_report,
+    message_summary,
+    phase_summary,
+    window_breakdown,
+)
+
+
+def span(id_, name, start, end, *, parent=None, node=0, window=(0, 1000)):
+    return {
+        "kind": "span", "id": id_, "parent": parent, "name": name,
+        "node": node, "start": start, "end": end,
+        "window": list(window) if window else None, "attrs": {},
+    }
+
+
+def message(type_, *, bytes_=100, events=0, delivered=1.0):
+    return {
+        "kind": "message", "type": type_, "src": 1, "dst": 0,
+        "sent": 0.9, "delivered": delivered, "bytes": bytes_,
+        "events": events, "window": [0, 1000],
+    }
+
+
+class TestPhaseSummary:
+    def test_aggregates_per_name(self):
+        records = [
+            span(1, "ingest", 0.0, 0.2, node=1),
+            span(2, "ingest", 1.0, 1.1, node=2),
+            span(3, "calculation", 0.0, 0.05),
+        ]
+        summaries = {s.name: s for s in phase_summary(records)}
+        ingest = summaries["ingest"]
+        assert ingest.count == 2
+        assert ingest.total_s == pytest.approx(0.3)
+        assert ingest.mean_s == pytest.approx(0.15)
+        assert ingest.max_s == pytest.approx(0.2)
+
+    def test_ordered_by_total_time(self):
+        records = [
+            span(1, "short", 0.0, 0.01),
+            span(2, "long", 0.0, 1.0),
+        ]
+        assert [s.name for s in phase_summary(records)] == ["short", "long"][::-1]
+
+    def test_ignores_messages(self):
+        assert phase_summary([message("SynopsisMessage")]) == []
+
+
+class TestMessageSummary:
+    def test_aggregates_per_type(self):
+        records = [
+            message("SynopsisMessage", bytes_=50),
+            message("SynopsisMessage", bytes_=70, delivered=None),
+            message("CandidateEventsMessage", bytes_=500, events=10),
+        ]
+        summaries = {s.type: s for s in message_summary(records)}
+        synopsis = summaries["SynopsisMessage"]
+        assert synopsis.count == 2
+        assert synopsis.bytes == 120
+        assert synopsis.lost == 1
+        assert summaries["CandidateEventsMessage"].events == 10
+
+    def test_ordered_by_bytes(self):
+        records = [
+            message("Small", bytes_=10),
+            message("Big", bytes_=1000),
+        ]
+        assert [s.type for s in message_summary(records)] == ["Big", "Small"]
+
+
+class TestWindowBreakdown:
+    def test_children_partition_the_window(self):
+        records = [
+            span(1, "window", 1.0, 1.4),
+            span(2, "synopsis_wait", 1.0, 1.1, parent=1),
+            span(3, "identification", 1.1, 1.2, parent=1),
+            span(4, "candidate_fetch", 1.2, 1.35, parent=1),
+            span(5, "calculation", 1.35, 1.4, parent=1),
+        ]
+        (breakdown,) = window_breakdown(records)
+        assert breakdown.window == (0, 1000)
+        assert breakdown.end_to_end_s == pytest.approx(0.4)
+        assert breakdown.phase_sum_s == pytest.approx(0.4)
+        assert breakdown.is_consistent
+
+    def test_gap_between_phases_is_flagged(self):
+        records = [
+            span(1, "window", 1.0, 1.4),
+            span(2, "synopsis_wait", 1.0, 1.1, parent=1),
+            # 0.3 s unaccounted for
+        ]
+        (breakdown,) = window_breakdown(records)
+        assert not breakdown.is_consistent
+
+    def test_windowless_span_without_children_is_vacuously_consistent(self):
+        # Baseline systems emit the end-to-end window span with no phases.
+        (breakdown,) = window_breakdown([span(1, "window", 1.0, 1.4)])
+        assert breakdown.phases == {}
+        assert breakdown.is_consistent
+
+    def test_unrelated_spans_not_attributed(self):
+        records = [
+            span(1, "window", 1.0, 1.4),
+            span(2, "ingest", 0.5, 0.6, node=1),  # no parent link
+        ]
+        (breakdown,) = window_breakdown(records)
+        assert "ingest" not in breakdown.phases
+
+    def test_repeated_phases_accumulate(self):
+        records = [
+            span(1, "window", 1.0, 1.3),
+            span(2, "candidate_fetch", 1.0, 1.1, parent=1),
+            span(3, "candidate_fetch", 1.1, 1.3, parent=1),
+        ]
+        (breakdown,) = window_breakdown(records)
+        assert breakdown.phases["candidate_fetch"] == pytest.approx(0.3)
+        assert breakdown.is_consistent
+
+    def test_sorted_by_window(self):
+        records = [
+            span(1, "window", 2.0, 2.4, window=(1000, 2000)),
+            span(2, "window", 1.0, 1.4, window=(0, 1000)),
+        ]
+        assert [b.window for b in window_breakdown(records)] == [
+            (0, 1000), (1000, 2000),
+        ]
+
+
+class TestFormatReport:
+    def test_all_sections_present(self):
+        records = [
+            span(1, "window", 1.0, 1.4),
+            span(2, "synopsis_wait", 1.0, 1.4, parent=1),
+            message("SynopsisMessage", bytes_=50),
+        ]
+        text = format_report(records)
+        assert "Span phases" in text
+        assert "Network traffic" in text
+        assert "Per-window latency breakdown (root)" in text
+        assert "yes" in text
+
+    def test_inconsistent_window_marked(self):
+        records = [
+            span(1, "window", 1.0, 1.4),
+            span(2, "synopsis_wait", 1.0, 1.1, parent=1),
+        ]
+        assert "NO" in format_report(records)
+
+    def test_empty_trace(self):
+        assert "empty trace" in format_report([])

@@ -1,0 +1,192 @@
+"""Tests for the span tracer: nesting, ordering, no-op path, messages."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.messages import (
+    EventBatchMessage,
+    Message,
+    SynopsisRequestMessage,
+)
+from repro.obs.events import MessageTrace
+from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Span, Tracer, span_to_dict
+from repro.streaming.events import make_events
+from repro.streaming.windows import Window
+
+WINDOW = Window(0, 1000)
+
+
+class TestNoopTracer:
+    def test_disabled_flag(self):
+        assert NOOP_TRACER.enabled is False
+        assert Tracer().enabled is False
+
+    def test_all_methods_are_inert(self):
+        tracer = Tracer()
+        span_id = tracer.begin("ingest", 1, 0.0, window=WINDOW, events=5)
+        assert span_id == 0
+        tracer.end(span_id, 1.0)  # never raises, even for unknown ids
+        assert tracer.record("slice", 1, 0.0, 1.0) == 0
+        tracer.record_message(
+            MessageTrace(0.0, 0.1, 1, 0, Message(sender=1, window=WINDOW))
+        )
+        tracer.finalize(None, 1.0)
+
+    def test_shared_instance_holds_no_state(self):
+        NOOP_TRACER.begin("window", 0, 0.0)
+        assert not hasattr(NOOP_TRACER, "_spans")
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(1, None, "ingest", 2, 0.5, 0.75)
+        assert span.duration == pytest.approx(0.25)
+
+    def test_to_dict_round_trip_fields(self):
+        span = Span(3, 1, "identification", 0, 1.0, 1.25,
+                    window=WINDOW, attrs={"ops": 7})
+        row = span_to_dict(span)
+        assert row["kind"] == "span"
+        assert row["id"] == 3
+        assert row["parent"] == 1
+        assert row["window"] == [0, 1000]
+        assert row["attrs"] == {"ops": 7}
+
+    def test_to_dict_without_window(self):
+        row = span_to_dict(Span(1, None, "ingest", 2, 0.0, 0.1))
+        assert row["window"] is None
+        assert row["parent"] is None
+
+
+class TestRecordingSpans:
+    def test_begin_end_lifecycle(self):
+        tracer = RecordingTracer()
+        span_id = tracer.begin("window", 0, 1.0, window=WINDOW)
+        assert span_id == 1
+        assert tracer.open_spans == 1
+        tracer.end(span_id, 1.5, candidate_events=32)
+        assert tracer.open_spans == 0
+        (span,) = tracer.spans
+        assert span.name == "window"
+        assert span.duration == pytest.approx(0.5)
+        assert span.attrs["candidate_events"] == 32
+
+    def test_nesting_via_parent_id(self):
+        tracer = RecordingTracer()
+        parent = tracer.begin("window", 0, 1.0, window=WINDOW)
+        child = tracer.record(
+            "identification", 0, 1.0, 1.1, window=WINDOW, parent=parent
+        )
+        tracer.end(parent, 1.5)
+        spans = {span.name: span for span in tracer.spans}
+        assert spans["identification"].parent_id == parent
+        assert spans["window"].parent_id is None
+        assert child != parent
+
+    def test_zero_parent_normalizes_to_none(self):
+        # Instrumentation sites pass the id a possibly-no-op begin returned;
+        # the no-op tracer returns 0, which must not become a parent link.
+        tracer = RecordingTracer()
+        tracer.record("ingest", 1, 0.0, 0.1, parent=0)
+        assert tracer.spans[0].parent_id is None
+
+    def test_spans_ordered_by_start_time(self):
+        tracer = RecordingTracer()
+        late = tracer.begin("calculation", 0, 2.0)
+        early = tracer.begin("ingest", 1, 0.5)
+        tracer.end(late, 2.5)
+        tracer.end(early, 0.6)
+        assert [span.name for span in tracer.spans] == ["ingest", "calculation"]
+
+    def test_interleaved_spans_across_nodes(self):
+        # The discrete-event clock interleaves work from different nodes;
+        # spans must close independently of open/close order.
+        tracer = RecordingTracer()
+        a = tracer.begin("slice", 1, 1.0)
+        b = tracer.begin("slice", 2, 1.01)
+        tracer.end(b, 1.02)
+        tracer.end(a, 1.05)
+        assert tracer.open_spans == 0
+        assert [span.node_id for span in tracer.spans] == [1, 2]
+
+    def test_ending_unknown_span_raises(self):
+        tracer = RecordingTracer()
+        span_id = tracer.begin("window", 0, 0.0)
+        tracer.end(span_id, 1.0)
+        with pytest.raises(ConfigurationError):
+            tracer.end(span_id, 2.0)
+
+    def test_span_metrics_feed_registry(self):
+        tracer = RecordingTracer()
+        tracer.record("ingest", 1, 0.0, 0.25)
+        tracer.record("ingest", 1, 1.0, 1.25)
+        assert tracer.registry.value("spans_total", phase="ingest") == 2
+        assert tracer.registry.value(
+            "span_seconds_total", phase="ingest"
+        ) == pytest.approx(0.5)
+
+
+class TestRecordingMessages:
+    def _trace(self, message, *, delivered=0.1):
+        return MessageTrace(
+            sent_at=0.0, delivered_at=delivered,
+            src=message.sender, dst=0, message=message,
+        )
+
+    def test_message_metrics(self):
+        tracer = RecordingTracer()
+        events = tuple(make_events([1.0, 2.0], node_id=1))
+        message = EventBatchMessage(sender=1, window=WINDOW, events=events)
+        tracer.record_message(self._trace(message))
+        registry = tracer.registry
+        assert registry.value("messages_total", type="EventBatchMessage") == 1
+        assert registry.value(
+            "bytes_total", type="EventBatchMessage"
+        ) == message.wire_bytes
+        assert registry.value(
+            "events_on_wire_total", type="EventBatchMessage"
+        ) == 2
+
+    def test_lost_message_counted(self):
+        tracer = RecordingTracer()
+        message = Message(sender=1, window=WINDOW)
+        tracer.record_message(self._trace(message, delivered=None))
+        assert tracer.registry.value("messages_lost_total", type="Message") == 1
+
+    def test_duplicate_protocol_message_is_retransmit(self):
+        tracer = RecordingTracer()
+        for _ in range(3):
+            message = SynopsisRequestMessage(sender=0, window=WINDOW)
+            trace = MessageTrace(0.0, 0.1, src=0, dst=1, message=message)
+            tracer.record_message(trace)
+        assert tracer.registry.value(
+            "retransmits_total", type="SynopsisRequestMessage"
+        ) == 2
+
+    def test_streaming_messages_never_count_as_retransmits(self):
+        tracer = RecordingTracer()
+        events = tuple(make_events([1.0], node_id=1))
+        for _ in range(5):
+            message = EventBatchMessage(sender=1, window=WINDOW, events=events)
+            tracer.record_message(self._trace(message))
+        assert tracer.registry.value(
+            "retransmits_total", type="EventBatchMessage"
+        ) == 0
+
+    def test_messages_preserved_in_send_order(self):
+        tracer = RecordingTracer()
+        first = Message(sender=1, window=WINDOW)
+        second = Message(sender=2, window=WINDOW)
+        tracer.record_message(MessageTrace(0.0, 0.1, 1, 0, first))
+        tracer.record_message(MessageTrace(0.2, 0.3, 2, 0, second))
+        assert [trace.src for trace in tracer.messages] == [1, 2]
+
+
+class TestRecords:
+    def test_timeline_order_mixes_spans_and_messages(self):
+        tracer = RecordingTracer()
+        tracer.record("slice", 1, 0.5, 0.6)
+        message = Message(sender=1, window=WINDOW)
+        tracer.record_message(MessageTrace(0.2, 0.3, 1, 0, message))
+        kinds = [row["kind"] for row in tracer.records()]
+        assert kinds == ["message", "span"]

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.sketches",
     "repro.baselines",
     "repro.bench",
+    "repro.obs",
 ]
 
 MODULES = [
@@ -67,6 +68,12 @@ MODULES = [
     "repro.bench.model",
     "repro.bench.sweep",
     "repro.bench.runner",
+    "repro.obs.events",
+    "repro.obs.tracer",
+    "repro.obs.metrics",
+    "repro.obs.export",
+    "repro.obs.report",
+    "repro.obs.scenarios",
 ]
 
 

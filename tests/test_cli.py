@@ -55,6 +55,45 @@ class TestExperiments:
         assert "Figure 7b" in out
 
 
+class TestTrace:
+    def test_list_scenarios(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("quickstart", "adaptive", "lossy", "sensors"):
+            assert name in out
+
+    def test_trace_writes_all_formats(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.trace.jsonl"
+        chrome = tmp_path / "run.trace.json"
+        prom = tmp_path / "run.prom"
+        assert main([
+            "trace", "quickstart", "-o", str(jsonl),
+            "--chrome", str(chrome), "--metrics", str(prom), "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert jsonl.exists() and chrome.exists() and prom.exists()
+        assert "Per-window latency breakdown" in out
+        assert "NO" not in out  # every window's phases sum to its latency
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["trace", "frobnicate", "-o", str(tmp_path / "x.jsonl")])
+
+
+class TestReport:
+    def test_report_round_trip(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.trace.jsonl"
+        main(["trace", "quickstart", "-o", str(jsonl)])
+        capsys.readouterr()
+        assert main(["report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "Span phases" in out
+        assert "Network traffic" in out
+        assert "synopsis_wait" in out
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
