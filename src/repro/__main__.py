@@ -8,6 +8,7 @@ Usage::
     python -m repro experiments fig5a    # regenerate paper figures
     python -m repro trace quickstart     # record a traced scenario
     python -m repro report run.jsonl     # per-phase latency/byte breakdown
+    python -m repro live --rate 20000    # live asyncio cluster over TCP
 """
 
 from __future__ import annotations
@@ -172,6 +173,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.bench.live import (
+        DEFAULT_BENCH_PATH,
+        live_benchmark,
+        write_live_bench,
+    )
+    from repro.bench.reporting import format_bytes
+
+    config, report = live_benchmark(
+        n_locals=args.locals,
+        streams_per_local=args.streams,
+        rate=args.rate,
+        duration_s=args.duration,
+        transport=args.transport,
+        time_scale=0.0 if args.fast else args.time_scale,
+        gamma=args.gamma,
+        q=args.q,
+        seed=args.seed,
+    )
+    completed = [o for o in report.outcomes if o.value is not None]
+    print(
+        f"live cluster over {config.transport}: 1 root, "
+        f"{config.n_locals} locals, "
+        f"{config.n_locals * config.streams_per_local} streams"
+    )
+    print(
+        f"replayed {report.events_sent} events in "
+        f"{report.wall_seconds:.3f}s wall "
+        f"({report.events_per_second:,.0f} events/s)"
+    )
+    for outcome in sorted(report.outcomes, key=lambda o: o.window):
+        if outcome.value is None:
+            continue
+        print(
+            f"  window [{outcome.window.start / 1000:.0f}s,"
+            f"{outcome.window.end / 1000:.0f}s): "
+            f"q{args.q:g}={outcome.value:10.4f}  "
+            f"n={outcome.global_window_size:<7d} "
+            f"candidates={outcome.candidate_events}"
+        )
+    stats = report.seal_to_result
+    if stats.count:
+        print(
+            f"seal→result latency: p50 {stats.p50 * 1e3:.2f} ms  "
+            f"p95 {stats.p95 * 1e3:.2f} ms  max {stats.max * 1e3:.2f} ms"
+        )
+    print(
+        f"on the wire: {format_bytes(report.total_bytes)} "
+        f"({', '.join(f'{k} {format_bytes(v)}' for k, v in sorted(report.bytes_by_layer.items()))})"
+    )
+    print(f"windows: {len(completed)}/{report.windows} with results")
+    if args.bench:
+        path = args.bench_output or DEFAULT_BENCH_PATH
+        write_live_bench(path, config, report, seed=args.seed)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
@@ -234,6 +293,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     report.add_argument("trace", help="path to a .trace.jsonl file")
 
+    live = sub.add_parser(
+        "live", help="run a live asyncio cluster (real wire protocol)"
+    )
+    live.add_argument("--locals", type=int, default=2,
+                      help="local (edge) node count")
+    live.add_argument("--streams", type=int, default=2,
+                      help="stream servers per local node")
+    live.add_argument("--rate", type=float, default=20_000.0,
+                      help="target aggregate events/second")
+    live.add_argument("--duration", type=float, default=3.0,
+                      help="workload length in event-time seconds")
+    live.add_argument("--transport", default="tcp",
+                      choices=["tcp", "memory"])
+    live.add_argument("--time-scale", type=float, default=1.0,
+                      help="wall seconds per event-time second (1.0 = "
+                           "real time)")
+    live.add_argument("--fast", action="store_true",
+                      help="replay unpaced, as fast as backpressure allows")
+    live.add_argument("--gamma", type=int, default=100)
+    live.add_argument("--q", type=float, default=0.5)
+    live.add_argument("--seed", type=int, default=42)
+    live.add_argument("--bench", action="store_true",
+                      help="write the BENCH_live.json artifact")
+    live.add_argument("--bench-output", default=None, metavar="PATH")
+
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,
                        choices=["gamma", "n_local_nodes", "event_rate", "q",
@@ -259,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "live": _cmd_live,
     }
     return handlers[args.command](args)
 

@@ -108,7 +108,8 @@ class SystemModel:
         if system in ("scotty", "desis"):
             event_bytes = n * l * w * EVENT_WIRE_BYTES
             batches = n * w * math.ceil(l / self.batch_size)
-            headers = batches * MESSAGE_HEADER_BYTES
+            # Each batch pays the frame header plus its u32 event count.
+            headers = batches * (MESSAGE_HEADER_BYTES + 4)
             if system == "scotty":
                 # Watermark message per node per window.
                 headers += n * w * (MESSAGE_HEADER_BYTES + 8)
@@ -117,22 +118,24 @@ class SystemModel:
             slices_per_node = math.ceil(l / self.gamma)
             synopsis_bytes = n * w * (
                 slices_per_node * SYNOPSIS_WIRE_BYTES
-                + 8
+                + 12
                 + MESSAGE_HEADER_BYTES
             )
             m = self.candidate_slices
-            request_bytes = n * w * (MESSAGE_HEADER_BYTES + 4)
+            # One request per node per window (header + u32 count) plus a
+            # u32 slice index for each of the m requested candidates.
+            request_bytes = w * (n * (MESSAGE_HEADER_BYTES + 4) + m * 4)
             candidate_bytes = w * m * (
-                MESSAGE_HEADER_BYTES + 4 + self.gamma * EVENT_WIRE_BYTES
+                MESSAGE_HEADER_BYTES + 8 + self.gamma * EVENT_WIRE_BYTES
             )
             return synopsis_bytes + request_bytes + candidate_bytes
         if system == "tdigest":
             return self.n_local_nodes * n_windows * (
-                MESSAGE_HEADER_BYTES + 8 + _TDIGEST_CENTROIDS * 16
+                MESSAGE_HEADER_BYTES + 4 + _TDIGEST_CENTROIDS * 16
             )
         if system == "qdigest":
             return self.n_local_nodes * n_windows * (
-                MESSAGE_HEADER_BYTES + 8 + _QDIGEST_NODES * 12
+                MESSAGE_HEADER_BYTES + 12 + _QDIGEST_NODES * 16
             )
         raise ConfigurationError(f"unknown system {system!r}")
 
@@ -188,14 +191,14 @@ class SystemModel:
             return synopsis_receive + identify + candidate_cost
         if system == "tdigest":
             per_node = (
-                RECEIVE_OPS_PER_BYTE * (_TDIGEST_CENTROIDS * 16 + 8)
+                RECEIVE_OPS_PER_BYTE * (_TDIGEST_CENTROIDS * 16 + 4)
                 + RECEIVE_OPS_BASE
                 + 16.0 * _TDIGEST_CENTROIDS
             )
             return n * per_node
         if system == "qdigest":
             per_node = (
-                RECEIVE_OPS_PER_BYTE * (_QDIGEST_NODES * 12 + 8)
+                RECEIVE_OPS_PER_BYTE * (_QDIGEST_NODES * 16 + 12)
                 + RECEIVE_OPS_BASE
                 + 8.0 * _QDIGEST_NODES
             )

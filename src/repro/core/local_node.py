@@ -178,9 +178,10 @@ class DemaLocalNode(SimulatedNode):
         """Local-side retransmission: if the root never reacts (all our
         synopsis messages were lost, so it may not even know the window
         exists), resend until it does or retries run out."""
-        self.simulator.schedule(
-            now + self._reliability.timeout_s,
+        self.call_later(
+            self._reliability.timeout_s,
             lambda t, w=window: self._check_acknowledged(w, t),
+            now,
         )
 
     def _check_acknowledged(self, window: Window, now: float) -> None:

@@ -193,9 +193,10 @@ class DemaRootNode(SimulatedNode):
 
     def _arm_timer(self, window: Window, now: float) -> None:
         assert self._reliability is not None
-        self.simulator.schedule(
-            now + self._reliability.timeout_s,
+        self.call_later(
+            self._reliability.timeout_s,
             lambda t, w=window: self._check_window(w, t),
+            now,
         )
 
     def _check_window(self, window: Window, now: float) -> None:

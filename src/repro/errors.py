@@ -18,6 +18,8 @@ __all__ = [
     "NetworkError",
     "RoutingError",
     "SimulationError",
+    "CodecError",
+    "TransportError",
     "SketchError",
     "GeneratorError",
     "HarnessError",
@@ -62,6 +64,14 @@ class RoutingError(NetworkError):
 
 class SimulationError(NetworkError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class CodecError(NetworkError):
+    """A frame could not be encoded or decoded (bad version, tag, length)."""
+
+
+class TransportError(NetworkError):
+    """A live transport failed (peer gone, stream closed, queue overrun)."""
 
 
 class SketchError(ReproError):

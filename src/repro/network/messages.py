@@ -1,17 +1,21 @@
 """Typed messages with byte-exact serialized sizes.
 
 Network cost in the evaluation is counted in bytes on the wire, so every
-message type declares how large its serialized form would be.  The sizes
-follow the paper's event layout (8-byte value, 4-byte timestamp, 4-byte id)
-plus small fixed headers; what matters for the reproduced figures is that the
-*relative* costs of synopses, candidate events and raw events are faithful.
+message type declares how large its serialized form is.  Sizes are not
+estimates: each ``payload_bytes`` property mirrors, field for field, the
+binary encoding in :mod:`repro.runtime.codec` (struct layouts in
+:mod:`repro.runtime.wire`), and the runtime test suite asserts that
+``payload_bytes == len(encode_payload(message))`` for every type.  The
+simulator therefore charges exactly the bytes the live asyncio runtime
+puts on a socket.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro.runtime import wire
 from repro.streaming.events import EVENT_WIRE_BYTES, Event
 from repro.streaming.windows import Window
 
@@ -34,12 +38,13 @@ __all__ = [
     "ResultMessage",
 ]
 
-#: Fixed per-message framing overhead (type tag, sender, window id, length).
-MESSAGE_HEADER_BYTES = 24
+#: Fixed per-message framing overhead: u32 length prefix plus the frame
+#: header (version, type tag, flags, sender, group id, window bounds).
+MESSAGE_HEADER_BYTES = wire.MESSAGE_HEADER_BYTES
 
-#: One slice synopsis: first event + last event + count + slice index +
-#: slice total (three 4-byte integers on top of two events).
-SYNOPSIS_WIRE_BYTES = 2 * EVENT_WIRE_BYTES + 12
+#: One slice synopsis: first key + last key (16 bytes each) plus count,
+#: slice index, slice total and owner id as u32 each.
+SYNOPSIS_WIRE_BYTES = wire.SYNOPSIS_WIRE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,7 +53,7 @@ class Message:
 
     ``group_id`` multiplexes concurrent query groups over the same
     channels (0 for single-query deployments); its 4 bytes are part of the
-    fixed header.
+    fixed header, as are the sender id and the window bounds.
     """
 
     sender: int
@@ -74,7 +79,7 @@ class EventBatchMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.events) * EVENT_WIRE_BYTES
+        return wire.COUNT_BYTES + len(self.events) * EVENT_WIRE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,7 +90,7 @@ class SortedRunMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.events) * EVENT_WIRE_BYTES
+        return wire.COUNT_BYTES + len(self.events) * EVENT_WIRE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,7 +102,11 @@ class SynopsisMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.synopses) * SYNOPSIS_WIRE_BYTES + 8
+        return (
+            wire.COUNT_BYTES
+            + wire.U64_BYTES
+            + len(self.synopses) * SYNOPSIS_WIRE_BYTES
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,7 +117,7 @@ class CandidateRequestMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.slice_indices) * 4
+        return wire.COUNT_BYTES + len(self.slice_indices) * wire.U32_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,7 +129,11 @@ class CandidateEventsMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return 4 + len(self.events) * EVENT_WIRE_BYTES
+        return (
+            wire.U32_BYTES
+            + wire.COUNT_BYTES
+            + len(self.events) * EVENT_WIRE_BYTES
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,12 +141,9 @@ class SynopsisRequestMessage(Message):
     """Root asks a local node to (re)send its synopsis batch for a window.
 
     Part of the reliability extension: sent when the root's completeness
-    timeout fires before every local reported.
+    timeout fires before every local reported.  Pure control message — the
+    window in the header says everything, so the payload is empty.
     """
-
-    @property
-    def payload_bytes(self) -> int:
-        return 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,12 +151,9 @@ class WindowReleaseMessage(Message):
     """Root tells a local node the window is fully answered; free its state.
 
     Part of the reliability extension: with retransmissions enabled, local
-    nodes retain sealed windows until this acknowledgement arrives.
+    nodes retain sealed windows until this acknowledgement arrives.  Pure
+    control message with an empty payload.
     """
-
-    @property
-    def payload_bytes(self) -> int:
-        return 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,21 +164,22 @@ class GammaUpdateMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return 4
+        return wire.U32_BYTES
 
 
 @dataclass(frozen=True, slots=True)
 class DigestMessage(Message):
     """A serialized quantile sketch (t-digest baseline).
 
-    The payload is ``centroid_count`` (mean, weight) pairs of 8 bytes each.
+    The payload is ``centroid_count`` (mean, weight) pairs of 16 bytes
+    each behind a u32 count.
     """
 
     centroids: tuple[tuple[float, float], ...] = ()
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.centroids) * 16 + 8
+        return wire.COUNT_BYTES + len(self.centroids) * wire.CENTROID_WIRE_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -188,7 +196,11 @@ class PartialAggregateMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.state) * 8 + 8
+        return (
+            wire.COUNT_BYTES
+            + wire.U64_BYTES
+            + len(self.state) * wire.F64_BYTES
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,7 +212,11 @@ class QDigestMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return len(self.nodes) * 12 + 8
+        return (
+            wire.COUNT_BYTES
+            + wire.U64_BYTES
+            + len(self.nodes) * wire.QDIGEST_NODE_WIRE_BYTES
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,7 +227,7 @@ class WatermarkMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return 8
+        return wire.U64_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -223,7 +239,7 @@ class ResultMessage(Message):
 
     @property
     def payload_bytes(self) -> int:
-        return 16
+        return wire.F64_BYTES + wire.U64_BYTES
 
 
 def batch_events(

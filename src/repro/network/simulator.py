@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError, RoutingError, SimulationError
 from repro.network.channels import Channel
@@ -30,6 +30,7 @@ from repro.obs.tracer import NOOP_TRACER, Tracer
 
 __all__ = [
     "CpuModel",
+    "Fabric",
     "SimulatedNode",
     "Simulator",
     "MessageTrace",
@@ -123,17 +124,38 @@ class CpuModel:
         return self._busy_until
 
 
+@runtime_checkable
+class Fabric(Protocol):
+    """The substrate a protocol node sends and schedules through.
+
+    Everything a :class:`SimulatedNode` needs from its host: route a
+    message toward a peer and run a callback at a later time.  The
+    discrete-event :class:`Simulator` is one implementation; the live
+    asyncio runtime (:mod:`repro.runtime.servers`) is another, which is
+    what lets the unmodified ``repro.core`` operators drive both the
+    simulation and a real cluster.
+    """
+
+    def route(self, message: Message, src: int, dst: int, now: float) -> None:
+        """Carry ``message`` from ``src`` to ``dst``, starting at ``now``."""
+        ...
+
+    def schedule(self, time: float, action: Callable[[float], None]) -> None:
+        """Run ``action(now)`` once the clock reaches ``time``."""
+        ...
+
+
 class SimulatedNode:
     """Base class for every node participating in a simulation.
 
     Subclasses implement :meth:`on_message`; they communicate exclusively via
-    :meth:`send`, which routes through the owning simulator's channels.
+    :meth:`send`, which routes through the owning fabric's channels.
     """
 
     def __init__(self, node_id: int, *, ops_per_second: float = 1e9) -> None:
         self._node_id = node_id
         self._cpu = CpuModel(ops_per_second)
-        self._simulator: Simulator | None = None
+        self._simulator: Fabric | None = None
         self._tracer: Tracer = NOOP_TRACER
 
     @property
@@ -147,8 +169,8 @@ class SimulatedNode:
         return self._cpu
 
     @property
-    def simulator(self) -> "Simulator":
-        """The simulator this node is attached to.
+    def simulator(self) -> Fabric:
+        """The fabric this node is attached to (simulator or live runtime).
 
         Raises:
             SimulationError: If the node has not been attached yet.
@@ -157,9 +179,9 @@ class SimulatedNode:
             raise SimulationError(f"node {self._node_id} is not attached")
         return self._simulator
 
-    def attach(self, simulator: "Simulator") -> None:
-        """Called by :meth:`Simulator.add_node`."""
-        self._simulator = simulator
+    def attach(self, fabric: Fabric) -> None:
+        """Called by the owning fabric when the node is registered."""
+        self._simulator = fabric
 
     @property
     def tracer(self) -> Tracer:
@@ -173,6 +195,17 @@ class SimulatedNode:
     def send(self, message: Message, dst: int, now: float) -> None:
         """Transmit ``message`` to node ``dst`` starting at time ``now``."""
         self.simulator.route(message, self._node_id, dst, now)
+
+    def call_later(
+        self, delay: float, action: Callable[[float], None], now: float
+    ) -> None:
+        """Run ``action`` ``delay`` seconds after ``now`` on the fabric.
+
+        The transport-agnostic face of timers (reliability timeouts and the
+        like): the simulator turns this into a queue entry, the live
+        runtime into an event-loop timer.
+        """
+        self.simulator.schedule(now + delay, action)
 
     def work(self, ops: float, now: float) -> float:
         """Charge abstract CPU work; returns the completion time."""

@@ -123,6 +123,13 @@ class Tracer:
     def record_message(self, trace: MessageTrace) -> None:
         """Observe one routed message (called by the simulator)."""
 
+    def record_link(
+        self, src: int, dst: int, *, bytes: int, messages: int
+    ) -> None:
+        """Capture one live transport link's totals (called by the live
+        cluster at teardown, playing the role :meth:`finalize` plays for
+        simulated channels)."""
+
     def finalize(self, simulator: "Simulator", duration: float) -> None:
         """Capture end-of-run gauges (CPU busy fractions, channel totals)."""
 
@@ -267,6 +274,21 @@ class RecordingTracer(Tracer):
                 ).inc()
             else:
                 self._seen_messages.add(key)
+
+    def record_link(
+        self, src: int, dst: int, *, bytes: int, messages: int
+    ) -> None:
+        registry = self.registry
+        registry.gauge(
+            "live_link_bytes",
+            "Bytes that crossed each live transport link.",
+            src=str(src), dst=str(dst),
+        ).set(bytes)
+        registry.gauge(
+            "live_link_messages",
+            "Messages that crossed each live transport link.",
+            src=str(src), dst=str(dst),
+        ).set(messages)
 
     def finalize(self, simulator: "Simulator", duration: float) -> None:
         registry = self.registry

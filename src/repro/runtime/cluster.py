@@ -1,0 +1,333 @@
+"""Cluster driver: a full live Dema topology as one coroutine.
+
+:func:`run_live_cluster` launches the three-layer deployment — one
+:class:`~repro.runtime.servers.RootServer`, ``n_locals``
+:class:`~repro.runtime.servers.LocalServer` hosts and
+``streams_per_local`` :class:`~repro.runtime.servers.StreamServer` replay
+tasks per local — over either transport, replays the given per-local-node
+workload, waits for every tumbling window of the grid to produce an
+outcome, and tears everything down gracefully.
+
+The quantile values a live run produces are **bit-identical** to
+:class:`~repro.core.engine.DemaEngine` on the same workload (with a fixed
+γ): watermark-driven sealing guarantees every event lands in its window,
+and the operators on both substrates are literally the same objects.  The
+equivalence test in ``tests/runtime`` pins this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.local_node import DemaLocalNode
+from repro.core.query import QuantileQuery
+from repro.core.root_node import DemaRootNode, WindowOutcome
+from repro.errors import ConfigurationError, TransportError
+from repro.network.metrics import LatencyStats
+from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.runtime.servers import (
+    LIVE_OPS_PER_SECOND,
+    LiveFabric,
+    LocalServer,
+    RootServer,
+    StreamServer,
+)
+from repro.runtime.transport import (
+    DEFAULT_QUEUE_FRAMES,
+    MemoryNetwork,
+    MessageStream,
+    TcpNetwork,
+)
+from repro.streaming.events import Event
+
+__all__ = ["LiveClusterConfig", "LiveRunReport", "run_live_cluster", "run_live"]
+
+#: Root node id, matching the simulated topology's convention.
+ROOT_NODE_ID = 0
+
+#: Event timestamps are milliseconds; wall clock runs in seconds.
+_MS_PER_SECOND = 1000.0
+
+
+@dataclass(frozen=True, slots=True)
+class LiveClusterConfig:
+    """Shape and pacing of one live deployment.
+
+    Attributes:
+        n_locals: Local (edge) node count; ids ``1..n_locals``.
+        streams_per_local: Replay tasks feeding each local node.
+        query: The quantile query (fixed γ recommended for live runs).
+        batch_size: Events per replayed batch (window splits still apply).
+        transport: ``"memory"`` (deterministic, in-process) or ``"tcp"``
+            (real localhost sockets).
+        time_scale: Wall-clock seconds per second of event time.  ``1.0``
+            replays in real time, ``0.0`` as fast as backpressure allows.
+        queue_frames: Bound of each in-memory pipe direction.
+        timeout_s: Overall deadline for the run; ``None`` waits forever.
+    """
+
+    n_locals: int = 2
+    streams_per_local: int = 2
+    query: QuantileQuery = field(default_factory=QuantileQuery)
+    batch_size: int = 512
+    transport: str = "memory"
+    time_scale: float = 0.0
+    queue_frames: int = DEFAULT_QUEUE_FRAMES
+    timeout_s: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n_locals < 1:
+            raise ConfigurationError("need at least one local node")
+        if self.streams_per_local < 1:
+            raise ConfigurationError("need at least one stream per local")
+        if self.transport not in ("memory", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'memory' or 'tcp', got {self.transport!r}"
+            )
+        if self.time_scale < 0:
+            raise ConfigurationError(
+                f"time_scale must be >= 0, got {self.time_scale}"
+            )
+
+
+@dataclass
+class LiveRunReport:
+    """Everything a caller needs from one live run."""
+
+    outcomes: list[WindowOutcome]
+    windows: int
+    events_sent: int
+    wall_seconds: float
+    #: Watermark seal (last local) → root outcome, per completed window.
+    seal_to_result: LatencyStats
+    #: Bytes/messages on the wire, summed over every dialed stream
+    #: (both directions), keyed by layer.
+    bytes_by_layer: dict[str, int]
+    messages_by_layer: dict[str, int]
+    transport: str
+
+    @property
+    def values(self) -> list[float | None]:
+        """Per-window quantile values in window order."""
+        return [
+            outcome.value
+            for outcome in sorted(self.outcomes, key=lambda o: o.window)
+        ]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all layers and directions."""
+        return sum(self.bytes_by_layer.values())
+
+    @property
+    def events_per_second(self) -> float:
+        """Replay throughput on the wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_sent / self.wall_seconds
+
+
+def _grid(
+    streams: Mapping[int, Sequence[Event]], window_length_ms: int
+) -> tuple[int, int]:
+    """The tumbling-window grid ``[start, end)`` covering every event."""
+    timestamps = [
+        event.timestamp
+        for events in streams.values()
+        for event in events
+    ]
+    if not timestamps:
+        raise ConfigurationError("live run needs at least one event")
+    lo, hi = min(timestamps), max(timestamps)
+    start = (lo // window_length_ms) * window_length_ms
+    end = (hi // window_length_ms + 1) * window_length_ms
+    return start, end
+
+
+async def run_live_cluster(
+    config: LiveClusterConfig,
+    streams: Mapping[int, Sequence[Event]],
+    *,
+    tracer: Tracer = NOOP_TRACER,
+) -> LiveRunReport:
+    """Run the full live topology over ``streams`` and collect the report.
+
+    Args:
+        config: Deployment shape, transport and pacing.
+        streams: Per-**local-node** event streams (keys ``1..n_locals``),
+            each in timestamp order; a local's stream is split round-robin
+            over its stream servers exactly as the simulated engine does.
+        tracer: Observability hooks; live message deliveries are recorded
+            as protocol traces.
+
+    Returns:
+        The run report with per-window outcomes and wall-clock metrics.
+    """
+    local_ids = list(range(1, config.n_locals + 1))
+    unknown = set(streams) - set(local_ids)
+    if unknown:
+        raise ConfigurationError(
+            f"streams reference unknown local nodes {sorted(unknown)}"
+        )
+    length = config.query.window_length_ms
+    if config.query.is_sliding:
+        raise ConfigurationError("the live runtime seals tumbling grids only")
+    grid_start, grid_end = _grid(streams, length)
+    expected_windows = (grid_end - grid_start) // length
+
+    network = (
+        TcpNetwork()
+        if config.transport == "tcp"
+        else MemoryNetwork(max_frames=config.queue_frames)
+    )
+    loop = asyncio.get_event_loop()
+    epoch = loop.time()
+    dialed: list[tuple[str, int, int, MessageStream]] = []
+    locals_: list[LocalServer] = []
+
+    root = RootServer(
+        DemaRootNode(
+            ROOT_NODE_ID,
+            local_ids=local_ids,
+            query=config.query,
+            ops_per_second=LIVE_OPS_PER_SECOND,
+        ),
+        LiveFabric(epoch),
+        expected_windows=expected_windows,
+        tracer=tracer,
+    )
+    await network.listen(ROOT_NODE_ID, root.serve)
+
+    replays: list[asyncio.Task] = []
+    servers: list[StreamServer] = []
+    try:
+        next_stream_id = config.n_locals + 1
+        for local_id in local_ids:
+            local = LocalServer(
+                DemaLocalNode(
+                    local_id,
+                    root_id=ROOT_NODE_ID,
+                    query=config.query,
+                    ops_per_second=LIVE_OPS_PER_SECOND,
+                ),
+                LiveFabric(epoch),
+                expected_streams=config.streams_per_local,
+                grid_start=grid_start,
+                grid_end=grid_end,
+                window_length_ms=length,
+                tracer=tracer,
+            )
+            locals_.append(local)
+            await network.listen(local_id, local.serve)
+            root_stream = await network.dial(ROOT_NODE_ID)
+            dialed.append(("local_root", local_id, ROOT_NODE_ID, root_stream))
+            await local.connect_root(root_stream)
+
+            share = list(streams.get(local_id, ()))
+            shards: list[list[Event]] = [
+                [] for _ in range(config.streams_per_local)
+            ]
+            for index, event in enumerate(share):
+                shards[index % config.streams_per_local].append(event)
+            for shard in shards:
+                server = StreamServer(
+                    next_stream_id,
+                    events=shard,
+                    batch_size=config.batch_size,
+                    grid_start=grid_start,
+                    grid_end=grid_end,
+                    window_length_ms=length,
+                    time_scale=config.time_scale,
+                )
+                servers.append(server)
+                next_stream_id += 1
+
+                async def replay(srv: StreamServer, dst: int) -> None:
+                    pipe = await network.dial(dst)
+                    dialed.append(("stream_local", srv.stream_id, dst, pipe))
+                    await srv.replay(pipe)
+
+                replays.append(
+                    asyncio.ensure_future(replay(server, local_id))
+                )
+
+        await asyncio.gather(*replays)
+        await asyncio.wait_for(root.done.wait(), config.timeout_s)
+    except asyncio.TimeoutError:
+        raise TransportError(
+            f"live run did not complete {expected_windows} windows within "
+            f"{config.timeout_s}s ({len(root.node.outcomes)} finished)"
+        ) from None
+    finally:
+        for task in replays:
+            if not task.done():
+                task.cancel()
+        for local in locals_:
+            await local.shutdown()
+        for _, _, _, stream in dialed:
+            await stream.close()
+        await network.close()
+
+    wall_seconds = loop.time() - epoch
+    outcomes = root.node.outcomes
+    seal_to_result = LatencyStats()
+    for outcome in outcomes:
+        sealed = max(
+            (
+                local.seal_walls.get(outcome.window, 0.0)
+                for local in locals_
+            ),
+            default=0.0,
+        )
+        finished = root.result_walls.get(outcome.window)
+        if finished is not None:
+            seal_to_result.add(max(0.0, finished - sealed))
+
+    bytes_by_layer: dict[str, int] = {}
+    messages_by_layer: dict[str, int] = {}
+    for layer, src, dst, stream in dialed:
+        stats = stream.stats
+        bytes_by_layer[layer] = (
+            bytes_by_layer.get(layer, 0)
+            + stats.bytes_sent
+            + stats.bytes_received
+        )
+        messages_by_layer[layer] = (
+            messages_by_layer.get(layer, 0)
+            + stats.messages_sent
+            + stats.messages_received
+        )
+        if tracer.enabled:
+            tracer.record_link(
+                src, dst,
+                bytes=stats.bytes_sent, messages=stats.messages_sent,
+            )
+            tracer.record_link(
+                dst, src,
+                bytes=stats.bytes_received, messages=stats.messages_received,
+            )
+
+    return LiveRunReport(
+        outcomes=outcomes,
+        windows=expected_windows,
+        events_sent=sum(server.events_sent for server in servers),
+        wall_seconds=wall_seconds,
+        seal_to_result=seal_to_result,
+        bytes_by_layer=bytes_by_layer,
+        messages_by_layer=messages_by_layer,
+        transport=config.transport,
+    )
+
+
+def run_live(
+    config: LiveClusterConfig,
+    streams: Mapping[int, Sequence[Event]],
+    *,
+    tracer: Tracer = NOOP_TRACER,
+) -> LiveRunReport:
+    """Synchronous wrapper around :func:`run_live_cluster`."""
+    return asyncio.run(
+        run_live_cluster(config, streams, tracer=tracer)
+    )

@@ -1,0 +1,518 @@
+"""Binary codec: every protocol message to and from wire frames.
+
+One frame per message: a u32 length prefix followed by the fixed header
+(version, type tag, flags, sender, group id, window bounds — layout in
+:mod:`repro.runtime.wire`) and a type-specific payload.  Encoding is
+lossless: ``decode_frame(encode_frame(m)) == m`` for every message type,
+including NaN values (bit patterns survive the f64 round trip, although
+``==`` on NaN-carrying dataclasses needs a bit-level comparison).
+
+The payload encoders here and the ``payload_bytes`` properties in
+:mod:`repro.network.messages` are two views of the same layout; the test
+suite asserts ``len(encode_payload(m)) == m.payload_bytes`` exactly, which
+is what lets the discrete-event simulator charge real wire bytes.
+
+Framing is deliberately dumb — no compression, no varints — so that sizes
+are arithmetic over the struct constants and a reader can frame a stream
+with two ``readexactly`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.synopsis import SliceSynopsis
+from repro.errors import CodecError
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    DigestMessage,
+    EventBatchMessage,
+    GammaUpdateMessage,
+    Message,
+    PartialAggregateMessage,
+    QDigestMessage,
+    ResultMessage,
+    SortedRunMessage,
+    SynopsisMessage,
+    SynopsisRequestMessage,
+    WatermarkMessage,
+    WindowReleaseMessage,
+)
+from repro.runtime import wire
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+__all__ = [
+    "Hello",
+    "HELLO_TAG",
+    "TAG_BY_TYPE",
+    "TYPE_BY_TAG",
+    "tag_of",
+    "encode_payload",
+    "encode_frame",
+    "encode_hello",
+    "decode_body",
+    "decode_frame",
+    "decode_payload",
+]
+
+#: Type tag of the ``Hello`` control frame (never a protocol message).
+HELLO_TAG = 0
+
+#: Roles a peer may announce in its ``Hello``.
+_ROLE_CODES = {"stream": 1, "local": 2, "root": 3, "driver": 4}
+_ROLE_NAMES = {code: name for name, code in _ROLE_CODES.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Connection preamble: who is dialing and in what role.
+
+    Sent once by the dialing side immediately after connect, before any
+    protocol message, so the accepting server can register the peer under
+    its node id.  Not a :class:`~repro.network.messages.Message` — it never
+    crosses the simulator and carries no window.
+    """
+
+    node_id: int
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLE_CODES:
+            raise CodecError(
+                f"unknown hello role {self.role!r}; "
+                f"expected one of {sorted(_ROLE_CODES)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Tag registry.  Wire compatibility: tags are append-only, never reused.
+# ----------------------------------------------------------------------
+
+TAG_BY_TYPE: dict[type, int] = {
+    Message: 1,
+    EventBatchMessage: 2,
+    SortedRunMessage: 3,
+    SynopsisMessage: 4,
+    CandidateRequestMessage: 5,
+    CandidateEventsMessage: 6,
+    SynopsisRequestMessage: 7,
+    WindowReleaseMessage: 8,
+    GammaUpdateMessage: 9,
+    DigestMessage: 10,
+    PartialAggregateMessage: 11,
+    QDigestMessage: 12,
+    WatermarkMessage: 13,
+    ResultMessage: 14,
+}
+
+TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
+
+
+def tag_of(message: Message) -> int:
+    """Wire type tag for ``message`` (exact type, not isinstance)."""
+    try:
+        return TAG_BY_TYPE[type(message)]
+    except KeyError:
+        raise CodecError(
+            f"no wire tag registered for {type(message).__name__}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Payload encoders.
+# ----------------------------------------------------------------------
+
+
+def _encode_events(events: tuple[Event, ...]) -> bytes:
+    parts = [wire.COUNT.pack(len(events))]
+    pack = wire.EVENT.pack
+    for ev in events:
+        parts.append(pack(ev.value, ev.timestamp, ev.node_id, ev.seq))
+    return b"".join(parts)
+
+
+def _encode_event_batch(m: EventBatchMessage) -> bytes:
+    return _encode_events(m.events)
+
+
+def _encode_sorted_run(m: SortedRunMessage) -> bytes:
+    return _encode_events(m.events)
+
+
+def _encode_synopsis(m: SynopsisMessage) -> bytes:
+    parts = [
+        wire.COUNT.pack(len(m.synopses)),
+        wire.U64.pack(m.local_window_size),
+    ]
+    pack = wire.SYNOPSIS.pack
+    for s in m.synopses:
+        parts.append(
+            pack(
+                *s.first_key,
+                *s.last_key,
+                s.count,
+                s.slice_index,
+                s.n_slices,
+                s.node_id,
+            )
+        )
+    return b"".join(parts)
+
+
+def _encode_candidate_request(m: CandidateRequestMessage) -> bytes:
+    parts = [wire.COUNT.pack(len(m.slice_indices))]
+    parts.extend(wire.U32.pack(i) for i in m.slice_indices)
+    return b"".join(parts)
+
+
+def _encode_candidate_events(m: CandidateEventsMessage) -> bytes:
+    return wire.U32.pack(m.slice_index) + _encode_events(m.events)
+
+
+def _encode_empty(_: Message) -> bytes:
+    return b""
+
+
+def _encode_gamma(m: GammaUpdateMessage) -> bytes:
+    return wire.U32.pack(m.gamma)
+
+
+def _encode_digest(m: DigestMessage) -> bytes:
+    parts = [wire.COUNT.pack(len(m.centroids))]
+    parts.extend(wire.CENTROID.pack(mean, weight) for mean, weight in m.centroids)
+    return b"".join(parts)
+
+
+def _encode_partial(m: PartialAggregateMessage) -> bytes:
+    parts = [
+        wire.COUNT.pack(len(m.state)),
+        wire.U64.pack(m.local_window_size),
+    ]
+    parts.extend(wire.F64.pack(x) for x in m.state)
+    return b"".join(parts)
+
+
+def _encode_qdigest(m: QDigestMessage) -> bytes:
+    parts = [
+        wire.COUNT.pack(len(m.nodes)),
+        wire.U64.pack(m.local_count),
+    ]
+    parts.extend(
+        wire.QDIGEST_NODE.pack(level, index, count)
+        for level, index, count in m.nodes
+    )
+    return b"".join(parts)
+
+
+def _encode_watermark(m: WatermarkMessage) -> bytes:
+    return wire.U64.pack(m.watermark_time)
+
+
+def _encode_result(m: ResultMessage) -> bytes:
+    return wire.F64.pack(m.value) + wire.U64.pack(m.global_window_size)
+
+
+_ENCODERS: dict[type, Callable[[Message], bytes]] = {
+    Message: _encode_empty,
+    EventBatchMessage: _encode_event_batch,
+    SortedRunMessage: _encode_sorted_run,
+    SynopsisMessage: _encode_synopsis,
+    CandidateRequestMessage: _encode_candidate_request,
+    CandidateEventsMessage: _encode_candidate_events,
+    SynopsisRequestMessage: _encode_empty,
+    WindowReleaseMessage: _encode_empty,
+    GammaUpdateMessage: _encode_gamma,
+    DigestMessage: _encode_digest,
+    PartialAggregateMessage: _encode_partial,
+    QDigestMessage: _encode_qdigest,
+    WatermarkMessage: _encode_watermark,
+    ResultMessage: _encode_result,
+}
+
+
+# ----------------------------------------------------------------------
+# Payload decoders.  Each consumes a memoryview and must use it fully.
+# ----------------------------------------------------------------------
+
+
+class _Reader:
+    """Cursor over a payload with bounds-checked struct reads."""
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, payload: bytes | memoryview) -> None:
+        self._view = memoryview(payload)
+        self._pos = 0
+
+    def unpack(self, fmt) -> tuple:
+        end = self._pos + fmt.size
+        if end > len(self._view):
+            raise CodecError(
+                f"payload truncated: need {end} bytes, have {len(self._view)}"
+            )
+        values = fmt.unpack_from(self._view, self._pos)
+        self._pos = end
+        return values
+
+    def count(self) -> int:
+        return self.unpack(wire.COUNT)[0]
+
+    def finish(self) -> None:
+        if self._pos != len(self._view):
+            raise CodecError(
+                f"payload has {len(self._view) - self._pos} trailing bytes"
+            )
+
+
+def _decode_events(r: _Reader) -> tuple[Event, ...]:
+    n = r.count()
+    unpack = r.unpack
+    fmt = wire.EVENT
+    return tuple(Event(*unpack(fmt)) for _ in range(n))
+
+
+def _decode_event_batch(r, sender, window, group_id):
+    return EventBatchMessage(sender, window, group_id, _decode_events(r))
+
+
+def _decode_sorted_run(r, sender, window, group_id):
+    return SortedRunMessage(sender, window, group_id, _decode_events(r))
+
+
+def _decode_synopsis(r, sender, window, group_id):
+    n = r.count()
+    (local_window_size,) = r.unpack(wire.U64)
+    synopses = []
+    for _ in range(n):
+        raw = r.unpack(wire.SYNOPSIS)
+        synopses.append(
+            SliceSynopsis(
+                first_key=(raw[0], raw[1], raw[2]),
+                last_key=(raw[3], raw[4], raw[5]),
+                count=raw[6],
+                slice_index=raw[7],
+                n_slices=raw[8],
+                node_id=raw[9],
+            )
+        )
+    return SynopsisMessage(
+        sender, window, group_id, tuple(synopses), local_window_size
+    )
+
+
+def _decode_candidate_request(r, sender, window, group_id):
+    n = r.count()
+    indices = tuple(r.unpack(wire.U32)[0] for _ in range(n))
+    return CandidateRequestMessage(sender, window, group_id, indices)
+
+
+def _decode_candidate_events(r, sender, window, group_id):
+    (slice_index,) = r.unpack(wire.U32)
+    return CandidateEventsMessage(
+        sender, window, group_id, slice_index, _decode_events(r)
+    )
+
+
+def _decode_bare(cls):
+    def decode(r, sender, window, group_id):
+        return cls(sender, window, group_id)
+
+    return decode
+
+
+def _decode_gamma(r, sender, window, group_id):
+    (gamma,) = r.unpack(wire.U32)
+    return GammaUpdateMessage(sender, window, group_id, gamma)
+
+
+def _decode_digest(r, sender, window, group_id):
+    n = r.count()
+    centroids = tuple(r.unpack(wire.CENTROID) for _ in range(n))
+    return DigestMessage(sender, window, group_id, centroids)
+
+
+def _decode_partial(r, sender, window, group_id):
+    n = r.count()
+    (local_window_size,) = r.unpack(wire.U64)
+    state = tuple(r.unpack(wire.F64)[0] for _ in range(n))
+    return PartialAggregateMessage(
+        sender, window, group_id, state, local_window_size
+    )
+
+
+def _decode_qdigest(r, sender, window, group_id):
+    n = r.count()
+    (local_count,) = r.unpack(wire.U64)
+    nodes = tuple(r.unpack(wire.QDIGEST_NODE) for _ in range(n))
+    return QDigestMessage(sender, window, group_id, nodes, local_count)
+
+
+def _decode_watermark(r, sender, window, group_id):
+    (watermark_time,) = r.unpack(wire.U64)
+    return WatermarkMessage(sender, window, group_id, watermark_time)
+
+
+def _decode_result(r, sender, window, group_id):
+    (value,) = r.unpack(wire.F64)
+    (global_window_size,) = r.unpack(wire.U64)
+    return ResultMessage(sender, window, group_id, value, global_window_size)
+
+
+_DECODERS: dict[int, Callable] = {
+    TAG_BY_TYPE[Message]: _decode_bare(Message),
+    TAG_BY_TYPE[EventBatchMessage]: _decode_event_batch,
+    TAG_BY_TYPE[SortedRunMessage]: _decode_sorted_run,
+    TAG_BY_TYPE[SynopsisMessage]: _decode_synopsis,
+    TAG_BY_TYPE[CandidateRequestMessage]: _decode_candidate_request,
+    TAG_BY_TYPE[CandidateEventsMessage]: _decode_candidate_events,
+    TAG_BY_TYPE[SynopsisRequestMessage]: _decode_bare(SynopsisRequestMessage),
+    TAG_BY_TYPE[WindowReleaseMessage]: _decode_bare(WindowReleaseMessage),
+    TAG_BY_TYPE[GammaUpdateMessage]: _decode_gamma,
+    TAG_BY_TYPE[DigestMessage]: _decode_digest,
+    TAG_BY_TYPE[PartialAggregateMessage]: _decode_partial,
+    TAG_BY_TYPE[QDigestMessage]: _decode_qdigest,
+    TAG_BY_TYPE[WatermarkMessage]: _decode_watermark,
+    TAG_BY_TYPE[ResultMessage]: _decode_result,
+}
+
+
+# ----------------------------------------------------------------------
+# Public API.
+# ----------------------------------------------------------------------
+
+
+def encode_payload(message: Message) -> bytes:
+    """Serialize just the payload of ``message`` (no header).
+
+    ``len(encode_payload(m)) == m.payload_bytes`` for every message type —
+    the invariant the simulator's byte accounting rests on.
+    """
+    try:
+        encoder = _ENCODERS[type(message)]
+    except KeyError:
+        raise CodecError(
+            f"no payload encoder for {type(message).__name__}"
+        ) from None
+    return encoder(message)
+
+
+def _frame(tag: int, sender: int, group_id: int, start: int, end: int,
+           payload: bytes) -> bytes:
+    header = wire.HEADER.pack(
+        wire.WIRE_VERSION, tag, 0, sender, group_id, start, end
+    )
+    length = len(header) + len(payload)
+    if length > wire.MAX_FRAME_BYTES:
+        raise CodecError(
+            f"frame of {length} bytes exceeds MAX_FRAME_BYTES "
+            f"({wire.MAX_FRAME_BYTES})"
+        )
+    return wire.LENGTH_PREFIX.pack(length) + header + payload
+
+
+def encode_frame(message: Message) -> bytes:
+    """Serialize ``message`` to one full frame (length prefix included).
+
+    ``len(encode_frame(m)) == m.wire_bytes`` exactly.
+    """
+    return _frame(
+        tag_of(message),
+        message.sender,
+        message.group_id,
+        message.window.start,
+        message.window.end,
+        encode_payload(message),
+    )
+
+
+def encode_hello(hello: Hello) -> bytes:
+    """Serialize the connection preamble to one frame (tag 0)."""
+    # No window on a hello: the bounds are zero and ignored on decode.
+    return _frame(
+        HELLO_TAG, hello.node_id, 0, 0, 0, wire.U32.pack(_ROLE_CODES[hello.role])
+    )
+
+
+def decode_body(body: bytes | memoryview) -> Message | Hello:
+    """Decode a frame body (header + payload, **without** length prefix).
+
+    This is the entry point for stream transports, which already framed the
+    body with two ``readexactly`` calls.
+
+    Raises:
+        CodecError: On version mismatch, unknown tag, nonzero flags, or a
+            payload that is truncated or has trailing bytes.
+    """
+    view = memoryview(body)
+    if len(view) < wire.HEADER.size:
+        raise CodecError(
+            f"frame body of {len(view)} bytes is shorter than the "
+            f"{wire.HEADER.size}-byte header"
+        )
+    version, tag, flags, sender, group_id, start, end = wire.HEADER.unpack_from(
+        view, 0
+    )
+    if version != wire.WIRE_VERSION:
+        raise CodecError(
+            f"wire version mismatch: got {version}, expected {wire.WIRE_VERSION}"
+        )
+    if flags != 0:
+        raise CodecError(f"reserved flags must be zero, got {flags:#06x}")
+    reader = _Reader(view[wire.HEADER.size:])
+    if tag == HELLO_TAG:
+        (role_code,) = reader.unpack(wire.U32)
+        reader.finish()
+        role = _ROLE_NAMES.get(role_code)
+        if role is None:
+            raise CodecError(f"unknown hello role code {role_code}")
+        return Hello(node_id=sender, role=role)
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown frame type tag {tag}")
+    message = decoder(reader, sender, Window(start, end), group_id)
+    reader.finish()
+    return message
+
+
+def decode_frame(frame: bytes | memoryview) -> Message | Hello:
+    """Decode one complete frame (length prefix included), strictly.
+
+    The frame must contain exactly one message — a short buffer or trailing
+    bytes raise :class:`~repro.errors.CodecError`.
+    """
+    view = memoryview(frame)
+    if len(view) < wire.LENGTH_PREFIX.size:
+        raise CodecError("frame shorter than its length prefix")
+    (length,) = wire.LENGTH_PREFIX.unpack_from(view, 0)
+    if length > wire.MAX_FRAME_BYTES:
+        raise CodecError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES "
+            f"({wire.MAX_FRAME_BYTES})"
+        )
+    body = view[wire.LENGTH_PREFIX.size:]
+    if len(body) != length:
+        raise CodecError(
+            f"frame length prefix says {length} bytes, buffer has {len(body)}"
+        )
+    return decode_body(body)
+
+
+def decode_payload(
+    tag: int, payload: bytes | memoryview, *, sender: int, window: Window,
+    group_id: int = 0,
+) -> Message:
+    """Decode a bare payload given its type tag and header fields.
+
+    Mostly useful in tests that want to poke at payload layouts directly;
+    transports go through :func:`decode_body`.
+    """
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise CodecError(f"unknown frame type tag {tag}")
+    reader = _Reader(payload)
+    message = decoder(reader, sender, window, group_id)
+    reader.finish()
+    return message

@@ -1,0 +1,364 @@
+"""Node servers: the Dema operators as live asyncio tasks.
+
+Three hosts mirror the simulated three-layer topology:
+
+``StreamServer``
+    Replays one sensor's share of the workload into its local node —
+    batches that never span a window boundary, each batch followed by a
+    :class:`~repro.network.messages.WatermarkMessage` carrying the last
+    event timestamp, and a final watermark that seals every window.
+
+``LocalServer``
+    Wraps an **unmodified** :class:`~repro.core.local_node.DemaLocalNode`.
+    Event batches go straight into the operator; watermarks are a host
+    concern: the server seals each tumbling window of the agreed grid once
+    the *minimum* watermark over its attached streams has passed the
+    window end, which guarantees no event is ever late.
+
+``RootServer``
+    Wraps an unmodified :class:`~repro.core.root_node.DemaRootNode` and
+    signals completion once every expected grid window has an outcome.
+
+The operators still talk to their ``self.simulator`` — here a
+:class:`LiveFabric`, the asyncio implementation of the
+:class:`~repro.network.simulator.Fabric` protocol.  ``route`` collects
+outgoing messages in an outbox that the host flushes to real transport
+streams after each dispatch (so a slow peer backpressures the host
+through the transport's bounded queue / TCP drain), and ``schedule``
+becomes an event-loop timer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Sequence
+
+from repro.errors import TransportError
+from repro.network.messages import (
+    EventBatchMessage,
+    Message,
+    WatermarkMessage,
+)
+from repro.network.simulator import SimulatedNode
+from repro.obs.events import MessageTrace
+from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.runtime.codec import Hello
+from repro.runtime.transport import MessageStream
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+__all__ = [
+    "LIVE_OPS_PER_SECOND",
+    "LiveFabric",
+    "NodeHost",
+    "RootServer",
+    "LocalServer",
+    "StreamServer",
+]
+
+#: CPU budget given to live operators.  The discrete-event CPU model is
+#: meaningless on a wall clock — real work takes real time — so live nodes
+#: get an effectively infinite budget and ``work()`` returns ~now.
+LIVE_OPS_PER_SECOND = 1e15
+
+#: Milliseconds of event time per second of fabric time.
+_MS_PER_SECOND = 1000.0
+
+
+class LiveFabric:
+    """Asyncio implementation of the node-facing ``Fabric`` protocol.
+
+    One fabric per host.  ``route`` is synchronous (operators call it from
+    ``on_message``), so it only queues; the owning host awaits
+    :meth:`drain` and ships the queued messages over real streams.
+    """
+
+    def __init__(self, epoch: float | None = None) -> None:
+        self._loop = asyncio.get_event_loop()
+        self._epoch = self._loop.time() if epoch is None else epoch
+        self._outbox: list[tuple[int, Message]] = []
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall clock since the cluster epoch."""
+        return self._loop.time() - self._epoch
+
+    @property
+    def epoch(self) -> float:
+        """Event-loop time corresponding to fabric time zero."""
+        return self._epoch
+
+    def route(self, message: Message, src: int, dst: int, now: float) -> None:
+        """Queue ``message`` for the host to flush to ``dst``'s stream."""
+        self._outbox.append((dst, message))
+
+    def schedule(
+        self, time: float, action: Callable[[float], None]
+    ) -> None:
+        """Run ``action`` at fabric time ``time`` via an event-loop timer."""
+        delay = max(0.0, time - self.now)
+        self._loop.call_later(delay, lambda: action(self.now))
+
+    def drain(self) -> list[tuple[int, Message]]:
+        """Take every queued ``(dst, message)`` pair."""
+        queued, self._outbox = self._outbox, []
+        return queued
+
+
+class NodeHost:
+    """Shared machinery: one operator, one fabric, streams to peers."""
+
+    def __init__(self, node: SimulatedNode, fabric: LiveFabric,
+                 tracer: Tracer = NOOP_TRACER) -> None:
+        self.node = node
+        self.fabric = fabric
+        self.tracer = tracer
+        self._peers: dict[int, MessageStream] = {}
+        node.attach(fabric)
+        # Deliberately NOT node.set_tracer(tracer): operator spans measure
+        # intervals on the simulated event-time clock (e.g. synopsis_wait
+        # starts at the window's event-time end), which has no fixed
+        # relation to the live wall clock.  Live runs trace message
+        # deliveries and link totals instead; wall-clock latency comes from
+        # the hosts' seal/result timestamps.
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    def register_peer(self, node_id: int, stream: MessageStream) -> None:
+        self._peers[node_id] = stream
+
+    async def dispatch(self, message: Message) -> None:
+        """Run the operator's handler, then flush whatever it sent."""
+        now = self.fabric.now
+        if self.tracer.enabled:
+            # Live delivery is observed at dispatch; the trace records the
+            # arrival instant on both ends of the interval.
+            self.tracer.record_message(
+                MessageTrace(
+                    sent_at=now,
+                    delivered_at=now,
+                    src=message.sender,
+                    dst=self.node_id,
+                    message=message,
+                )
+            )
+        self.node.on_message(message, now)
+        await self.flush()
+
+    async def flush(self) -> None:
+        """Ship every message the operator queued on the fabric."""
+        for dst, message in self.fabric.drain():
+            stream = self._peers.get(dst)
+            if stream is None:
+                raise TransportError(
+                    f"node {self.node_id} has no stream to peer {dst}"
+                )
+            await stream.send(message)
+
+    async def expect_hello(
+        self, stream: MessageStream, role: str
+    ) -> Hello:
+        """Read and validate the connection preamble."""
+        first = await stream.recv()
+        if not isinstance(first, Hello):
+            raise TransportError(
+                f"node {self.node_id} expected a hello, got "
+                f"{type(first).__name__}"
+            )
+        if first.role != role:
+            raise TransportError(
+                f"node {self.node_id} expected a {role!r} peer, got "
+                f"{first.role!r} from node {first.node_id}"
+            )
+        return first
+
+
+class RootServer(NodeHost):
+    """Hosts the Dema root; completes once every grid window answered."""
+
+    def __init__(self, node, fabric: LiveFabric, *, expected_windows: int,
+                 tracer: Tracer = NOOP_TRACER) -> None:
+        super().__init__(node, fabric, tracer)
+        self._expected_windows = expected_windows
+        self.done = asyncio.Event()
+        #: Wall-clock (fabric) completion time per finished window.
+        self.result_walls: dict[Window, float] = {}
+
+    async def serve(self, stream: MessageStream) -> None:
+        """Connection handler for one dialing local node."""
+        hello = await self.expect_hello(stream, "local")
+        self.register_peer(hello.node_id, stream)
+        while (message := await stream.recv()) is not None:
+            if isinstance(message, Hello):
+                raise TransportError("unexpected second hello")
+            before = len(self.node.outcomes)
+            await self.dispatch(message)
+            outcomes = self.node.outcomes
+            for outcome in outcomes[before:]:
+                self.result_walls[outcome.window] = self.fabric.now
+            if len(outcomes) >= self._expected_windows:
+                self.done.set()
+        # Peer is gone; nothing to tear down — streams close at the dialer.
+
+
+class LocalServer(NodeHost):
+    """Hosts one Dema local node plus its watermark-driven window sealing.
+
+    The simulator's driver announces window ends with perfect knowledge;
+    live, the host reconstructs the same announcements from stream
+    watermarks: every window ``[s, s + L)`` of the agreed grid is sealed
+    once ``min(watermarks) >= s + L``.  Because each stream's events are
+    FIFO-ordered before its watermark and timestamps are non-decreasing,
+    no event for a sealed window can still be in flight.
+    """
+
+    def __init__(self, node, fabric: LiveFabric, *, expected_streams: int,
+                 grid_start: int, grid_end: int, window_length_ms: int,
+                 tracer: Tracer = NOOP_TRACER) -> None:
+        super().__init__(node, fabric, tracer)
+        if expected_streams < 1:
+            raise TransportError("a local server needs at least one stream")
+        self._expected_streams = expected_streams
+        self._window_length_ms = window_length_ms
+        self._grid_end = grid_end
+        self._next_start = grid_start
+        self._watermarks: dict[int, int] = {}
+        #: Wall-clock (fabric) seal time per sealed window.
+        self.seal_walls: dict[Window, float] = {}
+        self._root_task: asyncio.Task | None = None
+
+    async def connect_root(self, root_stream: MessageStream) -> None:
+        """Register and announce ourselves on the dialed root stream."""
+        self.register_peer(0, root_stream)
+        await root_stream.send(Hello(node_id=self.node_id, role="local"))
+        self._root_task = asyncio.ensure_future(
+            self._read_root(root_stream)
+        )
+
+    async def _read_root(self, stream: MessageStream) -> None:
+        """Candidate requests, gamma updates and releases from the root."""
+        while (message := await stream.recv()) is not None:
+            await self.dispatch(message)
+
+    async def serve(self, stream: MessageStream) -> None:
+        """Connection handler for one dialing stream server."""
+        hello = await self.expect_hello(stream, "stream")
+        self.register_peer(hello.node_id, stream)
+        while (message := await stream.recv()) is not None:
+            if isinstance(message, WatermarkMessage):
+                # Host concern: the operator itself rejects watermarks.
+                self._watermarks[hello.node_id] = max(
+                    self._watermarks.get(hello.node_id, 0),
+                    message.watermark_time,
+                )
+                await self._seal_ready_windows()
+            elif isinstance(message, EventBatchMessage):
+                await self.dispatch(message)
+            else:
+                raise TransportError(
+                    f"stream {hello.node_id} sent "
+                    f"{type(message).__name__} to local {self.node_id}"
+                )
+
+    async def _seal_ready_windows(self) -> None:
+        if len(self._watermarks) < self._expected_streams:
+            return  # a stream has not spoken yet; its events may be early
+        watermark = min(self._watermarks.values())
+        length = self._window_length_ms
+        while (
+            self._next_start + length <= watermark
+            and self._next_start < self._grid_end
+        ):
+            window = Window(self._next_start, self._next_start + length)
+            now = self.fabric.now
+            self.node.on_window_complete(window, now)
+            self.seal_walls[window] = now
+            self._next_start += length
+            await self.flush()
+
+    async def shutdown(self) -> None:
+        """Stop listening to the root (called by the cluster on teardown)."""
+        if self._root_task is not None:
+            self._root_task.cancel()
+            try:
+                await self._root_task
+            except asyncio.CancelledError:
+                pass
+
+
+class StreamServer:
+    """Replays one sensor's workload share into its local node.
+
+    Batches respect window boundaries (as the simulator's driver does) and
+    are paced on the wall clock: with ``time_scale`` seconds of wall time
+    per second of event time, the batch whose last timestamp is ``t`` is
+    sent no earlier than ``epoch + (t - grid_start) * time_scale / 1000``.
+    A ``time_scale`` of zero replays as fast as backpressure allows.
+    """
+
+    def __init__(self, stream_id: int, *, events: Sequence[Event],
+                 batch_size: int, grid_start: int, grid_end: int,
+                 window_length_ms: int, time_scale: float = 0.0) -> None:
+        self.stream_id = stream_id
+        self._events = tuple(events)
+        self._batch_size = max(1, batch_size)
+        self._grid_start = grid_start
+        self._grid_end = grid_end
+        self._window_length_ms = window_length_ms
+        self._time_scale = time_scale
+        self.events_sent = 0
+
+    def _batches(self) -> "list[tuple[Event, ...]]":
+        batches: list[tuple[Event, ...]] = []
+        batch: list[Event] = []
+        length = self._window_length_ms
+        for event in self._events:
+            crosses = batch and (
+                batch[0].timestamp // length != event.timestamp // length
+            )
+            if crosses or len(batch) >= self._batch_size:
+                batches.append(tuple(batch))
+                batch = []
+            batch.append(event)
+        if batch:
+            batches.append(tuple(batch))
+        return batches
+
+    async def replay(self, stream: MessageStream) -> None:
+        """Ship every batch plus watermarks, then the final watermark."""
+        await stream.send(Hello(node_id=self.stream_id, role="stream"))
+        loop = asyncio.get_event_loop()
+        epoch = loop.time()
+        span = Window(self._grid_start, max(self._grid_end, self._grid_start + 1))
+        for batch in self._batches():
+            last_ts = batch[-1].timestamp
+            if self._time_scale > 0:
+                target = epoch + (
+                    (last_ts - self._grid_start) / _MS_PER_SECOND
+                ) * self._time_scale
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            await stream.send(
+                EventBatchMessage(
+                    sender=self.stream_id,
+                    window=Window(batch[0].timestamp, last_ts + 1),
+                    events=batch,
+                )
+            )
+            self.events_sent += len(batch)
+            await stream.send(
+                WatermarkMessage(
+                    sender=self.stream_id, window=span,
+                    watermark_time=last_ts,
+                )
+            )
+        await stream.send(
+            WatermarkMessage(
+                sender=self.stream_id, window=span,
+                watermark_time=self._grid_end,
+            )
+        )
+        await stream.close()

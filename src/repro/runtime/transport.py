@@ -1,0 +1,341 @@
+"""Transport abstraction: message streams over TCP or in-memory pipes.
+
+Two implementations of one small surface:
+
+``TcpMessageStream`` / ``TcpNetwork``
+    Real asyncio TCP over localhost.  Backpressure is the socket's: every
+    send awaits ``writer.drain()``, so a slow reader slows its writers.
+
+``MemoryMessageStream`` / ``MemoryNetwork``
+    A pair of bounded :class:`asyncio.Queue` objects carrying **encoded
+    frames** — the codec runs on both transports, so an in-memory test
+    exercises the exact serialization path a socket would.  The bounded
+    queue is the backpressure: a full peer inbox suspends the sender.
+
+Both count frames and bytes in each direction; the cluster layer feeds
+those counters to the observability subsystem so live runs report the
+same per-link byte accounting the simulator does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Protocol
+
+from repro.errors import TransportError
+from repro.network.messages import Message
+from repro.runtime import wire
+from repro.runtime.codec import Hello, decode_body, encode_frame, encode_hello
+
+__all__ = [
+    "Frame",
+    "MessageStream",
+    "StreamHandler",
+    "TcpMessageStream",
+    "TcpNetwork",
+    "MemoryMessageStream",
+    "MemoryNetwork",
+    "memory_pipe",
+    "DEFAULT_QUEUE_FRAMES",
+]
+
+#: Anything the codec produces: a protocol message or the hello preamble.
+Frame = "Message | Hello"
+
+#: Default capacity (frames) of one direction of an in-memory pipe.
+DEFAULT_QUEUE_FRAMES = 1024
+
+#: Closed-pipe sentinel (queues cannot carry ``None`` ambiguously).
+_EOF = b""
+
+
+@dataclass(slots=True)
+class StreamStats:
+    """Frame and byte counters for one direction pair of a stream."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+
+
+class MessageStream(Protocol):
+    """One bidirectional, ordered, reliable message pipe to a peer."""
+
+    stats: StreamStats
+
+    async def send(self, message: "Message | Hello") -> None:
+        """Encode and ship one message; awaits under backpressure."""
+        ...
+
+    async def recv(self) -> "Message | Hello | None":
+        """Next decoded message, or ``None`` once the peer closed."""
+        ...
+
+    async def close(self) -> None:
+        """Close both directions; concurrent ``recv`` returns ``None``."""
+        ...
+
+
+#: Server-side callback: one invocation per accepted connection.
+StreamHandler = Callable[["MessageStream"], Awaitable[None]]
+
+
+def _encode(message: "Message | Hello") -> bytes:
+    if isinstance(message, Hello):
+        return encode_hello(message)
+    return encode_frame(message)
+
+
+# ----------------------------------------------------------------------
+# TCP.
+# ----------------------------------------------------------------------
+
+
+class TcpMessageStream:
+    """Length-prefix framing over one asyncio TCP connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+        self.stats = StreamStats()
+
+    async def send(self, message: "Message | Hello") -> None:
+        if self._closed:
+            raise TransportError("send on closed TCP stream")
+        data = _encode(message)
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            raise TransportError(f"TCP send failed: {exc}") from exc
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(data)
+
+    async def recv(self) -> "Message | Hello | None":
+        try:
+            prefix = await self._reader.readexactly(wire.LENGTH_PREFIX.size)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise TransportError(
+                    f"connection died mid-frame ({len(exc.partial)} bytes "
+                    "of length prefix)"
+                ) from exc
+            return None  # clean EOF between frames
+        except ConnectionError:
+            return None
+        (length,) = wire.LENGTH_PREFIX.unpack(prefix)
+        if length > wire.MAX_FRAME_BYTES:
+            raise TransportError(
+                f"peer announced a {length}-byte frame "
+                f"(max {wire.MAX_FRAME_BYTES})"
+            )
+        try:
+            body = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise TransportError(
+                f"connection died mid-frame ({len(exc.partial)}/{length} "
+                "payload bytes)"
+            ) from exc
+        self.stats.messages_received += 1
+        self.stats.bytes_received += wire.LENGTH_PREFIX.size + length
+        return decode_body(body)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+class TcpNetwork:
+    """Localhost TCP fabric: listeners by node id, dial by node id.
+
+    Every node that accepts connections calls :meth:`listen` and gets an
+    ephemeral port; :meth:`dial` looks the port up by node id.  All servers
+    are torn down by :meth:`close`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self._host = host
+        self._ports: dict[int, int] = {}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._handlers: set[asyncio.Task] = set()
+
+    async def listen(self, node_id: int, handler: StreamHandler) -> int:
+        """Start accepting for ``node_id``; returns the bound port."""
+        if node_id in self._ports:
+            raise TransportError(f"node {node_id} is already listening")
+
+        async def on_connect(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            # Track the connection task so close() can await it instead of
+            # the loop teardown cancelling it mid-handshake.
+            task = asyncio.current_task()
+            if task is not None:
+                self._handlers.add(task)
+            stream = TcpMessageStream(reader, writer)
+            try:
+                await handler(stream)
+            finally:
+                await stream.close()
+                if task is not None:
+                    self._handlers.discard(task)
+
+        server = await asyncio.start_server(on_connect, self._host, 0)
+        port = server.sockets[0].getsockname()[1]
+        self._ports[node_id] = port
+        self._servers.append(server)
+        return port
+
+    async def dial(self, node_id: int) -> TcpMessageStream:
+        """Connect to the listener registered for ``node_id``."""
+        port = self._ports.get(node_id)
+        if port is None:
+            raise TransportError(f"no listener registered for node {node_id}")
+        try:
+            reader, writer = await asyncio.open_connection(self._host, port)
+        except OSError as exc:
+            raise TransportError(
+                f"dial to node {node_id} ({self._host}:{port}) failed: {exc}"
+            ) from exc
+        return TcpMessageStream(reader, writer)
+
+    async def close(self) -> None:
+        """Stop all listeners and wait for their connection handlers."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        if self._handlers:
+            # Dialers have closed by now, so handlers are draining EOFs;
+            # give stragglers a short deadline before cancelling.
+            done, pending = await asyncio.wait(self._handlers, timeout=5.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._handlers.clear()
+        self._servers.clear()
+        self._ports.clear()
+
+
+# ----------------------------------------------------------------------
+# In-memory.
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _Pipe:
+    """One direction of an in-memory duplex: a bounded queue of frames."""
+
+    queue: asyncio.Queue
+    closed: bool = field(default=False)
+
+
+class MemoryMessageStream:
+    """One end of an in-memory duplex carrying encoded frames.
+
+    Deterministic stand-in for a socket: same codec, same framing, but
+    scheduling is purely the event loop's — no OS buffering, no ports.
+    """
+
+    def __init__(self, outgoing: _Pipe, incoming: _Pipe) -> None:
+        self._out = outgoing
+        self._in = incoming
+        self.stats = StreamStats()
+
+    async def send(self, message: "Message | Hello") -> None:
+        if self._out.closed:
+            raise TransportError("send on closed memory stream")
+        data = _encode(message)
+        await self._out.queue.put(data)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(data)
+
+    async def recv(self) -> "Message | Hello | None":
+        data = await self._in.queue.get()
+        if data == _EOF:
+            # Propagate the sentinel so every pending/future recv sees EOF.
+            await self._in.queue.put(_EOF)
+            return None
+        self.stats.messages_received += 1
+        self.stats.bytes_received += len(data)
+        return decode_body(memoryview(data)[wire.LENGTH_PREFIX.size:])
+
+    async def close(self) -> None:
+        if not self._out.closed:
+            self._out.closed = True
+            await self._out.queue.put(_EOF)
+
+
+def memory_pipe(
+    max_frames: int = DEFAULT_QUEUE_FRAMES,
+) -> tuple[MemoryMessageStream, MemoryMessageStream]:
+    """A connected pair of in-memory message streams.
+
+    ``max_frames`` bounds each direction; a sender blocks once its peer's
+    inbox is full, mirroring TCP's flow control.
+    """
+    a_to_b = _Pipe(asyncio.Queue(maxsize=max_frames))
+    b_to_a = _Pipe(asyncio.Queue(maxsize=max_frames))
+    return (
+        MemoryMessageStream(a_to_b, b_to_a),
+        MemoryMessageStream(b_to_a, a_to_b),
+    )
+
+
+class MemoryNetwork:
+    """In-memory fabric with the same listen/dial surface as TCP.
+
+    ``dial`` hands the server's handler one end of a fresh pipe as a task
+    and returns the other end, so server and client code are transport
+    agnostic.
+    """
+
+    def __init__(self, max_frames: int = DEFAULT_QUEUE_FRAMES) -> None:
+        self._max_frames = max_frames
+        self._handlers: dict[int, StreamHandler] = {}
+        self._tasks: list[asyncio.Task] = []
+
+    async def listen(self, node_id: int, handler: StreamHandler) -> int:
+        if node_id in self._handlers:
+            raise TransportError(f"node {node_id} is already listening")
+        self._handlers[node_id] = handler
+        return node_id  # port-shaped return for symmetry; unused
+
+    async def dial(self, node_id: int) -> MemoryMessageStream:
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise TransportError(f"no listener registered for node {node_id}")
+        client_end, server_end = memory_pipe(self._max_frames)
+
+        async def serve() -> None:
+            try:
+                await handler(server_end)
+            finally:
+                await server_end.close()
+
+        self._tasks.append(asyncio.ensure_future(serve()))
+        return client_end
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            if not task.done():
+                task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, TransportError):
+                pass
+        self._tasks.clear()
+        self._handlers.clear()

@@ -1,0 +1,125 @@
+"""Wire-format constants: struct layouts and byte sizes.
+
+This module is the **single source of truth for wire sizes**.  The binary
+codec (:mod:`repro.runtime.codec`) packs with these struct objects, and the
+simulator's per-message ``payload_bytes`` estimates
+(:mod:`repro.network.messages`) are arithmetic over the same constants — a
+property test asserts that every estimate equals the encoder's output byte
+for byte, so simulated byte counts and live byte counts stay comparable.
+
+It deliberately imports nothing from the rest of the package (only
+:mod:`struct`), so the lowest layers (``repro.streaming.events``,
+``repro.network.messages``) can depend on it without cycles.
+
+Frame layout (little-endian throughout)::
+
+    0        4        5        6        8        12       16       24       32
+    +--------+--------+--------+--------+--------+--------+--------+--------+
+    | length | version| type   | flags  | sender | group  | window | window |
+    | u32    | u8     | u8     | u16    | u32    | u32    | start  | end    |
+    |        |        |        |        |        |        | i64    | i64    |
+    +--------+--------+--------+--------+--------+--------+--------+--------+
+    | payload (length - 28 bytes) ...                                       |
+    +-----------------------------------------------------------------------+
+
+``length`` counts everything after the length field itself (header rest +
+payload).  ``flags`` is reserved (must be zero).  The 32-byte total is
+:data:`MESSAGE_HEADER_BYTES`, charged per message by the simulator.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "LENGTH_PREFIX",
+    "HEADER",
+    "MESSAGE_HEADER_BYTES",
+    "EVENT",
+    "EVENT_WIRE_BYTES",
+    "KEY",
+    "KEY_WIRE_BYTES",
+    "SYNOPSIS",
+    "SYNOPSIS_WIRE_BYTES",
+    "COUNT",
+    "COUNT_BYTES",
+    "U32",
+    "U32_BYTES",
+    "U64",
+    "U64_BYTES",
+    "F64",
+    "F64_BYTES",
+    "CENTROID",
+    "CENTROID_WIRE_BYTES",
+    "QDIGEST_NODE",
+    "QDIGEST_NODE_WIRE_BYTES",
+    "I64",
+]
+
+#: Protocol version stamped into every frame header.  A decoder refuses
+#: frames from a different version instead of mis-parsing them.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's ``length`` field.  Protects a receiver from
+#: allocating gigabytes on a corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: u32 frame length (everything after this field).
+LENGTH_PREFIX = struct.Struct("<I")
+
+#: version u8, type tag u8, flags u16, sender u32, group_id u32,
+#: window start i64, window end i64.
+HEADER = struct.Struct("<BBHIIqq")
+
+#: Fixed per-message framing overhead: length prefix plus header.
+MESSAGE_HEADER_BYTES = LENGTH_PREFIX.size + HEADER.size
+
+#: One event: value f64, timestamp u32 (event-time milliseconds),
+#: node_id u32, seq u32.  The paper's layout (8-byte value, 4-byte
+#: timestamp, 4-byte id) plus the 4-byte per-node sequence number that
+#: gives the reproduction its strict total order.
+EVENT = struct.Struct("<dIII")
+EVENT_WIRE_BYTES = EVENT.size
+
+#: One event *key* (no timestamp): value f64, node_id u32, seq u32.
+KEY = struct.Struct("<dII")
+KEY_WIRE_BYTES = KEY.size
+
+#: One slice synopsis: first key, last key, then count / slice_index /
+#: n_slices / node_id as u32 each.
+SYNOPSIS = struct.Struct("<dIIdIIIIII")
+SYNOPSIS_WIRE_BYTES = SYNOPSIS.size
+
+#: u32 element count prefixing every variable-length sequence.
+COUNT = struct.Struct("<I")
+COUNT_BYTES = COUNT.size
+
+U32 = struct.Struct("<I")
+U32_BYTES = U32.size
+
+U64 = struct.Struct("<Q")
+U64_BYTES = U64.size
+
+F64 = struct.Struct("<d")
+F64_BYTES = F64.size
+
+I64 = struct.Struct("<q")
+
+#: One t-digest centroid: mean f64, weight f64.
+CENTROID = struct.Struct("<dd")
+CENTROID_WIRE_BYTES = CENTROID.size
+
+#: One q-digest tree node: level u32, index u64, count u32.
+QDIGEST_NODE = struct.Struct("<IQI")
+QDIGEST_NODE_WIRE_BYTES = QDIGEST_NODE.size
+
+
+# The documented layout above is load-bearing for the simulator's byte
+# accounting; fail at import time if a struct edit ever drifts from it.
+assert MESSAGE_HEADER_BYTES == 32
+assert EVENT_WIRE_BYTES == 20
+assert KEY_WIRE_BYTES == 16
+assert SYNOPSIS_WIRE_BYTES == 2 * KEY_WIRE_BYTES + 4 * U32_BYTES == 48
+assert QDIGEST_NODE_WIRE_BYTES == 16

@@ -14,13 +14,17 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
+from repro.runtime import wire
 
 __all__ = ["Event", "EventKey", "event_key", "make_events", "EVENT_WIRE_BYTES"]
 
-#: Serialized size of one event on the simulated wire, in bytes.  The paper's
-#: events carry an 8-byte value, a 4-byte timestamp and a 4-byte id; the
-#: network layer uses this constant for byte-exact cost accounting.
-EVENT_WIRE_BYTES = 16
+#: Serialized size of one event on the wire, in bytes.  The paper's events
+#: carry an 8-byte value, a 4-byte timestamp and a 4-byte id; the
+#: reproduction adds the 4-byte per-node sequence number that makes the
+#: total order strict, for 20 bytes.  The constant comes from the binary
+#: codec's struct layout (:mod:`repro.runtime.wire`), so simulated byte
+#: accounting matches what the live runtime actually serializes.
+EVENT_WIRE_BYTES = wire.EVENT_WIRE_BYTES
 
 #: The total-order key of an event: ``(value, node_id, seq)``.
 EventKey = tuple[float, int, int]

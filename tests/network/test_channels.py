@@ -18,26 +18,26 @@ def make_channel(bandwidth=1000.0, latency=0.5):
 class TestTransmit:
     def test_delivery_time_includes_transfer_and_latency(self):
         channel = make_channel(bandwidth=1000.0, latency=0.5)
-        message = Message(sender=1, window=WINDOW)  # 24 bytes
+        message = Message(sender=1, window=WINDOW)  # 32 bytes (bare header)
         delivery = channel.transmit(message, now=0.0)
-        assert delivery == pytest.approx(24 / 1000.0 + 0.5)
+        assert delivery == pytest.approx(32 / 1000.0 + 0.5)
 
     def test_fifo_serialization(self):
         channel = make_channel(bandwidth=1000.0, latency=0.0)
         message = Message(sender=1, window=WINDOW)
         first = channel.transmit(message, now=0.0)
         second = channel.transmit(message, now=0.0)
-        assert second == pytest.approx(first + 24 / 1000.0)
+        assert second == pytest.approx(first + 32 / 1000.0)
 
     def test_idle_gap_not_accumulated(self):
         channel = make_channel(bandwidth=1000.0, latency=0.0)
         message = Message(sender=1, window=WINDOW)
         channel.transmit(message, now=0.0)
         delivery = channel.transmit(message, now=100.0)
-        assert delivery == pytest.approx(100.0 + 24 / 1000.0)
+        assert delivery == pytest.approx(100.0 + 32 / 1000.0)
 
     def test_busy_until_tracks_link_occupancy(self):
-        channel = make_channel(bandwidth=24.0, latency=1.0)
+        channel = make_channel(bandwidth=32.0, latency=1.0)
         message = Message(sender=1, window=WINDOW)
         channel.transmit(message, now=0.0)
         assert channel.busy_until == pytest.approx(1.0)

@@ -32,7 +32,7 @@ class TestEventCarryingMessages:
     def test_event_batch_scales_with_events(self):
         events = tuple(make_events([1, 2, 3]))
         message = EventBatchMessage(sender=1, window=WINDOW, events=events)
-        assert message.payload_bytes == 3 * EVENT_WIRE_BYTES
+        assert message.payload_bytes == 4 + 3 * EVENT_WIRE_BYTES
 
     def test_sorted_run_same_cost_as_raw(self):
         events = tuple(make_events([1, 2, 3]))
@@ -45,7 +45,7 @@ class TestEventCarryingMessages:
         message = CandidateEventsMessage(
             sender=1, window=WINDOW, slice_index=0, events=events
         )
-        assert message.payload_bytes == 4 + 2 * EVENT_WIRE_BYTES
+        assert message.payload_bytes == 8 + 2 * EVENT_WIRE_BYTES
 
     def test_batch_events_helper(self):
         events = make_events([1.0])
@@ -60,7 +60,7 @@ class TestControlMessages:
             sender=1, window=WINDOW, synopses=(object(), object()),
             local_window_size=100,
         )
-        assert message.payload_bytes == 2 * SYNOPSIS_WIRE_BYTES + 8
+        assert message.payload_bytes == 2 * SYNOPSIS_WIRE_BYTES + 12
 
     def test_synopsis_cheaper_than_raw_events_it_summarizes(self):
         # One synopsis summarizes gamma >= 2 events; for gamma > 2 the
@@ -71,7 +71,7 @@ class TestControlMessages:
         message = CandidateRequestMessage(
             sender=0, window=WINDOW, slice_indices=(1, 2, 3)
         )
-        assert message.payload_bytes == 12
+        assert message.payload_bytes == 4 + 12
 
     def test_gamma_update_small(self):
         message = GammaUpdateMessage(sender=0, window=WINDOW, gamma=100)
@@ -91,7 +91,7 @@ class TestControlMessages:
         message = DigestMessage(
             sender=1, window=WINDOW, centroids=((1.0, 2.0), (3.0, 4.0))
         )
-        assert message.payload_bytes == 2 * 16 + 8
+        assert message.payload_bytes == 4 + 2 * 16
 
 
 class TestImmutability:

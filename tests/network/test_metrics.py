@@ -49,14 +49,14 @@ class TestNetworkMetrics:
     def test_totals(self):
         metrics = NetworkMetrics.capture(simulate_traffic())
         assert metrics.total_messages == 2
-        assert metrics.total_bytes == (24 + 48) + 24
+        assert metrics.total_bytes == (32 + 4 + 3 * 20) + 32
         assert metrics.total_events_on_wire == 3
 
     def test_per_node_direction(self):
         metrics = NetworkMetrics.capture(simulate_traffic())
-        assert metrics.bytes_sent_by(1) == 72
+        assert metrics.bytes_sent_by(1) == 96
         assert metrics.bytes_sent_by(0) == 0
-        assert metrics.bytes_received_by(0) == 96
+        assert metrics.bytes_received_by(0) == 128
         assert metrics.bytes_into(0) == metrics.bytes_received_by(0)
 
     def test_empty_simulator_statistics(self):
@@ -70,8 +70,8 @@ class TestNetworkMetrics:
 
     def test_mean_and_max_link_bytes(self):
         metrics = NetworkMetrics.capture(simulate_traffic())
-        assert metrics.max_link_bytes == 72
-        assert metrics.mean_bytes_per_link == pytest.approx((72 + 24 + 0) / 3)
+        assert metrics.max_link_bytes == 96
+        assert metrics.mean_bytes_per_link == pytest.approx((96 + 32 + 0) / 3)
 
     def test_reduction_vs(self):
         heavy = NetworkMetrics.capture(simulate_traffic())

@@ -146,7 +146,7 @@ class TestRouting:
         simulator.run()
         assert len(b.received) == 1
         _, delivery = b.received[0]
-        assert delivery == pytest.approx(24 / 1e6 + 0.001)
+        assert delivery == pytest.approx(32 / 1e6 + 0.001)
 
     def test_missing_channel_rejected(self):
         simulator, a, b = self.make_pair()
@@ -178,7 +178,7 @@ class TestRouting:
         simulator.schedule(1.0, lambda t: a.send(message, 2, t))
         simulator.run()
         assert simulator.total_network_messages() == 2
-        assert simulator.total_network_bytes() == 48
+        assert simulator.total_network_bytes() == 64
 
 
 class TestNodeLifecycle:

@@ -112,7 +112,7 @@ def test_lossy_channel_conservation(loss_rate, seed, n_messages):
     stats = channel.stats
     assert stats.messages == n_messages
     assert delivered + stats.dropped == n_messages
-    assert stats.bytes == n_messages * 24  # lost bytes still sent
+    assert stats.bytes == n_messages * 32  # lost bytes still sent
 
 
 @given(

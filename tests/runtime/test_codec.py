@@ -1,0 +1,380 @@
+"""Codec tests: lossless round trips and byte-exact size accounting.
+
+The central invariants — ``len(encode_payload(m)) == m.payload_bytes`` and
+``len(encode_frame(m)) == m.wire_bytes`` — are what let the discrete-event
+simulator charge exactly the bytes the live runtime puts on a socket.
+Round trips are checked at the bit level (re-encode and compare frames) so
+NaN payloads, whose dataclasses are never ``==`` to anything, still count.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synopsis import SliceSynopsis
+from repro.errors import CodecError
+from repro.network.messages import (
+    MESSAGE_HEADER_BYTES,
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    DigestMessage,
+    EventBatchMessage,
+    GammaUpdateMessage,
+    Message,
+    PartialAggregateMessage,
+    QDigestMessage,
+    ResultMessage,
+    SortedRunMessage,
+    SynopsisMessage,
+    SynopsisRequestMessage,
+    WatermarkMessage,
+    WindowReleaseMessage,
+)
+from repro.runtime import wire
+from repro.runtime.codec import (
+    HELLO_TAG,
+    TAG_BY_TYPE,
+    TYPE_BY_TAG,
+    Hello,
+    decode_body,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_hello,
+    encode_payload,
+    tag_of,
+)
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+# ----------------------------------------------------------------------
+# Strategies.
+# ----------------------------------------------------------------------
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+f64 = st.floats(width=64)  # NaN and infinities included
+finite_f64 = st.floats(width=64, allow_nan=False)
+
+windows = st.builds(
+    lambda start, length: Window(start, start + length),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.integers(min_value=1, max_value=2**20),
+)
+
+events = st.builds(Event, value=f64, timestamp=u32, node_id=u32, seq=u32)
+event_batches = st.lists(events, max_size=30).map(tuple)
+
+
+@st.composite
+def synopses(draw):
+    keys = sorted(
+        [
+            (draw(finite_f64), draw(u32), draw(u32)),
+            (draw(finite_f64), draw(u32), draw(u32)),
+        ]
+    )
+    n_slices = draw(st.integers(min_value=1, max_value=64))
+    return SliceSynopsis(
+        first_key=keys[0],
+        last_key=keys[1],
+        count=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        node_id=draw(u32),
+        slice_index=draw(st.integers(min_value=0, max_value=n_slices - 1)),
+        n_slices=n_slices,
+    )
+
+
+def _with_header(payload_strategy):
+    """Wrap a payload-fields strategy with the shared header fields."""
+    return st.tuples(u32, windows, u32, payload_strategy)
+
+
+messages = st.one_of(
+    _with_header(st.none()).map(lambda t: Message(t[0], t[1], t[2])),
+    _with_header(event_batches).map(
+        lambda t: EventBatchMessage(t[0], t[1], t[2], t[3])
+    ),
+    _with_header(event_batches).map(
+        lambda t: SortedRunMessage(t[0], t[1], t[2], t[3])
+    ),
+    _with_header(
+        st.tuples(st.lists(synopses(), max_size=8).map(tuple), u64)
+    ).map(lambda t: SynopsisMessage(t[0], t[1], t[2], t[3][0], t[3][1])),
+    _with_header(st.lists(u32, max_size=30).map(tuple)).map(
+        lambda t: CandidateRequestMessage(t[0], t[1], t[2], t[3])
+    ),
+    _with_header(st.tuples(u32, event_batches)).map(
+        lambda t: CandidateEventsMessage(t[0], t[1], t[2], t[3][0], t[3][1])
+    ),
+    _with_header(st.none()).map(
+        lambda t: SynopsisRequestMessage(t[0], t[1], t[2])
+    ),
+    _with_header(st.none()).map(
+        lambda t: WindowReleaseMessage(t[0], t[1], t[2])
+    ),
+    _with_header(st.integers(min_value=2, max_value=2**32 - 1)).map(
+        lambda t: GammaUpdateMessage(t[0], t[1], t[2], t[3])
+    ),
+    _with_header(
+        st.lists(st.tuples(f64, f64), max_size=20).map(tuple)
+    ).map(lambda t: DigestMessage(t[0], t[1], t[2], t[3])),
+    _with_header(st.tuples(st.lists(f64, max_size=8).map(tuple), u64)).map(
+        lambda t: PartialAggregateMessage(t[0], t[1], t[2], t[3][0], t[3][1])
+    ),
+    _with_header(
+        st.tuples(
+            st.lists(st.tuples(u32, u64, u32), max_size=20).map(tuple), u64
+        )
+    ).map(lambda t: QDigestMessage(t[0], t[1], t[2], t[3][0], t[3][1])),
+    _with_header(u64).map(lambda t: WatermarkMessage(t[0], t[1], t[2], t[3])),
+    _with_header(st.tuples(f64, u64)).map(
+        lambda t: ResultMessage(t[0], t[1], t[2], t[3][0], t[3][1])
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Property tests: sizes and round trips for every message type.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(messages)
+def test_sizes_and_roundtrip(message):
+    payload = encode_payload(message)
+    assert len(payload) == message.payload_bytes
+
+    frame = encode_frame(message)
+    assert len(frame) == message.wire_bytes
+    assert len(frame) == MESSAGE_HEADER_BYTES + message.payload_bytes
+
+    decoded = decode_frame(frame)
+    assert type(decoded) is type(message)
+    assert decoded.sender == message.sender
+    assert decoded.window == message.window
+    assert decoded.group_id == message.group_id
+    # Bit-level round trip holds even for NaN payloads; object equality
+    # additionally holds whenever no NaN is involved.
+    assert encode_frame(decoded) == frame
+    if "nan" not in repr(message):
+        assert decoded == message
+
+
+@settings(max_examples=300, deadline=None)
+@given(messages)
+def test_decode_body_matches_decode_frame(message):
+    frame = encode_frame(message)
+    body = frame[wire.LENGTH_PREFIX.size:]
+    assert encode_frame(decode_body(body)) == frame
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages)
+def test_decode_payload_entry_point(message):
+    decoded = decode_payload(
+        tag_of(message),
+        encode_payload(message),
+        sender=message.sender,
+        window=message.window,
+        group_id=message.group_id,
+    )
+    assert encode_frame(decoded) == encode_frame(message)
+
+
+# ----------------------------------------------------------------------
+# Representative instances: explicit payload arithmetic per type.
+# ----------------------------------------------------------------------
+
+W = Window(0, 1000)
+E = Event(value=1.5, timestamp=10, node_id=3, seq=7)
+S = SliceSynopsis(
+    first_key=(1.0, 3, 0),
+    last_key=(2.0, 3, 5),
+    count=6,
+    node_id=3,
+    slice_index=0,
+    n_slices=2,
+)
+
+SAMPLES = [
+    (Message(1, W), 0),
+    (EventBatchMessage(1, W, events=(E, E)), 4 + 2 * 20),
+    (SortedRunMessage(1, W, events=(E,)), 4 + 20),
+    (SynopsisMessage(1, W, synopses=(S,), local_window_size=6), 4 + 8 + 48),
+    (CandidateRequestMessage(0, W, slice_indices=(0, 1, 2)), 4 + 3 * 4),
+    (CandidateEventsMessage(1, W, slice_index=1, events=(E,)), 4 + 4 + 20),
+    (SynopsisRequestMessage(0, W), 0),
+    (WindowReleaseMessage(0, W), 0),
+    (GammaUpdateMessage(0, W, gamma=64), 4),
+    (DigestMessage(1, W, centroids=((1.0, 2.0),)), 4 + 16),
+    (
+        PartialAggregateMessage(1, W, state=(1.0, 2.0, 3.0), local_window_size=5),
+        4 + 8 + 3 * 8,
+    ),
+    (QDigestMessage(1, W, nodes=((1, 2, 3),), local_count=9), 4 + 8 + 16),
+    (WatermarkMessage(5, W, watermark_time=999), 8),
+    (ResultMessage(0, W, value=1.5, global_window_size=10), 8 + 8),
+]
+
+
+def test_samples_cover_every_registered_type():
+    assert {type(m) for m, _ in SAMPLES} == set(TAG_BY_TYPE)
+    assert TYPE_BY_TAG == {tag: cls for cls, tag in TAG_BY_TYPE.items()}
+    assert HELLO_TAG not in TYPE_BY_TAG  # control frame, not a message
+
+
+@pytest.mark.parametrize(
+    "message,expected_payload",
+    SAMPLES,
+    ids=[type(m).__name__ for m, _ in SAMPLES],
+)
+def test_representative_sizes(message, expected_payload):
+    assert message.payload_bytes == expected_payload
+    assert message.wire_bytes == MESSAGE_HEADER_BYTES + expected_payload
+    assert len(encode_payload(message)) == expected_payload
+    assert decode_frame(encode_frame(message)) == message
+
+
+def test_nan_and_infinity_survive_the_wire():
+    message = EventBatchMessage(
+        1,
+        W,
+        events=(
+            Event(float("nan"), 1, 1, 1),
+            Event(float("inf"), 2, 1, 2),
+            Event(float("-inf"), 3, 1, 3),
+            Event(-0.0, 4, 1, 4),
+        ),
+    )
+    decoded = decode_frame(encode_frame(message))
+    values = [e.value for e in decoded.events]
+    assert math.isnan(values[0])
+    assert values[1] == float("inf")
+    assert values[2] == float("-inf")
+    assert math.copysign(1.0, values[3]) == -1.0
+
+
+def test_large_synopsis_batch_roundtrip():
+    synopses = tuple(
+        SliceSynopsis(
+            first_key=(float(i), 1, i * 10),
+            last_key=(float(i) + 0.5, 1, i * 10 + 9),
+            count=10,
+            node_id=1,
+            slice_index=i,
+            n_slices=500,
+        )
+        for i in range(500)
+    )
+    message = SynopsisMessage(1, W, synopses=synopses, local_window_size=5000)
+    assert message.payload_bytes == 4 + 8 + 500 * 48
+    assert decode_frame(encode_frame(message)) == message
+
+
+# ----------------------------------------------------------------------
+# Hello control frames.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("role", ["stream", "local", "root", "driver"])
+def test_hello_roundtrip(role):
+    frame = encode_hello(Hello(node_id=9, role=role))
+    assert len(frame) == MESSAGE_HEADER_BYTES + wire.U32_BYTES
+    assert decode_frame(frame) == Hello(node_id=9, role=role)
+
+
+def test_hello_rejects_unknown_role():
+    with pytest.raises(CodecError, match="unknown hello role"):
+        Hello(node_id=1, role="observer")
+
+
+def test_hello_rejects_unknown_role_code():
+    frame = bytearray(encode_hello(Hello(node_id=1, role="root")))
+    frame[-4:] = wire.U32.pack(99)
+    with pytest.raises(CodecError, match="role code 99"):
+        decode_frame(bytes(frame))
+
+
+# ----------------------------------------------------------------------
+# Error paths.
+# ----------------------------------------------------------------------
+
+_FRAME = encode_frame(WatermarkMessage(5, W, watermark_time=42))
+# Offsets into the full frame: 4-byte length prefix, then the header.
+_VERSION_AT = wire.LENGTH_PREFIX.size
+_TAG_AT = _VERSION_AT + 1
+_FLAGS_AT = _TAG_AT + 1
+
+
+def _mutated(offset: int, value: int) -> bytes:
+    frame = bytearray(_FRAME)
+    frame[offset] = value
+    return bytes(frame)
+
+
+def test_version_mismatch_rejected():
+    with pytest.raises(CodecError, match="version mismatch"):
+        decode_frame(_mutated(_VERSION_AT, wire.WIRE_VERSION + 1))
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError, match="unknown frame type tag 200"):
+        decode_frame(_mutated(_TAG_AT, 200))
+
+
+def test_nonzero_flags_rejected():
+    with pytest.raises(CodecError, match="reserved flags"):
+        decode_frame(_mutated(_FLAGS_AT, 1))
+
+
+def test_truncated_payload_rejected():
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(
+            tag_of(WatermarkMessage(5, W)), b"\x00" * 7, sender=5, window=W
+        )
+
+
+def test_trailing_payload_bytes_rejected():
+    with pytest.raises(CodecError, match="trailing"):
+        decode_payload(
+            tag_of(WatermarkMessage(5, W)), b"\x00" * 9, sender=5, window=W
+        )
+
+
+def test_frame_shorter_than_length_prefix():
+    with pytest.raises(CodecError, match="shorter than its length prefix"):
+        decode_frame(b"\x01")
+
+
+def test_frame_length_prefix_mismatch():
+    with pytest.raises(CodecError, match="length prefix says"):
+        decode_frame(_FRAME + b"\x00")
+
+
+def test_oversize_length_prefix_rejected():
+    frame = wire.LENGTH_PREFIX.pack(wire.MAX_FRAME_BYTES + 1)
+    with pytest.raises(CodecError, match="exceeds MAX_FRAME_BYTES"):
+        decode_frame(frame + b"\x00" * 8)
+
+
+def test_body_shorter_than_header():
+    with pytest.raises(CodecError, match="shorter than"):
+        decode_body(b"\x00" * (wire.HEADER.size - 1))
+
+
+def test_unregistered_type_has_no_tag():
+    class Unregistered(Message):
+        pass
+
+    stranger = Unregistered(1, W)
+    with pytest.raises(CodecError, match="no wire tag"):
+        tag_of(stranger)
+    with pytest.raises(CodecError, match="no payload encoder"):
+        encode_payload(stranger)
+
+
+def test_decode_payload_unknown_tag():
+    with pytest.raises(CodecError, match="unknown frame type tag"):
+        decode_payload(99, b"", sender=0, window=W)
