@@ -9,6 +9,7 @@ Usage::
     python -m repro trace quickstart     # record a traced scenario
     python -m repro report run.jsonl     # per-phase latency/byte breakdown
     python -m repro live --rate 20000    # live asyncio cluster over TCP
+    python -m repro chaos --scenario crash-reconnect   # fault injection
 """
 
 from __future__ import annotations
@@ -231,6 +232,56 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.runner import run_chaos
+    from repro.faults.scenarios import SCENARIOS
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<16} {scenario.description}")
+        return 0
+    report = run_chaos(
+        args.scenario,
+        mode=args.mode,
+        seed=args.seed,
+        n_locals=args.locals,
+        streams_per_local=args.streams,
+        rate=args.rate,
+        duration_s=args.duration,
+        time_scale=args.time_scale,
+        transport=args.transport,
+        gamma=args.gamma,
+        q=args.q,
+    )
+    print(f"chaos scenario {report.scenario!r} on the {report.mode} "
+          f"substrate (seed {report.seed})")
+    print("fault events applied:")
+    for line in report.applied:
+        print(f"  {line}")
+    if not report.applied:
+        print("  (none)")
+    print()
+    for window in sorted(report.classes):
+        print(f"  window [{window.start / 1000:.0f}s,"
+              f"{window.end / 1000:.0f}s): {report.classes[window]}")
+    print()
+    print(f"windows  : {report.recovered} recovered, "
+          f"{report.degraded} degraded, {report.lost} lost, "
+          f"{report.mismatched} mismatched (of {report.windows})")
+    print(f"tolerance: {report.reconnects} reconnects, "
+          f"{report.heartbeat_misses} heartbeat misses, "
+          f"{report.locals_declared_dead} locals declared dead")
+    print(f"wall     : {report.wall_seconds:.2f}s")
+    if report.mismatched:
+        print("MISMATCHED WINDOWS: values diverged at full completeness "
+              "— protocol bug")
+        return 1
+    if report.lost:
+        print("LOST WINDOWS: some windows were never answered")
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
@@ -318,6 +369,29 @@ def main(argv: list[str] | None = None) -> int:
                       help="write the BENCH_live.json artifact")
     live.add_argument("--bench-output", default=None, metavar="PATH")
 
+    chaos = sub.add_parser(
+        "chaos", help="run a cluster under a named fault scenario"
+    )
+    chaos.add_argument("--scenario", default="crash-reconnect",
+                       help="scenario name (see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    chaos.add_argument("--mode", default="live", choices=["sim", "live"],
+                       help="substrate: discrete-event sim or live asyncio")
+    chaos.add_argument("--transport", default="memory",
+                       choices=["tcp", "memory"],
+                       help="live mode transport")
+    chaos.add_argument("--locals", type=int, default=2)
+    chaos.add_argument("--streams", type=int, default=2,
+                       help="stream servers per local (live mode)")
+    chaos.add_argument("--rate", type=float, default=300.0)
+    chaos.add_argument("--duration", type=float, default=3.0)
+    chaos.add_argument("--time-scale", type=float, default=0.3,
+                       help="live mode: wall seconds per event-time second")
+    chaos.add_argument("--gamma", type=int, default=64)
+    chaos.add_argument("--q", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=7)
+
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,
                        choices=["gamma", "n_local_nodes", "event_rate", "q",
@@ -344,6 +418,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "live": _cmd_live,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -66,6 +66,10 @@ def report_dict(
         "bytes_by_layer": report.bytes_by_layer,
         "messages_by_layer": report.messages_by_layer,
         "total_bytes": report.total_bytes,
+        "reconnects": report.reconnects,
+        "heartbeat_misses": report.heartbeat_misses,
+        "degraded_windows": report.degraded_windows,
+        "dropped_sends": report.dropped_sends,
     }
 
 

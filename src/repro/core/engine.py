@@ -143,6 +143,7 @@ class DemaEngine:
         *,
         batch_size: int = 512,
         reliability=None,
+        degrade_after_retries: bool = False,
         trace=None,
         tracer=None,
     ) -> None:
@@ -162,6 +163,7 @@ class DemaEngine:
                 query=query,
                 ops_per_second=ops,
                 reliability=reliability,
+                degrade_after_retries=degrade_after_retries,
             )
             return self._root
 

@@ -68,6 +68,7 @@ class DemaLocalNode(SimulatedNode):
         self._events_ingested = 0
         self._windows_completed = 0
         self._late_events = 0
+        self._last_release_end = -1
 
     @property
     def gamma(self) -> int:
@@ -93,6 +94,41 @@ class DemaLocalNode(SimulatedNode):
     def late_events(self) -> int:
         """Events dropped because their window had already been sealed."""
         return self._late_events
+
+    @property
+    def last_release_end(self) -> int:
+        """End (event-time ms) of the highest released window; -1 if none.
+
+        This is the session-resume cursor a reconnecting live host puts in
+        its ``Hello`` preamble.
+        """
+        return self._last_release_end
+
+    def replay_pending(self, now: float) -> int:
+        """Session resume: re-announce every retained sealed window.
+
+        Called by the live host after a reconnect.  The root may have
+        missed any synopsis sent before the link died, and our resend
+        timers may have burned retries into a dead connection — so each
+        pending window is replayed with a fresh acknowledgement state and
+        retry budget.  Idempotent at the root (duplicates are dropped, and
+        already-answered windows are answered with a release).  Returns
+        the number of windows replayed.
+        """
+        for window in sorted(self._pending):
+            sliced = self._pending[window]
+            self._acknowledged.discard(window)
+            self._resend_retries[window] = 0
+            message = SynopsisMessage(
+                sender=self.node_id,
+                window=window,
+                synopses=sliced.synopses,
+                local_window_size=sliced.window_size,
+            )
+            self.send(message, self._root_id, now)
+            if self._reliability is not None:
+                self._arm_resend_timer(window, now)
+        return len(self._pending)
 
     def ingest(self, events: Sequence[Event], now: float) -> float:
         """Accept a batch of raw events; returns CPU completion time.
@@ -217,6 +253,9 @@ class DemaLocalNode(SimulatedNode):
             self._resend_synopses(message, now)
         elif isinstance(message, WindowReleaseMessage):
             self._acknowledged.add(message.window)
+            self._last_release_end = max(
+                self._last_release_end, message.window.end
+            )
             # Releases are cumulative: windows complete in end order at the
             # root, so an acknowledgement for this window also covers any
             # earlier window whose own release was lost.

@@ -53,11 +53,20 @@ class WindowOutcome:
     candidate_slices: int
     synopses_received: int
     gamma_used: int
+    #: Fraction of the configured locals whose data formed this answer.
+    #: 1.0 is the normal case; < 1.0 marks a degraded answer computed
+    #: without locals that were declared dead or gave up.
+    completeness: float = 1.0
 
     @property
     def is_empty(self) -> bool:
         """Whether the global window held no events."""
         return self.global_window_size == 0
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether some configured locals were missing from this answer."""
+        return self.completeness < 1.0
 
 
 @dataclass
@@ -71,6 +80,11 @@ class _WindowState:
     expected_runs: int = 0
     gamma_used: int = 0
     retries: int = 0
+    #: Locals whose synopses the current identification was computed over
+    #: (set when identification runs; ``None`` before).
+    participants: tuple[int, ...] | None = None
+    #: Locals given up on for this window only (degradation).
+    excluded: set[int] = field(default_factory=set)
     #: Tracing bookkeeping: the window's parent span id and the time the
     #: candidate requests went out (start of the candidate_fetch phase).
     window_span: int = 0
@@ -88,11 +102,13 @@ class DemaRootNode(SimulatedNode):
         query: QuantileQuery,
         ops_per_second: float = 2e8,
         reliability: ReliabilityConfig | None = None,
+        degrade_after_retries: bool = False,
     ) -> None:
         super().__init__(node_id, ops_per_second=ops_per_second)
         if not local_ids:
             raise IdentificationError("root needs at least one local node")
         self._reliability = reliability
+        self._degrade = degrade_after_retries
         self._aborted_windows = 0
         self._local_ids = tuple(local_ids)
         self._query = query
@@ -112,11 +128,40 @@ class DemaRootNode(SimulatedNode):
         #: phantom window state — keeps the protocol convergent.  Entries
         #: expire once the local's own resend retries must have run out.
         self._released: dict[Window, float] = {}
+        #: Locals the failure detector has declared dead (until revived).
+        self._dead: set[int] = set()
+        self._deaths_declared = 0
+        #: Windows answered or aborted, permanently.  Unlike the expiring
+        #: tombstones above, this survives arbitrarily long outages: a
+        #: local resuming after minutes still gets a release, never a
+        #: phantom re-opened window.  One ``Window`` per grid window for
+        #: the run's lifetime — cheap at reproduction scale.
+        self._finalized: set[Window] = set()
 
     @property
     def outcomes(self) -> list[WindowOutcome]:
         """Completed global windows, in completion order."""
         return list(self._outcomes)
+
+    @property
+    def local_ids(self) -> tuple[int, ...]:
+        """Configured local node ids, in constructor order."""
+        return self._local_ids
+
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        """Locals currently declared dead by the failure detector."""
+        return frozenset(self._dead)
+
+    @property
+    def deaths_declared(self) -> int:
+        """Times :meth:`mark_dead` newly declared a local dead."""
+        return self._deaths_declared
+
+    @property
+    def degraded_windows(self) -> int:
+        """Completed windows answered without some configured locals."""
+        return sum(1 for outcome in self._outcomes if outcome.is_degraded)
 
     @property
     def gamma(self) -> int:
@@ -188,8 +233,134 @@ class DemaRootNode(SimulatedNode):
             )
         if fresh and self._reliability is not None:
             self._arm_timer(message.window, now)
-        if len(state.synopses) == len(self._local_ids):
+        if state.identification is None and self._synopses_complete(state):
             self._identify(message.window, state, now)
+
+    def _expected_locals(self, state: _WindowState) -> tuple[int, ...]:
+        """Locals this window still expects data from (alive, not given up)."""
+        return tuple(
+            local_id
+            for local_id in self._local_ids
+            if local_id not in self._dead and local_id not in state.excluded
+        )
+
+    def _synopses_complete(self, state: _WindowState) -> bool:
+        return set(self._expected_locals(state)) <= set(state.synopses)
+
+    def _required_runs(self, state: _WindowState) -> set[tuple[int, int]]:
+        """Run keys the current identification is waiting for."""
+        assert state.identification is not None
+        return {
+            (local_id, index)
+            for local_id, indices in state.identification.requests.items()
+            for index in indices
+        }
+
+    def _runs_complete(self, state: _WindowState) -> bool:
+        return self._required_runs(state) <= set(state.runs)
+
+    def _stalled_locals(self, state: _WindowState) -> set[int]:
+        """Expected locals the current phase is still blocked on."""
+        expected = set(self._expected_locals(state))
+        if state.identification is None:
+            return expected - set(state.synopses)
+        stalled = set()
+        for local_id, indices in state.identification.requests.items():
+            if local_id not in expected:
+                continue
+            if any((local_id, index) not in state.runs for index in indices):
+                stalled.add(local_id)
+        return stalled
+
+    def mark_dead(self, node_id: int, now: float) -> bool:
+        """Failure-detector verdict: stop waiting on ``node_id`` anywhere.
+
+        Every in-flight window immediately re-evaluates against the
+        survivors, so windows blocked only on the dead local answer now —
+        tagged with ``completeness < 1`` — instead of burning retries.
+        Returns whether the node was newly declared dead.
+        """
+        if node_id not in self._local_ids or node_id in self._dead:
+            return False
+        self._dead.add(node_id)
+        self._deaths_declared += 1
+        for window in sorted(self._states):
+            state = self._states.get(window)
+            if state is not None:
+                self._give_up_on(window, state, {node_id}, now)
+        return True
+
+    def mark_alive(self, node_id: int) -> bool:
+        """Revive a local (reconnect): expect it again for future windows.
+
+        Windows already re-planned without it are not re-opened — their
+        answers stand; the revived local's replayed synopses for them get
+        releases.  Returns whether the node was previously dead.
+        """
+        if node_id not in self._dead:
+            return False
+        self._dead.discard(node_id)
+        return True
+
+    def resume_release(self, local_id: int, resume_from: int, now: float) -> bool:
+        """Session-resume fast path: cumulatively re-release old windows.
+
+        A reconnecting local announces the end of the highest window it
+        has seen released (``resume_from``, from the ``Hello`` preamble).
+        Finalized windows past that cursor whose releases it evidently
+        missed are re-acknowledged with one cumulative release — capped
+        below the earliest still-open window, because a release frees
+        everything at or below its end.  Returns whether one was sent.
+        """
+        if self._reliability is None:
+            return False
+        candidates = [w.end for w in self._finalized if w.end > resume_from]
+        if not candidates:
+            return False
+        open_ends = [w.end for w in self._states]
+        cap = min(open_ends) if open_ends else None
+        safe = [end for end in candidates if cap is None or end < cap]
+        if not safe:
+            return False
+        end = max(safe)
+        self.send(
+            WindowReleaseMessage(
+                sender=self.node_id, window=Window(end - 1, end)
+            ),
+            local_id,
+            now,
+        )
+        return True
+
+    def _give_up_on(
+        self, window: Window, state: _WindowState, gone: set[int], now: float
+    ) -> None:
+        """Progress one window without ``gone``: re-plan or answer degraded.
+
+        Drops the departed locals' synopses (an identification over the
+        survivors must not request candidates from a node that cannot
+        answer) and, if the current candidate plan depended on them,
+        rebuilds it from scratch over the surviving synopses.
+        """
+        for node_id in gone:
+            state.synopses.pop(node_id, None)
+            state.sizes.pop(node_id, None)
+        if not self._expected_locals(state):
+            self._abort(window, state, now)
+            return
+        if state.identification is not None:
+            if not (set(state.participants or ()) & gone):
+                # The plan never involved them; we may only have been
+                # waiting for their (never-requested) data — check if the
+                # surviving runs already complete the window.
+                if self._runs_complete(state):
+                    self._calculate(window, state, now)
+                return
+            state.identification = None
+            state.participants = None
+            state.runs.clear()
+        if self._synopses_complete(state):
+            self._identify(window, state, now)
 
     def _arm_timer(self, window: Window, now: float) -> None:
         assert self._reliability is not None
@@ -206,38 +377,24 @@ class DemaRootNode(SimulatedNode):
             return  # window completed meanwhile
         assert self._reliability is not None
         if state.retries >= self._reliability.max_retries:
-            self._states.pop(window)
-            self._aborted_windows += 1
-            if self._tracer.enabled:
-                # Close out whichever phase the window died in, so aborted
-                # windows still partition their (truncated) lifetime.
-                if state.identification is None:
-                    self._tracer.record(
-                        "synopsis_wait",
-                        self.node_id,
-                        window.end / MS_PER_SECOND,
-                        now,
-                        window=window,
-                        parent=state.window_span,
-                        aborted=1,
-                    )
-                else:
-                    self._tracer.record(
-                        "candidate_fetch",
-                        self.node_id,
-                        state.fetch_started,
-                        now,
-                        window=window,
-                        parent=state.window_span,
-                        runs=len(state.runs),
-                        aborted=1,
-                    )
-                self._tracer.end(state.window_span, now, aborted=1)
-            self._release(window, now)
+            if self._degrade:
+                stalled = self._stalled_locals(state)
+                expected = set(self._expected_locals(state))
+                if stalled and stalled != expected:
+                    # Some locals are responsive: give up on the stragglers
+                    # for this window only and answer from the rest, with a
+                    # fresh retry budget for the re-planned fetch.
+                    state.retries = 0
+                    state.excluded |= stalled
+                    self._give_up_on(window, state, stalled, now)
+                    if window in self._states:
+                        self._arm_timer(window, now)
+                    return
+            self._abort(window, state, now)
             return
         state.retries += 1
         if state.identification is None:
-            missing = set(self._local_ids) - set(state.synopses)
+            missing = set(self._expected_locals(state)) - set(state.synopses)
             for local_id in sorted(missing):
                 request = SynopsisRequestMessage(
                     sender=self.node_id, window=window
@@ -260,12 +417,45 @@ class DemaRootNode(SimulatedNode):
                     self.send(request, local_id, now)
         self._arm_timer(window, now)
 
+    def _abort(self, window: Window, state: _WindowState, now: float) -> None:
+        """Abandon a window that exhausted its retries: release and move on."""
+        self._states.pop(window, None)
+        self._aborted_windows += 1
+        self._finalized.add(window)
+        if self._tracer.enabled:
+            # Close out whichever phase the window died in, so aborted
+            # windows still partition their (truncated) lifetime.
+            if state.identification is None:
+                self._tracer.record(
+                    "synopsis_wait",
+                    self.node_id,
+                    window.end / MS_PER_SECOND,
+                    now,
+                    window=window,
+                    parent=state.window_span,
+                    aborted=1,
+                )
+            else:
+                self._tracer.record(
+                    "candidate_fetch",
+                    self.node_id,
+                    state.fetch_started,
+                    now,
+                    window=window,
+                    parent=state.window_span,
+                    runs=len(state.runs),
+                    aborted=1,
+                )
+            self._tracer.end(state.window_span, now, aborted=1)
+        if self._reliability is not None:
+            self._release(window, now)
+
     def _was_released(self, window: Window, now: float) -> bool:
         """Whether ``window`` was already released (pruning stale tombstones)."""
         expired = [w for w, expiry in self._released.items() if expiry <= now]
         for stale in expired:
             del self._released[stale]
-        return window in self._released
+        return window in self._released or window in self._finalized
 
     def _release(self, window: Window, now: float) -> None:
         """Tell every local node to free its retained state for ``window``."""
@@ -284,7 +474,15 @@ class DemaRootNode(SimulatedNode):
 
     def _identify(self, window: Window, state: _WindowState, now: float) -> None:
         state.gamma_used = self._gamma
-        total = sum(state.sizes.values())
+        # Plan over the locals this window still expects; a straggler's
+        # synopsis that arrived after its node was given up on must not
+        # drag an unanswerable candidate request into the plan.
+        expected = self._expected_locals(state)
+        synopses = {i: state.synopses[i] for i in expected if i in state.synopses}
+        sizes = {i: state.sizes[i] for i in expected if i in state.sizes}
+        state.participants = tuple(sorted(synopses))
+        completeness = len(state.participants) / len(self._local_ids)
+        total = sum(sizes.values())
         tracing = self._tracer.enabled
         if tracing:
             # synopsis_wait runs from the window's event-time end until the
@@ -302,6 +500,7 @@ class DemaRootNode(SimulatedNode):
             )
         if total == 0:
             self._states.pop(window)
+            self._finalized.add(window)
             if self._reliability is not None:
                 self._release(window, now)
             if tracing:
@@ -316,18 +515,17 @@ class DemaRootNode(SimulatedNode):
                     candidate_slices=0,
                     synopses_received=0,
                     gamma_used=state.gamma_used,
+                    completeness=completeness,
                 )
             )
             return
 
-        n_synopses = sum(len(batch) for batch in state.synopses.values())
+        n_synopses = sum(len(batch) for batch in synopses.values())
         ops = _IDENTIFY_OPS_PER_SYNOPSIS * n_synopses * max(
             1.0, math.log2(max(n_synopses, 2))
         )
         finish = self.work(ops, now)
-        state.identification = identify(
-            state.synopses, state.sizes, self._query.q
-        )
+        state.identification = identify(synopses, sizes, self._query.q)
         if tracing:
             self._tracer.record(
                 "identification",
@@ -345,7 +543,10 @@ class DemaRootNode(SimulatedNode):
         state.expected_runs = sum(
             len(indices) for indices in state.identification.requests.values()
         )
-        for local_id in self._local_ids:
+        # Every *expected* local gets a request — an empty index tuple for
+        # non-candidates — which doubles as the acknowledgement that stops
+        # its synopsis resend timer.  Dead locals get nothing.
+        for local_id in expected:
             indices = state.identification.requests.get(local_id, ())
             request = CandidateRequestMessage(
                 sender=self.node_id,
@@ -370,8 +571,15 @@ class DemaRootNode(SimulatedNode):
             raise IdentificationError(
                 f"duplicate candidate run {key} for window {message.window}"
             )
+        if self._reliability is not None and key not in self._required_runs(
+            state
+        ):
+            # A run the *current* plan never asked for — typically a reply
+            # to a request from a plan since rebuilt without its sender.
+            # Mixing it into the merge would corrupt the rank arithmetic.
+            return
         state.runs[key] = message.events
-        if len(state.runs) == state.expected_runs:
+        if self._runs_complete(state):
             self._calculate(message.window, state, now)
 
     def _calculate(self, window: Window, state: _WindowState, now: float) -> None:
@@ -410,8 +618,14 @@ class DemaRootNode(SimulatedNode):
                 gamma=state.gamma_used,
             )
         self._states.pop(window)
+        self._finalized.add(window)
         if self._reliability is not None:
             self._release(window, finish)
+        participants = (
+            state.participants
+            if state.participants is not None
+            else self._local_ids
+        )
         self._outcomes.append(
             WindowOutcome(
                 window=window,
@@ -424,6 +638,7 @@ class DemaRootNode(SimulatedNode):
                     len(batch) for batch in state.synopses.values()
                 ),
                 gamma_used=state.gamma_used,
+                completeness=len(participants) / len(self._local_ids),
             )
         )
         if self._controller is not None:

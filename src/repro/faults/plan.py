@@ -1,0 +1,266 @@
+"""Deterministic fault plans shared by the simulator and the live runtime.
+
+A :class:`FaultPlan` is a seeded, fully explicit schedule of fault events —
+node crashes and restarts, link drops, network partitions — expressed in
+*event time* (seconds since the run's epoch).  The same plan compiles onto
+both execution substrates:
+
+* the discrete-event simulator, via :func:`repro.faults.simulate.compile_plan`
+  (crash windows and partitions become channel outage intervals, detection
+  becomes scheduled ``mark_dead`` calls), and
+* the live asyncio cluster, via the chaos driver inside
+  :func:`repro.runtime.cluster.run_live_cluster` (crashes call
+  ``LocalServer.crash()``, link drops sever the wrapped transport, event
+  times scale to wall time by the run's ``time_scale``).
+
+Because the plan is data, not code, the acceptance property "same seed ⇒
+same fault schedule in both worlds" is checkable by comparing
+:meth:`FaultPlan.described` outputs.
+
+:class:`ToleranceConfig` is the matching survival policy: heartbeat cadence
+and failure-detection threshold for the root, reconnect backoff for the
+locals, and the :class:`~repro.core.reliability.ReliabilityConfig` the
+operators run with while faults are being injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.reliability import ReliabilityConfig
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "ToleranceConfig",
+    "describe_event",
+]
+
+#: Recognized fault kinds, in the tie-break order used by the schedule.
+FAULT_KINDS = (
+    "crash",
+    "restart",
+    "drop_link",
+    "partition_start",
+    "partition_heal",
+)
+
+#: Kinds that target one specific local node.
+_NODE_SCOPED = frozenset({"crash", "restart", "drop_link"})
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault, in event-time seconds since the run epoch.
+
+    Attributes:
+        at_s: When the fault fires.
+        kind: One of :data:`FAULT_KINDS`.
+        node: Target local node id (required for node-scoped kinds, must
+            be omitted for partitions, which cut every local off the root).
+        duration_s: For ``drop_link`` only — how long the simulator models
+            the link as dead before the live runtime's reconnect would
+            have restored it.
+    """
+
+    at_s: float
+    kind: str
+    node: int | None = None
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError(
+                f"fault time must be >= 0 s, got {self.at_s}"
+            )
+        if self.kind in _NODE_SCOPED and self.node is None:
+            raise ConfigurationError(f"{self.kind} fault needs a target node")
+        if self.kind not in _NODE_SCOPED and self.node is not None:
+            raise ConfigurationError(
+                f"{self.kind} fault takes no target node, got {self.node}"
+            )
+        if self.duration_s < 0:
+            raise ConfigurationError(
+                f"fault duration must be >= 0 s, got {self.duration_s}"
+            )
+
+
+def describe_event(event: FaultEvent) -> str:
+    """Canonical one-line description, identical on both substrates."""
+    target = f" local {event.node}" if event.node is not None else ""
+    extra = f" for {event.duration_s:.3f}s" if event.duration_s else ""
+    return f"{event.kind}{target} @{event.at_s:.3f}s{extra}"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of fault injections."""
+
+    seed: int
+    horizon_s: float
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ConfigurationError(
+                f"plan horizon must be > 0 s, got {self.horizon_s}"
+            )
+        # Every restart must revive an earlier crash of the same node, and
+        # partitions must open before they heal — the compilers on both
+        # substrates rely on well-formed pairings.
+        crashed: set[int] = set()
+        partitioned = False
+        for event in self.schedule():
+            if event.kind == "crash":
+                if event.node in crashed:
+                    raise ConfigurationError(
+                        f"local {event.node} crashes twice without a restart"
+                    )
+                crashed.add(event.node)
+            elif event.kind == "restart":
+                if event.node not in crashed:
+                    raise ConfigurationError(
+                        f"restart of local {event.node} without a prior crash"
+                    )
+                crashed.discard(event.node)
+            elif event.kind == "partition_start":
+                if partitioned:
+                    raise ConfigurationError(
+                        "partition starts twice without healing"
+                    )
+                partitioned = True
+            elif event.kind == "partition_heal":
+                if not partitioned:
+                    raise ConfigurationError(
+                        "partition heals without a prior start"
+                    )
+                partitioned = False
+
+    def schedule(self) -> tuple[FaultEvent, ...]:
+        """Events in firing order (time, then kind precedence, then node)."""
+        return tuple(
+            sorted(
+                self.events,
+                key=lambda e: (
+                    e.at_s,
+                    FAULT_KINDS.index(e.kind),
+                    -1 if e.node is None else e.node,
+                ),
+            )
+        )
+
+    def described(self) -> tuple[str, ...]:
+        """The schedule as canonical strings — the cross-substrate parity
+        artifact asserted by the acceptance tests."""
+        return tuple(describe_event(event) for event in self.schedule())
+
+    def crash_intervals(self) -> dict[int, list[tuple[float, float | None]]]:
+        """Per-node ``(crash, restart)`` pairs; ``None`` end = never restarts."""
+        intervals: dict[int, list[tuple[float, float | None]]] = {}
+        open_at: dict[int, float] = {}
+        for event in self.schedule():
+            if event.kind == "crash":
+                open_at[event.node] = event.at_s
+            elif event.kind == "restart":
+                start = open_at.pop(event.node)
+                intervals.setdefault(event.node, []).append(
+                    (start, event.at_s)
+                )
+        for node, start in open_at.items():
+            intervals.setdefault(node, []).append((start, None))
+        return intervals
+
+    def partition_intervals(self) -> list[tuple[float, float | None]]:
+        """``(start, heal)`` pairs; ``None`` end = never heals."""
+        intervals: list[tuple[float, float | None]] = []
+        started: float | None = None
+        for event in self.schedule():
+            if event.kind == "partition_start":
+                started = event.at_s
+            elif event.kind == "partition_heal":
+                assert started is not None  # validated in __post_init__
+                intervals.append((started, event.at_s))
+                started = None
+        if started is not None:
+            intervals.append((started, None))
+        return intervals
+
+
+def _default_reliability() -> ReliabilityConfig:
+    # Wall-clock scale for the live runtime: generous retries so windows
+    # survive a reconnect instead of aborting while the link is down.
+    return ReliabilityConfig(timeout_s=0.15, max_retries=80)
+
+
+@dataclass(frozen=True, slots=True)
+class ToleranceConfig:
+    """Survival policy for a cluster running under fault injection.
+
+    All times are wall-clock seconds on the live runtime.
+
+    Attributes:
+        heartbeat_interval_s: Cadence of the locals' liveness beacons and
+            of the root's monitor tick.
+        declare_dead_after_s: Silence threshold past which the root's
+            failure detector declares a local dead and degrades its open
+            windows.  Keep this comfortably above the longest expected
+            reconnect gap, or crashes that would resume cleanly get
+            degraded instead.
+        reconnect_base_delay_s: First reconnect backoff delay.
+        reconnect_max_delay_s: Backoff ceiling.
+        reconnect_jitter: Uniform multiplicative jitter in
+            ``[0, reconnect_jitter]`` added to each delay (decorrelates
+            reconnect stampedes after a partition heals).
+        reconnect_max_attempts: Dial attempts before a local gives up.
+        reliability: Timeout/retransmit parameters the Dema operators run
+            with (state retention at locals is what makes resume possible).
+    """
+
+    heartbeat_interval_s: float = 0.05
+    declare_dead_after_s: float = 60.0
+    reconnect_base_delay_s: float = 0.05
+    reconnect_max_delay_s: float = 1.0
+    reconnect_jitter: float = 0.25
+    reconnect_max_attempts: int = 8
+    reliability: ReliabilityConfig = field(
+        default_factory=_default_reliability
+    )
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat interval must be > 0 s, "
+                f"got {self.heartbeat_interval_s}"
+            )
+        if self.declare_dead_after_s <= self.heartbeat_interval_s:
+            raise ConfigurationError(
+                "declare_dead_after_s must exceed the heartbeat interval "
+                f"({self.declare_dead_after_s} <= {self.heartbeat_interval_s})"
+            )
+        if self.reconnect_base_delay_s <= 0:
+            raise ConfigurationError(
+                f"reconnect base delay must be > 0 s, "
+                f"got {self.reconnect_base_delay_s}"
+            )
+        if self.reconnect_max_delay_s < self.reconnect_base_delay_s:
+            raise ConfigurationError(
+                "reconnect max delay must be >= the base delay "
+                f"({self.reconnect_max_delay_s} < "
+                f"{self.reconnect_base_delay_s})"
+            )
+        if self.reconnect_jitter < 0:
+            raise ConfigurationError(
+                f"reconnect jitter must be >= 0, got {self.reconnect_jitter}"
+            )
+        if self.reconnect_max_attempts < 1:
+            raise ConfigurationError(
+                f"reconnect attempts must be >= 1, "
+                f"got {self.reconnect_max_attempts}"
+            )

@@ -1,0 +1,228 @@
+"""End-to-end chaos runs: a named scenario on either substrate, graded.
+
+:func:`run_chaos` generates a seeded workload, computes the fault-free
+ground truth with a plain :class:`~repro.core.engine.DemaEngine`, then runs
+the *same* workload under the scenario's fault plan — either compiled onto
+the simulator or injected into the live asyncio cluster — and classifies
+every ground-truth window:
+
+``recovered``
+    Answered with completeness 1.0 and a value bit-identical to the
+    fault-free run (retransmits, reconnects and session resume hid the
+    fault entirely).
+``degraded``
+    Answered from a strict subset of the locals (completeness < 1.0)
+    because the failure detector declared someone dead.
+``lost``
+    No answer at all — the window was aborted or the run gave up on it.
+``mismatch``
+    Answered at full completeness but with a different value; this is
+    never expected and always indicates a protocol bug.
+
+This module imports the live runtime, so :mod:`repro.faults` loads it
+lazily; plan building stays importable without asyncio machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.generator import GeneratorConfig, workload
+from repro.core.engine import DemaEngine
+from repro.core.query import QuantileQuery
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, ToleranceConfig
+from repro.faults.scenarios import SCENARIOS, build_plan
+from repro.faults.simulate import compile_plan
+from repro.network.topology import TopologyConfig
+from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.runtime.cluster import LiveClusterConfig, run_live
+from repro.streaming.windows import Window
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+#: Detector grace when the scenario declares no detection threshold: long
+#: enough that nothing is ever declared dead within a test-scale run.
+_NO_DETECT_GRACE_S = 3600.0
+
+
+@dataclass
+class ChaosReport:
+    """One graded chaos run."""
+
+    scenario: str
+    mode: str
+    seed: int
+    plan: FaultPlan
+    #: Canonical fault-event strings actually applied, in order.
+    applied: list[str]
+    #: Ground-truth window count (windows the fault-free run answered).
+    windows: int
+    #: Per-window grade: recovered / degraded / lost / mismatch.
+    classes: dict[Window, str] = field(default_factory=dict)
+    reconnects: int = 0
+    heartbeat_misses: int = 0
+    locals_declared_dead: int = 0
+    wall_seconds: float = 0.0
+
+    def count(self, grade: str) -> int:
+        """Windows with the given grade."""
+        return sum(1 for g in self.classes.values() if g == grade)
+
+    @property
+    def recovered(self) -> int:
+        return self.count("recovered")
+
+    @property
+    def degraded(self) -> int:
+        return self.count("degraded")
+
+    @property
+    def lost(self) -> int:
+        return self.count("lost")
+
+    @property
+    def mismatched(self) -> int:
+        return self.count("mismatch")
+
+
+def _classify(truth: dict, outcomes) -> dict:
+    got = {outcome.window: outcome for outcome in outcomes}
+    classes: dict[Window, str] = {}
+    for window, value in truth.items():
+        outcome = got.get(window)
+        if outcome is None or outcome.value is None:
+            classes[window] = "lost"
+        elif outcome.completeness < 1.0:
+            classes[window] = "degraded"
+        elif outcome.value == value:
+            classes[window] = "recovered"
+        else:
+            classes[window] = "mismatch"
+    return classes
+
+
+def run_chaos(
+    scenario_name: str,
+    *,
+    mode: str = "sim",
+    seed: int = 7,
+    n_locals: int = 2,
+    streams_per_local: int = 2,
+    rate: float = 300.0,
+    duration_s: float = 3.0,
+    time_scale: float = 0.3,
+    transport: str = "memory",
+    gamma: int = 64,
+    q: float = 0.5,
+    tracer: Tracer = NOOP_TRACER,
+) -> ChaosReport:
+    """Run one named scenario and grade every window against ground truth.
+
+    Args:
+        scenario_name: A key of :data:`~repro.faults.scenarios.SCENARIOS`.
+        mode: ``"sim"`` compiles the plan onto the discrete-event
+            simulator; ``"live"`` injects it into the asyncio cluster.
+        seed: Seeds both the workload and the scenario's fault timings.
+        n_locals: Local node count (fault targets are drawn from these).
+        streams_per_local: Live replay tasks per local (live mode only).
+        rate: Aggregate events per second of event time.
+        duration_s: Workload length in event-time seconds (= plan horizon).
+        time_scale: Live mode: wall seconds per event-time second.
+        transport: Live mode: ``"memory"`` or ``"tcp"``.
+        gamma: Fixed slice count (adaptive γ would break bit-equality).
+        q: The quantile.
+        tracer: Observability hooks for the faulted run.
+    """
+    if mode not in ("sim", "live"):
+        raise ConfigurationError(
+            f"chaos mode must be 'sim' or 'live', got {mode!r}"
+        )
+    scenario = SCENARIOS.get(scenario_name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown chaos scenario {scenario_name!r}; "
+            f"expected one of {sorted(SCENARIOS)}"
+        )
+    plan = build_plan(
+        scenario_name, seed=seed, horizon_s=duration_s, n_locals=n_locals
+    )
+    query = QuantileQuery(q=q, gamma=gamma)
+    streams = workload(
+        list(range(1, n_locals + 1)),
+        GeneratorConfig(
+            event_rate=max(1.0, rate / n_locals),
+            duration_s=duration_s,
+            seed=seed,
+        ),
+    )
+    truth_report = DemaEngine(
+        query, TopologyConfig(n_local_nodes=n_locals)
+    ).run(streams)
+    truth = {
+        outcome.window: outcome.value
+        for outcome in truth_report.outcomes
+        if outcome.value is not None
+    }
+
+    started = time.monotonic()
+    if mode == "sim":
+        tolerance = ToleranceConfig()
+        engine = DemaEngine(
+            query,
+            TopologyConfig(n_local_nodes=n_locals),
+            reliability=tolerance.reliability,
+            degrade_after_retries=True,
+            tracer=tracer,
+        )
+        applied = compile_plan(
+            plan,
+            engine.simulator,
+            root=engine.root,
+            detect_after_s=scenario.detect_after_s,
+        )
+        report = engine.run(streams)
+        return ChaosReport(
+            scenario=scenario_name,
+            mode=mode,
+            seed=seed,
+            plan=plan,
+            applied=applied,
+            windows=len(truth),
+            classes=_classify(truth, report.outcomes),
+            locals_declared_dead=engine.root.deaths_declared,
+            wall_seconds=time.monotonic() - started,
+        )
+
+    detect = scenario.detect_after_s
+    declare_dead = (
+        _NO_DETECT_GRACE_S
+        if detect is None
+        else max(0.15, detect * time_scale)
+    )
+    tolerance = ToleranceConfig(declare_dead_after_s=declare_dead)
+    config = LiveClusterConfig(
+        n_locals=n_locals,
+        streams_per_local=streams_per_local,
+        query=query,
+        transport=transport,
+        time_scale=time_scale,
+        timeout_s=120.0,
+        faults=plan,
+        tolerance=tolerance,
+    )
+    live = run_live(config, streams, tracer=tracer)
+    return ChaosReport(
+        scenario=scenario_name,
+        mode=mode,
+        seed=seed,
+        plan=plan,
+        applied=list(live.fault_events),
+        windows=len(truth),
+        classes=_classify(truth, live.outcomes),
+        reconnects=live.reconnects,
+        heartbeat_misses=live.heartbeat_misses,
+        locals_declared_dead=live.locals_declared_dead,
+        wall_seconds=time.monotonic() - started,
+    )

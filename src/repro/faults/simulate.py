@@ -1,0 +1,95 @@
+"""Compile a fault plan onto the discrete-event simulator.
+
+The simulator has no connections to sever — its fault surface is the
+:class:`~repro.network.channels.Channel` outage mechanism plus scheduled
+calls into the root's failure-detector API.  :func:`compile_plan` maps each
+:class:`~repro.faults.plan.FaultPlan` event onto that surface:
+
+* ``crash``/``restart`` — every channel touching the node gets an outage
+  covering the down interval (an unmatched crash extends past the horizon),
+  and, when a detection delay is given, ``root.mark_dead`` / ``mark_alive``
+  are scheduled to mirror the live heartbeat monitor's verdicts.
+* ``drop_link`` — a short outage of the event's ``duration_s`` on both
+  directions of the node↔root link (the live runtime's analogue is a sever
+  plus automatic reconnect).
+* ``partition_start``/``partition_heal`` — outages on every channel that
+  touches the root.
+
+The function returns the canonical applied-event strings so tests can
+assert schedule parity with the live chaos driver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.root_node import DemaRootNode
+    from repro.network.simulator import Simulator
+
+__all__ = ["compile_plan"]
+
+#: How far past the plan horizon an unhealed fault's outage extends —
+#: effectively "until the run ends", without needing the run length.
+_OPEN_ENDED_SLACK_S = 1000.0
+
+
+def compile_plan(
+    plan: FaultPlan,
+    simulator: "Simulator",
+    *,
+    root: "DemaRootNode | None" = None,
+    root_id: int = 0,
+    detect_after_s: float | None = None,
+) -> list[str]:
+    """Install ``plan`` on ``simulator``; returns the applied schedule.
+
+    Args:
+        plan: The fault schedule (event-time seconds).
+        simulator: The target; its channels must already be wired.
+        root: When given together with ``detect_after_s``, failure
+            detection is simulated: ``mark_dead`` fires that long into a
+            crash window (if the node is still down) and ``mark_alive``
+            fires at the restart.  Without it, crashes rely purely on the
+            reliability timers (resume semantics).
+        root_id: The root's node id (partitions cut channels touching it).
+        detect_after_s: The simulated failure detector's silence threshold.
+    """
+    horizon = plan.horizon_s + _OPEN_ENDED_SLACK_S
+    channels = simulator.channels
+
+    for node, intervals in plan.crash_intervals().items():
+        for start, end in intervals:
+            stop = horizon if end is None else end
+            for (src, dst), channel in channels.items():
+                if node in (src, dst):
+                    channel.add_outage(start, stop)
+            if root is not None and detect_after_s is not None:
+                detect_at = start + detect_after_s
+                if detect_at < stop:
+                    simulator.schedule(
+                        detect_at,
+                        lambda t, n=node: root.mark_dead(n, t),
+                    )
+                    if end is not None:
+                        simulator.schedule(
+                            end, lambda t, n=node: root.mark_alive(n)
+                        )
+
+    for event in plan.schedule():
+        if event.kind != "drop_link":
+            continue
+        gap = event.duration_s if event.duration_s > 0 else 0.25
+        for (src, dst), channel in channels.items():
+            if {src, dst} == {event.node, root_id}:
+                channel.add_outage(event.at_s, event.at_s + gap)
+
+    for start, end in plan.partition_intervals():
+        stop = horizon if end is None else end
+        for (src, dst), channel in channels.items():
+            if root_id in (src, dst):
+                channel.add_outage(start, stop)
+
+    return list(plan.described())

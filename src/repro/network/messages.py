@@ -36,6 +36,7 @@ __all__ = [
     "SortedRunMessage",
     "WatermarkMessage",
     "ResultMessage",
+    "HeartbeatMessage",
 ]
 
 #: Fixed per-message framing overhead: u32 length prefix plus the frame
@@ -240,6 +241,23 @@ class ResultMessage(Message):
     @property
     def payload_bytes(self) -> int:
         return wire.F64_BYTES + wire.U64_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatMessage(Message):
+    """Periodic liveness beacon from a local host to the root host.
+
+    Part of the fault-tolerance extension: carries no operator state, only
+    a monotonically increasing sequence number so the root's failure
+    detector can distinguish "quiet but alive" from "gone".  The window in
+    the header is a placeholder (heartbeats are not window-scoped).
+    """
+
+    sequence: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.U64_BYTES
 
 
 def batch_events(

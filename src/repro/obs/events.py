@@ -57,7 +57,7 @@ class MessageTrace:
 def message_to_dict(trace: MessageTrace) -> dict:
     """Flatten one message observation for JSONL export."""
     events = getattr(trace.message, "events", None)
-    return {
+    record = {
         "kind": "message",
         "type": type(trace.message).__name__,
         "src": trace.src,
@@ -68,3 +68,12 @@ def message_to_dict(trace: MessageTrace) -> dict:
         "events": len(events) if events is not None else 0,
         "window": [trace.message.window.start, trace.message.window.end],
     }
+    # Slice identity (where the message carries one) lets the report tell
+    # a retransmit of the same payload apart from a new request.
+    slice_index = getattr(trace.message, "slice_index", None)
+    if slice_index is not None:
+        record["slice"] = slice_index
+    slice_indices = getattr(trace.message, "slice_indices", None)
+    if slice_indices is not None:
+        record["slices"] = list(slice_indices)
+    return record

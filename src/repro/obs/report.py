@@ -21,11 +21,22 @@ __all__ = [
     "PhaseSummary",
     "MessageSummary",
     "WindowBreakdown",
+    "LinkReliability",
     "phase_summary",
     "message_summary",
     "window_breakdown",
+    "reliability_summary",
     "format_report",
 ]
+
+#: Message types whose identical identity keys recur by design (streaming
+#: batches, watermarks, liveness probes) — never counted as retransmits.
+_STREAMING_TYPES = frozenset({
+    "EventBatchMessage",
+    "SortedRunMessage",
+    "WatermarkMessage",
+    "HeartbeatMessage",
+})
 
 #: Windows whose phase sum differs from the end-to-end span by more than
 #: this (simulated seconds) are flagged in the report.
@@ -116,6 +127,55 @@ def message_summary(records: Iterable[dict]) -> list[MessageSummary]:
     return sorted(by_type.values(), key=lambda s: -s.bytes)
 
 
+@dataclass(slots=True)
+class LinkReliability:
+    """Loss and retransmission statistics for one directed link."""
+
+    src: int
+    dst: int
+    sent: int = 0
+    dropped: int = 0
+    retransmits: int = 0
+
+
+def reliability_summary(records: Iterable[dict]) -> list[LinkReliability]:
+    """Per-link drop and retransmit counts from message records.
+
+    A *drop* is a message with no delivery time (the channel lost it); a
+    *retransmit* is a repeat of a protocol message with an identity —
+    (type, src, dst, window, slice) — already seen on that link.  Streaming
+    message types recur by design and are excluded from retransmit
+    counting.
+    """
+    by_link: dict[tuple[int, int], LinkReliability] = {}
+    seen: set[tuple] = set()
+    for record in records:
+        if record.get("kind") != "message":
+            continue
+        link = by_link.setdefault(
+            (record["src"], record["dst"]),
+            LinkReliability(record["src"], record["dst"]),
+        )
+        link.sent += 1
+        if record["delivered"] is None:
+            link.dropped += 1
+        if record["type"] in _STREAMING_TYPES:
+            continue
+        key = (
+            record["type"],
+            record["src"],
+            record["dst"],
+            tuple(record["window"]),
+            record.get("slice"),
+            tuple(record["slices"]) if record.get("slices") else None,
+        )
+        if key in seen:
+            link.retransmits += 1
+        else:
+            seen.add(key)
+    return sorted(by_link.values(), key=lambda s: (s.src, s.dst))
+
+
 def window_breakdown(records: Sequence[dict]) -> list[WindowBreakdown]:
     """Per-window phase partition, from ``window`` spans and their children."""
     window_spans = {
@@ -172,6 +232,18 @@ def format_report(records: Sequence[dict]) -> str:
                 for s in messages
             ],
             title="Network traffic",
+        ))
+
+    links = reliability_summary(records)
+    if any(link.dropped or link.retransmits for link in links):
+        sections.append(format_table(
+            ["link", "sent", "dropped", "retransmits"],
+            [
+                [f"{link.src} → {link.dst}", str(link.sent),
+                 str(link.dropped), str(link.retransmits)]
+                for link in links
+            ],
+            title="Link reliability",
         ))
 
     breakdowns = window_breakdown(records)

@@ -18,6 +18,7 @@ equivalence test in ``tests/runtime`` pins this.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -25,6 +26,8 @@ from repro.core.local_node import DemaLocalNode
 from repro.core.query import QuantileQuery
 from repro.core.root_node import DemaRootNode, WindowOutcome
 from repro.errors import ConfigurationError, TransportError
+from repro.faults.chaos import ChaosController
+from repro.faults.plan import FaultEvent, FaultPlan, ToleranceConfig
 from repro.network.metrics import LatencyStats
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.servers import (
@@ -36,6 +39,7 @@ from repro.runtime.servers import (
 )
 from repro.runtime.transport import (
     DEFAULT_QUEUE_FRAMES,
+    FailureLatch,
     MemoryNetwork,
     MessageStream,
     TcpNetwork,
@@ -66,6 +70,12 @@ class LiveClusterConfig:
             replays in real time, ``0.0`` as fast as backpressure allows.
         queue_frames: Bound of each in-memory pipe direction.
         timeout_s: Overall deadline for the run; ``None`` waits forever.
+        faults: Optional fault schedule injected while the run is live;
+            event times scale to the wall clock by ``time_scale``.
+        tolerance: Survival policy (heartbeats, reconnect backoff, the
+            reliability timers).  Defaults to :class:`ToleranceConfig`
+            whenever ``faults`` is given; without either, the cluster runs
+            the original fail-fast path.
     """
 
     n_locals: int = 2
@@ -76,6 +86,8 @@ class LiveClusterConfig:
     time_scale: float = 0.0
     queue_frames: int = DEFAULT_QUEUE_FRAMES
     timeout_s: float | None = 60.0
+    faults: FaultPlan | None = None
+    tolerance: ToleranceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_locals < 1:
@@ -89,6 +101,11 @@ class LiveClusterConfig:
         if self.time_scale < 0:
             raise ConfigurationError(
                 f"time_scale must be >= 0, got {self.time_scale}"
+            )
+        if self.faults is not None and self.time_scale <= 0:
+            raise ConfigurationError(
+                "fault injection needs time_scale > 0 — event-time fault "
+                "schedules are meaningless at replay-as-fast-as-possible"
             )
 
 
@@ -107,6 +124,15 @@ class LiveRunReport:
     bytes_by_layer: dict[str, int]
     messages_by_layer: dict[str, int]
     transport: str
+    #: Fault-tolerance accounting (all zero on an undisturbed run).
+    reconnects: int = 0
+    heartbeat_misses: int = 0
+    degraded_windows: int = 0
+    locals_declared_dead: int = 0
+    dropped_sends: int = 0
+    windows_lost: int = 0
+    #: Canonical descriptions of the fault events actually applied.
+    fault_events: list[str] = field(default_factory=list)
 
     @property
     def values(self) -> list[float | None]:
@@ -127,6 +153,80 @@ class LiveRunReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.events_sent / self.wall_seconds
+
+
+async def _drive_faults(
+    controller: ChaosController,
+    config: LiveClusterConfig,
+    locals_by_id: Mapping[int, LocalServer],
+    replays_by_local: Mapping[int, "list[asyncio.Task]"],
+    epoch: float,
+    root: RootServer,
+    failures: FailureLatch,
+    tracer: Tracer,
+) -> None:
+    """Fire the fault plan against the live cluster on the wall clock.
+
+    Event times are event-time seconds; the driver scales them by the
+    run's ``time_scale`` (one second of event time replays in
+    ``time_scale`` wall seconds) so the same plan hits the same point of
+    the stream on both substrates.
+    """
+    loop = asyncio.get_event_loop()
+    plan = controller.plan
+    never_restart = {
+        node
+        for node, intervals in plan.crash_intervals().items()
+        if any(end is None for _, end in intervals)
+    }
+    try:
+        for event in plan.schedule():
+            deadline = epoch + event.at_s * config.time_scale
+            delay = deadline - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            controller.record(event)
+            now = root.fabric.now
+            if tracer.enabled:
+                tracer.record(
+                    f"fault_{event.kind}",
+                    ROOT_NODE_ID if event.node is None else event.node,
+                    now, now,
+                )
+            await _apply_fault(
+                event, controller, locals_by_id, replays_by_local,
+                never_restart,
+            )
+    except asyncio.CancelledError:
+        raise
+    except BaseException as exc:
+        failures.record(exc)
+
+
+async def _apply_fault(
+    event: FaultEvent,
+    controller: ChaosController,
+    locals_by_id: Mapping[int, LocalServer],
+    replays_by_local: Mapping[int, "list[asyncio.Task]"],
+    never_restart: "set[int]",
+) -> None:
+    if event.kind == "crash":
+        controller.sever(event.node)
+        await locals_by_id[event.node].crash()
+        if event.node in never_restart:
+            # Nothing will ever drain this local's pipes again; cancel its
+            # feeds so the run can finish degraded instead of deadlocking
+            # on a full queue.
+            for task in replays_by_local.get(event.node, ()):
+                task.cancel()
+    elif event.kind == "restart":
+        await locals_by_id[event.node].restart()
+    elif event.kind == "drop_link":
+        controller.sever(event.node)
+    elif event.kind == "partition_start":
+        controller.start_partition()
+    elif event.kind == "partition_heal":
+        controller.heal_partition()
 
 
 def _grid(
@@ -177,15 +277,25 @@ async def run_live_cluster(
     grid_start, grid_end = _grid(streams, length)
     expected_windows = (grid_end - grid_start) // length
 
+    tolerance = config.tolerance
+    if tolerance is None and config.faults is not None:
+        tolerance = ToleranceConfig()
+    reliability = tolerance.reliability if tolerance is not None else None
+    failures = FailureLatch()
+    controller = (
+        ChaosController(config.faults) if config.faults is not None else None
+    )
+
     network = (
-        TcpNetwork()
+        TcpNetwork(failures=failures)
         if config.transport == "tcp"
-        else MemoryNetwork(max_frames=config.queue_frames)
+        else MemoryNetwork(max_frames=config.queue_frames, failures=failures)
     )
     loop = asyncio.get_event_loop()
     epoch = loop.time()
     dialed: list[tuple[str, int, int, MessageStream]] = []
     locals_: list[LocalServer] = []
+    locals_by_id: dict[int, LocalServer] = {}
 
     root = RootServer(
         DemaRootNode(
@@ -193,24 +303,52 @@ async def run_live_cluster(
             local_ids=local_ids,
             query=config.query,
             ops_per_second=LIVE_OPS_PER_SECOND,
+            reliability=reliability,
+            degrade_after_retries=tolerance is not None,
         ),
         LiveFabric(epoch),
         expected_windows=expected_windows,
         tracer=tracer,
+        tolerance=tolerance,
+        failures=failures,
     )
     await network.listen(ROOT_NODE_ID, root.serve)
+    root.start_monitor()
 
     replays: list[asyncio.Task] = []
+    replays_by_local: dict[int, list[asyncio.Task]] = {}
     servers: list[StreamServer] = []
+    chaos_task: asyncio.Task | None = None
+    main_task: asyncio.Task | None = None
+    failure_task: asyncio.Task | None = None
     try:
         next_stream_id = config.n_locals + 1
         for local_id in local_ids:
+
+            def make_dial(lid: int):
+                async def dial_root() -> MessageStream:
+                    if controller is not None and not controller.dial_allowed(
+                        lid
+                    ):
+                        raise TransportError(
+                            f"chaos: local {lid} is partitioned from the root"
+                        )
+                    stream: MessageStream = await network.dial(ROOT_NODE_ID)
+                    if controller is not None:
+                        stream = controller.wrap(lid, stream)
+                    dialed.append(("local_root", lid, ROOT_NODE_ID, stream))
+                    return stream
+
+                return dial_root
+
+            dial_root = make_dial(local_id)
             local = LocalServer(
                 DemaLocalNode(
                     local_id,
                     root_id=ROOT_NODE_ID,
                     query=config.query,
                     ops_per_second=LIVE_OPS_PER_SECOND,
+                    reliability=reliability,
                 ),
                 LiveFabric(epoch),
                 expected_streams=config.streams_per_local,
@@ -218,12 +356,14 @@ async def run_live_cluster(
                 grid_end=grid_end,
                 window_length_ms=length,
                 tracer=tracer,
+                tolerance=tolerance,
+                dial_root=dial_root,
+                failures=failures,
             )
             locals_.append(local)
+            locals_by_id[local_id] = local
             await network.listen(local_id, local.serve)
-            root_stream = await network.dial(ROOT_NODE_ID)
-            dialed.append(("local_root", local_id, ROOT_NODE_ID, root_stream))
-            await local.connect_root(root_stream)
+            await local.connect_root(await dial_root())
 
             share = list(streams.get(local_id, ()))
             shards: list[list[Event]] = [
@@ -249,25 +389,62 @@ async def run_live_cluster(
                     dialed.append(("stream_local", srv.stream_id, dst, pipe))
                     await srv.replay(pipe)
 
-                replays.append(
-                    asyncio.ensure_future(replay(server, local_id))
-                )
+                task = asyncio.ensure_future(replay(server, local_id))
+                replays.append(task)
+                replays_by_local.setdefault(local_id, []).append(task)
 
-        await asyncio.gather(*replays)
-        await asyncio.wait_for(root.done.wait(), config.timeout_s)
-    except asyncio.TimeoutError:
-        raise TransportError(
-            f"live run did not complete {expected_windows} windows within "
-            f"{config.timeout_s}s ({len(root.node.outcomes)} finished)"
-        ) from None
+        if controller is not None:
+            chaos_task = asyncio.ensure_future(
+                _drive_faults(
+                    controller, config, locals_by_id, replays_by_local,
+                    epoch, root, failures, tracer,
+                )
+            )
+
+        async def main() -> None:
+            results = await asyncio.gather(*replays, return_exceptions=True)
+            for result in results:
+                if isinstance(result, asyncio.CancelledError):
+                    continue  # a never-restarting crash cancels its feeds
+                if isinstance(result, BaseException):
+                    raise result
+            await root.done.wait()
+
+        main_task = asyncio.ensure_future(main())
+        failure_task = asyncio.ensure_future(failures.event.wait())
+        done, _ = await asyncio.wait(
+            {main_task, failure_task},
+            timeout=config.timeout_s,
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if failure_task in done and failures.error is not None:
+            # A background task died (satellite fix: these used to vanish
+            # silently and the run would hang until the deadline).
+            raise TransportError(
+                f"live cluster task failed: {failures.error!r}"
+            ) from failures.error
+        if main_task not in done:
+            raise TransportError(
+                f"live run did not complete {expected_windows} windows "
+                f"within {config.timeout_s}s "
+                f"({len(root.node.outcomes)} finished)"
+            )
+        main_task.result()  # propagate replay errors, if any
     finally:
+        for task in (chaos_task, main_task, failure_task):
+            if task is not None and not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
         for task in replays:
             if not task.done():
                 task.cancel()
+        await root.stop_monitor()
         for local in locals_:
             await local.shutdown()
         for _, _, _, stream in dialed:
-            await stream.close()
+            with contextlib.suppress(TransportError):
+                await stream.close()
         await network.close()
 
     wall_seconds = loop.time() - epoch
@@ -309,6 +486,21 @@ async def run_live_cluster(
                 bytes=stats.bytes_received, messages=stats.messages_received,
             )
 
+    reconnects = sum(local.reconnects for local in locals_)
+    dropped_sends = root.dropped_sends + sum(
+        local.dropped_sends for local in locals_
+    )
+    degraded = root.node.degraded_windows
+    if tracer.enabled and tolerance is not None:
+        tracer.registry.gauge(
+            "degraded_windows",
+            "Windows answered from a strict subset of the locals.",
+        ).set(float(degraded))
+        tracer.registry.gauge(
+            "dropped_sends",
+            "Messages dropped at severed or unroutable links.",
+        ).set(float(dropped_sends))
+
     return LiveRunReport(
         outcomes=outcomes,
         windows=expected_windows,
@@ -318,6 +510,13 @@ async def run_live_cluster(
         bytes_by_layer=bytes_by_layer,
         messages_by_layer=messages_by_layer,
         transport=config.transport,
+        reconnects=reconnects,
+        heartbeat_misses=root.heartbeat_misses,
+        degraded_windows=degraded,
+        locals_declared_dead=root.locals_declared_dead,
+        dropped_sends=dropped_sends,
+        windows_lost=max(0, expected_windows - len(outcomes)),
+        fault_events=list(controller.applied) if controller else [],
     )
 
 

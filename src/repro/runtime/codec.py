@@ -30,6 +30,7 @@ from repro.network.messages import (
     DigestMessage,
     EventBatchMessage,
     GammaUpdateMessage,
+    HeartbeatMessage,
     Message,
     PartialAggregateMessage,
     QDigestMessage,
@@ -74,10 +75,17 @@ class Hello:
     protocol message, so the accepting server can register the peer under
     its node id.  Not a :class:`~repro.network.messages.Message` — it never
     crosses the simulator and carries no window.
+
+    ``resume_from`` is the session-resume cursor: the event-time end (ms)
+    of the highest window the sender has seen released, or ``-1`` for a
+    fresh session.  A reconnecting local announces it so the root can
+    re-acknowledge anything the local still retains but the root already
+    answered.
     """
 
     node_id: int
     role: str
+    resume_from: int = -1
 
     def __post_init__(self) -> None:
         if self.role not in _ROLE_CODES:
@@ -106,6 +114,7 @@ TAG_BY_TYPE: dict[type, int] = {
     QDigestMessage: 12,
     WatermarkMessage: 13,
     ResultMessage: 14,
+    HeartbeatMessage: 15,
 }
 
 TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
@@ -215,6 +224,10 @@ def _encode_result(m: ResultMessage) -> bytes:
     return wire.F64.pack(m.value) + wire.U64.pack(m.global_window_size)
 
 
+def _encode_heartbeat(m: HeartbeatMessage) -> bytes:
+    return wire.U64.pack(m.sequence)
+
+
 _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     Message: _encode_empty,
     EventBatchMessage: _encode_event_batch,
@@ -230,6 +243,7 @@ _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     QDigestMessage: _encode_qdigest,
     WatermarkMessage: _encode_watermark,
     ResultMessage: _encode_result,
+    HeartbeatMessage: _encode_heartbeat,
 }
 
 
@@ -361,6 +375,11 @@ def _decode_result(r, sender, window, group_id):
     return ResultMessage(sender, window, group_id, value, global_window_size)
 
 
+def _decode_heartbeat(r, sender, window, group_id):
+    (sequence,) = r.unpack(wire.U64)
+    return HeartbeatMessage(sender, window, group_id, sequence)
+
+
 _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[Message]: _decode_bare(Message),
     TAG_BY_TYPE[EventBatchMessage]: _decode_event_batch,
@@ -376,6 +395,7 @@ _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[QDigestMessage]: _decode_qdigest,
     TAG_BY_TYPE[WatermarkMessage]: _decode_watermark,
     TAG_BY_TYPE[ResultMessage]: _decode_result,
+    TAG_BY_TYPE[HeartbeatMessage]: _decode_heartbeat,
 }
 
 
@@ -431,9 +451,11 @@ def encode_frame(message: Message) -> bytes:
 def encode_hello(hello: Hello) -> bytes:
     """Serialize the connection preamble to one frame (tag 0)."""
     # No window on a hello: the bounds are zero and ignored on decode.
-    return _frame(
-        HELLO_TAG, hello.node_id, 0, 0, 0, wire.U32.pack(_ROLE_CODES[hello.role])
+    payload = (
+        wire.U32.pack(_ROLE_CODES[hello.role])
+        + wire.I64.pack(hello.resume_from)
     )
+    return _frame(HELLO_TAG, hello.node_id, 0, 0, 0, payload)
 
 
 def decode_body(body: bytes | memoryview) -> Message | Hello:
@@ -464,11 +486,12 @@ def decode_body(body: bytes | memoryview) -> Message | Hello:
     reader = _Reader(view[wire.HEADER.size:])
     if tag == HELLO_TAG:
         (role_code,) = reader.unpack(wire.U32)
+        (resume_from,) = reader.unpack(wire.I64)
         reader.finish()
         role = _ROLE_NAMES.get(role_code)
         if role is None:
             raise CodecError(f"unknown hello role code {role_code}")
-        return Hello(node_id=sender, role=role)
+        return Hello(node_id=sender, role=role, resume_from=resume_from)
     decoder = _DECODERS.get(tag)
     if decoder is None:
         raise CodecError(f"unknown frame type tag {tag}")

@@ -31,11 +31,15 @@ becomes an event-loop timer.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Sequence
+import contextlib
+import random
+from typing import Awaitable, Callable, Sequence
 
 from repro.errors import TransportError
+from repro.faults.plan import ToleranceConfig
 from repro.network.messages import (
     EventBatchMessage,
+    HeartbeatMessage,
     Message,
     WatermarkMessage,
 )
@@ -43,7 +47,7 @@ from repro.network.simulator import SimulatedNode
 from repro.obs.events import MessageTrace
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
-from repro.runtime.transport import MessageStream
+from repro.runtime.transport import FailureLatch, MessageStream
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
 
@@ -64,6 +68,10 @@ LIVE_OPS_PER_SECOND = 1e15
 #: Milliseconds of event time per second of fabric time.
 _MS_PER_SECOND = 1000.0
 
+#: Placeholder window on heartbeat frames (heartbeats are not about any
+#: window, but the wire header needs a valid one).
+_HEARTBEAT_WINDOW = Window(0, 1)
+
 
 class LiveFabric:
     """Asyncio implementation of the node-facing ``Fabric`` protocol.
@@ -77,6 +85,10 @@ class LiveFabric:
         self._loop = asyncio.get_event_loop()
         self._epoch = self._loop.time() if epoch is None else epoch
         self._outbox: list[tuple[int, Message]] = []
+        #: Set by the owning host: called after each timer action so
+        #: messages the action queued (reliability retransmits, releases)
+        #: get flushed — a timer has no dispatch to piggyback on.
+        self.on_timer: Callable[[], None] | None = None
 
     @property
     def now(self) -> float:
@@ -97,7 +109,13 @@ class LiveFabric:
     ) -> None:
         """Run ``action`` at fabric time ``time`` via an event-loop timer."""
         delay = max(0.0, time - self.now)
-        self._loop.call_later(delay, lambda: action(self.now))
+
+        def fire() -> None:
+            action(self.now)
+            if self.on_timer is not None:
+                self.on_timer()
+
+        self._loop.call_later(delay, fire)
 
     def drain(self) -> list[tuple[int, Message]]:
         """Take every queued ``(dst, message)`` pair."""
@@ -109,12 +127,20 @@ class NodeHost:
     """Shared machinery: one operator, one fabric, streams to peers."""
 
     def __init__(self, node: SimulatedNode, fabric: LiveFabric,
-                 tracer: Tracer = NOOP_TRACER) -> None:
+                 tracer: Tracer = NOOP_TRACER, *,
+                 drop_unroutable: bool = False,
+                 failures: FailureLatch | None = None) -> None:
         self.node = node
         self.fabric = fabric
         self.tracer = tracer
         self._peers: dict[int, MessageStream] = {}
+        #: Tolerant mode: a send to a missing/dead peer is counted here
+        #: instead of raising — reliability retransmits repair the gap.
+        self._drop_unroutable = drop_unroutable
+        self._failures = failures
+        self.dropped_sends = 0
         node.attach(fabric)
+        fabric.on_timer = self._on_fabric_timer
         # Deliberately NOT node.set_tracer(tracer): operator spans measure
         # intervals on the simulated event-time clock (e.g. synopsis_wait
         # starts at the window's event-time end), which has no fixed
@@ -152,10 +178,37 @@ class NodeHost:
         for dst, message in self.fabric.drain():
             stream = self._peers.get(dst)
             if stream is None:
+                if self._drop_unroutable:
+                    self.dropped_sends += 1
+                    continue
                 raise TransportError(
                     f"node {self.node_id} has no stream to peer {dst}"
                 )
-            await stream.send(message)
+            try:
+                await stream.send(message)
+            except TransportError:
+                if not self._drop_unroutable:
+                    raise
+                self.dropped_sends += 1
+
+    def _on_fabric_timer(self) -> None:
+        """Timer actions queue messages; spawn a task to flush them."""
+        with contextlib.suppress(RuntimeError):  # event loop closing
+            asyncio.ensure_future(self._flush_after_timer())
+
+    async def _flush_after_timer(self) -> None:
+        try:
+            await self.flush()
+            self._after_timer_flush()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
+
+    def _after_timer_flush(self) -> None:
+        """Subclass hook run after every timer-driven flush."""
 
     async def expect_hello(
         self, stream: MessageStream, role: str
@@ -176,31 +229,160 @@ class NodeHost:
 
 
 class RootServer(NodeHost):
-    """Hosts the Dema root; completes once every grid window answered."""
+    """Hosts the Dema root; completes once every grid window answered.
+
+    With a :class:`~repro.faults.plan.ToleranceConfig` the server also
+    plays failure detector: it tracks the last time each local was heard
+    from (heartbeats or protocol traffic), counts missed beats, and past
+    the silence threshold declares the local dead — the root operator then
+    re-plans its open windows over the survivors and answers them with a
+    completeness fraction below 1.  A returning local's fresh ``Hello``
+    reverses the verdict and, when the hello carries a resume cursor, gets
+    a catch-up release so the local can prune its retained state.
+    """
 
     def __init__(self, node, fabric: LiveFabric, *, expected_windows: int,
-                 tracer: Tracer = NOOP_TRACER) -> None:
-        super().__init__(node, fabric, tracer)
+                 tracer: Tracer = NOOP_TRACER,
+                 tolerance: ToleranceConfig | None = None,
+                 failures: FailureLatch | None = None) -> None:
+        super().__init__(node, fabric, tracer,
+                         drop_unroutable=tolerance is not None,
+                         failures=failures)
         self._expected_windows = expected_windows
+        self._tolerance = tolerance
         self.done = asyncio.Event()
         #: Wall-clock (fabric) completion time per finished window.
         self.result_walls: dict[Window, float] = {}
+        #: Fabric time each local was last heard from (tolerant mode).
+        self.last_seen: dict[int, float] = {}
+        self.heartbeat_misses = 0
+        self.locals_declared_dead = 0
+        self.reconnect_hellos = 0
+        self._known_locals: set[int] = set()
+        self._accounted = 0
+        self._monitor_task: asyncio.Task | None = None
+
+    def _account_outcomes(self) -> None:
+        """Stamp new outcomes and re-check the completion condition."""
+        outcomes = self.node.outcomes
+        for outcome in outcomes[self._accounted:]:
+            self.result_walls[outcome.window] = self.fabric.now
+        self._accounted = len(outcomes)
+        if len(outcomes) + self.node.aborted_windows >= self._expected_windows:
+            self.done.set()
+
+    def _after_timer_flush(self) -> None:
+        # Reliability timers can finish a window (degrade path) without any
+        # message arriving afterwards; account here or the run never ends.
+        self._account_outcomes()
+
+    def _on_local_hello(self, hello: Hello) -> None:
+        now = self.fabric.now
+        self.last_seen[hello.node_id] = now
+        returning = hello.node_id in self._known_locals
+        self._known_locals.add(hello.node_id)
+        self.node.mark_alive(hello.node_id)
+        if not returning:
+            return
+        self.reconnect_hellos += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                "fault_reconnect", self.node_id, now, now,
+                local=hello.node_id,
+            )
+            self.tracer.registry.counter(
+                "reconnects_total",
+                "Locals that re-established their root session.",
+            ).inc()
+        if hello.resume_from >= 0:
+            self.node.resume_release(hello.node_id, hello.resume_from, now)
 
     async def serve(self, stream: MessageStream) -> None:
         """Connection handler for one dialing local node."""
         hello = await self.expect_hello(stream, "local")
         self.register_peer(hello.node_id, stream)
-        while (message := await stream.recv()) is not None:
-            if isinstance(message, Hello):
-                raise TransportError("unexpected second hello")
-            before = len(self.node.outcomes)
-            await self.dispatch(message)
-            outcomes = self.node.outcomes
-            for outcome in outcomes[before:]:
-                self.result_walls[outcome.window] = self.fabric.now
-            if len(outcomes) >= self._expected_windows:
-                self.done.set()
-        # Peer is gone; nothing to tear down — streams close at the dialer.
+        if self._tolerance is not None:
+            self._on_local_hello(hello)
+            await self.flush()
+            self._account_outcomes()
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    if self._tolerance is None:
+                        raise
+                    break  # link severed mid-frame; the local will redial
+                if message is None:
+                    break
+                if isinstance(message, Hello):
+                    raise TransportError("unexpected second hello")
+                if self._tolerance is not None:
+                    self.last_seen[message.sender] = self.fabric.now
+                    if isinstance(message, HeartbeatMessage):
+                        continue
+                await self.dispatch(message)
+                self._account_outcomes()
+        finally:
+            # Only unregister if a reconnect has not already replaced us.
+            if self._peers.get(hello.node_id) is stream:
+                del self._peers[hello.node_id]
+
+    def start_monitor(self) -> None:
+        """Start the heartbeat monitor task (tolerant mode only)."""
+        if self._tolerance is None or self._monitor_task is not None:
+            return
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def stop_monitor(self) -> None:
+        if self._monitor_task is None:
+            return
+        self._monitor_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._monitor_task
+        self._monitor_task = None
+
+    async def _monitor(self) -> None:
+        """Declare locals dead after prolonged silence."""
+        tolerance = self._tolerance
+        assert tolerance is not None
+        interval = tolerance.heartbeat_interval_s
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                now = self.fabric.now
+                for local_id, seen in list(self.last_seen.items()):
+                    if local_id in self.node.dead_nodes:
+                        continue
+                    silence = now - seen
+                    if silence > 1.5 * interval:
+                        self.heartbeat_misses += 1
+                        if self.tracer.enabled:
+                            self.tracer.registry.counter(
+                                "heartbeat_misses_total",
+                                "Monitor ticks that found a local silent.",
+                            ).inc()
+                    if silence <= tolerance.declare_dead_after_s:
+                        continue
+                    if self.node.mark_dead(local_id, now):
+                        self.locals_declared_dead += 1
+                        if self.tracer.enabled:
+                            self.tracer.record(
+                                "fault_dead_local", self.node_id, now, now,
+                                local=local_id, silence=silence,
+                            )
+                            self.tracer.registry.counter(
+                                "locals_declared_dead_total",
+                                "Locals the failure detector gave up on.",
+                            ).inc()
+                        await self.flush()
+                        self._account_outcomes()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
 
 
 class LocalServer(NodeHost):
@@ -216,8 +398,15 @@ class LocalServer(NodeHost):
 
     def __init__(self, node, fabric: LiveFabric, *, expected_streams: int,
                  grid_start: int, grid_end: int, window_length_ms: int,
-                 tracer: Tracer = NOOP_TRACER) -> None:
-        super().__init__(node, fabric, tracer)
+                 tracer: Tracer = NOOP_TRACER,
+                 tolerance: ToleranceConfig | None = None,
+                 dial_root: Callable[
+                     [], Awaitable[MessageStream]
+                 ] | None = None,
+                 failures: FailureLatch | None = None) -> None:
+        super().__init__(node, fabric, tracer,
+                         drop_unroutable=tolerance is not None,
+                         failures=failures)
         if expected_streams < 1:
             raise TransportError("a local server needs at least one stream")
         self._expected_streams = expected_streams
@@ -228,25 +417,186 @@ class LocalServer(NodeHost):
         #: Wall-clock (fabric) seal time per sealed window.
         self.seal_walls: dict[Window, float] = {}
         self._root_task: asyncio.Task | None = None
+        self._tolerance = tolerance
+        self._dial_root = dial_root
+        self._root_stream: MessageStream | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        self._heartbeat_seq = 0
+        self._closing = False
+        self._crashed = False
+        self._resumed = asyncio.Event()
+        self._rng = random.Random(f"reconnect:{node.node_id}")
+        self.reconnects = 0
+        self.crashes = 0
 
     async def connect_root(self, root_stream: MessageStream) -> None:
         """Register and announce ourselves on the dialed root stream."""
-        self.register_peer(0, root_stream)
-        await root_stream.send(Hello(node_id=self.node_id, role="local"))
-        self._root_task = asyncio.ensure_future(
-            self._read_root(root_stream)
-        )
+        await self._attach_root(root_stream)
+        self._start_root_task()
 
-    async def _read_root(self, stream: MessageStream) -> None:
-        """Candidate requests, gamma updates and releases from the root."""
-        while (message := await stream.recv()) is not None:
-            await self.dispatch(message)
+    def _start_root_task(self) -> None:
+        self._root_task = asyncio.ensure_future(self._guarded_read_root())
+
+    async def _attach_root(self, stream: MessageStream) -> None:
+        """Adopt ``stream`` as the root session and announce ourselves.
+
+        The hello carries the resume cursor (last released window end) so
+        a reconnecting local gets a catch-up release; replaying the pending
+        (unacknowledged) windows right after restores anything the outage
+        swallowed — the root deduplicates, so this is safe on a fresh
+        connection too.
+        """
+        self._root_stream = stream
+        self.register_peer(0, stream)
+        resume = self.node.last_release_end if self._tolerance else -1
+        await stream.send(
+            Hello(node_id=self.node_id, role="local", resume_from=resume)
+        )
+        if self._tolerance is not None:
+            self.node.replay_pending(self.fabric.now)
+            await self.flush()
+            self._start_heartbeats()
+
+    async def _guarded_read_root(self) -> None:
+        try:
+            await self._read_root()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
+
+    async def _read_root(self) -> None:
+        """Candidate requests, gamma updates and releases from the root.
+
+        In tolerant mode an EOF (or mid-frame death) of the root session is
+        not fatal: the local redials with exponential backoff and resumes.
+        """
+        while True:
+            stream = self._root_stream
+            if stream is None:
+                return
+            try:
+                message = await stream.recv()
+            except TransportError:
+                if self._tolerance is None:
+                    raise
+                message = None  # link died mid-frame: treat as EOF
+            if message is not None:
+                await self.dispatch(message)
+                continue
+            if self._closing or self._crashed or self._tolerance is None:
+                return
+            if not await self._reconnect():
+                raise TransportError(
+                    f"local {self.node_id} exhausted "
+                    f"{self._tolerance.reconnect_max_attempts} "
+                    "reconnect attempts to the root"
+                )
+
+    async def _reconnect(self) -> bool:
+        """Redial the root with exponential backoff + jitter."""
+        tolerance = self._tolerance
+        if tolerance is None or self._dial_root is None:
+            return False
+        for attempt in range(tolerance.reconnect_max_attempts):
+            delay = min(
+                tolerance.reconnect_max_delay_s,
+                tolerance.reconnect_base_delay_s * (2 ** attempt),
+            )
+            delay *= 1.0 + tolerance.reconnect_jitter * self._rng.random()
+            await asyncio.sleep(delay)
+            if self._closing or self._crashed:
+                return True  # crash()/shutdown() owns the session now
+            try:
+                stream = await self._dial_root()
+            except TransportError:
+                continue  # root unreachable (e.g. partition); back off more
+            await self._attach_root(stream)
+            self.reconnects += 1
+            if self.tracer.enabled:
+                now = self.fabric.now
+                self.tracer.record(
+                    "fault_reconnect", self.node_id, now, now,
+                    attempt=attempt + 1,
+                )
+            return True
+        return False
+
+    def _start_heartbeats(self) -> None:
+        if self._tolerance is None:
+            return
+        if self._heartbeat_task is None or self._heartbeat_task.done():
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeats())
+
+    async def _heartbeats(self) -> None:
+        """Periodic liveness beacons on the current root session."""
+        assert self._tolerance is not None
+        interval = self._tolerance.heartbeat_interval_s
+        while not self._closing:
+            await asyncio.sleep(interval)
+            stream = self._root_stream
+            if stream is None or self._crashed:
+                continue
+            self._heartbeat_seq += 1
+            with contextlib.suppress(TransportError):
+                await stream.send(
+                    HeartbeatMessage(
+                        sender=self.node_id,
+                        window=_HEARTBEAT_WINDOW,
+                        sequence=self._heartbeat_seq,
+                    )
+                )
+
+    async def _stop_heartbeats(self) -> None:
+        if self._heartbeat_task is None:
+            return
+        self._heartbeat_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._heartbeat_task
+        self._heartbeat_task = None
+
+    async def crash(self) -> None:
+        """Simulate abrupt process death: stop all activity, drop links.
+
+        Operator state survives (the model is a stalled/frozen process,
+        the worst case for the protocol's timers); :meth:`restart` brings
+        the node back through the normal reconnect + resume path.
+        """
+        self._crashed = True
+        self.crashes += 1
+        self._resumed = asyncio.Event()
+        await self._stop_heartbeats()
+        if self._root_task is not None:
+            self._root_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._root_task
+            self._root_task = None
+        if self._root_stream is not None:
+            with contextlib.suppress(TransportError):
+                await self._root_stream.close()
+
+    async def restart(self) -> None:
+        """Come back up: redial the root and resume the session."""
+        self._crashed = False
+        if not await self._reconnect():
+            raise TransportError(
+                f"local {self.node_id} could not re-reach the root "
+                "after restarting"
+            )
+        self._start_root_task()
+        self._resumed.set()
 
     async def serve(self, stream: MessageStream) -> None:
         """Connection handler for one dialing stream server."""
         hello = await self.expect_hello(stream, "stream")
         self.register_peer(hello.node_id, stream)
         while (message := await stream.recv()) is not None:
+            if self._crashed:
+                # A crashed process consumes nothing; the bounded pipe
+                # backpressures the sender until restart() resumes us.
+                await self._resumed.wait()
             if isinstance(message, WatermarkMessage):
                 # Host concern: the operator itself rejects watermarks.
                 self._watermarks[hello.node_id] = max(
@@ -280,12 +630,15 @@ class LocalServer(NodeHost):
 
     async def shutdown(self) -> None:
         """Stop listening to the root (called by the cluster on teardown)."""
+        self._closing = True
+        await self._stop_heartbeats()
         if self._root_task is not None:
             self._root_task.cancel()
             try:
                 await self._root_task
             except asyncio.CancelledError:
                 pass
+            self._root_task = None
 
 
 class StreamServer:

@@ -29,6 +29,7 @@ from repro.runtime import wire
 from repro.runtime.codec import Hello, decode_body, encode_frame, encode_hello
 
 __all__ = [
+    "FailureLatch",
     "Frame",
     "MessageStream",
     "StreamHandler",
@@ -48,6 +49,31 @@ DEFAULT_QUEUE_FRAMES = 1024
 
 #: Closed-pipe sentinel (queues cannot carry ``None`` ambiguously).
 _EOF = b""
+
+
+class FailureLatch:
+    """First-failure latch shared by a cluster's background tasks.
+
+    Connection handlers run as fire-and-forget tasks; without a latch their
+    exceptions die with the task and a run hangs instead of failing.  Every
+    handler records its first exception here, the cluster driver waits on
+    :attr:`event` alongside the main run, and whichever fires first wins.
+    """
+
+    def __init__(self) -> None:
+        self._error: BaseException | None = None
+        self.event = asyncio.Event()
+
+    @property
+    def error(self) -> BaseException | None:
+        """The first recorded exception, or ``None``."""
+        return self._error
+
+    def record(self, exc: BaseException) -> None:
+        """Latch ``exc`` if nothing failed yet and wake any waiter."""
+        if self._error is None:
+            self._error = exc
+        self.event.set()
 
 
 @dataclass(slots=True)
@@ -164,8 +190,13 @@ class TcpNetwork:
     are torn down by :meth:`close`.
     """
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        failures: FailureLatch | None = None,
+    ) -> None:
         self._host = host
+        self._failures = failures
         self._ports: dict[int, int] = {}
         self._servers: list[asyncio.AbstractServer] = []
         self._handlers: set[asyncio.Task] = set()
@@ -186,6 +217,12 @@ class TcpNetwork:
             stream = TcpMessageStream(reader, writer)
             try:
                 await handler(stream)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                if self._failures is not None:
+                    self._failures.record(exc)
+                raise
             finally:
                 await stream.close()
                 if task is not None:
@@ -302,8 +339,13 @@ class MemoryNetwork:
     agnostic.
     """
 
-    def __init__(self, max_frames: int = DEFAULT_QUEUE_FRAMES) -> None:
+    def __init__(
+        self,
+        max_frames: int = DEFAULT_QUEUE_FRAMES,
+        failures: FailureLatch | None = None,
+    ) -> None:
         self._max_frames = max_frames
+        self._failures = failures
         self._handlers: dict[int, StreamHandler] = {}
         self._tasks: list[asyncio.Task] = []
 
@@ -322,6 +364,14 @@ class MemoryNetwork:
         async def serve() -> None:
             try:
                 await handler(server_end)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                # A dead serve task used to vanish silently and hang the
+                # run; record the failure so the cluster driver fails fast.
+                if self._failures is not None:
+                    self._failures.record(exc)
+                raise
             finally:
                 await server_end.close()
 
@@ -335,7 +385,11 @@ class MemoryNetwork:
         for task in self._tasks:
             try:
                 await task
-            except (asyncio.CancelledError, TransportError):
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                # Recorded in the failure latch (if any) when it happened;
+                # teardown must not let a re-raise mask the latched error.
                 pass
         self._tasks.clear()
         self._handlers.clear()

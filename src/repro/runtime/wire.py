@@ -56,6 +56,7 @@ __all__ = [
     "QDIGEST_NODE",
     "QDIGEST_NODE_WIRE_BYTES",
     "I64",
+    "I64_BYTES",
 ]
 
 #: Protocol version stamped into every frame header.  A decoder refuses
@@ -106,6 +107,7 @@ F64 = struct.Struct("<d")
 F64_BYTES = F64.size
 
 I64 = struct.Struct("<q")
+I64_BYTES = I64.size
 
 #: One t-digest centroid: mean f64, weight f64.
 CENTROID = struct.Struct("<dd")

@@ -86,6 +86,37 @@ def deploy(reliability, *, serve_candidates=(True, True)):
 RELIABILITY = ReliabilityConfig(timeout_s=0.05, max_retries=3)
 
 
+class TestReliabilityConfigValidation:
+    def test_defaults(self):
+        config = ReliabilityConfig()
+        assert config.timeout_s == 0.05
+        assert config.max_retries == 10
+
+    def test_zero_timeout_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            ReliabilityConfig(timeout_s=0.0)
+
+    def test_negative_timeout_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            ReliabilityConfig(timeout_s=-0.5)
+
+    def test_zero_retries_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            ReliabilityConfig(max_retries=0)
+
+    def test_tiny_positive_timeout_accepted(self):
+        assert ReliabilityConfig(timeout_s=1e-6).timeout_s == 1e-6
+
+    def test_single_retry_accepted(self):
+        assert ReliabilityConfig(max_retries=1).max_retries == 1
+
+
 class TestSynopsisPhaseRetransmit:
     def test_missing_local_gets_synopsis_request(self):
         simulator, root, locals_ = deploy(RELIABILITY)
@@ -178,6 +209,60 @@ class TestCandidatePhaseRetransmit:
         simulator.run()
         assert root.aborted_windows == 1
         assert root.outcomes == []
+
+    def test_duplicate_synopsis_batches_ignored_mid_flight(self):
+        """A retransmitted synopsis whose original was merely delayed."""
+        simulator, root, locals_ = deploy(RELIABILITY)
+        # Node 1 reports twice (duplicate), node 2 once, all before any
+        # timer fires; the window must resolve exactly once.
+        simulator.schedule(
+            1.0, lambda t: locals_[1].send(locals_[1].synopses_message(), 0, t)
+        )
+        simulator.schedule(
+            1.01,
+            lambda t: locals_[1].send(locals_[1].synopses_message(), 0, t),
+        )
+        simulator.schedule(
+            1.02,
+            lambda t: locals_[2].send(locals_[2].synopses_message(), 0, t),
+        )
+        simulator.run()
+        assert len(root.outcomes) == 1
+        assert root.aborted_windows == 0
+
+    def test_duplicate_candidate_runs_ignored_mid_flight(self):
+        """The same run served twice while the window is still open."""
+        simulator, root, locals_ = deploy(
+            RELIABILITY, serve_candidates=(True, False)
+        )
+        for local in locals_.values():
+            simulator.schedule(
+                1.0, lambda t, l=local: l.send(l.synopses_message(), 0, t)
+            )
+
+        def serve_node_2_twice(now):
+            requests = [
+                m for m in locals_[2].received
+                if isinstance(m, CandidateRequestMessage)
+            ]
+            assert requests, "root never asked node 2 for candidates"
+            for _ in range(2):
+                for index in requests[0].slice_indices:
+                    locals_[2].send(
+                        CandidateEventsMessage(
+                            sender=2,
+                            window=requests[0].window,
+                            slice_index=index,
+                            events=locals_[2].sliced.run_for(index),
+                        ),
+                        0,
+                        now,
+                    )
+
+        simulator.schedule(1.03, serve_node_2_twice)
+        simulator.run()
+        assert len(root.outcomes) == 1
+        assert root.aborted_windows == 0
 
     def test_duplicate_runs_ignored_with_reliability(self):
         simulator, root, locals_ = deploy(RELIABILITY)

@@ -52,6 +52,31 @@ class TestMessageToDict:
         )
         assert row["delivered"] is None
 
+    def test_slice_identity_surfaced_when_present(self):
+        from repro.network.messages import (
+            CandidateEventsMessage,
+            CandidateRequestMessage,
+        )
+
+        run = CandidateEventsMessage(sender=1, window=WINDOW, slice_index=3)
+        row = message_to_dict(MessageTrace(0.9, 1.0, 1, 0, run))
+        assert row["slice"] == 3
+        assert "slices" not in row
+
+        request = CandidateRequestMessage(
+            sender=0, window=WINDOW, slice_indices=(2, 3)
+        )
+        row = message_to_dict(MessageTrace(0.9, 1.0, 0, 1, request))
+        assert row["slices"] == [2, 3]
+        assert "slice" not in row
+
+    def test_messages_without_slices_omit_the_keys(self):
+        row = message_to_dict(
+            MessageTrace(0.9, 1.0, 1, 0, Message(sender=1, window=WINDOW))
+        )
+        assert "slice" not in row
+        assert "slices" not in row
+
 
 class TestJsonl:
     def test_round_trip(self, tmp_path):

@@ -6,6 +6,7 @@ from repro.obs.report import (
     format_report,
     message_summary,
     phase_summary,
+    reliability_summary,
     window_breakdown,
 )
 
@@ -18,11 +19,12 @@ def span(id_, name, start, end, *, parent=None, node=0, window=(0, 1000)):
     }
 
 
-def message(type_, *, bytes_=100, events=0, delivered=1.0):
+def message(type_, *, bytes_=100, events=0, delivered=1.0, src=1, dst=0,
+            window=(0, 1000), **extra):
     return {
-        "kind": "message", "type": type_, "src": 1, "dst": 0,
+        "kind": "message", "type": type_, "src": src, "dst": dst,
         "sent": 0.9, "delivered": delivered, "bytes": bytes_,
-        "events": events, "window": [0, 1000],
+        "events": events, "window": list(window), **extra,
     }
 
 
@@ -71,6 +73,56 @@ class TestMessageSummary:
             message("Big", bytes_=1000),
         ]
         assert [s.type for s in message_summary(records)] == ["Big", "Small"]
+
+
+class TestReliabilitySummary:
+    def test_counts_drops_per_link(self):
+        records = [
+            message("SynopsisMessage", src=1, dst=0),
+            message("SynopsisMessage", src=2, dst=0, delivered=None,
+                    window=(1000, 2000)),
+            message("CandidateRequestMessage", src=0, dst=2),
+        ]
+        links = {(s.src, s.dst): s for s in reliability_summary(records)}
+        assert links[(1, 0)].sent == 1
+        assert links[(1, 0)].dropped == 0
+        assert links[(2, 0)].dropped == 1
+        assert links[(0, 2)].sent == 1
+
+    def test_repeat_of_same_identity_is_a_retransmit(self):
+        first = message("CandidateEventsMessage", **{"slice": 3})
+        links = reliability_summary([first, dict(first)])
+        (link,) = links
+        assert link.sent == 2
+        assert link.retransmits == 1
+
+    def test_different_slices_are_not_retransmits(self):
+        records = [
+            message("CandidateEventsMessage", **{"slice": 3}),
+            message("CandidateEventsMessage", **{"slice": 4}),
+        ]
+        (link,) = reliability_summary(records)
+        assert link.retransmits == 0
+
+    def test_streaming_types_never_count_as_retransmits(self):
+        records = [
+            message("EventBatchMessage"),
+            message("EventBatchMessage"),
+            message("HeartbeatMessage"),
+            message("HeartbeatMessage"),
+        ]
+        (link,) = reliability_summary(records)
+        assert link.sent == 4
+        assert link.retransmits == 0
+
+    def test_links_sorted_by_endpoint(self):
+        records = [
+            message("SynopsisMessage", src=2, dst=0),
+            message("SynopsisMessage", src=0, dst=1),
+        ]
+        assert [(s.src, s.dst) for s in reliability_summary(records)] == [
+            (0, 1), (2, 0),
+        ]
 
 
 class TestWindowBreakdown:
@@ -143,6 +195,24 @@ class TestFormatReport:
         assert "Network traffic" in text
         assert "Per-window latency breakdown (root)" in text
         assert "yes" in text
+
+    def test_link_reliability_hidden_when_clean(self):
+        text = format_report([message("SynopsisMessage")])
+        assert "Link reliability" not in text
+
+    def test_link_reliability_rendered_on_drops(self):
+        records = [
+            message("SynopsisMessage"),
+            message("SynopsisMessage", delivered=None, window=(1000, 2000)),
+        ]
+        text = format_report(records)
+        assert "Link reliability" in text
+        assert "1 → 0" in text
+
+    def test_link_reliability_rendered_on_retransmits(self):
+        first = message("SynopsisMessage")
+        text = format_report([first, dict(first)])
+        assert "Link reliability" in text
 
     def test_inconsistent_window_marked(self):
         records = [

@@ -21,6 +21,7 @@ from repro.network.messages import (
     DigestMessage,
     EventBatchMessage,
     GammaUpdateMessage,
+    HeartbeatMessage,
     Message,
     PartialAggregateMessage,
     QDigestMessage,
@@ -132,6 +133,7 @@ messages = st.one_of(
     _with_header(st.tuples(f64, u64)).map(
         lambda t: ResultMessage(t[0], t[1], t[2], t[3][0], t[3][1])
     ),
+    _with_header(u64).map(lambda t: HeartbeatMessage(t[0], t[1], t[2], t[3])),
 )
 
 
@@ -216,6 +218,7 @@ SAMPLES = [
     (QDigestMessage(1, W, nodes=((1, 2, 3),), local_count=9), 4 + 8 + 16),
     (WatermarkMessage(5, W, watermark_time=999), 8),
     (ResultMessage(0, W, value=1.5, global_window_size=10), 8 + 8),
+    (HeartbeatMessage(1, W, sequence=17), 8),
 ]
 
 
@@ -281,8 +284,16 @@ def test_large_synopsis_batch_roundtrip():
 @pytest.mark.parametrize("role", ["stream", "local", "root", "driver"])
 def test_hello_roundtrip(role):
     frame = encode_hello(Hello(node_id=9, role=role))
-    assert len(frame) == MESSAGE_HEADER_BYTES + wire.U32_BYTES
+    assert len(frame) == MESSAGE_HEADER_BYTES + wire.U32_BYTES + wire.I64_BYTES
     assert decode_frame(frame) == Hello(node_id=9, role=role)
+
+
+@pytest.mark.parametrize("resume_from", [-1, 0, 3000, 2**40])
+def test_hello_resume_cursor_roundtrip(resume_from):
+    hello = Hello(node_id=2, role="local", resume_from=resume_from)
+    decoded = decode_frame(encode_hello(hello))
+    assert decoded == hello
+    assert decoded.resume_from == resume_from
 
 
 def test_hello_rejects_unknown_role():
@@ -292,7 +303,8 @@ def test_hello_rejects_unknown_role():
 
 def test_hello_rejects_unknown_role_code():
     frame = bytearray(encode_hello(Hello(node_id=1, role="root")))
-    frame[-4:] = wire.U32.pack(99)
+    # The role u32 sits right after the header, before the resume cursor.
+    frame[MESSAGE_HEADER_BYTES:MESSAGE_HEADER_BYTES + 4] = wire.U32.pack(99)
     with pytest.raises(CodecError, match="role code 99"):
         decode_frame(bytes(frame))
 

@@ -144,6 +144,19 @@ def test_tracer_records_live_links_and_messages():
         ) > 0
 
 
+def test_clean_run_reports_no_fault_activity():
+    """Without fault injection the tolerance counters stay at zero."""
+    with hard_timeout(120):
+        report = run_live(_config(), _streams())
+    assert report.reconnects == 0
+    assert report.heartbeat_misses == 0
+    assert report.degraded_windows == 0
+    assert report.locals_declared_dead == 0
+    assert report.dropped_sends == 0
+    assert report.windows_lost == 0
+    assert report.fault_events == []
+
+
 class TestConfigValidation:
     def test_rejects_bad_transport(self):
         with pytest.raises(ConfigurationError, match="transport"):
@@ -160,6 +173,15 @@ class TestConfigValidation:
     def test_rejects_negative_time_scale(self):
         with pytest.raises(ConfigurationError, match="time_scale"):
             LiveClusterConfig(time_scale=-1.0)
+
+    def test_rejects_faults_without_pacing(self):
+        from repro.faults.scenarios import build_plan
+
+        plan = build_plan(
+            "crash-reconnect", seed=1, horizon_s=3.0, n_locals=2
+        )
+        with pytest.raises(ConfigurationError, match="time_scale"):
+            LiveClusterConfig(faults=plan)
 
     def test_rejects_sliding_windows(self):
         sliding = QuantileQuery(

@@ -205,3 +205,55 @@ def test_tcp_oversize_frame_announcement_raises():
         return message
 
     assert "max" in asyncio.run(scenario())
+
+
+class TestFailureLatch:
+    def test_starts_clear(self):
+        from repro.runtime.transport import FailureLatch
+
+        async def scenario():
+            latch = FailureLatch()
+            assert latch.error is None
+            assert not latch.event.is_set()
+
+        asyncio.run(scenario())
+
+    def test_first_error_wins(self):
+        from repro.runtime.transport import FailureLatch
+
+        async def scenario():
+            latch = FailureLatch()
+            first, second = ValueError("first"), ValueError("second")
+            latch.record(first)
+            latch.record(second)
+            assert latch.error is first
+            assert latch.event.is_set()
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize("kind", ["memory", "tcp"])
+    def test_handler_exceptions_are_latched_not_swallowed(self, kind):
+        """The satellite fix: a crashing connection handler must surface."""
+        from repro.runtime.transport import FailureLatch, MemoryNetwork
+
+        async def scenario():
+            latch = FailureLatch()
+            network = (
+                TcpNetwork(failures=latch)
+                if kind == "tcp"
+                else MemoryNetwork(failures=latch)
+            )
+
+            async def handler(stream):
+                raise RuntimeError("handler blew up")
+
+            await network.listen(4, handler)
+            client = await network.dial(4)
+            await asyncio.wait_for(latch.event.wait(), timeout=5.0)
+            await client.close()
+            await network.close()
+            return latch.error
+
+        error = asyncio.run(scenario())
+        assert isinstance(error, RuntimeError)
+        assert "handler blew up" in str(error)

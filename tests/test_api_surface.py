@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.obs",
+    "repro.faults",
 ]
 
 MODULES = [
@@ -74,6 +75,11 @@ MODULES = [
     "repro.obs.export",
     "repro.obs.report",
     "repro.obs.scenarios",
+    "repro.faults.plan",
+    "repro.faults.scenarios",
+    "repro.faults.chaos",
+    "repro.faults.simulate",
+    "repro.faults.runner",
 ]
 
 

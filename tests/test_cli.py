@@ -94,6 +94,29 @@ class TestReport:
         assert "synopsis_wait" in out
 
 
+class TestChaos:
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("crash-reconnect", "dead-local", "flaky-link",
+                     "partition"):
+            assert name in out
+
+    def test_sim_run_reports_window_grades(self, capsys):
+        assert main(["chaos", "--scenario", "dead-local", "--mode", "sim",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "crash local" in out
+        assert "recovered" in out and "degraded" in out
+        assert "locals declared dead" in out
+
+    def test_unknown_scenario_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown"):
+            main(["chaos", "--scenario", "asteroid", "--mode", "sim"])
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
