@@ -10,6 +10,7 @@ Usage::
     python -m repro report run.jsonl     # per-phase latency/byte breakdown
     python -m repro live --rate 20000    # live asyncio cluster over TCP
     python -m repro chaos --scenario crash-reconnect   # fault injection
+    python -m repro top --port 9470      # watch a serving cluster live
 """
 
 from __future__ import annotations
@@ -167,11 +168,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.obs.export import read_jsonl
     from repro.obs.report import format_report
 
-    print(format_report(read_jsonl(args.trace)))
+    try:
+        records = read_jsonl(args.trace)
+    except FileNotFoundError:
+        print(f"repro report: trace file not found: {args.trace}",
+              file=sys.stderr)
+        return 2
+    except IsADirectoryError:
+        print(f"repro report: {args.trace} is a directory, not a trace file",
+              file=sys.stderr)
+        return 2
+    except (ConfigurationError, UnicodeDecodeError) as exc:
+        print(f"repro report: {args.trace} is not a valid JSONL trace: {exc}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro report: cannot read {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(format_report(records))
     return 0
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build a TelemetryConfig from the shared live/chaos CLI flags."""
+    if args.telemetry_port is None and args.flight_recorder is None:
+        return None
+    from repro.obs.live.config import TelemetryConfig
+
+    def announce(port: int) -> None:
+        print(
+            f"telemetry endpoint: http://127.0.0.1:{port}/metrics "
+            f"(watch with: python -m repro top --port {port})",
+            file=sys.stderr,
+        )
+
+    return TelemetryConfig(
+        sample_rate=args.trace_sample,
+        http_port=args.telemetry_port,
+        flight_recorder_path=args.flight_recorder,
+        announce=announce if args.telemetry_port is not None else None,
+    )
+
+
+def _print_telemetry(telemetry: dict) -> None:
+    if not telemetry:
+        return
+    parts = [f"{telemetry.get('traced_live_spans', 0)} live spans traced"]
+    if telemetry.get("http_port") is not None:
+        parts.append(f"scraped on port {telemetry['http_port']}")
+    if telemetry.get("flight_recorder"):
+        state = "dumped" if telemetry.get("flight_recorder_dumped") else "armed"
+        parts.append(f"flight recorder {state}: {telemetry['flight_recorder']}")
+    print(f"telemetry: {', '.join(parts)}")
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
@@ -192,6 +245,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         q=args.q,
         seed=args.seed,
+        telemetry=_telemetry_from_args(args),
     )
     completed = [o for o in report.outcomes if o.value is not None]
     print(
@@ -225,6 +279,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         f"({', '.join(f'{k} {format_bytes(v)}' for k, v in sorted(report.bytes_by_layer.items()))})"
     )
     print(f"windows: {len(completed)}/{report.windows} with results")
+    _print_telemetry(report.telemetry)
     if args.bench:
         path = args.bench_output or DEFAULT_BENCH_PATH
         write_live_bench(path, config, report, seed=args.seed)
@@ -252,6 +307,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         transport=args.transport,
         gamma=args.gamma,
         q=args.q,
+        telemetry=_telemetry_from_args(args),
     )
     print(f"chaos scenario {report.scenario!r} on the {report.mode} "
           f"substrate (seed {report.seed})")
@@ -272,6 +328,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"{report.heartbeat_misses} heartbeat misses, "
           f"{report.locals_declared_dead} locals declared dead")
     print(f"wall     : {report.wall_seconds:.2f}s")
+    _print_telemetry(report.telemetry)
     if report.mismatched:
         print("MISMATCHED WINDOWS: values diverged at full completeness "
               "— protocol bug")
@@ -280,6 +337,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("LOST WINDOWS: some windows were never answered")
         return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.live.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        once=args.once,
+    )
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -291,6 +359,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.quick:
         forwarded.append("--quick")
     return runner.main(forwarded)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared live-telemetry flags for the ``live`` and ``chaos`` commands."""
+    parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics and /timeline on this port during the run "
+             "(0 = ephemeral; the bound port is announced on stderr)",
+    )
+    parser.add_argument(
+        "--flight-recorder", default=None, metavar="PATH",
+        help="arm a flight recorder that dumps the last spans/events to "
+             "PATH (JSONL) if the run crashes",
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="head-based trace sampling rate in [0, 1] (default 1.0)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -368,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
     live.add_argument("--bench", action="store_true",
                       help="write the BENCH_live.json artifact")
     live.add_argument("--bench-output", default=None, metavar="PATH")
+    _add_telemetry_flags(live)
 
     chaos = sub.add_parser(
         "chaos", help="run a cluster under a named fault scenario"
@@ -391,6 +478,19 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--gamma", type=int, default=64)
     chaos.add_argument("--q", type=float, default=0.5)
     chaos.add_argument("--seed", type=int, default=7)
+    _add_telemetry_flags(chaos)
+
+    top = sub.add_parser(
+        "top", help="attach to a serving cluster's telemetry endpoint"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=None,
+                     help="telemetry endpoint port (omit to watch a "
+                          "self-contained demo cluster)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit")
 
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,
@@ -419,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "live": _cmd_live,
         "chaos": _cmd_chaos,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

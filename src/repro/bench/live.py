@@ -18,6 +18,7 @@ from typing import Any
 from repro.bench.generator import GeneratorConfig, workload
 from repro.core.query import QuantileQuery
 from repro.network.metrics import LatencyStats
+from repro.obs.live.config import TelemetryConfig
 from repro.runtime.cluster import LiveClusterConfig, LiveRunReport, run_live
 
 __all__ = ["live_benchmark", "write_live_bench", "DEFAULT_BENCH_PATH"]
@@ -70,6 +71,7 @@ def report_dict(
         "heartbeat_misses": report.heartbeat_misses,
         "degraded_windows": report.degraded_windows,
         "dropped_sends": report.dropped_sends,
+        "telemetry": report.telemetry,
     }
 
 
@@ -84,13 +86,16 @@ def live_benchmark(
     gamma: int = 100,
     q: float = 0.5,
     seed: int = 42,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> tuple[LiveClusterConfig, LiveRunReport]:
     """Generate a workload, run the live cluster once, return both halves.
 
     ``rate`` is the target aggregate events/second: the generator produces
     ``rate / n_locals`` events per second of event time per local node, so
     a ``time_scale`` of 1.0 replays at exactly that wall-clock rate and
-    0.0 measures the runtime's ceiling.
+    0.0 measures the runtime's ceiling.  ``telemetry`` turns the live
+    telemetry plane on for the benchmarked run; the report's
+    ``telemetry`` section carries what it measured.
     """
     query = QuantileQuery(q=q, gamma=gamma)
     config = LiveClusterConfig(
@@ -99,6 +104,7 @@ def live_benchmark(
         query=query,
         transport=transport,
         time_scale=time_scale,
+        telemetry=telemetry,
     )
     streams = workload(
         list(range(1, n_locals + 1)),

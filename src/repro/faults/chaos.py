@@ -55,6 +55,15 @@ class ChaosStream:
         return self._inner.stats
 
     @property
+    def last_context(self):
+        """The wrapped stream's most recent received trace context."""
+        return self._inner.last_context
+
+    def send_backlog(self) -> int:
+        """The wrapped stream's current send backlog."""
+        return self._inner.send_backlog()
+
+    @property
     def severed(self) -> bool:
         """Whether :meth:`sever` has been called."""
         return self._cut.is_set()

@@ -36,6 +36,7 @@ from repro.faults.plan import FaultPlan, ToleranceConfig
 from repro.faults.scenarios import SCENARIOS, build_plan
 from repro.faults.simulate import compile_plan
 from repro.network.topology import TopologyConfig
+from repro.obs.live.config import TelemetryConfig
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.cluster import LiveClusterConfig, run_live
 from repro.streaming.windows import Window
@@ -65,6 +66,9 @@ class ChaosReport:
     heartbeat_misses: int = 0
     locals_declared_dead: int = 0
     wall_seconds: float = 0.0
+    #: Live mode with telemetry: the run report's telemetry section
+    #: (bound port, flight-recorder path, traced span count).
+    telemetry: dict = field(default_factory=dict)
 
     def count(self, grade: str) -> int:
         """Windows with the given grade."""
@@ -117,6 +121,7 @@ def run_chaos(
     gamma: int = 64,
     q: float = 0.5,
     tracer: Tracer = NOOP_TRACER,
+    telemetry: TelemetryConfig | None = None,
 ) -> ChaosReport:
     """Run one named scenario and grade every window against ground truth.
 
@@ -134,6 +139,8 @@ def run_chaos(
         gamma: Fixed slice count (adaptive γ would break bit-equality).
         q: The quantile.
         tracer: Observability hooks for the faulted run.
+        telemetry: Live mode: turn on the telemetry plane (wire tracing,
+            scrape endpoint, flight recorder) for the chaotic run.
     """
     if mode not in ("sim", "live"):
         raise ConfigurationError(
@@ -211,6 +218,7 @@ def run_chaos(
         timeout_s=120.0,
         faults=plan,
         tolerance=tolerance,
+        telemetry=telemetry,
     )
     live = run_live(config, streams, tracer=tracer)
     return ChaosReport(
@@ -225,4 +233,5 @@ def run_chaos(
         heartbeat_misses=live.heartbeat_misses,
         locals_declared_dead=live.locals_declared_dead,
         wall_seconds=time.monotonic() - started,
+        telemetry=live.telemetry,
     )

@@ -1,0 +1,68 @@
+"""Live observability: distributed tracing and an online telemetry plane.
+
+Everything in :mod:`repro.obs` up to this package looks at a run *after*
+the fact, on the simulated clock.  This package watches the **live**
+asyncio cluster while it is serving:
+
+* :mod:`repro.obs.live.context` — the compact trace context (trace id,
+  parent span id, sampled flag) that rides inside every wire frame as a
+  header extension, plus the contextvar plumbing that carries it across
+  ``await`` boundaries and the head-based sampling decision.
+* :mod:`repro.obs.live.config` — :class:`TelemetryConfig`, the one knob
+  the cluster driver takes to turn the whole plane on.
+* :mod:`repro.obs.live.sampler` — :class:`RuntimeSampler`, a background
+  task feeding the metrics registry with event-loop lag, per-transport
+  send backlog and stall time, GC pauses and frames in flight.
+* :mod:`repro.obs.live.http` — :class:`TelemetryServer`, a dependency-free
+  asyncio HTTP endpoint serving ``/metrics`` (Prometheus text),
+  ``/timeline/<window-start>`` (the causal timeline as JSON),
+  ``/summary`` (the per-node digest ``repro top`` renders) and
+  ``/healthz``.
+* :mod:`repro.obs.live.recorder` — :class:`FlightRecorder`, a bounded
+  ring buffer of the most recent spans/events, dumped to JSONL when a
+  :class:`~repro.runtime.transport.FailureLatch` trips (or on demand).
+* :mod:`repro.obs.live.timeline` — reconstruction of one window's causal
+  timeline (stream → local → root) from wall-clock spans.
+* :mod:`repro.obs.live.top` — the ``python -m repro top`` client: attach
+  to a serving cluster's telemetry endpoint and render a refreshing
+  per-node phase/queue summary.
+
+The design constraint throughout: **off means free**.  Without a
+:class:`TelemetryConfig` the cluster driver starts none of this, frames
+carry no extension bytes, and live quantile results are bit-identical to
+a telemetry-enabled run (pinned by ``tests/runtime/test_live_telemetry``).
+"""
+
+from repro.obs.live.config import TelemetryConfig
+from repro.obs.live.context import (
+    TraceContext,
+    context_scope,
+    current_context,
+    set_context,
+    should_sample,
+    trace_id_for_window,
+)
+from repro.obs.live.http import TelemetryServer
+from repro.obs.live.recorder import FlightRecorder
+from repro.obs.live.sampler import RuntimeSampler
+from repro.obs.live.timeline import (
+    LIVE_PHASES,
+    timeline_tree,
+    window_timeline,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "TraceContext",
+    "context_scope",
+    "current_context",
+    "set_context",
+    "should_sample",
+    "trace_id_for_window",
+    "TelemetryServer",
+    "FlightRecorder",
+    "RuntimeSampler",
+    "LIVE_PHASES",
+    "timeline_tree",
+    "window_timeline",
+]

@@ -1,0 +1,118 @@
+"""Trace context: the 17 bytes of causality that cross every wire hop.
+
+A :class:`TraceContext` names the trace one frame belongs to (for the
+live cluster: one global window — the trace id **is** the window's start
+timestamp in ms), the span that caused the frame (the sender's open span,
+which becomes the receiver's parent), and the head-based sampling verdict
+made once at the trace root and honored everywhere downstream.
+
+The context travels two ways:
+
+* **across the wire** as a header extension
+  (:data:`repro.runtime.wire.EXT_TRACE_CONTEXT`), packed/unpacked by the
+  codec, and
+* **within a process** through a :class:`contextvars.ContextVar`, which
+  asyncio copies into every task and callback — so a transport's ``send``
+  can stamp the current span's context onto a frame without any plumbing
+  through the call stack.
+
+This module deliberately imports nothing from :mod:`repro.runtime`, so
+the codec (which sits low in the import graph) can depend on it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "set_context",
+    "context_scope",
+    "should_sample",
+    "trace_id_for_window",
+]
+
+_U64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One hop's causal coordinates: (trace, parent span, sampled)."""
+
+    trace_id: int
+    span_id: int
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        # The wire packs both ids as u64; fail at creation, not at send.
+        if not 0 <= self.trace_id <= _U64_MASK:
+            raise ValueError(f"trace_id {self.trace_id} does not fit in u64")
+        if not 0 <= self.span_id <= _U64_MASK:
+            raise ValueError(f"span_id {self.span_id} does not fit in u64")
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The context a span opened under this one stamps on its sends."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+
+#: The ambient trace context of the current task (None = untraced).
+_CURRENT: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """The trace context of the running task, or ``None``."""
+    return _CURRENT.get()
+
+
+def set_context(context: TraceContext | None):
+    """Set the ambient context; returns the token for ``reset``."""
+    return _CURRENT.set(context)
+
+
+@contextmanager
+def context_scope(context: TraceContext | None) -> Iterator[None]:
+    """Make ``context`` ambient for the duration of the ``with`` block."""
+    token = _CURRENT.set(context)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def trace_id_for_window(window_start: int) -> int:
+    """The deterministic trace id of the window starting at ``window_start``.
+
+    Using the (event-time, ms) window start directly means every node —
+    and every rerun of the same workload — agrees on the trace id with no
+    coordination, and a timeline query addresses a trace by the window it
+    describes.
+    """
+    return window_start & _U64_MASK
+
+
+def _splitmix64(x: int) -> int:
+    """A tiny, seedless 64-bit mixer (SplitMix64 finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _U64_MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _U64_MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _U64_MASK
+    return x ^ (x >> 31)
+
+
+def should_sample(trace_id: int, rate: float) -> bool:
+    """Head-based sampling verdict for ``trace_id`` at ``rate`` ∈ [0, 1].
+
+    Deterministic: the same trace id always gets the same verdict, so the
+    decision made once at the trace root (the stream layer) is consistent
+    with any node re-deriving it, and reruns sample the same windows.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return _splitmix64(trace_id) < rate * (_U64_MASK + 1)

@@ -1,0 +1,153 @@
+"""Dependency-free telemetry HTTP endpoint for a serving live cluster.
+
+One small asyncio server (raw ``asyncio.start_server`` — no web
+framework, per the repo's stdlib-only rule) exposing the cluster's
+observability plane while it runs:
+
+* ``GET /metrics`` — the shared :class:`~repro.obs.metrics.MetricsRegistry`
+  rendered as Prometheus text exposition format.
+* ``GET /timeline/<window-start>`` — that window's reconstructed causal
+  timeline (:func:`~repro.obs.live.timeline.window_timeline`) as JSON.
+* ``GET /summary`` — the per-node phase/queue digest ``repro top``
+  renders, as JSON.
+* ``GET /healthz`` — liveness.
+
+Every response closes the connection; this is a scrape endpoint, not a
+web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable
+
+from repro.obs.live.timeline import window_timeline
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+
+__all__ = ["TelemetryServer"]
+
+_MAX_REQUEST_BYTES = 16384
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
+
+
+class TelemetryServer:
+    """Asyncio HTTP endpoint serving metrics, timelines and summaries."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spans: Callable[[], list[Span]] | None = None,
+        summary: Callable[[], dict] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port  # rewritten with the bound port by start()
+        self._spans = spans
+        self._summary = summary
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind and start serving; returns (and stores) the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Request handling.
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await reader.readuntil(b"\r\n\r\n")
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                ConnectionError,
+            ):
+                return
+            if len(request) > _MAX_REQUEST_BYTES:
+                await self._respond(writer, 400, "text/plain", "request too large")
+                return
+            parts = request.split(b"\r\n", 1)[0].decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                await self._respond(writer, 400, "text/plain", "GET only")
+                return
+            status, content_type, body = self._route(parts[1])
+            await self._respond(writer, status, content_type, body)
+        except Exception as exc:  # a broken handler must not kill the loop
+            try:
+                await self._respond(writer, 500, "text/plain", f"error: {exc}")
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _route(self, path: str) -> tuple[int, str, str]:
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.registry.render_prometheus(),
+            )
+        if path == "/healthz":
+            return 200, "application/json", json.dumps({"ok": True})
+        if path == "/summary":
+            if self._summary is None:
+                return 404, "text/plain", "no summary provider attached"
+            return 200, "application/json", json.dumps(self._summary())
+        if path.startswith("/timeline/"):
+            if self._spans is None:
+                return 404, "text/plain", "no span source attached"
+            raw = path[len("/timeline/"):]
+            try:
+                window_start = int(raw)
+            except ValueError:
+                return 400, "text/plain", f"not a window start: {raw!r}"
+            timeline = window_timeline(self._spans(), window_start)
+            return 200, "application/json", json.dumps(timeline)
+        return 404, "text/plain", f"no route for {path}"
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: str,
+    ) -> None:
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()

@@ -1,0 +1,84 @@
+"""Flight recorder: the last N observability records, dumped on crash.
+
+A live cluster that dies under chaos usually takes its evidence with it —
+the run never reaches the orderly trace-export path.  The
+:class:`FlightRecorder` is a bounded ring buffer tapped into the
+tracer's ``on_record`` stream (completed spans, observed messages) plus
+any free-form events pushed at it; when the cluster's
+:class:`~repro.runtime.transport.FailureLatch` trips, the latch's
+``on_trip`` hook dumps the ring to JSONL **at the moment of death**,
+before teardown unwinds anything.
+
+The dump format is one JSON object per line, newest last, preceded by a
+``{"kind": "flight_recorder_header", ...}`` line naming the dump reason
+— readable by the same tooling that reads trace exports.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of observability records with crash dump."""
+
+    def __init__(self, path: Path | str, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.path = Path(path)
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._dumped = False
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever pushed (>= len once the ring wraps)."""
+        return self._recorded
+
+    @property
+    def dumped(self) -> bool:
+        """Whether a dump has been written."""
+        return self._dumped
+
+    def record(self, row: dict) -> None:
+        """Push one record; evicts the oldest when the ring is full."""
+        self._ring.append(row)
+        self._recorded += 1
+
+    def event(self, name: str, **attrs) -> None:
+        """Push a free-form event record (``kind: "event"``)."""
+        self.record({"kind": "event", "name": name, **attrs})
+
+    def on_failure(self, exc: BaseException) -> None:
+        """FailureLatch ``on_trip`` adapter: dump, naming the exception."""
+        self.dump(reason=f"{type(exc).__name__}: {exc}")
+
+    def dump(self, reason: str = "requested") -> Path:
+        """Write the ring to :attr:`path` as JSONL; returns the path.
+
+        Idempotent in spirit but not in effect: every call rewrites the
+        file with the current ring, so the *first* failure's dump can be
+        refreshed by a later explicit call if the run limps on.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as fh:
+            header = {
+                "kind": "flight_recorder_header",
+                "reason": reason,
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "retained": len(self._ring),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for row in self._ring:
+                fh.write(json.dumps(row, default=str) + "\n")
+        self._dumped = True
+        return self.path

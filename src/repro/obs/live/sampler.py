@@ -1,0 +1,153 @@
+"""Runtime sampler: the event loop's vital signs, fed to the registry.
+
+The simulated fabric meters everything by construction; the live asyncio
+cluster has real costs no protocol counter sees — a starved event loop,
+a transport stalled on backpressure, a GC pause in the middle of a seal.
+:class:`RuntimeSampler` is one background task that measures those and
+feeds the same :class:`~repro.obs.metrics.MetricsRegistry` the tracer
+uses, so one ``/metrics`` scrape shows protocol and runtime health side
+by side.
+
+Sampled every ``interval_s``:
+
+* **event-loop lag** — the drift of ``asyncio.sleep(interval)`` against
+  the wall clock; the single best proxy for "the loop is starved".
+* **per-transport send backlog** — frames (memory) or bytes (TCP)
+  queued behind the stream's sends, plus cumulative send-stall seconds
+  and frame/byte totals, labelled by link.
+* **GC pauses** — via :data:`gc.callbacks`, pause duration observed into
+  a histogram (this one is event-driven, not polled).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import time
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.transport import MessageStream
+
+__all__ = ["RuntimeSampler"]
+
+
+class RuntimeSampler:
+    """Background task sampling runtime health into a metrics registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = 0.05,
+    ) -> None:
+        self.registry = registry
+        self.interval_s = interval_s
+        self._streams: list[tuple[dict, "MessageStream"]] = []
+        self._task: asyncio.Task | None = None
+        self._gc_start: float | None = None
+        self._gc_hooked = False
+        self.samples = 0
+
+    def register_stream(
+        self, stream: "MessageStream", *, src: int, dst: int
+    ) -> None:
+        """Track one transport link; safe to call while sampling runs."""
+        self._streams.append(({"src": str(src), "dst": str(dst)}, stream))
+
+    def start(self) -> None:
+        """Install the GC hook and start the sampling task."""
+        if self._task is not None:
+            return
+        if not self._gc_hooked:
+            gc.callbacks.append(self._on_gc)
+            self._gc_hooked = True
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Take one final sample, stop the task, remove the GC hook."""
+        if self._gc_hooked:
+            try:
+                gc.callbacks.remove(self._on_gc)
+            except ValueError:  # pragma: no cover - interpreter cleanup
+                pass
+            self._gc_hooked = False
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._sample_streams()  # final totals survive even a short run
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_start = time.monotonic()
+        elif phase == "stop" and self._gc_start is not None:
+            pause = time.monotonic() - self._gc_start
+            self._gc_start = None
+            self.registry.histogram(
+                "live_gc_pause_seconds",
+                "Garbage collection pause durations.",
+                generation=str(info.get("generation", "")),
+            ).observe(pause)
+
+    async def _run(self) -> None:
+        lag_gauge = self.registry.gauge(
+            "live_event_loop_lag_seconds",
+            "Most recent event-loop scheduling lag sample.",
+        )
+        lag_hist = self.registry.histogram(
+            "live_event_loop_lag",
+            "Event-loop scheduling lag distribution, seconds.",
+        )
+        while True:
+            t0 = time.monotonic()
+            await asyncio.sleep(self.interval_s)
+            lag = max(0.0, time.monotonic() - t0 - self.interval_s)
+            lag_gauge.set(lag)
+            lag_hist.observe(lag)
+            self._sample_streams()
+            self.samples += 1
+
+    def _sample_streams(self) -> None:
+        registry = self.registry
+        for labels, stream in self._streams:
+            try:
+                backlog = stream.send_backlog()
+            except Exception:  # stream torn down mid-sample
+                continue
+            registry.gauge(
+                "live_send_backlog",
+                "Data queued behind sends per link "
+                "(frames for memory streams, bytes for TCP).",
+                **labels,
+            ).set(backlog)
+            stats = stream.stats
+            registry.gauge(
+                "live_send_stall_seconds",
+                "Cumulative seconds sends spent stalled on backpressure.",
+                **labels,
+            ).set(stats.send_stall_s)
+            registry.gauge(
+                "live_frames_sent",
+                "Frames sent per link so far.",
+                **labels,
+            ).set(stats.messages_sent)
+            registry.gauge(
+                "live_frames_received",
+                "Frames received per link so far.",
+                **labels,
+            ).set(stats.messages_received)
+            registry.gauge(
+                "live_bytes_sent",
+                "Bytes sent per link so far.",
+                **labels,
+            ).set(stats.bytes_sent)
+            registry.gauge(
+                "live_bytes_received",
+                "Bytes received per link so far.",
+                **labels,
+            ).set(stats.bytes_received)

@@ -1,0 +1,83 @@
+"""Per-window causal timelines reconstructed from live wall-clock spans.
+
+Every live span opened on behalf of a traced window carries the window's
+trace id (``attrs["trace_id"]``) and parents onto the span named in the
+incoming frame's trace context — so one global window's journey
+
+    stream batch → local ingest → synopsis seal → root identification
+    → candidate fetch → calculation → release
+
+is reconstructable as a tree across real processes-worth of nodes from
+the flat span list alone.  This module does that reconstruction; the
+telemetry HTTP server serves the result at ``/timeline/<window-start>``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.live.context import trace_id_for_window
+from repro.obs.tracer import Span, span_to_dict
+
+__all__ = ["LIVE_PHASES", "window_timeline", "timeline_tree"]
+
+#: The live window lifecycle, in causal order.  ``live_dispatch`` (the
+#: fallback span for message types outside the named lifecycle) is
+#: deliberately absent: a timeline is judged on these phases.
+LIVE_PHASES = (
+    "live_stream_batch",
+    "live_ingest",
+    "live_synopsis",
+    "live_identification",
+    "live_candidate_fetch",
+    "live_calculation",
+    "live_release",
+)
+
+
+def window_timeline(spans: Iterable[Span], window_start: int) -> dict:
+    """The causal timeline of the window starting at ``window_start``.
+
+    Returns a JSON-ready dict::
+
+        {"window_start": ..., "trace_id": ..., "phases": [...],
+         "nodes": [...], "spans": [span dicts, by start time]}
+
+    ``phases`` and ``nodes`` are the distinct span names and node ids
+    seen, so a caller can check coverage at a glance.
+    """
+    trace_id = trace_id_for_window(window_start)
+    rows = [
+        span_to_dict(span)
+        for span in spans
+        if int(span.attrs.get("trace_id", -1)) == trace_id
+    ]
+    rows.sort(key=lambda row: (row["start"], row["id"]))
+    return {
+        "window_start": window_start,
+        "trace_id": trace_id,
+        "phases": sorted({row["name"] for row in rows}),
+        "nodes": sorted({row["node"] for row in rows}),
+        "spans": rows,
+    }
+
+
+def timeline_tree(timeline: dict) -> list[dict]:
+    """Nest a timeline's spans by parentage.
+
+    Returns the root spans (those whose parent is absent from the
+    timeline — normally the stream-layer batch spans and the synopsis
+    seal), each with a recursively nested ``children`` list ordered by
+    start time.
+    """
+    rows = timeline["spans"]
+    by_id = {row["id"]: {**row, "children": []} for row in rows}
+    roots: list[dict] = []
+    for row in rows:
+        node = by_id[row["id"]]
+        parent = by_id.get(row["parent"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots

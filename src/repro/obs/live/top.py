@@ -1,0 +1,169 @@
+"""``python -m repro top``: attach to a serving cluster and watch it.
+
+A tiny text-mode client for the telemetry endpoint: fetches ``/summary``
+(and liveness from ``/healthz``) over plain HTTP and renders a per-node
+phase table plus per-link queue/stall figures, refreshing in place until
+interrupted.  ``--once`` prints a single snapshot and exits — the mode CI
+smoke-tests.
+
+With no ``--port``, there is nothing to attach to, so ``top`` spawns a
+small in-process demo cluster with telemetry enabled in a background
+thread and watches that — a one-command way to see the plane working
+(and a self-contained smoke test).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import TextIO
+
+__all__ = ["fetch_json", "render_summary", "run_top"]
+
+
+def fetch_json(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> dict:
+    """GET ``http://host:port/path`` and parse the JSON body."""
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render_summary(summary: dict) -> str:
+    """One snapshot of the cluster as a fixed-width text dashboard."""
+    lines = [
+        "repro top — live cluster "
+        f"[{summary.get('transport', '?')}] "
+        f"windows {summary.get('windows_done', 0)}"
+        f"/{summary.get('windows_expected', 0)}",
+        "",
+        f"{'NODE':>6}  {'PHASE':<22} {'COUNT':>7} {'SECONDS':>10}",
+    ]
+    for node in summary.get("nodes", []):
+        node_id = node.get("node")
+        phases = node.get("phases", {})
+        if not phases:
+            lines.append(f"{node_id:>6}  {'(no live spans yet)':<22}")
+            continue
+        first = True
+        for name, entry in phases.items():
+            label = f"{node_id:>6}" if first else f"{'':>6}"
+            lines.append(
+                f"{label}  {name:<22} {entry['count']:>7} "
+                f"{entry['seconds']:>10.4f}"
+            )
+            first = False
+    lines += [
+        "",
+        f"{'LINK':<14} {'SRC':>4} {'DST':>4} {'BACKLOG':>8} "
+        f"{'STALL_S':>9} {'FR_SENT':>8} {'FR_RECV':>8}",
+    ]
+    for link in summary.get("links", []):
+        lines.append(
+            f"{link['layer']:<14} {link['src']:>4} {link['dst']:>4} "
+            f"{link['send_backlog']:>8} {link['send_stall_s']:>9.4f} "
+            f"{link['frames_sent']:>8} {link['frames_received']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _watch(
+    host: str,
+    port: int,
+    *,
+    interval_s: float,
+    once: bool,
+    out: TextIO,
+) -> int:
+    while True:
+        try:
+            summary = fetch_json(host, port, "/summary")
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            print(
+                f"repro top: cannot fetch http://{host}:{port}/summary: "
+                f"{exc}",
+                file=sys.stderr,
+            )
+            return 1
+        if not once:
+            out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        out.write(render_summary(summary) + "\n")
+        out.flush()
+        if once:
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _demo(*, interval_s: float, once: bool, out: TextIO) -> int:
+    """Spawn a small telemetry-enabled cluster in a thread and watch it."""
+    import queue
+    import threading
+
+    # Imported here, not at module top: repro.obs.live must stay importable
+    # without repro.runtime (the codec depends on the former).
+    from repro.bench.generator import GeneratorConfig, workload
+    from repro.core.query import QuantileQuery
+    from repro.obs.live.config import TelemetryConfig
+    from repro.runtime.cluster import LiveClusterConfig, run_live
+
+    ports: "queue.Queue[int]" = queue.Queue()
+    config = LiveClusterConfig(
+        n_locals=2,
+        streams_per_local=2,
+        query=QuantileQuery(q=0.9, window_length_ms=500, gamma=64),
+        transport="memory",
+        time_scale=1.0,  # pace the replay so there is something to watch
+        telemetry=TelemetryConfig(http_port=0, announce=ports.put),
+    )
+    streams = workload(
+        [1, 2], GeneratorConfig(event_rate=200.0, duration_s=2.0, seed=41)
+    )
+    print("repro top: no --port given; running a demo cluster", file=sys.stderr)
+    runner = threading.Thread(
+        target=run_live, args=(config, streams), daemon=True
+    )
+    runner.start()
+    try:
+        port = ports.get(timeout=10.0)
+    except queue.Empty:
+        print("repro top: demo cluster never came up", file=sys.stderr)
+        return 1
+    if once:
+        # Give the demo a moment to produce spans worth printing.
+        time.sleep(1.0)
+        status = _watch(
+            "127.0.0.1", port, interval_s=interval_s, once=True, out=out
+        )
+    else:
+        status = 0
+        while runner.is_alive():
+            status = _watch(
+                "127.0.0.1", port, interval_s=interval_s, once=True, out=out
+            )
+            if status != 0:
+                break
+            time.sleep(interval_s)
+    runner.join(timeout=30.0)
+    return status
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    *,
+    interval_s: float = 1.0,
+    once: bool = False,
+    out: TextIO | None = None,
+) -> int:
+    """Entry point behind ``python -m repro top``; returns an exit code."""
+    out = out if out is not None else sys.stdout
+    if port is None:
+        return _demo(interval_s=interval_s, once=once, out=out)
+    return _watch(host, port, interval_s=interval_s, once=once, out=out)

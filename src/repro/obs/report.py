@@ -97,7 +97,12 @@ class WindowBreakdown:
 
 
 def phase_summary(records: Iterable[dict]) -> list[PhaseSummary]:
-    """Per-phase span statistics, ordered by total time descending."""
+    """Per-phase span statistics, ordered by total time descending.
+
+    Ties break on the phase name so the report is deterministic — byte
+    totals frequently tie (equal-sized frames), and a report that is
+    diffed in CI must not depend on dict insertion order.
+    """
     by_name: dict[str, PhaseSummary] = {}
     for record in records:
         if record.get("kind") != "span":
@@ -107,11 +112,15 @@ def phase_summary(records: Iterable[dict]) -> list[PhaseSummary]:
         summary.count += 1
         summary.total_s += duration
         summary.max_s = max(summary.max_s, duration)
-    return sorted(by_name.values(), key=lambda s: -s.total_s)
+    return sorted(by_name.values(), key=lambda s: (-s.total_s, s.name))
 
 
 def message_summary(records: Iterable[dict]) -> list[MessageSummary]:
-    """Per-message-type traffic statistics, ordered by bytes descending."""
+    """Per-message-type traffic statistics, ordered by bytes descending.
+
+    Ties break on the type name so two runs of the same workload render
+    byte-identical reports.
+    """
     by_type: dict[str, MessageSummary] = {}
     for record in records:
         if record.get("kind") != "message":
@@ -124,7 +133,7 @@ def message_summary(records: Iterable[dict]) -> list[MessageSummary]:
         summary.events += record["events"]
         if record["delivered"] is None:
             summary.lost += 1
-    return sorted(by_type.values(), key=lambda s: -s.bytes)
+    return sorted(by_type.values(), key=lambda s: (-s.bytes, s.type))
 
 
 @dataclass(slots=True)

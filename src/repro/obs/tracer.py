@@ -23,7 +23,7 @@ Prometheus-style scrape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
 from repro.obs.events import MessageTrace
@@ -139,12 +139,18 @@ NOOP_TRACER = Tracer()
 
 
 class RecordingTracer(Tracer):
-    """Collects spans + messages and keeps live metrics while recording."""
+    """Collects spans + messages and keeps live metrics while recording.
+
+    ``on_record`` (when set) is called with the flattened dict of every
+    completed span and observed message as it happens — the tap the live
+    flight recorder hangs off without buffering the whole run twice.
+    """
 
     enabled = True
 
     def __init__(self, *, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.on_record: "Callable[[dict], None] | None" = None
         self._spans: list[Span] = []
         self._open: dict[int, Span] = {}
         self._messages: list[MessageTrace] = []
@@ -200,6 +206,8 @@ class RecordingTracer(Tracer):
         span.attrs.update(attrs)
         self._spans.append(span)
         self._span_metrics(span)
+        if self.on_record is not None:
+            self.on_record(span_to_dict(span))
 
     def record(
         self,
@@ -236,6 +244,10 @@ class RecordingTracer(Tracer):
 
     def record_message(self, trace: MessageTrace) -> None:
         self._messages.append(trace)
+        if self.on_record is not None:
+            from repro.obs.events import message_to_dict
+
+            self.on_record(message_to_dict(trace))
         registry = self.registry
         message = trace.message
         kind = type(message).__name__

@@ -29,7 +29,11 @@ from repro.errors import ConfigurationError, TransportError
 from repro.faults.chaos import ChaosController
 from repro.faults.plan import FaultEvent, FaultPlan, ToleranceConfig
 from repro.network.metrics import LatencyStats
-from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.obs.live.config import TelemetryConfig
+from repro.obs.live.http import TelemetryServer
+from repro.obs.live.recorder import FlightRecorder
+from repro.obs.live.sampler import RuntimeSampler
+from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from repro.runtime.servers import (
     LIVE_OPS_PER_SECOND,
     LiveFabric,
@@ -76,6 +80,11 @@ class LiveClusterConfig:
             reliability timers).  Defaults to :class:`ToleranceConfig`
             whenever ``faults`` is given; without either, the cluster runs
             the original fail-fast path.
+        telemetry: Live telemetry plane (wire-level trace context, the
+            runtime sampler, the scrape endpoint, the flight recorder).
+            ``None`` — the default — starts none of it and puts zero
+            extra bytes on the wire; quantile results are bit-identical
+            either way.
     """
 
     n_locals: int = 2
@@ -88,6 +97,7 @@ class LiveClusterConfig:
     timeout_s: float | None = 60.0
     faults: FaultPlan | None = None
     tolerance: ToleranceConfig | None = None
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_locals < 1:
@@ -133,6 +143,9 @@ class LiveRunReport:
     windows_lost: int = 0
     #: Canonical descriptions of the fault events actually applied.
     fault_events: list[str] = field(default_factory=list)
+    #: Telemetry-plane facts (empty when the plane was off): the bound
+    #: HTTP port, sampler tick count, traced live spans, recorder path.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def values(self) -> list[float | None]:
@@ -229,6 +242,69 @@ async def _apply_fault(
         controller.heal_partition()
 
 
+def _cluster_summary(
+    *,
+    transport: str,
+    expected_windows: int,
+    root: RootServer,
+    tracer: Tracer,
+    dialed: Sequence[tuple[str, int, int, MessageStream]],
+) -> dict:
+    """The live per-node phase/queue digest served at ``/summary``.
+
+    Built on demand from completed live spans and the dialed streams'
+    counters — this is what ``python -m repro top`` renders.
+    """
+    nodes: dict[int, dict[str, dict]] = {}
+    if isinstance(tracer, RecordingTracer):
+        for span in tracer.spans:
+            if not span.name.startswith("live_"):
+                continue
+            phases = nodes.setdefault(span.node_id, {})
+            entry = phases.setdefault(
+                span.name, {"count": 0, "seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += span.duration
+    links = []
+    for layer, src, dst, stream in list(dialed):
+        try:
+            backlog = stream.send_backlog()
+        except Exception:
+            backlog = 0  # stream already torn down
+        stats = stream.stats
+        links.append({
+            "layer": layer,
+            "src": src,
+            "dst": dst,
+            "send_backlog": backlog,
+            "send_stall_s": round(stats.send_stall_s, 6),
+            "frames_sent": stats.messages_sent,
+            "frames_received": stats.messages_received,
+            "bytes_sent": stats.bytes_sent,
+            "bytes_received": stats.bytes_received,
+        })
+    return {
+        "transport": transport,
+        "windows_expected": expected_windows,
+        "windows_done": len(root.node.outcomes),
+        "nodes": [
+            {
+                "node": node_id,
+                "phases": {
+                    name: {
+                        "count": entry["count"],
+                        "seconds": round(entry["seconds"], 6),
+                    }
+                    for name, entry in sorted(phases.items())
+                },
+            }
+            for node_id, phases in sorted(nodes.items())
+        ],
+        "links": links,
+    }
+
+
 def _grid(
     streams: Mapping[int, Sequence[Event]], window_length_ms: int
 ) -> tuple[int, int]:
@@ -281,7 +357,31 @@ async def run_live_cluster(
     if tolerance is None and config.faults is not None:
         tolerance = ToleranceConfig()
     reliability = tolerance.reliability if tolerance is not None else None
-    failures = FailureLatch()
+
+    telemetry = config.telemetry
+    if telemetry is not None and not tracer.enabled:
+        # The plane needs somewhere to put spans and metrics; a caller who
+        # asked for telemetry but passed no tracer gets a private one.
+        tracer = RecordingTracer()
+    wire_tracing = telemetry is not None
+    recorder: FlightRecorder | None = None
+    if telemetry is not None and telemetry.flight_recorder_path is not None:
+        recorder = FlightRecorder(
+            telemetry.flight_recorder_path,
+            capacity=telemetry.flight_recorder_capacity,
+        )
+        if isinstance(tracer, RecordingTracer):
+            tracer.on_record = recorder.record
+    failures = FailureLatch(
+        on_trip=recorder.on_failure if recorder is not None else None
+    )
+    sampler: RuntimeSampler | None = None
+    if telemetry is not None and telemetry.sampler_interval_s > 0:
+        sampler = RuntimeSampler(
+            tracer.registry, interval_s=telemetry.sampler_interval_s
+        )
+    http_server: TelemetryServer | None = None
+
     controller = (
         ChaosController(config.faults) if config.faults is not None else None
     )
@@ -297,6 +397,12 @@ async def run_live_cluster(
     locals_: list[LocalServer] = []
     locals_by_id: dict[int, LocalServer] = {}
 
+    def track(layer: str, src: int, dst: int, stream: MessageStream) -> None:
+        """Remember a dialed stream for accounting and the sampler."""
+        dialed.append((layer, src, dst, stream))
+        if sampler is not None:
+            sampler.register_stream(stream, src=src, dst=dst)
+
     root = RootServer(
         DemaRootNode(
             ROOT_NODE_ID,
@@ -311,6 +417,10 @@ async def run_live_cluster(
         tracer=tracer,
         tolerance=tolerance,
         failures=failures,
+        wire_tracing=wire_tracing,
+        echo_heartbeats=(
+            telemetry.heartbeat_rtt if telemetry is not None else False
+        ),
     )
     await network.listen(ROOT_NODE_ID, root.serve)
     root.start_monitor()
@@ -322,6 +432,35 @@ async def run_live_cluster(
     main_task: asyncio.Task | None = None
     failure_task: asyncio.Task | None = None
     try:
+        if sampler is not None:
+            sampler.start()
+        if telemetry is not None and telemetry.http_port is not None:
+
+            def live_spans():
+                if isinstance(tracer, RecordingTracer):
+                    return tracer.spans
+                return []
+
+            def summary() -> dict:
+                return _cluster_summary(
+                    transport=config.transport,
+                    expected_windows=expected_windows,
+                    root=root,
+                    tracer=tracer,
+                    dialed=dialed,
+                )
+
+            http_server = TelemetryServer(
+                tracer.registry,
+                host=telemetry.http_host,
+                port=telemetry.http_port,
+                spans=live_spans,
+                summary=summary,
+            )
+            await http_server.start()
+            if telemetry.announce is not None:
+                telemetry.announce(http_server.port)
+
         next_stream_id = config.n_locals + 1
         for local_id in local_ids:
 
@@ -336,7 +475,7 @@ async def run_live_cluster(
                     stream: MessageStream = await network.dial(ROOT_NODE_ID)
                     if controller is not None:
                         stream = controller.wrap(lid, stream)
-                    dialed.append(("local_root", lid, ROOT_NODE_ID, stream))
+                    track("local_root", lid, ROOT_NODE_ID, stream)
                     return stream
 
                 return dial_root
@@ -359,6 +498,10 @@ async def run_live_cluster(
                 tolerance=tolerance,
                 dial_root=dial_root,
                 failures=failures,
+                wire_tracing=wire_tracing,
+                sample_rate=(
+                    telemetry.sample_rate if telemetry is not None else 1.0
+                ),
             )
             locals_.append(local)
             locals_by_id[local_id] = local
@@ -380,13 +523,21 @@ async def run_live_cluster(
                     grid_end=grid_end,
                     window_length_ms=length,
                     time_scale=config.time_scale,
+                    tracer=tracer,
+                    wire_tracing=wire_tracing,
+                    sample_rate=(
+                        telemetry.sample_rate
+                        if telemetry is not None
+                        else 1.0
+                    ),
+                    epoch=epoch,
                 )
                 servers.append(server)
                 next_stream_id += 1
 
                 async def replay(srv: StreamServer, dst: int) -> None:
                     pipe = await network.dial(dst)
-                    dialed.append(("stream_local", srv.stream_id, dst, pipe))
+                    track("stream_local", srv.stream_id, dst, pipe)
                     await srv.replay(pipe)
 
                 task = asyncio.ensure_future(replay(server, local_id))
@@ -446,6 +597,10 @@ async def run_live_cluster(
             with contextlib.suppress(TransportError):
                 await stream.close()
         await network.close()
+        if http_server is not None:
+            await http_server.stop()
+        if sampler is not None:
+            await sampler.stop()
 
     wall_seconds = loop.time() - epoch
     outcomes = root.node.outcomes
@@ -501,6 +656,27 @@ async def run_live_cluster(
             "Messages dropped at severed or unroutable links.",
         ).set(float(dropped_sends))
 
+    telemetry_report: dict = {}
+    if telemetry is not None:
+        traced_live = 0
+        if isinstance(tracer, RecordingTracer):
+            traced_live = sum(
+                1 for span in tracer.spans if span.name.startswith("live_")
+            )
+        telemetry_report = {
+            "http_port": (
+                http_server.port if http_server is not None else None
+            ),
+            "sampler_samples": sampler.samples if sampler is not None else 0,
+            "traced_live_spans": traced_live,
+            "flight_recorder": (
+                str(recorder.path) if recorder is not None else None
+            ),
+            "flight_recorder_dumped": (
+                recorder.dumped if recorder is not None else False
+            ),
+        }
+
     return LiveRunReport(
         outcomes=outcomes,
         windows=expected_windows,
@@ -517,6 +693,7 @@ async def run_live_cluster(
         dropped_sends=dropped_sends,
         windows_lost=max(0, expected_windows - len(outcomes)),
         fault_events=list(controller.applied) if controller else [],
+        telemetry=telemetry_report,
     )
 
 

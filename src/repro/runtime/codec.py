@@ -15,6 +15,15 @@ is what lets the discrete-event simulator charge real wire bytes.
 Framing is deliberately dumb — no compression, no varints — so that sizes
 are arithmetic over the struct constants and a reader can frame a stream
 with two ``readexactly`` calls.
+
+Frames may carry an optional, versioned **header extension block**
+(announced by the :data:`~repro.runtime.wire.FLAG_EXTENSIONS` flag bit)
+between the fixed header and the payload.  Extensions are type-tagged and
+length-delimited, so a decoder skips any extension type it does not know;
+the only assigned type carries the distributed-tracing context
+(:class:`~repro.obs.live.context.TraceContext`).  Frames without the flag
+are bit-identical to the original wire format, which is what keeps the
+simulator's byte accounting and old captures valid.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Callable
 
 from repro.core.synopsis import SliceSynopsis
 from repro.errors import CodecError
+from repro.obs.live.context import TraceContext
 from repro.network.messages import (
     CandidateEventsMessage,
     CandidateRequestMessage,
@@ -52,10 +62,13 @@ __all__ = [
     "TYPE_BY_TAG",
     "tag_of",
     "encode_payload",
+    "encode_extensions",
     "encode_frame",
     "encode_hello",
     "decode_body",
+    "decode_body_traced",
     "decode_frame",
+    "decode_frame_traced",
     "decode_payload",
 ]
 
@@ -274,6 +287,17 @@ class _Reader:
     def count(self) -> int:
         return self.unpack(wire.COUNT)[0]
 
+    def take(self, n: int) -> bytes:
+        """Read ``n`` raw bytes (extension bodies of arbitrary length)."""
+        end = self._pos + n
+        if end > len(self._view):
+            raise CodecError(
+                f"payload truncated: need {end} bytes, have {len(self._view)}"
+            )
+        raw = bytes(self._view[self._pos:end])
+        self._pos = end
+        return raw
+
     def finish(self) -> None:
         if self._pos != len(self._view):
             raise CodecError(
@@ -400,6 +424,53 @@ _DECODERS: dict[int, Callable] = {
 
 
 # ----------------------------------------------------------------------
+# Header extensions.
+# ----------------------------------------------------------------------
+
+
+def encode_extensions(context: TraceContext) -> bytes:
+    """Serialize the header extension block carrying ``context``."""
+    body = wire.TRACE_CONTEXT_EXT.pack(
+        context.trace_id,
+        context.span_id,
+        wire.TRACE_SAMPLED_BIT if context.sampled else 0,
+    )
+    return (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(wire.EXT_TRACE_CONTEXT, len(body))
+        + body
+    )
+
+
+def _decode_extensions(reader: _Reader) -> TraceContext | None:
+    """Consume the extension block; returns the trace context if present.
+
+    Unknown extension types are skipped by their declared length — the
+    compatibility contract that lets an old decoder read a newer peer's
+    frames (and this decoder read frames from a future one).
+    """
+    (count,) = reader.unpack(wire.EXT_COUNT)
+    context: TraceContext | None = None
+    for _ in range(count):
+        ext_type, ext_length = reader.unpack(wire.EXT_HEADER)
+        body = reader.take(ext_length)
+        if ext_type != wire.EXT_TRACE_CONTEXT:
+            continue  # length-delimited: step over anything we don't know
+        if ext_length != wire.TRACE_CONTEXT_EXT_BYTES:
+            raise CodecError(
+                f"trace-context extension of {ext_length} bytes, expected "
+                f"{wire.TRACE_CONTEXT_EXT_BYTES}"
+            )
+        trace_id, span_id, flags = wire.TRACE_CONTEXT_EXT.unpack(body)
+        context = TraceContext(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(flags & wire.TRACE_SAMPLED_BIT),
+        )
+    return context
+
+
+# ----------------------------------------------------------------------
 # Public API.
 # ----------------------------------------------------------------------
 
@@ -420,23 +491,32 @@ def encode_payload(message: Message) -> bytes:
 
 
 def _frame(tag: int, sender: int, group_id: int, start: int, end: int,
-           payload: bytes) -> bytes:
+           payload: bytes, context: TraceContext | None = None) -> bytes:
+    flags = 0
+    extensions = b""
+    if context is not None:
+        flags = wire.FLAG_EXTENSIONS
+        extensions = encode_extensions(context)
     header = wire.HEADER.pack(
-        wire.WIRE_VERSION, tag, 0, sender, group_id, start, end
+        wire.WIRE_VERSION, tag, flags, sender, group_id, start, end
     )
-    length = len(header) + len(payload)
+    length = len(header) + len(extensions) + len(payload)
     if length > wire.MAX_FRAME_BYTES:
         raise CodecError(
             f"frame of {length} bytes exceeds MAX_FRAME_BYTES "
             f"({wire.MAX_FRAME_BYTES})"
         )
-    return wire.LENGTH_PREFIX.pack(length) + header + payload
+    return wire.LENGTH_PREFIX.pack(length) + header + extensions + payload
 
 
-def encode_frame(message: Message) -> bytes:
+def encode_frame(
+    message: Message, context: TraceContext | None = None
+) -> bytes:
     """Serialize ``message`` to one full frame (length prefix included).
 
-    ``len(encode_frame(m)) == m.wire_bytes`` exactly.
+    Without a ``context``, ``len(encode_frame(m)) == m.wire_bytes``
+    exactly; with one, the frame grows by the extension block (telemetry
+    overhead is real bytes and is reported as such, never hidden).
     """
     return _frame(
         tag_of(message),
@@ -445,6 +525,7 @@ def encode_frame(message: Message) -> bytes:
         message.window.start,
         message.window.end,
         encode_payload(message),
+        context,
     )
 
 
@@ -458,15 +539,19 @@ def encode_hello(hello: Hello) -> bytes:
     return _frame(HELLO_TAG, hello.node_id, 0, 0, 0, payload)
 
 
-def decode_body(body: bytes | memoryview) -> Message | Hello:
+def decode_body_traced(
+    body: bytes | memoryview,
+) -> tuple[Message | Hello, TraceContext | None]:
     """Decode a frame body (header + payload, **without** length prefix).
 
     This is the entry point for stream transports, which already framed the
-    body with two ``readexactly`` calls.
+    body with two ``readexactly`` calls.  Returns the message together with
+    the trace context its header extension carried (``None`` when absent).
 
     Raises:
-        CodecError: On version mismatch, unknown tag, nonzero flags, or a
-            payload that is truncated or has trailing bytes.
+        CodecError: On version mismatch, unknown tag, unknown flag bits, a
+            malformed extension block, or a payload that is truncated or
+            has trailing bytes.
     """
     view = memoryview(body)
     if len(view) < wire.HEADER.size:
@@ -481,9 +566,15 @@ def decode_body(body: bytes | memoryview) -> Message | Hello:
         raise CodecError(
             f"wire version mismatch: got {version}, expected {wire.WIRE_VERSION}"
         )
-    if flags != 0:
-        raise CodecError(f"reserved flags must be zero, got {flags:#06x}")
+    if flags & ~wire.KNOWN_FLAGS:
+        raise CodecError(
+            f"unknown flag bits {flags & ~wire.KNOWN_FLAGS:#06x} "
+            f"(known: {wire.KNOWN_FLAGS:#06x})"
+        )
     reader = _Reader(view[wire.HEADER.size:])
+    context: TraceContext | None = None
+    if flags & wire.FLAG_EXTENSIONS:
+        context = _decode_extensions(reader)
     if tag == HELLO_TAG:
         (role_code,) = reader.unpack(wire.U32)
         (resume_from,) = reader.unpack(wire.I64)
@@ -491,16 +582,24 @@ def decode_body(body: bytes | memoryview) -> Message | Hello:
         role = _ROLE_NAMES.get(role_code)
         if role is None:
             raise CodecError(f"unknown hello role code {role_code}")
-        return Hello(node_id=sender, role=role, resume_from=resume_from)
+        return Hello(node_id=sender, role=role, resume_from=resume_from), context
     decoder = _DECODERS.get(tag)
     if decoder is None:
         raise CodecError(f"unknown frame type tag {tag}")
     message = decoder(reader, sender, Window(start, end), group_id)
     reader.finish()
+    return message, context
+
+
+def decode_body(body: bytes | memoryview) -> Message | Hello:
+    """Decode a frame body, discarding any trace context it carried."""
+    message, _ = decode_body_traced(body)
     return message
 
 
-def decode_frame(frame: bytes | memoryview) -> Message | Hello:
+def decode_frame_traced(
+    frame: bytes | memoryview,
+) -> tuple[Message | Hello, TraceContext | None]:
     """Decode one complete frame (length prefix included), strictly.
 
     The frame must contain exactly one message — a short buffer or trailing
@@ -520,7 +619,13 @@ def decode_frame(frame: bytes | memoryview) -> Message | Hello:
         raise CodecError(
             f"frame length prefix says {length} bytes, buffer has {len(body)}"
         )
-    return decode_body(body)
+    return decode_body_traced(body)
+
+
+def decode_frame(frame: bytes | memoryview) -> Message | Hello:
+    """Decode one complete frame, discarding any trace context."""
+    message, _ = decode_frame_traced(frame)
+    return message
 
 
 def decode_payload(

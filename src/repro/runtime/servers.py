@@ -38,13 +38,24 @@ from typing import Awaitable, Callable, Sequence
 from repro.errors import TransportError
 from repro.faults.plan import ToleranceConfig
 from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
     EventBatchMessage,
     HeartbeatMessage,
     Message,
+    ResultMessage,
+    SynopsisMessage,
     WatermarkMessage,
+    WindowReleaseMessage,
 )
 from repro.network.simulator import SimulatedNode
 from repro.obs.events import MessageTrace
+from repro.obs.live.context import (
+    TraceContext,
+    context_scope,
+    should_sample,
+    trace_id_for_window,
+)
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
 from repro.runtime.transport import FailureLatch, MessageStream
@@ -71,6 +82,18 @@ _MS_PER_SECOND = 1000.0
 #: Placeholder window on heartbeat frames (heartbeats are not about any
 #: window, but the wire header needs a valid one).
 _HEARTBEAT_WINDOW = Window(0, 1)
+
+#: Receiver-side live span names by incoming message type: the phase of
+#: the window lifecycle that handling this message performs.  Types not
+#: listed here get the generic ``live_dispatch``.
+_LIVE_SPAN_NAMES: dict[type, str] = {
+    EventBatchMessage: "live_ingest",
+    SynopsisMessage: "live_identification",
+    CandidateRequestMessage: "live_candidate_fetch",
+    CandidateEventsMessage: "live_calculation",
+    WindowReleaseMessage: "live_release",
+    ResultMessage: "live_release",
+}
 
 
 class LiveFabric:
@@ -129,10 +152,15 @@ class NodeHost:
     def __init__(self, node: SimulatedNode, fabric: LiveFabric,
                  tracer: Tracer = NOOP_TRACER, *,
                  drop_unroutable: bool = False,
-                 failures: FailureLatch | None = None) -> None:
+                 failures: FailureLatch | None = None,
+                 wire_tracing: bool = False) -> None:
         self.node = node
         self.fabric = fabric
         self.tracer = tracer
+        #: Wall-clock causal tracing: dispatch opens a child span under
+        #: the incoming frame's trace context and stamps its own context
+        #: onto everything the handler sends.
+        self.wire_tracing = wire_tracing and tracer.enabled
         self._peers: dict[int, MessageStream] = {}
         #: Tolerant mode: a send to a missing/dead peer is counted here
         #: instead of raising — reliability retransmits repair the gap.
@@ -155,8 +183,17 @@ class NodeHost:
     def register_peer(self, node_id: int, stream: MessageStream) -> None:
         self._peers[node_id] = stream
 
-    async def dispatch(self, message: Message) -> None:
-        """Run the operator's handler, then flush whatever it sent."""
+    async def dispatch(
+        self, message: Message, context: TraceContext | None = None
+    ) -> None:
+        """Run the operator's handler, then flush whatever it sent.
+
+        ``context`` is the trace context the delivering frame carried
+        (``stream.last_context``).  When wire tracing is on and the trace
+        is sampled, the handler runs inside a wall-clock span parented on
+        the sender's span, and the span's own context is ambient for the
+        flush — so the frames this dispatch causes carry the chain on.
+        """
         now = self.fabric.now
         if self.tracer.enabled:
             # Live delivery is observed at dispatch; the trace records the
@@ -170,8 +207,22 @@ class NodeHost:
                     message=message,
                 )
             )
-        self.node.on_message(message, now)
-        await self.flush()
+        if self.wire_tracing and context is not None and context.sampled:
+            name = _LIVE_SPAN_NAMES.get(type(message), "live_dispatch")
+            span_id = self.tracer.begin(
+                name, self.node_id, now,
+                window=message.window,
+                parent=context.span_id,
+                trace_id=context.trace_id,
+                wire_bytes=message.wire_bytes,
+            )
+            with context_scope(context.child(span_id)):
+                self.node.on_message(message, now)
+                await self.flush()
+            self.tracer.end(span_id, self.fabric.now)
+        else:
+            self.node.on_message(message, now)
+            await self.flush()
 
     async def flush(self) -> None:
         """Ship every message the operator queued on the fabric."""
@@ -244,12 +295,17 @@ class RootServer(NodeHost):
     def __init__(self, node, fabric: LiveFabric, *, expected_windows: int,
                  tracer: Tracer = NOOP_TRACER,
                  tolerance: ToleranceConfig | None = None,
-                 failures: FailureLatch | None = None) -> None:
+                 failures: FailureLatch | None = None,
+                 wire_tracing: bool = False,
+                 echo_heartbeats: bool = False) -> None:
         super().__init__(node, fabric, tracer,
                          drop_unroutable=tolerance is not None,
-                         failures=failures)
+                         failures=failures, wire_tracing=wire_tracing)
         self._expected_windows = expected_windows
         self._tolerance = tolerance
+        #: Telemetry: bounce each heartbeat back so the local can measure
+        #: round-trip time.  Off by default — the echo is extra traffic.
+        self._echo_heartbeats = echo_heartbeats
         self.done = asyncio.Event()
         #: Wall-clock (fabric) completion time per finished window.
         self.result_walls: dict[Window, float] = {}
@@ -320,8 +376,11 @@ class RootServer(NodeHost):
                 if self._tolerance is not None:
                     self.last_seen[message.sender] = self.fabric.now
                     if isinstance(message, HeartbeatMessage):
+                        if self._echo_heartbeats:
+                            with contextlib.suppress(TransportError):
+                                await stream.send(message)
                         continue
-                await self.dispatch(message)
+                await self.dispatch(message, stream.last_context)
                 self._account_outcomes()
         finally:
             # Only unregister if a reconnect has not already replaced us.
@@ -403,10 +462,12 @@ class LocalServer(NodeHost):
                  dial_root: Callable[
                      [], Awaitable[MessageStream]
                  ] | None = None,
-                 failures: FailureLatch | None = None) -> None:
+                 failures: FailureLatch | None = None,
+                 wire_tracing: bool = False,
+                 sample_rate: float = 1.0) -> None:
         super().__init__(node, fabric, tracer,
                          drop_unroutable=tolerance is not None,
-                         failures=failures)
+                         failures=failures, wire_tracing=wire_tracing)
         if expected_streams < 1:
             raise TransportError("a local server needs at least one stream")
         self._expected_streams = expected_streams
@@ -422,6 +483,11 @@ class LocalServer(NodeHost):
         self._root_stream: MessageStream | None = None
         self._heartbeat_task: asyncio.Task | None = None
         self._heartbeat_seq = 0
+        #: Head-based sampling rate for the trace roots this host opens
+        #: (the per-window synopsis seal).
+        self._sample_rate = sample_rate
+        #: Fabric send time by heartbeat sequence, for RTT on echoes.
+        self._heartbeat_sent: dict[int, float] = {}
         self._closing = False
         self._crashed = False
         self._resumed = asyncio.Event()
@@ -484,7 +550,11 @@ class LocalServer(NodeHost):
                     raise
                 message = None  # link died mid-frame: treat as EOF
             if message is not None:
-                await self.dispatch(message)
+                if isinstance(message, HeartbeatMessage):
+                    # Telemetry echo from the root: close the RTT loop.
+                    self._record_heartbeat_rtt(message.sequence)
+                    continue
+                await self.dispatch(message, stream.last_context)
                 continue
             if self._closing or self._crashed or self._tolerance is None:
                 return
@@ -540,6 +610,9 @@ class LocalServer(NodeHost):
             if stream is None or self._crashed:
                 continue
             self._heartbeat_seq += 1
+            self._heartbeat_sent[self._heartbeat_seq] = self.fabric.now
+            if len(self._heartbeat_sent) > 64:  # unechoed beats: cap it
+                self._heartbeat_sent.pop(min(self._heartbeat_sent))
             with contextlib.suppress(TransportError):
                 await stream.send(
                     HeartbeatMessage(
@@ -548,6 +621,16 @@ class LocalServer(NodeHost):
                         sequence=self._heartbeat_seq,
                     )
                 )
+
+    def _record_heartbeat_rtt(self, sequence: int) -> None:
+        sent = self._heartbeat_sent.pop(sequence, None)
+        if sent is None or not self.tracer.enabled:
+            return
+        self.tracer.registry.histogram(
+            "live_heartbeat_rtt_seconds",
+            "Heartbeat round-trip time local -> root -> local.",
+            node=str(self.node_id),
+        ).observe(max(0.0, self.fabric.now - sent))
 
     async def _stop_heartbeats(self) -> None:
         if self._heartbeat_task is None:
@@ -603,9 +686,24 @@ class LocalServer(NodeHost):
                     self._watermarks.get(hello.node_id, 0),
                     message.watermark_time,
                 )
+                context = stream.last_context
+                if (
+                    self.wire_tracing
+                    and context is not None
+                    and context.sampled
+                ):
+                    # Attribute the hop even though sealing opens its own
+                    # root span (min-watermark has no single parent).
+                    now = self.fabric.now
+                    self.tracer.record(
+                        "live_watermark", self.node_id, now, now,
+                        parent=context.span_id,
+                        trace_id=context.trace_id,
+                        watermark=message.watermark_time,
+                    )
                 await self._seal_ready_windows()
             elif isinstance(message, EventBatchMessage):
-                await self.dispatch(message)
+                await self.dispatch(message, stream.last_context)
             else:
                 raise TransportError(
                     f"stream {hello.node_id} sent "
@@ -623,6 +721,27 @@ class LocalServer(NodeHost):
         ):
             window = Window(self._next_start, self._next_start + length)
             now = self.fabric.now
+            if self.wire_tracing:
+                # The seal is a trace *root*: caused by the minimum
+                # watermark over every stream, so it parents on no single
+                # hop.  Its context rides the synopsis frame to the root,
+                # which parents identification onto this span.
+                trace_id = trace_id_for_window(window.start)
+                if should_sample(trace_id, self._sample_rate):
+                    span_id = self.tracer.begin(
+                        "live_synopsis", self.node_id, now,
+                        window=window, trace_id=trace_id,
+                    )
+                    scope = context_scope(
+                        TraceContext(trace_id, span_id)
+                    )
+                    with scope:
+                        self.node.on_window_complete(window, now)
+                        self.seal_walls[window] = now
+                        self._next_start += length
+                        await self.flush()
+                    self.tracer.end(span_id, self.fabric.now)
+                    continue
             self.node.on_window_complete(window, now)
             self.seal_walls[window] = now
             self._next_start += length
@@ -653,7 +772,11 @@ class StreamServer:
 
     def __init__(self, stream_id: int, *, events: Sequence[Event],
                  batch_size: int, grid_start: int, grid_end: int,
-                 window_length_ms: int, time_scale: float = 0.0) -> None:
+                 window_length_ms: int, time_scale: float = 0.0,
+                 tracer: Tracer = NOOP_TRACER,
+                 wire_tracing: bool = False,
+                 sample_rate: float = 1.0,
+                 epoch: float | None = None) -> None:
         self.stream_id = stream_id
         self._events = tuple(events)
         self._batch_size = max(1, batch_size)
@@ -661,6 +784,14 @@ class StreamServer:
         self._grid_end = grid_end
         self._window_length_ms = window_length_ms
         self._time_scale = time_scale
+        self.tracer = tracer
+        #: With wire tracing on, every batch send opens a
+        #: ``live_stream_batch`` span — the root of the ingest chain for
+        #: its window — and stamps the span's context onto the frames.
+        self.wire_tracing = wire_tracing and tracer.enabled
+        self._sample_rate = sample_rate
+        #: Cluster epoch so span times share the hosts' fabric clock.
+        self._epoch = epoch
         self.events_sent = 0
 
     def _batches(self) -> "list[tuple[Event, ...]]":
@@ -684,6 +815,7 @@ class StreamServer:
         await stream.send(Hello(node_id=self.stream_id, role="stream"))
         loop = asyncio.get_event_loop()
         epoch = loop.time()
+        clock_zero = self._epoch if self._epoch is not None else epoch
         span = Window(self._grid_start, max(self._grid_end, self._grid_start + 1))
         for batch in self._batches():
             last_ts = batch[-1].timestamp
@@ -694,20 +826,38 @@ class StreamServer:
                 delay = target - loop.time()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            await stream.send(
-                EventBatchMessage(
-                    sender=self.stream_id,
-                    window=Window(batch[0].timestamp, last_ts + 1),
-                    events=batch,
-                )
+            batch_message = EventBatchMessage(
+                sender=self.stream_id,
+                window=Window(batch[0].timestamp, last_ts + 1),
+                events=batch,
             )
+            watermark_message = WatermarkMessage(
+                sender=self.stream_id, window=span,
+                watermark_time=last_ts,
+            )
+            span_id = 0
+            if self.wire_tracing:
+                # Batches never span a window boundary, so each batch
+                # belongs to exactly one window — one trace.
+                length = self._window_length_ms
+                window_start = (batch[0].timestamp // length) * length
+                trace_id = trace_id_for_window(window_start)
+                if should_sample(trace_id, self._sample_rate):
+                    span_id = self.tracer.begin(
+                        "live_stream_batch", self.stream_id,
+                        loop.time() - clock_zero,
+                        window=Window(window_start, window_start + length),
+                        trace_id=trace_id,
+                        events=len(batch),
+                    )
+                    with context_scope(TraceContext(trace_id, span_id)):
+                        await stream.send(batch_message)
+                        await stream.send(watermark_message)
+                    self.tracer.end(span_id, loop.time() - clock_zero)
+            if not span_id:
+                await stream.send(batch_message)
+                await stream.send(watermark_message)
             self.events_sent += len(batch)
-            await stream.send(
-                WatermarkMessage(
-                    sender=self.stream_id, window=span,
-                    watermark_time=last_ts,
-                )
-            )
         await stream.send(
             WatermarkMessage(
                 sender=self.stream_id, window=span,

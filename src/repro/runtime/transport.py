@@ -15,18 +15,33 @@ Two implementations of one small surface:
 Both count frames and bytes in each direction; the cluster layer feeds
 those counters to the observability subsystem so live runs report the
 same per-link byte accounting the simulator does.
+
+Tracing rides along transparently: ``send`` stamps the task's ambient
+:class:`~repro.obs.live.context.TraceContext` (if any) into the frame's
+header extension, and ``recv`` surfaces the peer's context as
+``last_context`` for the dispatching server to parent its span on.  Both
+streams also account *send stalls* (time spent suspended on backpressure)
+and expose their current send backlog, which the runtime telemetry
+sampler scrapes.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Protocol
 
 from repro.errors import TransportError
 from repro.network.messages import Message
+from repro.obs.live.context import TraceContext, current_context
 from repro.runtime import wire
-from repro.runtime.codec import Hello, decode_body, encode_frame, encode_hello
+from repro.runtime.codec import (
+    Hello,
+    decode_body_traced,
+    encode_frame,
+    encode_hello,
+)
 
 __all__ = [
     "FailureLatch",
@@ -58,10 +73,20 @@ class FailureLatch:
     exceptions die with the task and a run hangs instead of failing.  Every
     handler records its first exception here, the cluster driver waits on
     :attr:`event` alongside the main run, and whichever fires first wins.
+
+    ``on_trip`` (when given) runs exactly once, on the first recorded
+    failure — the hook the flight recorder uses to dump its ring buffer at
+    the moment of death rather than after teardown has torn the evidence
+    down.  A hook failure is swallowed: crash reporting must never mask
+    the crash.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        on_trip: Callable[[BaseException], None] | None = None,
+    ) -> None:
         self._error: BaseException | None = None
+        self._on_trip = on_trip
         self.event = asyncio.Event()
 
     @property
@@ -71,25 +96,36 @@ class FailureLatch:
 
     def record(self, exc: BaseException) -> None:
         """Latch ``exc`` if nothing failed yet and wake any waiter."""
-        if self._error is None:
+        first = self._error is None
+        if first:
             self._error = exc
         self.event.set()
+        if first and self._on_trip is not None:
+            try:
+                self._on_trip(exc)
+            except Exception:
+                pass
 
 
 @dataclass(slots=True)
 class StreamStats:
-    """Frame and byte counters for one direction pair of a stream."""
+    """Frame/byte counters and stall time for one direction pair."""
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    #: Cumulative seconds this stream's sends spent suspended on
+    #: backpressure (socket drain / full peer queue).
+    send_stall_s: float = 0.0
 
 
 class MessageStream(Protocol):
     """One bidirectional, ordered, reliable message pipe to a peer."""
 
     stats: StreamStats
+    #: Trace context carried by the most recently received frame (or None).
+    last_context: TraceContext | None
 
     async def send(self, message: "Message | Hello") -> None:
         """Encode and ship one message; awaits under backpressure."""
@@ -97,6 +133,10 @@ class MessageStream(Protocol):
 
     async def recv(self) -> "Message | Hello | None":
         """Next decoded message, or ``None`` once the peer closed."""
+        ...
+
+    def send_backlog(self) -> int:
+        """Data queued behind this stream's sends, in transport units."""
         ...
 
     async def close(self) -> None:
@@ -111,7 +151,9 @@ StreamHandler = Callable[["MessageStream"], Awaitable[None]]
 def _encode(message: "Message | Hello") -> bytes:
     if isinstance(message, Hello):
         return encode_hello(message)
-    return encode_frame(message)
+    # Stamp the sending task's ambient trace context (None = no extension
+    # block, so untraced runs put zero extra bytes on the wire).
+    return encode_frame(message, current_context())
 
 
 # ----------------------------------------------------------------------
@@ -129,6 +171,7 @@ class TcpMessageStream:
         self._writer = writer
         self._closed = False
         self.stats = StreamStats()
+        self.last_context: TraceContext | None = None
 
     async def send(self, message: "Message | Hello") -> None:
         if self._closed:
@@ -136,11 +179,20 @@ class TcpMessageStream:
         data = _encode(message)
         try:
             self._writer.write(data)
+            t0 = time.monotonic()
             await self._writer.drain()
+            self.stats.send_stall_s += time.monotonic() - t0
         except (ConnectionError, RuntimeError) as exc:
             raise TransportError(f"TCP send failed: {exc}") from exc
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(data)
+
+    def send_backlog(self) -> int:
+        """Bytes sitting in the socket's write buffer."""
+        try:
+            return self._writer.transport.get_write_buffer_size()
+        except Exception:
+            return 0  # transport already torn down
 
     async def recv(self) -> "Message | Hello | None":
         try:
@@ -169,7 +221,8 @@ class TcpMessageStream:
             ) from exc
         self.stats.messages_received += 1
         self.stats.bytes_received += wire.LENGTH_PREFIX.size + length
-        return decode_body(body)
+        message, self.last_context = decode_body_traced(body)
+        return message
 
     async def close(self) -> None:
         if self._closed:
@@ -290,14 +343,21 @@ class MemoryMessageStream:
         self._out = outgoing
         self._in = incoming
         self.stats = StreamStats()
+        self.last_context: TraceContext | None = None
 
     async def send(self, message: "Message | Hello") -> None:
         if self._out.closed:
             raise TransportError("send on closed memory stream")
         data = _encode(message)
+        t0 = time.monotonic()
         await self._out.queue.put(data)
+        self.stats.send_stall_s += time.monotonic() - t0
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(data)
+
+    def send_backlog(self) -> int:
+        """Frames waiting in the peer's inbox queue."""
+        return self._out.queue.qsize()
 
     async def recv(self) -> "Message | Hello | None":
         data = await self._in.queue.get()
@@ -307,7 +367,10 @@ class MemoryMessageStream:
             return None
         self.stats.messages_received += 1
         self.stats.bytes_received += len(data)
-        return decode_body(memoryview(data)[wire.LENGTH_PREFIX.size:])
+        message, self.last_context = decode_body_traced(
+            memoryview(data)[wire.LENGTH_PREFIX.size:]
+        )
+        return message
 
     async def close(self) -> None:
         if not self._out.closed:

@@ -23,7 +23,22 @@ Frame layout (little-endian throughout)::
     +-----------------------------------------------------------------------+
 
 ``length`` counts everything after the length field itself (header rest +
-payload).  ``flags`` is reserved (must be zero).  The 32-byte total is
+payload).  ``flags`` is a bitfield; the only assigned bit is
+:data:`FLAG_EXTENSIONS` (``0x0001``), which announces a *header extension
+block* between the fixed header and the payload::
+
+    +--------+--------------------------------------+
+    | n u8   | n × ( type u8 | length u8 | bytes )  |
+    +--------+--------------------------------------+
+
+Extensions are optional, length-delimited and skippable: a decoder that
+does not understand an extension type steps over it by its declared
+length, so frames from a newer peer still decode.  Frames without the
+flag bit are byte-for-byte identical to wire version 1 as first shipped —
+``payload_bytes`` accounting and the simulator's byte model are
+untouched.  The only assigned extension is :data:`EXT_TRACE_CONTEXT`,
+carrying a distributed-tracing context (trace id u64, parent span id u64,
+flags u8 — bit 0 = sampled).  The 32-byte fixed total is
 :data:`MESSAGE_HEADER_BYTES`, charged per message by the simulator.
 """
 
@@ -33,6 +48,14 @@ import struct
 
 __all__ = [
     "WIRE_VERSION",
+    "FLAG_EXTENSIONS",
+    "KNOWN_FLAGS",
+    "EXT_TRACE_CONTEXT",
+    "EXT_COUNT",
+    "EXT_HEADER",
+    "TRACE_CONTEXT_EXT",
+    "TRACE_CONTEXT_EXT_BYTES",
+    "TRACE_SAMPLED_BIT",
     "MAX_FRAME_BYTES",
     "LENGTH_PREFIX",
     "HEADER",
@@ -62,6 +85,30 @@ __all__ = [
 #: Protocol version stamped into every frame header.  A decoder refuses
 #: frames from a different version instead of mis-parsing them.
 WIRE_VERSION = 1
+
+#: Flags bit announcing a header extension block after the fixed header.
+FLAG_EXTENSIONS = 0x0001
+
+#: Every flag bit this decoder understands; any other set bit is refused
+#: (a frame relying on semantics we cannot honor must not be mis-parsed).
+KNOWN_FLAGS = FLAG_EXTENSIONS
+
+#: Extension type tag for the distributed-tracing context.  Extension
+#: tags, like message tags, are append-only and never reused.
+EXT_TRACE_CONTEXT = 1
+
+#: u8 count of extensions in the block.
+EXT_COUNT = struct.Struct("<B")
+
+#: Per-extension preamble: type u8, byte length u8.
+EXT_HEADER = struct.Struct("<BB")
+
+#: Trace context body: trace id u64, parent span id u64, flags u8.
+TRACE_CONTEXT_EXT = struct.Struct("<QQB")
+TRACE_CONTEXT_EXT_BYTES = TRACE_CONTEXT_EXT.size
+
+#: Bit 0 of the trace-context flags byte: head-based sampling verdict.
+TRACE_SAMPLED_BIT = 0x01
 
 #: Upper bound on one frame's ``length`` field.  Protects a receiver from
 #: allocating gigabytes on a corrupt or hostile length prefix.
@@ -125,3 +172,4 @@ assert EVENT_WIRE_BYTES == 20
 assert KEY_WIRE_BYTES == 16
 assert SYNOPSIS_WIRE_BYTES == 2 * KEY_WIRE_BYTES + 4 * U32_BYTES == 48
 assert QDIGEST_NODE_WIRE_BYTES == 16
+assert TRACE_CONTEXT_EXT_BYTES == 17

@@ -39,13 +39,16 @@ from repro.runtime.codec import (
     TYPE_BY_TAG,
     Hello,
     decode_body,
+    decode_body_traced,
     decode_frame,
+    decode_frame_traced,
     decode_payload,
     encode_frame,
     encode_hello,
     encode_payload,
     tag_of,
 )
+from repro.obs.live.context import TraceContext
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
 
@@ -310,6 +313,122 @@ def test_hello_rejects_unknown_role_code():
 
 
 # ----------------------------------------------------------------------
+# Header extensions: trace context and forward compatibility.
+# ----------------------------------------------------------------------
+
+contexts = st.builds(
+    TraceContext,
+    trace_id=u64,
+    span_id=u64,
+    sampled=st.booleans(),
+)
+
+#: Extension block framing cost: count byte + (type, length) + 17-byte body.
+_EXT_BLOCK_BYTES = (
+    wire.EXT_COUNT.size + wire.EXT_HEADER.size + wire.TRACE_CONTEXT_EXT_BYTES
+)
+
+
+def _frame_with_extensions(message, ext_block: bytes) -> bytes:
+    """Hand-assemble a frame with an arbitrary extension block."""
+    plain = encode_frame(message)
+    body = bytearray(plain[wire.LENGTH_PREFIX.size:])
+    body[2:4] = wire.FLAG_EXTENSIONS.to_bytes(2, "little")
+    body[wire.HEADER.size:wire.HEADER.size] = ext_block
+    return wire.LENGTH_PREFIX.pack(len(body)) + bytes(body)
+
+
+@settings(max_examples=300, deadline=None)
+@given(messages, contexts)
+def test_trace_context_roundtrip(message, context):
+    frame = encode_frame(message, context)
+    # Telemetry overhead is real, accounted bytes: exactly one ext block.
+    assert len(frame) == message.wire_bytes + _EXT_BLOCK_BYTES
+
+    decoded, got = decode_frame_traced(frame)
+    assert got == context
+    assert encode_frame(decoded, got) == frame
+
+    body = frame[wire.LENGTH_PREFIX.size:]
+    decoded2, got2 = decode_body_traced(body)
+    assert got2 == context
+    assert encode_frame(decoded2) == encode_frame(message)
+
+
+@settings(max_examples=100, deadline=None)
+@given(messages)
+def test_frame_without_context_has_no_extension_bytes(message):
+    frame = encode_frame(message, None)
+    assert frame == encode_frame(message)
+    assert len(frame) == message.wire_bytes
+    decoded, context = decode_frame_traced(frame)
+    assert context is None
+    assert encode_frame(decoded) == frame
+
+
+@settings(max_examples=100, deadline=None)
+@given(contexts)
+def test_legacy_decoders_discard_context(context):
+    message = WatermarkMessage(5, W, watermark_time=42)
+    frame = encode_frame(message, context)
+    assert decode_frame(frame) == message
+    assert decode_body(frame[wire.LENGTH_PREFIX.size:]) == message
+
+
+def test_unknown_extension_type_is_skipped():
+    # A future peer attaches an extension type we have never heard of:
+    # the decoder must step over it by its declared length.
+    message = WatermarkMessage(5, W, watermark_time=42)
+    ext = (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(200, 5)
+        + b"\xaa" * 5
+    )
+    decoded, context = decode_frame_traced(_frame_with_extensions(message, ext))
+    assert decoded == message
+    assert context is None
+
+
+def test_unknown_extension_before_trace_context():
+    message = WatermarkMessage(5, W, watermark_time=42)
+    trace_body = wire.TRACE_CONTEXT_EXT.pack(7, 9, wire.TRACE_SAMPLED_BIT)
+    ext = (
+        wire.EXT_COUNT.pack(2)
+        + wire.EXT_HEADER.pack(200, 3)
+        + b"\xbb" * 3
+        + wire.EXT_HEADER.pack(wire.EXT_TRACE_CONTEXT, len(trace_body))
+        + trace_body
+    )
+    decoded, context = decode_frame_traced(_frame_with_extensions(message, ext))
+    assert decoded == message
+    assert context == TraceContext(trace_id=7, span_id=9, sampled=True)
+
+
+def test_malformed_trace_context_extension_rejected():
+    message = WatermarkMessage(5, W, watermark_time=42)
+    ext = (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(wire.EXT_TRACE_CONTEXT, 3)
+        + b"\x00" * 3
+    )
+    with pytest.raises(CodecError, match="trace-context extension of 3"):
+        decode_frame_traced(_frame_with_extensions(message, ext))
+
+
+def test_truncated_extension_block_rejected():
+    # Announces one extension, then the frame ends mid-block.
+    message = WatermarkMessage(5, W, watermark_time=42)
+    plain = encode_frame(message)
+    header_end = wire.LENGTH_PREFIX.size + wire.HEADER.size
+    body = bytearray(plain[wire.LENGTH_PREFIX.size:header_end])
+    body[2:4] = wire.FLAG_EXTENSIONS.to_bytes(2, "little")
+    body += wire.EXT_COUNT.pack(1)  # count says 1, then nothing follows
+    frame = wire.LENGTH_PREFIX.pack(len(body)) + bytes(body)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_frame_traced(frame)
+
+
+# ----------------------------------------------------------------------
 # Error paths.
 # ----------------------------------------------------------------------
 
@@ -336,9 +455,10 @@ def test_unknown_tag_rejected():
         decode_frame(_mutated(_TAG_AT, 200))
 
 
-def test_nonzero_flags_rejected():
-    with pytest.raises(CodecError, match="reserved flags"):
-        decode_frame(_mutated(_FLAGS_AT, 1))
+def test_unknown_flag_bits_rejected():
+    # Bit 0 is FLAG_EXTENSIONS (assigned); bit 1 is the lowest unknown bit.
+    with pytest.raises(CodecError, match="unknown flag bits"):
+        decode_frame(_mutated(_FLAGS_AT, 2))
 
 
 def test_truncated_payload_rejected():

@@ -94,6 +94,52 @@ class TestReport:
         assert "synopsis_wait" in out
 
 
+class TestReportErrors:
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "trace file not found" in err
+
+    def test_corrupt_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not a valid JSONL trace" in err
+
+    def test_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_report_output_is_deterministic(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.trace.jsonl"
+        main(["trace", "lossy", "-o", str(jsonl)])
+        capsys.readouterr()
+        assert main(["report", str(jsonl)]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", str(jsonl)]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestLiveTelemetryFlags:
+    def test_live_run_reports_telemetry(self, capsys):
+        assert main([
+            "live", "--rate", "500", "--duration", "1",
+            "--transport", "memory", "--telemetry-port", "0",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry:" in captured.out
+        assert "live spans traced" in captured.out
+        assert "telemetry endpoint: http://127.0.0.1:" in captured.err
+
+
+class TestTop:
+    def test_unreachable_endpoint_fails_cleanly(self, capsys):
+        # A port nothing listens on: urllib fails fast with ECONNREFUSED.
+        assert main(["top", "--port", "1", "--once"]) == 1
+        assert "cannot fetch" in capsys.readouterr().err
+
+
 class TestChaos:
     def test_list_scenarios(self, capsys):
         assert main(["chaos", "--list"]) == 0
