@@ -339,6 +339,50 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import hotpath
+
+    config = hotpath.SMOKE if args.smoke else hotpath.FULL
+    mode = "smoke" if args.smoke else "full"
+    print(f"hot-path benchmarks ({mode} mode)")
+    current = hotpath.run_hotpath(
+        config,
+        include_live=not args.no_live,
+        progress=lambda name, rate: print(f"  {name:32s} {rate:>14,.2f}"),
+    )
+
+    artifact = hotpath.load_artifact(args.baseline)
+    if artifact is None:
+        baseline: dict[str, float] = {}
+        print(f"no baseline artifact at {args.baseline}; "
+              "writing current numbers without a comparison")
+    else:
+        key = "baseline_smoke" if args.smoke else "baseline"
+        baseline = artifact.get(key) or artifact.get("baseline") or {}
+
+    hotpath.write_hotpath(
+        args.output, config, current, baseline,
+        mode=mode,
+        extra={"baseline_smoke": artifact.get("baseline_smoke")}
+        if artifact and artifact.get("baseline_smoke") else None,
+    )
+    print(f"wrote {args.output}")
+    for name, rate in current.items():
+        reference = baseline.get(name)
+        if reference:
+            print(f"  {name:32s} {rate / reference:6.2f}x baseline")
+
+    if args.smoke:
+        failures = hotpath.check_regressions(current, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print("no hot-path regressions beyond tolerance "
+              f"({hotpath.REGRESSION_TOLERANCE:.0%})")
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs.live.top import run_top
 
@@ -492,6 +536,23 @@ def main(argv: list[str] | None = None) -> int:
     top.add_argument("--once", action="store_true",
                      help="print one snapshot and exit")
 
+    perf = sub.add_parser(
+        "perf", help="hot-path microbenchmarks and regression check"
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="CI mode: shrink the live benchmark and exit "
+                           "nonzero on a >tolerance regression vs the "
+                           "committed baseline")
+    perf.add_argument("--no-live", action="store_true",
+                      help="skip the end-to-end live cluster benchmark")
+    perf.add_argument("-o", "--output", default="BENCH_hotpath.json",
+                      metavar="PATH", help="artifact output path")
+    perf.add_argument("--baseline", default="BENCH_hotpath.json",
+                      metavar="PATH",
+                      help="artifact holding the baseline numbers to "
+                           "compare against (default: the committed "
+                           "BENCH_hotpath.json)")
+
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,
                        choices=["gamma", "n_local_nodes", "event_rate", "q",
@@ -519,6 +580,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "live": _cmd_live,
         "chaos": _cmd_chaos,
+        "perf": _cmd_perf,
         "top": _cmd_top,
     }
     return handlers[args.command](args)

@@ -95,6 +95,11 @@ class KllLocalNode(SimulatedNode):
             sender=self.node_id,
             window=window,
             centroids=tuple((value, float(weight)) for value, weight in pairs),
+            # Compaction may have dropped the extreme points from the
+            # retained items; ship the sketch's exact extremes so the
+            # root's q→0/q→1 answers stay exact.
+            minimum=sketch.min if pairs else 0.0,
+            maximum=sketch.max if pairs else 0.0,
         )
         self.send(message, self._root_id, finish)
 
@@ -162,6 +167,8 @@ class KllRootNode(SimulatedNode, BaselineRootMixin):
                             for value, weight in incoming.centroids
                         ),
                         k=self._k,
+                        minimum=incoming.minimum,
+                        maximum=incoming.maximum,
                     )
                 )
         finish = self.work(_MERGE_OPS_PER_ITEM * total_items, now)

@@ -91,7 +91,14 @@ class TDigestLocalNode(SimulatedNode):
         centroids = digest.to_centroid_tuples() if digest is not None else ()
         finish = self.work(_MERGE_OPS_PER_CENTROID * len(centroids), now)
         message = DigestMessage(
-            sender=self.node_id, window=window, centroids=centroids
+            sender=self.node_id,
+            window=window,
+            centroids=centroids,
+            # Ship the exact extremes: tail centroid means sit inside the
+            # data range, so without these the root's extreme quantiles
+            # flatten toward the tail means.
+            minimum=digest.min if centroids else 0.0,
+            maximum=digest.max if centroids else 0.0,
         )
         self.send(message, self._root_id, finish)
 
@@ -154,7 +161,10 @@ class TDigestRootNode(SimulatedNode, BaselineRootMixin):
             if incoming.centroids:
                 merged.merge(
                     TDigest.from_centroid_tuples(
-                        incoming.centroids, self._compression
+                        incoming.centroids,
+                        self._compression,
+                        minimum=incoming.minimum,
+                        maximum=incoming.maximum,
                     )
                 )
         finish = self.work(_MERGE_OPS_PER_CENTROID * total_centroids, now)

@@ -1,16 +1,23 @@
-"""Incrementally sorted local windows.
+"""Batch-sorted local windows.
 
 Dema "incrementally sorts arriving events into windows" (Section 3.1): when
 the window ends, its events are already in key order, so slicing is a single
-linear pass.  The implementation keeps an insertion buffer and merges it into
-the sorted run whenever it grows past a bound — an adaptive strategy that is
-O(n log n) total like a final sort, but spreads the work over the window's
-lifetime the way the paper's local nodes do.
+linear pass.  The implementation buffers arrivals in a plain appendable list
+and pays for order exactly once, at the window cut: one ``list.sort`` of the
+buffer (Timsort, which exploits the near-sorted runs real streams produce)
+followed by a linear merge into the existing sorted run.  That is O(n log n)
+total — the same bound as per-event ``insort`` — but with O(1) ingest cost
+per event and none of the O(n) ``memmove`` traffic binary insertion pays on
+large windows, which is what the hot-path benchmarks actually measure.
+
+The observable contract is unchanged: :meth:`seal`, :meth:`sorted_events`
+and iteration yield the identical sorted sequence the insertion-based
+implementation produced (the total-order key is strict, so there is exactly
+one sorted permutation).
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Iterable, Iterator
 
 from repro.errors import SliceError
@@ -18,15 +25,11 @@ from repro.streaming.events import Event, event_key
 
 __all__ = ["SortedLocalWindow"]
 
-#: The insertion buffer is merged once it exceeds this fraction of the run.
-_BUFFER_FRACTION = 0.25
-
-#: ...but never before it holds this many events.
-_BUFFER_MIN = 64
-
 
 class SortedLocalWindow:
     """Events of one local window, kept sorted by total-order key."""
+
+    __slots__ = ("_run", "_buffer", "_sealed")
 
     def __init__(self, events: Iterable[Event] = ()) -> None:
         self._run: list[Event] = sorted(events, key=event_key)
@@ -47,22 +50,24 @@ class SortedLocalWindow:
         return self._sealed
 
     def add(self, event: Event) -> None:
-        """Insert one event.
+        """Insert one event in O(1); ordering is deferred to the cut.
 
         Raises:
             SliceError: If the window was already sealed.
         """
         if self._sealed:
             raise SliceError("cannot add events to a sealed window")
-        bisect.insort(self._buffer, event, key=event_key)
-        threshold = max(_BUFFER_MIN, int(len(self._run) * _BUFFER_FRACTION))
-        if len(self._buffer) > threshold:
-            self._compact()
+        self._buffer.append(event)
 
     def add_all(self, events: Iterable[Event]) -> None:
-        """Insert a batch of events."""
-        for event in events:
-            self.add(event)
+        """Insert a batch of events in one extend.
+
+        Raises:
+            SliceError: If the window was already sealed.
+        """
+        if self._sealed:
+            raise SliceError("cannot add events to a sealed window")
+        self._buffer.extend(events)
 
     def seal(self) -> list[Event]:
         """Close the window and return its events in sorted order.
@@ -80,12 +85,25 @@ class SortedLocalWindow:
         return list(self._run)
 
     def _compact(self) -> None:
-        if not self._buffer:
+        buf = self._buffer
+        if not buf:
+            return
+        buf.sort(key=event_key)
+        run = self._run
+        if not run:
+            self._run = buf
+            self._buffer = []
+            return
+        # Common cut-time case: the whole batch lands after (or before) the
+        # existing run, so the merge degenerates to a concatenation.
+        if run[-1].key <= buf[0].key:
+            run.extend(buf)
+            self._buffer = []
             return
         merged: list[Event] = []
-        run, buf = self._run, self._buffer
         i = j = 0
-        while i < len(run) and j < len(buf):
+        n_run, n_buf = len(run), len(buf)
+        while i < n_run and j < n_buf:
             if run[i].key <= buf[j].key:
                 merged.append(run[i])
                 i += 1

@@ -170,17 +170,26 @@ class GammaUpdateMessage(Message):
 
 @dataclass(frozen=True, slots=True)
 class DigestMessage(Message):
-    """A serialized quantile sketch (t-digest baseline).
+    """A serialized quantile sketch (t-digest and KLL baselines).
 
-    The payload is ``centroid_count`` (mean, weight) pairs of 16 bytes
-    each behind a u32 count.
+    The payload is the sender's exact ``minimum``/``maximum`` (two f64 —
+    sketches track true extremes, and tail centroid *means* sit strictly
+    inside the data range, so extreme quantiles need the real bounds on
+    the wire) followed by ``centroid_count`` (mean, weight) pairs of 16
+    bytes each behind a u32 count.
     """
 
     centroids: tuple[tuple[float, float], ...] = ()
+    minimum: float = 0.0
+    maximum: float = 0.0
 
     @property
     def payload_bytes(self) -> int:
-        return wire.COUNT_BYTES + len(self.centroids) * wire.CENTROID_WIRE_BYTES
+        return (
+            wire.COUNT_BYTES
+            + 2 * wire.F64_BYTES
+            + len(self.centroids) * wire.CENTROID_WIRE_BYTES
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -28,7 +28,9 @@ simulator's byte accounting and old captures valid.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
+from itertools import starmap
 from typing import Callable
 
 from repro.core.synopsis import SliceSynopsis
@@ -148,12 +150,30 @@ def tag_of(message: Message) -> int:
 # ----------------------------------------------------------------------
 
 
+#: Cache of whole-batch structs keyed by event count.  ``"<I" + "dIII"*n``
+#: is byte-identical to ``COUNT.pack(n)`` followed by ``n`` ``EVENT.pack``
+#: calls (little-endian formats never pad), so one ``pack`` replaces ``n``
+#: pack calls plus an ``n``-way join on the live ingest path.  Bounded so a
+#: pathological mix of batch sizes cannot grow it without limit.
+_EVENT_BATCH_STRUCTS: dict[int, struct.Struct] = {}
+_EVENT_BATCH_CACHE_MAX = 4096
+
+
+def _event_batch_struct(n: int) -> struct.Struct:
+    fmt = _EVENT_BATCH_STRUCTS.get(n)
+    if fmt is None:
+        fmt = struct.Struct("<I" + "dIII" * n)
+        if len(_EVENT_BATCH_STRUCTS) < _EVENT_BATCH_CACHE_MAX:
+            _EVENT_BATCH_STRUCTS[n] = fmt
+    return fmt
+
+
 def _encode_events(events: tuple[Event, ...]) -> bytes:
-    parts = [wire.COUNT.pack(len(events))]
-    pack = wire.EVENT.pack
+    args: list = []
+    extend = args.extend
     for ev in events:
-        parts.append(pack(ev.value, ev.timestamp, ev.node_id, ev.seq))
-    return b"".join(parts)
+        extend((ev.value, ev.timestamp, ev.node_id, ev.seq))
+    return _event_batch_struct(len(events)).pack(len(events), *args)
 
 
 def _encode_event_batch(m: EventBatchMessage) -> bytes:
@@ -203,7 +223,11 @@ def _encode_gamma(m: GammaUpdateMessage) -> bytes:
 
 
 def _encode_digest(m: DigestMessage) -> bytes:
-    parts = [wire.COUNT.pack(len(m.centroids))]
+    parts = [
+        wire.COUNT.pack(len(m.centroids)),
+        wire.F64.pack(m.minimum),
+        wire.F64.pack(m.maximum),
+    ]
     parts.extend(wire.CENTROID.pack(mean, weight) for mean, weight in m.centroids)
     return b"".join(parts)
 
@@ -289,12 +313,16 @@ class _Reader:
 
     def take(self, n: int) -> bytes:
         """Read ``n`` raw bytes (extension bodies of arbitrary length)."""
+        return bytes(self.view(n))
+
+    def view(self, n: int) -> memoryview:
+        """Read ``n`` bytes as a zero-copy view (bulk struct decoding)."""
         end = self._pos + n
         if end > len(self._view):
             raise CodecError(
                 f"payload truncated: need {end} bytes, have {len(self._view)}"
             )
-        raw = bytes(self._view[self._pos:end])
+        raw = self._view[self._pos:end]
         self._pos = end
         return raw
 
@@ -307,9 +335,10 @@ class _Reader:
 
 def _decode_events(r: _Reader) -> tuple[Event, ...]:
     n = r.count()
-    unpack = r.unpack
-    fmt = wire.EVENT
-    return tuple(Event(*unpack(fmt)) for _ in range(n))
+    raw = r.view(n * wire.EVENT.size)
+    # starmap drives the Event constructor from C, skipping one generator
+    # frame resume per event on the decode hot path.
+    return tuple(starmap(Event, wire.EVENT.iter_unpack(raw)))
 
 
 def _decode_event_batch(r, sender, window, group_id):
@@ -368,8 +397,12 @@ def _decode_gamma(r, sender, window, group_id):
 
 def _decode_digest(r, sender, window, group_id):
     n = r.count()
+    (minimum,) = r.unpack(wire.F64)
+    (maximum,) = r.unpack(wire.F64)
     centroids = tuple(r.unpack(wire.CENTROID) for _ in range(n))
-    return DigestMessage(sender, window, group_id, centroids)
+    return DigestMessage(
+        sender, window, group_id, centroids, minimum, maximum
+    )
 
 
 def _decode_partial(r, sender, window, group_id):

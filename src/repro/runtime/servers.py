@@ -4,9 +4,11 @@ Three hosts mirror the simulated three-layer topology:
 
 ``StreamServer``
     Replays one sensor's share of the workload into its local node —
-    batches that never span a window boundary, each batch followed by a
+    batches that never span a window boundary, a
     :class:`~repro.network.messages.WatermarkMessage` carrying the last
-    event timestamp, and a final watermark that seals every window.
+    event timestamp with the first batch of each window (later watermarks
+    inside the same window cannot seal anything new, so they are not
+    sent), and a final watermark that seals every window.
 
 ``LocalServer``
     Wraps an **unmodified** :class:`~repro.core.local_node.DemaLocalNode`.
@@ -31,7 +33,10 @@ becomes an event-loop timer.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import contextlib
+import itertools
+import operator
 import random
 from typing import Awaitable, Callable, Sequence
 
@@ -795,14 +800,37 @@ class StreamServer:
         self.events_sent = 0
 
     def _batches(self) -> "list[tuple[Event, ...]]":
-        batches: list[tuple[Event, ...]] = []
-        batch: list[Event] = []
+        events = self._events
+        if not events:
+            return []
         length = self._window_length_ms
-        for event in self._events:
+        size = self._batch_size
+        batches: list[tuple[Event, ...]] = []
+        timestamps = [event.timestamp for event in events]
+        if not any(
+            map(operator.gt, timestamps, itertools.islice(timestamps, 1, None))
+        ):
+            # Timestamp-ordered replay (the normal case): locate each
+            # window boundary with one bisect instead of two floor
+            # divisions per event, then slice the run into size-capped
+            # chunks.  Produces exactly the batches the per-event loop
+            # below would.
+            lo, n = 0, len(events)
+            while lo < n:
+                window_end = (timestamps[lo] // length + 1) * length
+                hi = bisect.bisect_left(timestamps, window_end, lo)
+                for i in range(lo, hi, size):
+                    batches.append(tuple(events[i:min(i + size, hi)]))
+                lo = hi
+            return batches
+        # Out-of-order replay: group per event, breaking a batch whenever
+        # the window changes or the size cap is hit.
+        batch: list[Event] = []
+        for event in events:
             crosses = batch and (
                 batch[0].timestamp // length != event.timestamp // length
             )
-            if crosses or len(batch) >= self._batch_size:
+            if crosses or len(batch) >= size:
                 batches.append(tuple(batch))
                 batch = []
             batch.append(event)
@@ -811,12 +839,25 @@ class StreamServer:
         return batches
 
     async def replay(self, stream: MessageStream) -> None:
-        """Ship every batch plus watermarks, then the final watermark."""
+        """Ship every batch plus sealing watermarks, then the final one.
+
+        A watermark is emitted only with the *first* batch of each window,
+        not with every batch: the local server seals on
+        ``min(watermarks) >= window end``, and a watermark whose time lies
+        inside window ``w`` can only ever satisfy that predicate for
+        windows ending at or before ``w.start`` — which the first
+        watermark of ``w`` already sealed.  Intra-window watermarks are
+        pure overhead (they used to double the stream → local frame
+        count), and dropping them leaves every seal on exactly the same
+        received frame as before.
+        """
         await stream.send(Hello(node_id=self.stream_id, role="stream"))
         loop = asyncio.get_event_loop()
         epoch = loop.time()
         clock_zero = self._epoch if self._epoch is not None else epoch
         span = Window(self._grid_start, max(self._grid_end, self._grid_start + 1))
+        length = self._window_length_ms
+        watermarked_window: int | None = None
         for batch in self._batches():
             last_ts = batch[-1].timestamp
             if self._time_scale > 0:
@@ -831,16 +872,20 @@ class StreamServer:
                 window=Window(batch[0].timestamp, last_ts + 1),
                 events=batch,
             )
-            watermark_message = WatermarkMessage(
-                sender=self.stream_id, window=span,
-                watermark_time=last_ts,
-            )
+            # Batches never span a window boundary, so the batch's window
+            # index is well-defined by any of its timestamps.
+            window_index = last_ts // length
+            watermark_message = None
+            if window_index != watermarked_window:
+                watermarked_window = window_index
+                watermark_message = WatermarkMessage(
+                    sender=self.stream_id, window=span,
+                    watermark_time=last_ts,
+                )
             span_id = 0
             if self.wire_tracing:
-                # Batches never span a window boundary, so each batch
-                # belongs to exactly one window — one trace.
-                length = self._window_length_ms
-                window_start = (batch[0].timestamp // length) * length
+                # One window per batch ⇒ one trace per batch.
+                window_start = window_index * length
                 trace_id = trace_id_for_window(window_start)
                 if should_sample(trace_id, self._sample_rate):
                     span_id = self.tracer.begin(
@@ -852,11 +897,13 @@ class StreamServer:
                     )
                     with context_scope(TraceContext(trace_id, span_id)):
                         await stream.send(batch_message)
-                        await stream.send(watermark_message)
+                        if watermark_message is not None:
+                            await stream.send(watermark_message)
                     self.tracer.end(span_id, loop.time() - clock_zero)
             if not span_id:
                 await stream.send(batch_message)
-                await stream.send(watermark_message)
+                if watermark_message is not None:
+                    await stream.send(watermark_message)
             self.events_sent += len(batch)
         await stream.send(
             WatermarkMessage(

@@ -45,6 +45,9 @@ class KllSketch:
         self._count = 0
         self._min = float("inf")
         self._max = float("-inf")
+        # Cached capacity of level 0; only changes when the number of
+        # levels does, which only happens under _compress_if_needed.
+        self._cap0 = self._capacity(0)
 
     @property
     def k(self) -> int:
@@ -89,20 +92,52 @@ class KllSketch:
         return max(_MIN_CAPACITY, math.ceil(self._k * _CAPACITY_DECAY ** depth))
 
     def add(self, value: float) -> None:
-        """Absorb one point."""
+        """Absorb one point.
+
+        Compaction can only trigger when level 0 overflows (no other level
+        grew), so the all-levels scan is skipped while level 0 is under
+        capacity — the common case on the ingest hot path.
+        """
         value = float(value)
-        self._compactors[0].append(value)
+        level0 = self._compactors[0]
+        level0.append(value)
         self._count += 1
         if value < self._min:
             self._min = value
         if value > self._max:
             self._max = value
-        self._compress_if_needed()
+        if len(level0) > self._cap0:
+            self._compress_if_needed()
 
     def add_all(self, values: Iterable[float]) -> None:
-        """Absorb a batch of points."""
-        for value in values:
-            self.add(value)
+        """Absorb a batch of points.
+
+        Items are appended in chunks that stop exactly where per-item
+        :meth:`add` would have compacted (level 0 reaching capacity + 1),
+        so every compaction sees the same level contents and draws the
+        same RNG coins — the resulting sketch is bit-identical to the
+        per-item loop, without paying the overflow check per point.
+        """
+        batch = [float(v) for v in values]
+        if not batch:
+            return
+        self._count += len(batch)
+        low, high = min(batch), max(batch)
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
+        level0 = self._compactors[0]
+        pos = 0
+        n = len(batch)
+        while pos < n:
+            take = min(n - pos, self._cap0 + 1 - len(level0))
+            end = pos + take
+            level0.extend(batch[pos:end])
+            pos = end
+            if len(level0) > self._cap0:
+                self._compress_if_needed()
+                level0 = self._compactors[0]
 
     def merge(self, other: "KllSketch") -> None:
         """Absorb another sketch (the decentralized merge)."""
@@ -123,6 +158,7 @@ class KllSketch:
             if len(self._compactors[level]) > self._capacity(level):
                 self._compact_level(level)
             level += 1
+        self._cap0 = self._capacity(0)
 
     def _compact_level(self, level: int) -> None:
         items = sorted(self._compactors[level])
@@ -190,11 +226,16 @@ class KllSketch:
         k: int = 200,
         *,
         seed: int = 0,
+        minimum: float | None = None,
+        maximum: float | None = None,
     ) -> "KllSketch":
         """Rebuild a sketch from serialized pairs.
 
         The reconstruction places each item at the level matching its
-        weight (weights must be powers of two).
+        weight (weights must be powers of two).  ``minimum``/``maximum``
+        are the sender's exact extremes; compaction may have dropped the
+        extreme points from the retained items, so without them
+        ``quantile(0.0)``/``quantile(1.0)`` drift inward.
 
         Raises:
             SketchError: On a non-power-of-two weight.
@@ -214,5 +255,9 @@ class KllSketch:
             sketch._count += weight
             sketch._min = min(sketch._min, float(value))
             sketch._max = max(sketch._max, float(value))
+        if minimum is not None:
+            sketch._min = min(sketch._min, float(minimum))
+        if maximum is not None:
+            sketch._max = max(sketch._max, float(maximum))
         sketch._compress_if_needed()
         return sketch

@@ -35,10 +35,14 @@ class ScaleFunction(ABC):
         return self._delta
 
     @abstractmethod
-    def k(self, q: float, n: int) -> float:
-        """Map quantile ``q`` to k-space for a stream of ``n`` points."""
+    def k(self, q: float, n: float) -> float:
+        """Map quantile ``q`` to k-space for a total weight of ``n`` points.
 
-    def max_centroid_weight(self, q: float, n: int) -> float:
+        ``n`` is a float: merged digests can carry fractional total weight,
+        and truncating it would shift every centroid size limit.
+        """
+
+    def max_centroid_weight(self, q: float, n: float) -> float:
         """Largest weight a centroid centred at quantile ``q`` may carry.
 
         Derived from the slope of ``k``: a centroid may span one k-unit, so
@@ -57,14 +61,14 @@ class ScaleFunction(ABC):
 class K0(ScaleFunction):
     """Uniform scale function: all centroids the same size."""
 
-    def k(self, q: float, n: int) -> float:
+    def k(self, q: float, n: float) -> float:
         return self._delta * q / 2.0
 
 
 class K1(ScaleFunction):
     """The canonical arcsine scale function (tail-accurate)."""
 
-    def k(self, q: float, n: int) -> float:
+    def k(self, q: float, n: float) -> float:
         q = min(max(q, 0.0), 1.0)
         return self._delta / (2.0 * math.pi) * math.asin(2.0 * q - 1.0)
 
@@ -75,7 +79,7 @@ class K2(ScaleFunction):
     #: Quantiles are clamped away from 0/1 to keep the logit finite.
     _EPS = 1e-12
 
-    def k(self, q: float, n: int) -> float:
+    def k(self, q: float, n: float) -> float:
         q = min(max(q, self._EPS), 1.0 - self._EPS)
         normalizer = 4.0 * math.log(max(n, 2) / self._delta) + 24.0
         return self._delta / normalizer * math.log(q / (1.0 - q))

@@ -236,8 +236,20 @@ class TDigest:
         cls,
         pairs: Sequence[tuple[float, float]],
         compression: float = DEFAULT_COMPRESSION,
+        *,
+        minimum: float | None = None,
+        maximum: float | None = None,
     ) -> "TDigest":
-        """Deserialize a digest shipped over the network."""
+        """Deserialize a digest shipped over the network.
+
+        ``minimum``/``maximum`` are the sender's exact extremes, which the
+        class contract says are tracked exactly — a tail centroid's *mean*
+        sits strictly inside the data range whenever the centroid holds
+        more than one point, so substituting means flattens extreme
+        quantiles.  Senders should always ship them
+        (:class:`DigestMessage` carries both); when absent the extreme
+        centroid means remain the best available bound.
+        """
         digest = cls(compression)
         if not pairs:
             return digest
@@ -247,8 +259,8 @@ class TDigest:
         )
         digest._centroids = centroids
         digest._count = sum(c.weight for c in centroids)
-        digest._min = centroids[0].mean
-        digest._max = centroids[-1].mean
+        digest._min = centroids[0].mean if minimum is None else float(minimum)
+        digest._max = centroids[-1].mean if maximum is None else float(maximum)
         return digest
 
     def _merge_buffer(self) -> None:
@@ -261,12 +273,36 @@ class TDigest:
     def _merge_sorted(
         self, incoming: list[Centroid], *, flush_buffer: bool
     ) -> None:
-        """One compression pass over existing centroids plus ``incoming``."""
+        """One compression pass over existing centroids plus ``incoming``.
+
+        Both inputs are already sorted by mean (``_centroids`` is an
+        invariant of this method; ``incoming`` comes from a ``sorted``
+        buffer or another digest's centroids), so they are combined with a
+        linear two-pointer merge instead of a re-sort.  Ties take the
+        existing centroid first, matching what a stable sort of
+        ``existing + incoming`` produced — the output sequence, and hence
+        every downstream quantile, is bit-identical to the sorting version.
+        """
         if flush_buffer:
             self._merge_buffer()
-        merged_input = sorted(
-            self._centroids + incoming, key=lambda c: c.mean
-        )
+        existing = self._centroids
+        if not existing:
+            merged_input = incoming
+        elif not incoming:
+            merged_input = existing
+        else:
+            merged_input = []
+            i = j = 0
+            n_existing, n_incoming = len(existing), len(incoming)
+            while i < n_existing and j < n_incoming:
+                if existing[i].mean <= incoming[j].mean:
+                    merged_input.append(existing[i])
+                    i += 1
+                else:
+                    merged_input.append(incoming[j])
+                    j += 1
+            merged_input.extend(existing[i:])
+            merged_input.extend(incoming[j:])
         if not merged_input:
             return
         total = sum(c.weight for c in merged_input)
@@ -277,7 +313,7 @@ class TDigest:
         weight_so_far = 0.0
         for centroid in merged_input[1:]:
             q_mid = (weight_so_far + (current_weight + centroid.weight) / 2.0) / total
-            limit = self._scale.max_centroid_weight(q_mid, int(total))
+            limit = self._scale.max_centroid_weight(q_mid, total)
             if current_weight + centroid.weight <= limit:
                 combined = current_weight + centroid.weight
                 current_mean += (

@@ -10,8 +10,9 @@ even when values collide across nodes.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 from repro.runtime import wire
@@ -73,12 +74,13 @@ class Event:
         return EVENT_WIRE_BYTES
 
 
-def event_key(event: Event) -> EventKey:
-    """Return the strict-total-order key of ``event``.
-
-    Useful as a ``key=`` argument to :func:`sorted` and friends.
-    """
-    return event.key
+#: Return the strict-total-order key ``(value, node_id, seq)`` of an event.
+#: Used as the ``key=`` argument to :func:`sorted` and friends on every hot
+#: sort/merge path, so it is a C-level :func:`operator.attrgetter` rather
+#: than a Python function calling the :attr:`Event.key` property.
+event_key: Callable[[Event], EventKey] = operator.attrgetter(
+    "value", "node_id", "seq"
+)
 
 
 def make_events(

@@ -15,7 +15,7 @@ from repro.errors import WindowError
 from repro.streaming.aggregates import AggregationFunction
 from repro.streaming.events import Event
 from repro.streaming.time import Watermark
-from repro.streaming.windows import Window, WindowAssigner
+from repro.streaming.windows import TumblingWindows, Window, WindowAssigner
 
 __all__ = ["WindowResult", "KeyedWindowState", "WindowedAggregationOperator"]
 
@@ -72,9 +72,40 @@ class KeyedWindowState:
         count = self._counts.pop(window)
         return WindowResult(window, self._function.lower(partial), count)
 
+    def add_many(self, window: Window, values: list[float]) -> None:
+        """Fold a batch of values into ``window`` in arrival order.
+
+        Exactly equivalent to calling :meth:`add` per value (the per-window
+        fold order is preserved, so even non-commutative float folds give
+        bit-identical partials), but pays the state-dict lookups once per
+        batch instead of once per event.
+        """
+        if not values:
+            return
+        lift = self._function.lift
+        combine = self._function.combine
+        partials = self._partials
+        if window in partials:
+            partial = partials[window]
+            rest = values
+        else:
+            partial = lift(values[0])
+            rest = values[1:]
+        for value in rest:
+            partial = combine(partial, lift(value))
+        partials[window] = partial
+        self._counts[window] = self._counts.get(window, 0) + len(values)
+
     def closeable(self, watermark: Watermark) -> list[Window]:
-        """Windows whose end has been passed by ``watermark``."""
-        return sorted(w for w in self._partials if w.end <= watermark.time + 1)
+        """Windows whose end the watermark has reached.
+
+        A window ``[start, end)`` closes once ``watermark.time >= end``: a
+        watermark at time ``t`` promises no event with timestamp ``<= t``
+        is still in flight, and the window's last admissible timestamp is
+        ``end - 1`` — the same sealing predicate the Dema local/root nodes
+        use, so both layers close windows on the same watermark tick.
+        """
+        return sorted(w for w in self._partials if w.end <= watermark.time)
 
 
 class WindowedAggregationOperator:
@@ -124,9 +155,28 @@ class WindowedAggregationOperator:
             self._state.add(window, event.value)
 
     def process_all(self, events: Iterable[Event]) -> None:
-        """Route a batch of events."""
+        """Route a batch of events.
+
+        Tumbling assignment is folded per window — events are grouped by
+        their single target window and folded with one state lookup per
+        group — which is exactly equivalent to per-event :meth:`process`
+        (per-window fold order is arrival order either way).
+        """
+        assigner = self._assigner
+        if not isinstance(assigner, TumblingWindows):
+            for event in events:
+                self.process(event)
+            return
+        length = assigner.length
+        buckets: dict[int, list[float]] = {}
         for event in events:
-            self.process(event)
+            start = event.timestamp - event.timestamp % length
+            bucket = buckets.get(start)
+            if bucket is None:
+                bucket = buckets[start] = []
+            bucket.append(event.value)
+        for start, values in buckets.items():
+            self._state.add_many(Window(start, start + length), values)
 
     def advance_watermark(self, watermark: Watermark) -> list[WindowResult]:
         """Close every window the watermark has passed and emit results."""

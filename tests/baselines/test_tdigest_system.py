@@ -95,6 +95,8 @@ class TestRoot:
         return DigestMessage(
             sender=node_id, window=WINDOW,
             centroids=digest.to_centroid_tuples(),
+            minimum=digest.min,
+            maximum=digest.max,
         )
 
     def test_merged_quantile_close_to_truth(self):

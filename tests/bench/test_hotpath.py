@@ -1,0 +1,170 @@
+"""Tests for the hot-path perf-regression harness."""
+
+import json
+import random
+
+from repro import exact_quantile
+from repro.bench import hotpath
+from repro.bench.hotpath import (
+    BENCHMARKS,
+    FULL,
+    SMOKE,
+    HotpathConfig,
+    check_regressions,
+    load_artifact,
+    run_hotpath,
+    write_hotpath,
+)
+from repro.core.engine import dema_quantile
+from repro.streaming.events import Event
+
+TINY = HotpathConfig(
+    ingest_events=500,
+    slice_events=500,
+    gamma=10,
+    merge_digests=3,
+    merge_values_per_digest=50,
+    codec_batch=16,
+    codec_rounds=3,
+    repeats=1,
+)
+
+
+class TestCheckRegressions:
+    def test_clean_when_at_baseline(self):
+        current = {"a_per_s": 100.0, "b_per_s": 50.0}
+        assert check_regressions(current, dict(current)) == []
+
+    def test_clean_within_tolerance(self):
+        baseline = {"a_per_s": 100.0}
+        assert check_regressions({"a_per_s": 80.0}, baseline) == []
+
+    def test_fails_beyond_tolerance(self):
+        baseline = {"a_per_s": 100.0}
+        failures = check_regressions({"a_per_s": 60.0}, baseline)
+        assert len(failures) == 1
+        assert "a_per_s" in failures[0]
+
+    def test_missing_metric_skipped(self):
+        # A new benchmark must not fail the build before its baseline
+        # lands, and a removed one must not block either direction.
+        assert check_regressions({}, {"gone_per_s": 100.0}) == []
+        assert check_regressions({"new_per_s": 1.0}, {}) == []
+
+    def test_zero_baseline_skipped(self):
+        assert check_regressions({"a_per_s": 1.0}, {"a_per_s": 0.0}) == []
+
+    def test_custom_tolerance(self):
+        baseline = {"a_per_s": 100.0}
+        assert check_regressions(
+            {"a_per_s": 89.0}, baseline, tolerance=0.1
+        ) != []
+        assert check_regressions(
+            {"a_per_s": 89.0}, baseline, tolerance=0.2
+        ) == []
+
+
+class TestArtifact:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        current = {"a_per_s": 200.0}
+        baseline = {"a_per_s": 100.0}
+        written = write_hotpath(path, TINY, current, baseline, mode="full")
+        loaded = load_artifact(path)
+        assert loaded == written
+        assert loaded["current"] == current
+        assert loaded["baseline"] == baseline
+        assert loaded["speedup"]["a_per_s"] == 2.0
+        assert loaded["mode"] == "full"
+        assert loaded["config"]["ingest_events"] == TINY.ingest_events
+
+    def test_extra_section_preserved(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        smoke_baseline = {"a_per_s": 90.0}
+        write_hotpath(
+            path, TINY, {"a_per_s": 1.0}, {},
+            extra={"baseline_smoke": smoke_baseline},
+        )
+        assert load_artifact(path)["baseline_smoke"] == smoke_baseline
+
+    def test_load_missing_or_corrupt_is_none(self, tmp_path):
+        assert load_artifact(str(tmp_path / "absent.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_artifact(str(bad)) is None
+
+
+class TestBenchmarks:
+    def test_all_microbenchmarks_produce_positive_rates(self):
+        metrics = run_hotpath(TINY, include_live=False)
+        expected = set(BENCHMARKS) - {"live_events_per_s"}
+        assert set(metrics) == expected
+        assert all(rate > 0 for rate in metrics.values())
+
+    def test_progress_callback_sees_every_metric(self):
+        seen = []
+        run_hotpath(
+            TINY, include_live=False,
+            progress=lambda name, rate: seen.append(name),
+        )
+        assert seen == [n for n in BENCHMARKS if n != "live_events_per_s"]
+
+    def test_smoke_config_only_shrinks_the_live_benchmark(self):
+        # Sub-millisecond timed regions are too noisy to gate a build on,
+        # so smoke mode keeps the microbenchmark sizes and shrinks only
+        # the expensive end-to-end run.
+        assert SMOKE.ingest_events == FULL.ingest_events
+        assert SMOKE.slice_events == FULL.slice_events
+        assert SMOKE.merge_digests == FULL.merge_digests
+        assert SMOKE.codec_rounds == FULL.codec_rounds
+        assert SMOKE.live_rate < FULL.live_rate
+        assert SMOKE.live_duration_s < FULL.live_duration_s
+
+    def test_committed_artifact_is_well_formed(self):
+        artifact = load_artifact(hotpath.DEFAULT_HOTPATH_PATH)
+        if artifact is None:  # running outside the repo root
+            return
+        assert set(artifact["current"]) == set(BENCHMARKS)
+        assert set(artifact["baseline"]) == set(BENCHMARKS)
+        assert set(artifact["baseline_smoke"]) == set(BENCHMARKS)
+        # The artifact's whole point: the optimized numbers must beat the
+        # committed pre-optimization baseline.
+        assert all(ratio > 1.0 for ratio in artifact["speedup"].values())
+
+
+class TestBitIdenticalResults:
+    """The optimizations must not change a single answered quantile."""
+
+    def _workload(self, seed):
+        rng = random.Random(seed)
+        streams = {}
+        for node_id in (1, 2, 3):
+            events = [
+                Event(
+                    value=rng.random() * 1000.0,
+                    timestamp=rng.randrange(0, 1000),
+                    node_id=node_id,
+                    seq=seq,
+                )
+                for seq in range(400)
+            ]
+            rng.shuffle(events)
+            streams[node_id] = events
+        return streams
+
+    def test_dema_matches_exact_oracle_bit_for_bit(self):
+        streams = self._workload(seed=7)
+        values = [e.value for events in streams.values() for e in events]
+        for q in (0.01, 0.5, 0.99, 1.0):
+            result = dema_quantile(streams, q, gamma=20)
+            # Dema is exact: the answer IS an element of the multiset, so
+            # equality is exact, not approximate.
+            assert result.value == exact_quantile(values, q)
+
+    def test_repeated_runs_identical(self):
+        streams = self._workload(seed=11)
+        first = dema_quantile(streams, 0.5, gamma=20)
+        second = dema_quantile(streams, 0.5, gamma=20)
+        assert first.value == second.value
+        assert first.rank == second.rank
+        assert first.candidate_events == second.candidate_events

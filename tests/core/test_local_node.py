@@ -159,3 +159,87 @@ class TestGammaUpdates:
         simulator.schedule(0.0, lambda t: root.send(bad, 1, t))
         with pytest.raises(SliceError):
             simulator.run()
+
+
+class TestCrossLayerLateAccounting:
+    """Both layers must agree on which side of a window boundary an
+    event falls: ``end - 1`` is the last admissible timestamp of the
+    sealed window, ``end`` opens the next one.  The Dema local node
+    expresses the verdict through its late-event counter; the generic
+    SPE operator expresses it through which window the event folds into
+    after the aligned ``closeable`` sealing tick."""
+
+    def test_local_node_boundary_verdicts(self):
+        simulator, root, local = deploy()
+        events = make_events(range(10), node_id=1, timestamp_step=5)
+        simulator.schedule(0.1, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(
+            Window(0, 1000), t
+        ))
+        # An event at end - 1 targets the sealed window: dropped, counted.
+        simulator.schedule(2.0, lambda t: local.ingest(
+            make_events([1.0], node_id=1, start_timestamp=999,
+                        start_seq=100), t
+        ))
+        # An event exactly at end belongs to [1000, 2000): accepted.
+        simulator.schedule(3.0, lambda t: local.ingest(
+            make_events([2.0], node_id=1, start_timestamp=1000,
+                        start_seq=101), t
+        ))
+        simulator.run()
+        assert local.late_events == 1
+        assert local.events_ingested == 12
+
+    def test_release_boundary_event_is_not_late(self):
+        from repro.network.messages import WindowReleaseMessage
+
+        simulator, root, local = deploy()
+        events = make_events(range(10), node_id=1, timestamp_step=5)
+        simulator.schedule(0.1, lambda t: local.ingest(events, t))
+        simulator.schedule(1.0, lambda t: local.on_window_complete(
+            Window(0, 1000), t
+        ))
+        release = WindowReleaseMessage(sender=0, window=Window(0, 1000))
+        simulator.schedule(1.5, lambda t: root.send(release, 1, t))
+        # Timestamp == last_release_end is the first admissible
+        # timestamp of the next window, never a late event.
+        simulator.schedule(2.0, lambda t: local.ingest(
+            make_events([3.0], node_id=1, start_timestamp=1000,
+                        start_seq=200), t
+        ))
+        simulator.run()
+        assert local.last_release_end == 1000
+        assert local.late_events == 0
+        assert local.pending_windows == 0
+
+    def test_operator_agrees_with_local_node_on_the_boundary(self):
+        from repro.streaming.aggregates import get_function
+        from repro.streaming.operators import WindowedAggregationOperator
+        from repro.streaming.time import Watermark
+        from repro.streaming.windows import TumblingWindows
+
+        operator = WindowedAggregationOperator(
+            TumblingWindows(1000), get_function("count")
+        )
+        operator.process_all(
+            make_events(range(10), node_id=1, timestamp_step=5)
+        )
+        # Watermark end - 1 must NOT close [0, 1000): the local node
+        # still admits timestamps up to end - 1, and so must we.
+        assert operator.advance_watermark(Watermark(999)) == []
+        operator.process_all(
+            make_events([1.0], node_id=1, start_timestamp=999,
+                        start_seq=100)
+        )
+        results = operator.advance_watermark(Watermark(1000))
+        assert len(results) == 1
+        assert results[0].count == 11
+        # The boundary event lands in the next window, exactly like the
+        # local node's verdict above — no late drop on either layer.
+        operator.process_all(
+            make_events([2.0], node_id=1, start_timestamp=1000,
+                        start_seq=101)
+        )
+        assert operator.late_events == 0
+        assert operator.open_window_count == 1
+        assert operator.flush()[0].window == Window(1000, 2000)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SliceError
 from repro.core.sorted_window import SortedLocalWindow
-from repro.streaming.events import make_events
+from repro.streaming.events import event_key, make_events
 
 
 class TestInsertion:
@@ -74,3 +74,25 @@ class TestSealing:
         window.sorted_events()
         window.add(make_events([2.0], start_seq=10)[0])
         assert len(window) == 2
+
+
+class TestLazyBufferEquivalence:
+    def test_interleaved_adds_and_snapshots_stay_sorted(self):
+        # Snapshots force a compaction mid-stream; later batches must
+        # merge into the existing run (two-pointer path), and an
+        # already-above-the-run batch must take the concat fast path —
+        # all observably identical to one big sort.
+        rng = random.Random(21)
+        values = [rng.random() * 100 for _ in range(5_000)]
+        window = SortedLocalWindow()
+        reference = []
+        for lo in range(0, len(values), 640):
+            chunk = make_events(values[lo:lo + 640], start_seq=lo)
+            window.add_all(chunk)
+            reference.extend(chunk)
+            assert window.sorted_events() == sorted(reference, key=event_key)
+        # Strictly ascending tail triggers the concatenation fast path.
+        tail = make_events([1_000.0 + i for i in range(64)], start_seq=10_000)
+        window.add_all(tail)
+        reference.extend(tail)
+        assert window.seal() == sorted(reference, key=event_key)

@@ -91,7 +91,8 @@ class TestControlMessages:
         message = DigestMessage(
             sender=1, window=WINDOW, centroids=((1.0, 2.0), (3.0, 4.0))
         )
-        assert message.payload_bytes == 4 + 2 * 16
+        # count + exact min/max + two (mean, weight) pairs.
+        assert message.payload_bytes == 4 + 2 * 8 + 2 * 16
 
 
 class TestImmutability:

@@ -122,8 +122,10 @@ messages = st.one_of(
         lambda t: GammaUpdateMessage(t[0], t[1], t[2], t[3])
     ),
     _with_header(
-        st.lists(st.tuples(f64, f64), max_size=20).map(tuple)
-    ).map(lambda t: DigestMessage(t[0], t[1], t[2], t[3])),
+        st.tuples(
+            st.lists(st.tuples(f64, f64), max_size=20).map(tuple), f64, f64
+        )
+    ).map(lambda t: DigestMessage(t[0], t[1], t[2], t[3][0], t[3][1], t[3][2])),
     _with_header(st.tuples(st.lists(f64, max_size=8).map(tuple), u64)).map(
         lambda t: PartialAggregateMessage(t[0], t[1], t[2], t[3][0], t[3][1])
     ),
@@ -213,7 +215,10 @@ SAMPLES = [
     (SynopsisRequestMessage(0, W), 0),
     (WindowReleaseMessage(0, W), 0),
     (GammaUpdateMessage(0, W, gamma=64), 4),
-    (DigestMessage(1, W, centroids=((1.0, 2.0),)), 4 + 16),
+    (
+        DigestMessage(1, W, centroids=((1.0, 2.0),), minimum=0.5, maximum=1.5),
+        4 + 2 * 8 + 16,
+    ),
     (
         PartialAggregateMessage(1, W, state=(1.0, 2.0, 3.0), local_window_size=5),
         4 + 8 + 3 * 8,

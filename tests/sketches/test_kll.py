@@ -149,3 +149,31 @@ class TestSerialization:
             KllSketch.from_weighted_tuples([(1.0, 3)])
         with pytest.raises(SketchError):
             KllSketch.from_weighted_tuples([(1.0, 0)])
+
+
+class TestBatchEquivalence:
+    def test_add_all_bit_identical_to_per_value_adds(self):
+        # The chunked fast path must hit the same compaction points with
+        # the same RNG coins as the per-value loop: identical retained
+        # items, weights, and extremes — not merely similar ranks.
+        data = uniform(12_347, seed=9)
+        batched = KllSketch(200, seed=3)
+        batched.add_all(data)
+        single = KllSketch(200, seed=3)
+        for value in data:
+            single.add(value)
+        assert batched.to_weighted_tuples() == single.to_weighted_tuples()
+        assert (batched.min, batched.max) == (single.min, single.max)
+        assert batched.count == single.count
+
+    def test_interleaved_batches_match_one_stream(self):
+        data = uniform(5_001, seed=10)
+        interleaved = KllSketch(200, seed=3)
+        interleaved.add_all(data[:100])
+        for value in data[100:150]:
+            interleaved.add(value)
+        interleaved.add_all(data[150:])
+        single = KllSketch(200, seed=3)
+        for value in data:
+            single.add(value)
+        assert interleaved.to_weighted_tuples() == single.to_weighted_tuples()

@@ -211,3 +211,63 @@ class TestSerialization:
         digest = TDigest(100)
         digest.add_all(uniform_data(100_000, seed=11))
         assert len(digest.to_centroid_tuples()) < 1000
+
+    def test_roundtrip_with_extremes_preserves_min_max(self):
+        # A tail centroid's mean sits strictly inside the data range once
+        # it holds more than one point; only the shipped exact extremes
+        # keep q→0 / q→1 answers exact after deserialization.
+        digest = TDigest(100)
+        digest.add_all(uniform_data(5_000, seed=12))
+        restored = TDigest.from_centroid_tuples(
+            digest.to_centroid_tuples(),
+            minimum=digest.min,
+            maximum=digest.max,
+        )
+        assert restored.min == digest.min
+        assert restored.max == digest.max
+        for q in (1e-6, 1.0 - 1e-9):
+            assert restored.quantile(q) == pytest.approx(
+                digest.quantile(q), abs=1e-9
+            )
+
+    def test_roundtrip_without_extremes_flattens_tails(self):
+        # The contract violation the extremes fix: without them the
+        # restored digest can only bound the range by centroid means.
+        digest = TDigest(100)
+        digest.add_all(uniform_data(5_000, seed=13))
+        restored = TDigest.from_centroid_tuples(digest.to_centroid_tuples())
+        # For this seed the first centroid holds several points, so its
+        # mean sits strictly above the true minimum; a singleton tail
+        # centroid (weight 1) legitimately coincides with the extreme.
+        assert digest.centroids()[0].weight > 1
+        assert restored.min > digest.min
+        assert restored.max <= digest.max
+
+
+class TestFractionalWeights:
+    def test_merge_preserves_fractional_total_weight(self):
+        # Regression: the compression pass used to truncate the merged
+        # total to int before sizing centroids, so digests whose weights
+        # came from upstream merges (fractional) compressed against the
+        # wrong capacity.  The total must flow through as a float.
+        pairs = tuple((float(i), 0.7) for i in range(10))
+        left = TDigest.from_centroid_tuples(pairs, minimum=0.0, maximum=9.0)
+        right = TDigest.from_centroid_tuples(
+            tuple((float(i) + 0.5, 0.7) for i in range(10)),
+            minimum=0.5, maximum=9.5,
+        )
+        left.merge(right)
+        assert left.count == pytest.approx(14.0)
+        assert sum(c.weight for c in left.centroids()) == pytest.approx(14.0)
+        assert left.min == 0.0
+        assert left.max == 9.5
+        assert 0.0 <= left.quantile(0.5) <= 9.5
+
+    def test_unit_weight_workloads_unaffected(self):
+        # For integer totals the float total is numerically identical, so
+        # ordinary (weight-1) digests produce the same centroids as before.
+        data = uniform_data(2_000, seed=14)
+        digest = TDigest(100)
+        digest.add_all(data)
+        total = sum(c.weight for c in digest.centroids())
+        assert total == float(int(total)) == 2_000.0

@@ -36,9 +36,30 @@ class TestKeyedWindowState:
         state = KeyedWindowState(SumFunction())
         state.add(Window(0, 10), 1.0)
         state.add(Window(10, 20), 1.0)
-        assert state.closeable(Watermark(9)) == [Window(0, 10)]
-        assert state.closeable(Watermark(19)) == [Window(0, 10), Window(10, 20)]
-        assert state.closeable(Watermark(8)) == []
+        assert state.closeable(Watermark(10)) == [Window(0, 10)]
+        assert state.closeable(Watermark(20)) == [Window(0, 10), Window(10, 20)]
+        assert state.closeable(Watermark(9)) == []
+
+    def test_closeable_boundary_ticks(self):
+        # A window [0, 10) must close exactly when the watermark reaches its
+        # end — the Dema sealing convention — never one tick early.
+        state = KeyedWindowState(SumFunction())
+        state.add(Window(0, 10), 1.0)
+        assert state.closeable(Watermark(9)) == []  # end - 1: event at 9 may
+        assert state.closeable(Watermark(10)) == [Window(0, 10)]  # still arrive
+        assert state.closeable(Watermark(11)) == [Window(0, 10)]  # end + 1
+
+    def test_add_many_matches_per_value_adds(self):
+        batched = KeyedWindowState(MedianFunction())
+        single = KeyedWindowState(MedianFunction())
+        values = [5.0, 1.0, 9.0, 2.0, 2.0]
+        window = Window(0, 10)
+        batched.add_many(window, values[:2])
+        batched.add_many(window, values[2:])
+        batched.add_many(window, [])
+        for value in values:
+            single.add(window, value)
+        assert batched.close(window) == single.close(window)
 
 
 class TestWindowedAggregationOperator:

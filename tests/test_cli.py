@@ -171,3 +171,64 @@ class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPerf:
+    @pytest.fixture
+    def tiny_configs(self, monkeypatch):
+        from repro.bench import hotpath
+
+        tiny = hotpath.HotpathConfig(
+            ingest_events=300, slice_events=300, gamma=10,
+            merge_digests=2, merge_values_per_digest=40,
+            codec_batch=8, codec_rounds=2, repeats=1,
+        )
+        monkeypatch.setattr(hotpath, "FULL", tiny)
+        monkeypatch.setattr(hotpath, "SMOKE", tiny)
+        return tiny
+
+    def test_writes_artifact_without_baseline(
+        self, capsys, tmp_path, tiny_configs
+    ):
+        from repro.bench.hotpath import load_artifact
+
+        out = str(tmp_path / "bench.json")
+        assert main([
+            "perf", "--no-live", "-o", out,
+            "--baseline", str(tmp_path / "absent.json"),
+        ]) == 0
+        artifact = load_artifact(out)
+        assert artifact["mode"] == "full"
+        assert all(rate > 0 for rate in artifact["current"].values())
+        assert "no baseline artifact" in capsys.readouterr().out
+
+    def test_smoke_gates_against_baseline(
+        self, capsys, tmp_path, tiny_configs
+    ):
+        from repro.bench.hotpath import load_artifact, write_hotpath
+
+        baseline_path = str(tmp_path / "committed.json")
+        out = str(tmp_path / "bench.json")
+        # An unreachable baseline must fail the smoke gate ...
+        impossible = {"ingest_sort_events_per_s": 1e15}
+        write_hotpath(
+            baseline_path, tiny_configs, impossible, {},
+            extra={"baseline_smoke": impossible},
+        )
+        assert main([
+            "perf", "--smoke", "--no-live", "-o", out,
+            "--baseline", baseline_path,
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # ... and a trivially low one must pass.
+        easy = {"ingest_sort_events_per_s": 1e-6}
+        write_hotpath(
+            baseline_path, tiny_configs, easy, {},
+            extra={"baseline_smoke": easy},
+        )
+        assert main([
+            "perf", "--smoke", "--no-live", "-o", out,
+            "--baseline", baseline_path,
+        ]) == 0
+        assert "no hot-path regressions" in capsys.readouterr().out
+        assert load_artifact(out)["baseline_smoke"] == easy
