@@ -18,6 +18,9 @@ organized as:
   runner that regenerates every figure of the evaluation section.
 * :mod:`repro.obs` — observability: span tracer on the simulated clock,
   metrics registry, JSONL / Chrome-trace / Prometheus exporters.
+* :mod:`repro.queries` — live multi-query plane: runtime registration
+  over the wire, sliding windows with shared pane slices, shared-cut
+  execution across queries.
 
 Quick start::
 
@@ -42,6 +45,7 @@ from repro.core.concurrent import ConcurrentDemaEngine
 from repro.core.query import QuantileQuery
 from repro.core.adaptive import AdaptiveGammaController, optimal_gamma
 from repro.network.topology import TopologyConfig
+from repro.queries.spec import QuerySpec
 from repro.obs.events import MessageTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Span, Tracer
@@ -72,6 +76,7 @@ __all__ = [
     "AdaptiveGammaController",
     "optimal_gamma",
     "TopologyConfig",
+    "QuerySpec",
     "MessageTrace",
     "MetricsRegistry",
     "NOOP_TRACER",

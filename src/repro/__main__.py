@@ -9,6 +9,7 @@ Usage::
     python -m repro trace quickstart     # record a traced scenario
     python -m repro report run.jsonl     # per-phase latency/byte breakdown
     python -m repro live --rate 20000    # live asyncio cluster over TCP
+    python -m repro query --queries 8    # live multi-query plane, graded
     python -m repro chaos --scenario crash-reconnect   # fault injection
     python -m repro top --port 9470      # watch a serving cluster live
 """
@@ -287,6 +288,86 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.bench.queries import (
+        DEFAULT_BENCH_PATH,
+        queries_benchmark,
+        write_queries_bench,
+    )
+    from repro.bench.reporting import format_bytes
+
+    if args.smoke:
+        # CI mode: 8 mixed queries over 3 keys on the memory transport,
+        # churning half of them mid-run, then grading every result.
+        args.queries, args.keys = 8, 3
+        args.transport = "memory"
+        args.churn = True
+        if args.time_scale <= 0:
+            args.time_scale = 0.3
+        args.bench = True
+    report, artifact = queries_benchmark(
+        n_queries=args.queries,
+        n_keys=args.keys,
+        n_locals=args.locals,
+        streams_per_local=args.streams,
+        rate=args.rate,
+        duration_s=args.duration,
+        transport=args.transport,
+        time_scale=args.time_scale,
+        churn=args.churn,
+        seed=args.seed,
+        gamma=args.gamma,
+        window_ms=args.window_ms,
+    )
+    print(
+        f"multi-query plane over {args.transport}: "
+        f"{report.n_registered} queries registered "
+        f"({report.n_deregistered} deregistered mid-run), "
+        f"{report.groups} shared-cut groups"
+    )
+    print(
+        f"served {report.results_served} results "
+        f"({report.queries_per_second:,.1f} results/s), "
+        f"graded {report.results_graded} against the oracle"
+    )
+    print(
+        f"identification cuts: {report.identification_cuts} "
+        f"({report.duplicate_cuts} duplicated per (group, window))"
+    )
+    amortization = artifact["amortization"]
+    independent = artifact["independent_runs"]
+    print(
+        f"bytes: shared {format_bytes(report.live.total_bytes)} vs "
+        f"{independent['runs']} independent runs "
+        f"{format_bytes(independent['total_bytes'])} "
+        f"(ratio {amortization['total_bytes_ratio']}, aggregation-layer "
+        f"ratio {amortization['aggregation_bytes_ratio']})"
+    )
+    if report.nacks:
+        for nack in report.nacks:
+            print(f"  nack: {nack}")
+    if args.bench:
+        path = args.bench_output or DEFAULT_BENCH_PATH
+        write_queries_bench(path, artifact)
+        print(f"wrote {path}")
+    failed = False
+    if report.mismatches:
+        for mismatch in report.mismatches:
+            print(f"MISMATCH: {mismatch}")
+        failed = True
+    if report.duplicate_cuts:
+        print("DUPLICATE CUTS: the shared-cut invariant was violated")
+        failed = True
+    if independent["mismatches"]:
+        print(f"MISMATCH: {independent['mismatches']} grading failures "
+              "in the independent baseline runs")
+        failed = True
+    if failed:
+        return 1
+    print("all served results bit-identical to the single-query oracle")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.runner import run_chaos
     from repro.faults.scenarios import SCENARIOS
@@ -500,6 +581,40 @@ def main(argv: list[str] | None = None) -> int:
     live.add_argument("--bench-output", default=None, metavar="PATH")
     _add_telemetry_flags(live)
 
+    query = sub.add_parser(
+        "query", help="live multi-query plane with runtime registration"
+    )
+    query.add_argument("--queries", type=int, default=8,
+                       help="concurrent queries to register at runtime")
+    query.add_argument("--keys", type=int, default=3,
+                       help="distinct key selectors to cycle over")
+    query.add_argument("--locals", type=int, default=3)
+    query.add_argument("--streams", type=int, default=2,
+                       help="stream servers per local node")
+    query.add_argument("--rate", type=float, default=400.0,
+                       help="target aggregate events/second")
+    query.add_argument("--duration", type=float, default=4.0,
+                       help="workload length in event-time seconds")
+    query.add_argument("--transport", default="memory",
+                       choices=["tcp", "memory"])
+    query.add_argument("--time-scale", type=float, default=0.0,
+                       help="wall seconds per event-time second "
+                            "(0 = replay unpaced; churn needs > 0)")
+    query.add_argument("--churn", action="store_true",
+                       help="register joiners and deregister half the "
+                            "queries mid-run (needs --time-scale > 0)")
+    query.add_argument("--window-ms", type=int, default=1000,
+                       help="window length in event-time milliseconds")
+    query.add_argument("--gamma", type=int, default=32)
+    query.add_argument("--seed", type=int, default=7)
+    query.add_argument("--smoke", action="store_true",
+                       help="CI mode: 8 churning queries over 3 keys on "
+                            "the memory transport, bench artifact on, "
+                            "nonzero exit on any oracle mismatch")
+    query.add_argument("--bench", action="store_true",
+                       help="write the BENCH_queries.json artifact")
+    query.add_argument("--bench-output", default=None, metavar="PATH")
+
     chaos = sub.add_parser(
         "chaos", help="run a cluster under a named fault scenario"
     )
@@ -579,6 +694,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "live": _cmd_live,
+        "query": _cmd_query,
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "top": _cmd_top,

@@ -1,0 +1,165 @@
+"""Benchmark of the live multi-query plane: shared-execution amortization.
+
+One shared run serves N concurrent queries from one event replay, one
+pane store per (selector, pane) and one identification cut per (group,
+window).  The baseline re-runs the *same* cluster once per query — which
+is exactly what N independent single-query deployments would cost.  The
+artifact (``BENCH_queries.json``) records both sides so the sub-linear
+byte growth the plane exists for shows up as a ratio, and regressions
+show up as artifact diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any
+
+from repro.queries.runner import (
+    QueryScenarioReport,
+    build_specs,
+    run_query_scenario,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_PATH",
+    "queries_benchmark",
+    "write_queries_bench",
+]
+
+DEFAULT_BENCH_PATH = "BENCH_queries.json"
+
+
+def _run_summary(report: QueryScenarioReport) -> dict[str, Any]:
+    return {
+        "queries": report.n_queries,
+        "deregistered": report.n_deregistered,
+        "groups": report.groups,
+        "results_served": report.results_served,
+        "queries_per_second": round(report.queries_per_second, 3),
+        "identification_cuts": report.identification_cuts,
+        "duplicate_cuts": report.duplicate_cuts,
+        "mismatches": len(report.mismatches),
+        "wall_seconds": round(report.wall_seconds, 4),
+        "bytes_by_layer": dict(sorted(report.live.bytes_by_layer.items())),
+        "total_bytes": report.live.total_bytes,
+        "events_sent": report.live.events_sent,
+    }
+
+
+def queries_benchmark(
+    *,
+    n_queries: int = 8,
+    n_keys: int = 3,
+    n_locals: int = 3,
+    streams_per_local: int = 2,
+    rate: float = 400.0,
+    duration_s: float = 4.0,
+    transport: str = "memory",
+    time_scale: float = 0.0,
+    churn: bool = False,
+    seed: int = 7,
+    gamma: int = 32,
+    window_ms: int = 1000,
+) -> tuple[QueryScenarioReport, dict[str, Any]]:
+    """Run the shared scenario plus N single-query baselines.
+
+    Returns:
+        The shared run's graded report and the JSON-serializable artifact
+        comparing it against the summed independent runs.
+    """
+    common = dict(
+        n_keys=n_keys,
+        n_locals=n_locals,
+        streams_per_local=streams_per_local,
+        event_rate=rate,
+        duration_s=duration_s,
+        transport=transport,
+        seed=seed,
+        gamma=gamma,
+        window_ms=window_ms,
+    )
+    shared = run_query_scenario(
+        n_queries=n_queries,
+        time_scale=time_scale,
+        churn=churn,
+        **common,
+    )
+    specs = build_specs(n_queries, n_keys, window_ms=window_ms, gamma=gamma)
+    independent_bytes = 0
+    independent_aggregation = 0
+    independent_cuts = 0
+    independent_results = 0
+    independent_mismatches = 0
+    for spec in specs:
+        single = run_query_scenario(specs=[spec], **common)
+        independent_bytes += single.live.total_bytes
+        independent_aggregation += sum(
+            count
+            for layer, count in single.live.bytes_by_layer.items()
+            if layer in ("local_root", "driver_root")
+        )
+        independent_cuts += single.identification_cuts
+        independent_results += single.results_served
+        independent_mismatches += len(single.mismatches)
+
+    shared_aggregation = sum(
+        count
+        for layer, count in shared.live.bytes_by_layer.items()
+        if layer in ("local_root", "driver_root")
+    )
+    artifact: dict[str, Any] = {
+        "benchmark": "multi_query_plane",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "config": {
+            "n_queries": n_queries,
+            "n_keys": n_keys,
+            "n_locals": n_locals,
+            "streams_per_local": streams_per_local,
+            "rate": rate,
+            "duration_s": duration_s,
+            "transport": transport,
+            "time_scale": time_scale,
+            "churn": churn,
+            "gamma": gamma,
+            "window_ms": window_ms,
+            "seed": seed,
+        },
+        "shared_run": _run_summary(shared),
+        "independent_runs": {
+            "runs": len(specs),
+            "total_bytes": independent_bytes,
+            "aggregation_bytes": independent_aggregation,
+            "identification_cuts": independent_cuts,
+            "results_served": independent_results,
+            "mismatches": independent_mismatches,
+        },
+        "amortization": {
+            # Shared run bytes over the sum of N independent runs; < 1.0
+            # means serving N queries together is cheaper than apart, and
+            # the gap widens as queries share shapes (shared cuts) and
+            # overlap windows (shared slices).
+            "total_bytes_ratio": round(
+                shared.live.total_bytes / independent_bytes, 4
+            )
+            if independent_bytes
+            else None,
+            "aggregation_bytes_ratio": round(
+                shared_aggregation / independent_aggregation, 4
+            )
+            if independent_aggregation
+            else None,
+            "cuts_shared": shared.identification_cuts,
+            "cuts_independent": independent_cuts,
+        },
+    }
+    return shared, artifact
+
+
+def write_queries_bench(path: str, artifact: dict[str, Any]) -> None:
+    """Write the artifact JSON (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -47,7 +47,7 @@ from repro.core.query import QuantileQuery
 from repro.core.slicing import SlicedWindow, slice_sorted_events
 from repro.core.sorted_window import SortedLocalWindow
 from repro.core.synopsis import SliceSynopsis
-from repro.core.window_cut import CutResult, window_cut
+from repro.core.window_cut import CutResult, window_cut_multi
 
 import math
 
@@ -362,10 +362,17 @@ class ConcurrentDemaRootNode(SimulatedNode):
                 quantiles=len(group.quantiles),
             )
 
+        ranks = {
+            query_index: quantile_rank(q, total)
+            for query_index, q in group.quantiles
+        }
+        cuts_by_rank = window_cut_multi(
+            all_synopses, sorted(set(ranks.values())),
+            global_window_size=total,
+        )
         union: set[tuple[int, int]] = set()
-        for query_index, q in group.quantiles:
-            rank = quantile_rank(q, total)
-            cut = window_cut(all_synopses, rank, global_window_size=total)
+        for query_index, _ in group.quantiles:
+            cut = cuts_by_rank[ranks[query_index]]
             state.cuts[query_index] = cut
             union.update(cut.candidate_ids)
 

@@ -14,9 +14,10 @@ from typing import Iterable, Mapping, Sequence
 from repro.errors import IdentificationError
 from repro.streaming.aggregates import quantile_rank
 from repro.core.synopsis import SliceSynopsis
-from repro.core.window_cut import CutResult, window_cut
+from repro.core.window_cut import CutResult, window_cut, window_cut_multi
 
-__all__ = ["IdentificationResult", "identify"]
+__all__ = ["IdentificationResult", "MultiIdentificationResult", "identify",
+           "identify_multi"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +48,110 @@ class IdentificationResult:
         return self.cut.candidate_events
 
 
+@dataclass(frozen=True, slots=True)
+class MultiIdentificationResult:
+    """Shared fetch plan for several quantiles over one global window.
+
+    Attributes:
+        qs: The requested quantiles, ascending and deduplicated.
+        global_window_size: Total events across all local windows.
+        cuts: One :class:`~repro.core.window_cut.CutResult` per quantile,
+            each identical to what :func:`identify` alone would produce.
+        requests: The **union** of every cut's candidate slice indices,
+            keyed by local node id — a slice two quantiles both need is
+            fetched once.
+    """
+
+    qs: tuple[float, ...]
+    global_window_size: int
+    cuts: Mapping[float, CutResult]
+    requests: Mapping[int, tuple[int, ...]]
+
+    @property
+    def candidate_events(self) -> int:
+        """Events the shared calculation step pulls over the network."""
+        ids: set[tuple[int, int]] = set()
+        total = 0
+        for cut in self.cuts.values():
+            for synopsis in cut.candidates:
+                if synopsis.slice_id not in ids:
+                    ids.add(synopsis.slice_id)
+                    total += synopsis.count
+        return total
+
+
+def _validate_batches(
+    synopses_by_node: Mapping[int, Sequence[SliceSynopsis]],
+    window_sizes: Mapping[int, int],
+) -> int:
+    """Cross-check batches against reported sizes; return the global size."""
+    if set(synopses_by_node) != set(window_sizes):
+        raise IdentificationError(
+            "synopsis batches and window sizes cover different node sets: "
+            f"{sorted(synopses_by_node)} vs {sorted(window_sizes)}"
+        )
+    for node_id, batch in synopses_by_node.items():
+        covered = sum(synopsis.count for synopsis in batch)
+        if covered != window_sizes[node_id]:
+            raise IdentificationError(
+                f"node {node_id} reports window size {window_sizes[node_id]} "
+                f"but its synopses cover {covered} events"
+            )
+    global_window_size = sum(window_sizes.values())
+    if global_window_size == 0:
+        raise IdentificationError("global window is empty")
+    return global_window_size
+
+
+def identify_multi(
+    synopses_by_node: Mapping[int, Sequence[SliceSynopsis]],
+    window_sizes: Mapping[int, int],
+    qs: Sequence[float],
+) -> MultiIdentificationResult:
+    """Run one shared identification pass for several quantiles.
+
+    The synopsis sweep happens once (:func:`window_cut_multi`), and the
+    fetch plan is the union of every quantile's candidates — the
+    amortization the multi-query plane's shared-cut execution rests on.
+
+    Args:
+        synopses_by_node: Synopsis batches keyed by local node id.
+        window_sizes: Reported local window sizes keyed by node id.
+        qs: The quantiles, each in ``(0, 1]``; duplicates collapse.
+
+    Raises:
+        IdentificationError: Same contract as :func:`identify`, plus an
+            empty ``qs``.
+    """
+    unique_qs = tuple(sorted(set(qs)))
+    if not unique_qs:
+        raise IdentificationError("need at least one quantile to identify")
+    global_window_size = _validate_batches(synopses_by_node, window_sizes)
+    ranks = {q: quantile_rank(q, global_window_size) for q in unique_qs}
+    all_synopses = _flatten(synopses_by_node)
+    cuts_by_rank = window_cut_multi(
+        all_synopses, sorted(set(ranks.values())),
+        global_window_size=global_window_size,
+    )
+    cuts = {q: cuts_by_rank[rank] for q, rank in ranks.items()}
+    requests: dict[int, set[int]] = {}
+    for cut in cuts_by_rank.values():
+        for synopsis in cut.candidates:
+            requests.setdefault(synopsis.node_id, set()).add(
+                synopsis.slice_index
+            )
+    frozen = {
+        node_id: tuple(sorted(indices))
+        for node_id, indices in requests.items()
+    }
+    return MultiIdentificationResult(
+        qs=unique_qs,
+        global_window_size=global_window_size,
+        cuts=cuts,
+        requests=frozen,
+    )
+
+
 def identify(
     synopses_by_node: Mapping[int, Sequence[SliceSynopsis]],
     window_sizes: Mapping[int, int],
@@ -68,23 +173,7 @@ def identify(
         IdentificationError: If the reported sizes disagree with the
             synopses, node sets mismatch, or the global window is empty.
     """
-    if set(synopses_by_node) != set(window_sizes):
-        raise IdentificationError(
-            "synopsis batches and window sizes cover different node sets: "
-            f"{sorted(synopses_by_node)} vs {sorted(window_sizes)}"
-        )
-    for node_id, batch in synopses_by_node.items():
-        covered = sum(synopsis.count for synopsis in batch)
-        if covered != window_sizes[node_id]:
-            raise IdentificationError(
-                f"node {node_id} reports window size {window_sizes[node_id]} "
-                f"but its synopses cover {covered} events"
-            )
-
-    global_window_size = sum(window_sizes.values())
-    if global_window_size == 0:
-        raise IdentificationError("global window is empty")
-
+    global_window_size = _validate_batches(synopses_by_node, window_sizes)
     rank = quantile_rank(q, global_window_size)
     all_synopses = _flatten(synopses_by_node)
     cut = window_cut(all_synopses, rank, global_window_size=global_window_size)

@@ -18,7 +18,7 @@ from repro.streaming.aggregates import quantile_rank
 from repro.streaming.events import Event
 from repro.core.calculation import calculate_quantile
 from repro.core.slicing import slice_sorted_events
-from repro.core.window_cut import CutResult, window_cut
+from repro.core.window_cut import CutResult, window_cut_multi
 
 __all__ = ["MultiQuantileResult", "dema_quantiles"]
 
@@ -83,12 +83,15 @@ def dema_quantiles(
     synopses = [s for win in sliced.values() for s in win.synopses]
     total = sum(win.window_size for win in sliced.values())
 
-    cuts: dict[float, CutResult] = {}
+    ranks_by_q = {q: quantile_rank(q, total) for q in unique_qs}
+    cuts_by_rank = window_cut_multi(
+        synopses, sorted(set(ranks_by_q.values())), global_window_size=total
+    )
+    cuts: dict[float, CutResult] = {
+        q: cuts_by_rank[rank] for q, rank in ranks_by_q.items()
+    }
     fetched_ids: set[tuple[int, int]] = set()
-    for q in unique_qs:
-        rank = quantile_rank(q, total)
-        cut = window_cut(synopses, rank, global_window_size=total)
-        cuts[q] = cut
+    for cut in cuts_by_rank.values():
         fetched_ids.update(cut.candidate_ids)
 
     runs_by_id = {

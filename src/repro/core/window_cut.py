@@ -32,7 +32,12 @@ from repro.errors import IdentificationError
 from repro.core.synopsis import SliceSynopsis
 from repro.core.units import SliceKind, SliceUnit, build_units, classify_slice
 
-__all__ = ["CutResult", "rank_bound_candidates", "window_cut"]
+__all__ = [
+    "CutResult",
+    "rank_bound_candidates",
+    "window_cut",
+    "window_cut_multi",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -239,6 +244,86 @@ def window_cut(
     raise IdentificationError(
         f"no unit contains rank {rank}; synopses are inconsistent"
     )  # pragma: no cover - unreachable after _validate_rank
+
+
+def window_cut_multi(
+    synopses: Iterable[SliceSynopsis],
+    ranks: Sequence[int],
+    *,
+    global_window_size: int | None = None,
+) -> dict[int, CutResult]:
+    """Resolve several ranks from **one** sweep over the synopses.
+
+    The multi-query plane's workhorse: N queries sharing a (key, window)
+    need N ranks from the same synopsis set, and a single ascending sweep
+    resolves each rank the moment its containing unit is materialized.
+    Every returned :class:`CutResult` is exactly what
+    :func:`window_cut` would produce for that rank alone — same
+    candidates, same ``n_below``, same ``units_scanned``, same kinds
+    census (property-tested) — the sweep is simply not repeated per rank.
+
+    Args:
+        synopses: All slice synopses of the global window.
+        ranks: The 1-based global ranks to locate; duplicates collapse.
+        global_window_size: Optional cross-check against the synopsis sum.
+
+    Returns:
+        A :class:`CutResult` per distinct rank, keyed by rank.
+
+    Raises:
+        IdentificationError: On an empty window, no ranks, an out-of-range
+            rank, or a ``global_window_size`` mismatch.
+    """
+    if not ranks:
+        raise IdentificationError("need at least one rank to cut for")
+    ordered = sorted(synopses, key=lambda s: (s.first_key, s.last_key))
+    total = sum(synopsis.count for synopsis in ordered)
+    if global_window_size is not None and global_window_size != total:
+        raise IdentificationError(
+            f"synopses cover {total} events but the global window reports "
+            f"{global_window_size}"
+        )
+    pending = sorted(set(ranks))
+    for rank in pending:
+        _validate_rank(rank, total)
+
+    cuts: dict[int, CutResult] = {}
+    n_below = 0
+    scanned = 0
+    index = 0
+    next_rank = 0  # index into ``pending``
+    while index < len(ordered) and next_rank < len(pending):
+        scanned += 1
+        members = [ordered[index]]
+        current_max = ordered[index].last_key
+        index += 1
+        while index < len(ordered) and ordered[index].first_key <= current_max:
+            members.append(ordered[index])
+            if ordered[index].last_key > current_max:
+                current_max = ordered[index].last_key
+            index += 1
+        unit = SliceUnit(members=tuple(members), offset=n_below)
+        while (
+            next_rank < len(pending)
+            and pending[next_rank] <= unit.pos_end
+        ):
+            rank = pending[next_rank]
+            candidates, below_in_unit = _cut_unit(unit, rank)
+            cuts[rank] = CutResult(
+                rank=rank,
+                candidates=tuple(candidates),
+                n_below=n_below + below_in_unit,
+                units_scanned=scanned,
+                kinds=_census([unit], candidates),
+            )
+            next_rank += 1
+        n_below += unit.size
+    if next_rank < len(pending):
+        raise IdentificationError(
+            f"no unit contains rank {pending[next_rank]}; synopses are "
+            "inconsistent"
+        )  # pragma: no cover - unreachable after _validate_rank
+    return cuts
 
 
 def _census(

@@ -23,6 +23,7 @@ __all__ = [
     "SketchError",
     "GeneratorError",
     "HarnessError",
+    "QueryError",
 ]
 
 
@@ -84,3 +85,7 @@ class GeneratorError(ReproError):
 
 class HarnessError(ReproError):
     """The benchmark harness could not complete a measurement."""
+
+
+class QueryError(ReproError):
+    """A query spec is invalid or its lifecycle was violated."""

@@ -37,6 +37,10 @@ __all__ = [
     "WatermarkMessage",
     "ResultMessage",
     "HeartbeatMessage",
+    "QueryRegisterMessage",
+    "QueryAckMessage",
+    "QueryResultMessage",
+    "QueryDeregisterMessage",
 ]
 
 #: Fixed per-message framing overhead: u32 length prefix plus the frame
@@ -267,6 +271,94 @@ class HeartbeatMessage(Message):
     @property
     def payload_bytes(self) -> int:
         return wire.U64_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRegisterMessage(Message):
+    """Register (or propagate) a continuous quantile query at runtime.
+
+    Sent client → root to register a query, and root → local (with the
+    assigned ``group_id``) to propagate a new execution group.  The fixed
+    part carries the query id, the quantile, the window shape (kind code,
+    length, step) plus the slice factor and the freshness budget; the
+    variable part is the UTF-8 key selector behind a u32 byte count.
+    """
+
+    query_id: int = 0
+    q: float = 0.5
+    kind: str = "tumbling"
+    length_ms: int = 1000
+    step_ms: int = 1000
+    gamma: int = 64
+    freshness_ms: int = 0
+    selector: str = "all"
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.QUERY_REGISTER_FIXED_BYTES
+            + wire.COUNT_BYTES
+            + len(self.selector.encode("utf-8"))
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAckMessage(Message):
+    """Acknowledge a query lifecycle transition.
+
+    Three uses, distinguished by direction and ``group_id``: root → client
+    accepts or rejects a registration (the header window carries the
+    query's first guaranteed window, its *horizon*); local → root proposes
+    the earliest window start the local can fully serve for a new group
+    (in the header window); root → local activates a group at the agreed
+    start.  ``reason`` is empty unless ``accepted`` is false.
+    """
+
+    query_id: int = 0
+    accepted: bool = True
+    reason: str = ""
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.QUERY_ACK_FIXED_BYTES
+            + wire.COUNT_BYTES
+            + len(self.reason.encode("utf-8"))
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResultMessage(Message):
+    """One served result for one registered query and one window.
+
+    The header window identifies the window; an empty window is served
+    with ``global_window_size == 0`` (the value and rank are then
+    meaningless placeholders).
+    """
+
+    query_id: int = 0
+    value: float = 0.0
+    global_window_size: int = 0
+    rank: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.QUERY_RESULT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class QueryDeregisterMessage(Message):
+    """Remove a query (client → root) or a whole group (root → local).
+
+    Client → root carries the query id with ``group_id`` 0; root → local
+    carries ``query_id`` 0 and the emptied group in ``group_id``.
+    """
+
+    query_id: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.U32_BYTES
 
 
 def batch_events(

@@ -22,9 +22,11 @@ __all__ = [
     "MessageSummary",
     "WindowBreakdown",
     "LinkReliability",
+    "QueryLatency",
     "phase_summary",
     "message_summary",
     "window_breakdown",
+    "query_breakdown",
     "reliability_summary",
     "format_report",
 ]
@@ -211,6 +213,65 @@ def window_breakdown(records: Sequence[dict]) -> list[WindowBreakdown]:
     return sorted(breakdowns.values(), key=lambda b: b.window)
 
 
+@dataclass(slots=True)
+class QueryLatency:
+    """One registered query's share of the query plane's work.
+
+    Shared ``query_identification``/``query_calculation`` spans carry
+    every riding query id; each query is charged the span duration
+    divided by the number of riders, so the per-query shares sum back to
+    the plane's total span time.
+    """
+
+    query_id: int
+    results: int = 0
+    cuts: int = 0
+    identification_s: float = 0.0
+    calculation_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Amortized identification + calculation time."""
+        return self.identification_s + self.calculation_s
+
+
+def query_breakdown(records: Iterable[dict]) -> list[QueryLatency]:
+    """Per-query amortized latency from the query plane's spans.
+
+    Returns an empty list for traces without query-plane spans, so
+    callers can gate the report section on truthiness.
+    """
+    by_query: dict[int, QueryLatency] = {}
+
+    def entry(query_id: int) -> QueryLatency:
+        return by_query.setdefault(query_id, QueryLatency(query_id))
+
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        name = record["name"]
+        attrs = record.get("attrs") or {}
+        if name in ("query_identification", "query_calculation"):
+            riders = [
+                int(raw)
+                for raw in str(attrs.get("query_ids", "")).split(",")
+                if raw
+            ]
+            if not riders:
+                continue
+            share = (record["end"] - record["start"]) / len(riders)
+            for query_id in riders:
+                latency = entry(query_id)
+                if name == "query_identification":
+                    latency.cuts += 1
+                    latency.identification_s += share
+                else:
+                    latency.calculation_s += share
+        elif name == "query_result" and "query" in attrs:
+            entry(int(attrs["query"])).results += 1
+    return sorted(by_query.values(), key=lambda latency: latency.query_id)
+
+
 def format_report(records: Sequence[dict]) -> str:
     """Render the full per-phase latency/byte breakdown as text tables."""
     from repro.bench.reporting import format_bytes, format_seconds, format_table
@@ -280,6 +341,21 @@ def format_report(records: Sequence[dict]) -> str:
             ["window"] + phase_names + ["end-to-end", "sums?"],
             rows,
             title="Per-window latency breakdown (root)",
+        ))
+
+    queries = query_breakdown(records)
+    if queries:
+        sections.append(format_table(
+            ["query", "results", "cuts", "identification", "calculation",
+             "total"],
+            [
+                [str(q.query_id), str(q.results), str(q.cuts),
+                 format_seconds(q.identification_s),
+                 format_seconds(q.calculation_s),
+                 format_seconds(q.total_s)]
+                for q in queries
+            ],
+            title="Per-query latency breakdown (shared cuts amortized)",
         ))
 
     if not sections:

@@ -1,0 +1,174 @@
+"""The dialing side of the live multi-query plane.
+
+A :class:`QueryClient` wraps one driver connection to the root: it says
+hello with the ``driver`` role, then multiplexes register/deregister
+round trips (futures keyed by query id) and a stream of per-query
+results over the single socket.  Results accumulate in
+:attr:`QueryClient.results` in arrival order; scenario code polls
+:meth:`wait_for` until its completion predicate holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.errors import QueryError, TransportError
+from repro.network.messages import (
+    QueryAckMessage,
+    QueryDeregisterMessage,
+    QueryRegisterMessage,
+    QueryResultMessage,
+)
+from repro.queries.spec import CONTROL_WINDOW, QuerySpec
+from repro.runtime.codec import Hello
+from repro.runtime.transport import MessageStream
+
+__all__ = ["QueryClient"]
+
+
+class QueryClient:
+    """Registers queries over the wire and collects their result streams."""
+
+    def __init__(self, stream: MessageStream, client_id: int) -> None:
+        self.stream = stream
+        self.client_id = client_id
+        self._acks: dict[int, asyncio.Future] = {}
+        #: Served results per query id, arrival order.
+        self.results: dict[int, list[QueryResultMessage]] = {}
+        #: Accepted horizons per query id (first guaranteed window start).
+        self.horizons: dict[int, int] = {}
+        self._reader: asyncio.Task | None = None
+        self._closed = False
+
+    async def start(self) -> None:
+        """Announce the driver role and start the receive loop."""
+        await self.stream.send(Hello(node_id=self.client_id, role="driver"))
+        self._reader = asyncio.ensure_future(self._read_loop())
+
+    async def close(self) -> None:
+        """Stop reading and close the connection."""
+        self._closed = True
+        if self._reader is not None:
+            self._reader.cancel()
+            try:
+                await self._reader
+            except asyncio.CancelledError:
+                pass
+            self._reader = None
+        try:
+            await self.stream.close()
+        except TransportError:
+            pass
+
+    async def register(
+        self, query_id: int, spec: QuerySpec, *, timeout: float = 30.0
+    ) -> QueryAckMessage:
+        """Register ``spec`` under ``query_id``; await the root's ack.
+
+        Returns:
+            The accepting ack; its header window is the query's horizon —
+            the first window the plane guarantees a result for.
+
+        Raises:
+            QueryError: If the root nacks the registration.
+        """
+        ack = await self._round_trip(
+            query_id,
+            QueryRegisterMessage(
+                sender=self.client_id,
+                window=CONTROL_WINDOW,
+                query_id=query_id,
+                q=spec.q,
+                kind=spec.kind,
+                length_ms=spec.length_ms,
+                step_ms=spec.step,
+                gamma=spec.gamma,
+                freshness_ms=spec.freshness_ms,
+                selector=spec.selector,
+            ),
+            timeout=timeout,
+        )
+        self.horizons[query_id] = ack.window.start
+        return ack
+
+    async def deregister(
+        self, query_id: int, *, timeout: float = 30.0
+    ) -> QueryAckMessage:
+        """Withdraw a query; await the root's confirming ack."""
+        return await self._round_trip(
+            query_id,
+            QueryDeregisterMessage(
+                sender=self.client_id,
+                window=CONTROL_WINDOW,
+                query_id=query_id,
+            ),
+            timeout=timeout,
+        )
+
+    async def wait_for(
+        self,
+        predicate: Callable[["QueryClient"], bool],
+        *,
+        timeout: float = 60.0,
+        poll_s: float = 0.02,
+    ) -> None:
+        """Poll until ``predicate(self)`` holds (or raise on timeout)."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while not predicate(self):
+            if loop.time() > deadline:
+                raise QueryError(
+                    f"client {self.client_id} timed out waiting for results"
+                )
+            await asyncio.sleep(poll_s)
+
+    def results_for(self, query_id: int) -> tuple[QueryResultMessage, ...]:
+        """Every result served so far for one query, arrival order."""
+        return tuple(self.results.get(query_id, ()))
+
+    async def _round_trip(
+        self, query_id: int, message, *, timeout: float
+    ) -> QueryAckMessage:
+        if query_id in self._acks:
+            raise QueryError(
+                f"query id {query_id} already has a request in flight"
+            )
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._acks[query_id] = future
+        try:
+            await self.stream.send(message)
+            ack = await asyncio.wait_for(future, timeout)
+        finally:
+            self._acks.pop(query_id, None)
+        if not ack.accepted:
+            raise QueryError(ack.reason)
+        return ack
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    message = await self.stream.recv()
+                except TransportError:
+                    break
+                if message is None:
+                    break
+                if isinstance(message, QueryAckMessage):
+                    future = self._acks.get(message.query_id)
+                    if future is not None and not future.done():
+                        future.set_result(message)
+                elif isinstance(message, QueryResultMessage):
+                    self.results.setdefault(message.query_id, []).append(
+                        message
+                    )
+        finally:
+            if not self._closed:
+                # EOF with requests still pending: fail them fast.
+                for future in self._acks.values():
+                    if not future.done():
+                        future.set_exception(
+                            TransportError(
+                                "root connection closed before the ack"
+                            )
+                        )

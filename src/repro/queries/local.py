@@ -1,0 +1,280 @@
+"""The local node's half of the live multi-query plane.
+
+A :class:`LocalQueryPlane` rides inside a running
+:class:`~repro.runtime.servers.LocalServer`: the server taps every
+ingested event batch and every watermark advance into the plane, and
+forwards root messages whose ``group_id`` is non-zero.  The plane keeps
+one :class:`~repro.queries.slide.PaneStore` per distinct
+``(selector, pane length)`` — shared by every query group that reads it —
+and one :class:`~repro.queries.slide.SlidingRunAggregator` per group, so
+overlapping sliding windows reuse sorted pane runs instead of re-sorting
+per slide.
+
+Start negotiation: on a group registration the plane proposes the first
+window start it can *guarantee* — the smallest step-aligned timestamp
+strictly above everything it has already ingested (events are
+timestamp-ordered per stream, so nothing earlier can still arrive).  The
+root activates the group at the max proposal across locals, and the
+plane serves every window from that start on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.slicing import SlicedWindow, slice_sorted_events
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    Message,
+    QueryAckMessage,
+    QueryDeregisterMessage,
+    QueryRegisterMessage,
+    SynopsisMessage,
+)
+from repro.queries.slide import PaneStore, SlidingRunAggregator
+from repro.queries.spec import QuerySpec
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+__all__ = ["LocalQueryPlane"]
+
+
+def _align_up(timestamp: int, step: int) -> int:
+    """The smallest multiple of ``step`` that is ``>= timestamp``."""
+    return -(-timestamp // step) * step
+
+
+@dataclass(slots=True)
+class _StoreSlot:
+    """A pane store plus the compiled selector predicate feeding it."""
+
+    store: PaneStore
+    predicate: Callable[[Event], bool]
+
+
+@dataclass(slots=True)
+class _LocalGroup:
+    """Per-group execution state on one local node."""
+
+    group_id: int
+    spec: QuerySpec
+    slot: _StoreSlot
+    aggregator: SlidingRunAggregator = field(
+        default_factory=SlidingRunAggregator
+    )
+    active: bool = False
+    #: Start of the next window to seal (advances by the group step).
+    next_window_start: int = 0
+    #: Start of the next pane to push into the aggregator.
+    next_pane_start: int = 0
+    #: Sealed-but-unanswered windows, kept until the root's candidate
+    #: request (possibly empty) releases them.
+    pending: dict[Window, SlicedWindow] = field(default_factory=dict)
+
+
+class LocalQueryPlane:
+    """Executes the local side of every registered query group."""
+
+    def __init__(self, node_id: int, *, grid_start: int = 0) -> None:
+        self.node_id = node_id
+        self._grid_start = grid_start
+        self._slots: dict[tuple[str, int], _StoreSlot] = {}
+        self._groups: dict[int, _LocalGroup] = {}
+        self._max_seen_ts = grid_start - 1
+        self._watermark: int | None = None
+        #: Total synopsis batches emitted across all groups.
+        self.windows_sealed = 0
+
+    @property
+    def groups(self) -> tuple[int, ...]:
+        """Ids of the groups currently served, ascending."""
+        return tuple(sorted(self._groups))
+
+    @property
+    def stores(self) -> tuple[PaneStore, ...]:
+        """The live pane stores (one per distinct selector/pane pair)."""
+        return tuple(slot.store for slot in self._slots.values())
+
+    def ingest(self, events: tuple[Event, ...]) -> None:
+        """Feed a batch of ingested events into every matching store."""
+        for event in events:
+            if event.timestamp > self._max_seen_ts:
+                self._max_seen_ts = event.timestamp
+        for slot in self._slots.values():
+            predicate, store = slot.predicate, slot.store
+            for event in events:
+                if predicate(event):
+                    store.add(event)
+
+    def on_watermark(self, watermark: int) -> list[Message]:
+        """Advance event time; seal and report every completed window."""
+        self._watermark = watermark
+        out: list[Message] = []
+        for group in self._groups.values():
+            if group.active:
+                out.extend(self._advance(group, watermark))
+        self._prune_stores()
+        return out
+
+    def on_root_message(self, message: Message) -> list[Message]:
+        """Handle a query-plane message from the root; return replies."""
+        if isinstance(message, QueryRegisterMessage):
+            return self._on_register(message)
+        if isinstance(message, QueryAckMessage):
+            return self._on_activation(message)
+        if isinstance(message, CandidateRequestMessage):
+            return self._on_candidate_request(message)
+        if isinstance(message, QueryDeregisterMessage):
+            self._drop_group(message.group_id)
+            return []
+        return []
+
+    # -- registration and activation ------------------------------------
+
+    def _on_register(self, message: QueryRegisterMessage) -> list[Message]:
+        group = self._groups.get(message.group_id)
+        if group is None:
+            spec = QuerySpec(
+                q=message.q,
+                selector=message.selector,
+                kind=message.kind,
+                length_ms=message.length_ms,
+                step_ms=message.step_ms,
+                gamma=message.gamma,
+                freshness_ms=message.freshness_ms,
+            )
+            key = (spec.selector, spec.pane_ms)
+            slot = self._slots.get(key)
+            if slot is None:
+                slot = _StoreSlot(
+                    store=PaneStore(spec.pane_ms),
+                    predicate=spec.predicate(),
+                )
+                self._slots[key] = slot
+            slot.store.refs += 1
+            group = _LocalGroup(
+                group_id=message.group_id, spec=spec, slot=slot
+            )
+            self._groups[message.group_id] = group
+        if group.active:
+            proposal = group.next_window_start
+        else:
+            # First step-aligned start strictly above everything ingested:
+            # windows from here on cannot have missed earlier events.
+            proposal = _align_up(
+                max(self._grid_start, self._max_seen_ts + 1), group.spec.step
+            )
+        return [
+            QueryAckMessage(
+                sender=self.node_id,
+                window=Window(proposal, proposal + group.spec.length_ms),
+                group_id=group.group_id,
+                query_id=message.query_id,
+                accepted=True,
+            )
+        ]
+
+    def _on_activation(self, message: QueryAckMessage) -> list[Message]:
+        group = self._groups.get(message.group_id)
+        if group is None or group.active:
+            return []
+        group.active = True
+        group.next_window_start = message.window.start
+        group.next_pane_start = message.window.start
+        if self._watermark is None:
+            return []
+        out = self._advance(group, self._watermark)
+        self._prune_stores()
+        return out
+
+    # -- window sealing -------------------------------------------------
+
+    def _advance(self, group: _LocalGroup, watermark: int) -> list[Message]:
+        out: list[Message] = []
+        spec = group.spec
+        length, step = spec.length_ms, spec.step
+        store = group.slot.store
+        aggregator = group.aggregator
+        start = group.next_window_start
+        while start + length <= watermark:
+            window = Window(start, start + length)
+            while aggregator.covered and aggregator.covered[0] < start:
+                aggregator.evict()
+            pane = max(group.next_pane_start, start)
+            while pane < window.end:
+                aggregator.push(pane, store.sealed_run(pane))
+                pane += store.pane_ms
+            group.next_pane_start = pane
+            run = aggregator.query()
+            sliced = slice_sorted_events(run, spec.gamma, self.node_id)
+            group.pending[window] = sliced
+            self.windows_sealed += 1
+            out.append(
+                SynopsisMessage(
+                    sender=self.node_id,
+                    window=window,
+                    group_id=group.group_id,
+                    synopses=sliced.synopses,
+                    local_window_size=len(run),
+                )
+            )
+            start += step
+        group.next_window_start = start
+        return out
+
+    def _on_candidate_request(
+        self, message: CandidateRequestMessage
+    ) -> list[Message]:
+        group = self._groups.get(message.group_id)
+        if group is None:
+            return []  # group deregistered while the request was in flight
+        sliced = group.pending.pop(message.window, None)
+        if sliced is None:
+            return []
+        return [
+            CandidateEventsMessage(
+                sender=self.node_id,
+                window=message.window,
+                group_id=group.group_id,
+                slice_index=index,
+                events=sliced.run_for(index),
+            )
+            for index in message.slice_indices
+        ]
+
+    # -- teardown and memory --------------------------------------------
+
+    def _drop_group(self, group_id: int) -> None:
+        group = self._groups.pop(group_id, None)
+        if group is None:
+            return
+        slot = group.slot
+        slot.store.refs -= 1
+        if slot.store.refs <= 0:
+            key = (group.spec.selector, group.spec.pane_ms)
+            self._slots.pop(key, None)
+
+    def _prune_stores(self) -> None:
+        """Free panes no remaining group can still need.
+
+        A store is prunable up to the earliest ``next_window_start`` of
+        its reader groups; groups still negotiating their start pin the
+        store entirely (their horizon is not yet known).
+        """
+        floors: dict[int, int | None] = {}
+        for group in self._groups.values():
+            store_id = id(group.slot.store)
+            if not group.active:
+                floors[store_id] = None
+            elif store_id not in floors:
+                floors[store_id] = group.next_window_start
+            elif floors[store_id] is not None:
+                floors[store_id] = min(
+                    floors[store_id], group.next_window_start
+                )
+        for slot in self._slots.values():
+            floor = floors.get(id(slot.store))
+            if floor is not None:
+                slot.store.prune_before(floor)

@@ -1,0 +1,192 @@
+"""Root-side bookkeeping for the live multi-query plane.
+
+The registry owns two maps: queries by id, and *execution groups* by
+shape.  Queries with equal :attr:`~repro.queries.spec.QuerySpec.shape`
+(selector, window kind/length/step, γ) join the same group: the group is
+what the cluster executes — one pane store per local, one synopsis
+transfer and one identification cut per window — while the per-query
+quantiles ride it for free.  The registry is pure state-keeping: wire
+handling and the activation protocol live in :mod:`repro.queries.root`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.queries.spec import GroupShape, QuerySpec
+
+__all__ = ["QueryRecord", "QueryGroup", "QueryRegistry"]
+
+
+@dataclass(slots=True)
+class QueryRecord:
+    """One registered query and its lifecycle state.
+
+    Attributes:
+        query_id: Client-chosen stable id, unique across the cluster.
+        spec: The validated spec.
+        client_id: Node id of the owning driver connection.
+        group_id: The execution group serving this query.
+        horizon_start: Start of the first window this query is guaranteed
+            results for; ``None`` until the group activates.
+        results_served: Results shipped to the client so far.
+    """
+
+    query_id: int
+    spec: QuerySpec
+    client_id: int
+    group_id: int
+    horizon_start: int | None = None
+    results_served: int = 0
+
+
+@dataclass(slots=True)
+class QueryGroup:
+    """One execution group: every query sharing a (selector, window) shape.
+
+    Attributes:
+        group_id: Wire-level group id (> 0; 0 is the base single-query
+            plane).
+        shape: The shared :data:`~repro.queries.spec.GroupShape`.
+        spec: A representative spec carrying the shape fields (its ``q``
+            is irrelevant to the group).
+        query_ids: Member queries, registration order.
+        active: Whether the start negotiation with the locals finished.
+        start: The agreed first window start ``G`` (max of the local
+            proposals); ``None`` while negotiating.
+        proposals: Per-local proposed start, collected during activation.
+        next_cut_start: Start of the next window the root has *not yet*
+            identified — the horizon handed to queries joining the group
+            mid-run.
+    """
+
+    group_id: int
+    shape: GroupShape
+    spec: QuerySpec
+    query_ids: list[int] = field(default_factory=list)
+    active: bool = False
+    start: int | None = None
+    proposals: dict[int, int] = field(default_factory=dict)
+    next_cut_start: int | None = None
+
+    @property
+    def length_ms(self) -> int:
+        """Window length of every member query."""
+        return self.spec.length_ms
+
+    @property
+    def step_ms(self) -> int:
+        """Window step of every member query."""
+        return self.spec.step
+
+
+class QueryRegistry:
+    """Queries by id, groups by shape, with lifecycle bookkeeping."""
+
+    def __init__(self) -> None:
+        self._queries: dict[int, QueryRecord] = {}
+        self._groups: dict[int, QueryGroup] = {}
+        self._group_by_shape: dict[GroupShape, int] = {}
+        self._next_group_id = 1
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    @property
+    def active_queries(self) -> int:
+        """Registered queries whose group has activated."""
+        return sum(
+            1
+            for record in self._queries.values()
+            if self._groups[record.group_id].active
+        )
+
+    def get(self, query_id: int) -> QueryRecord | None:
+        """The record for ``query_id``, or ``None``."""
+        return self._queries.get(query_id)
+
+    def group(self, group_id: int) -> QueryGroup | None:
+        """The group for ``group_id``, or ``None`` (e.g. after teardown)."""
+        return self._groups.get(group_id)
+
+    def groups(self) -> tuple[QueryGroup, ...]:
+        """Every live group, in creation order."""
+        return tuple(self._groups.values())
+
+    def records(self) -> tuple[QueryRecord, ...]:
+        """Every registered query, in registration order."""
+        return tuple(self._queries.values())
+
+    def queries_of(self, group_id: int) -> tuple[QueryRecord, ...]:
+        """Member records of a group, registration order."""
+        group = self._groups.get(group_id)
+        if group is None:
+            return ()
+        return tuple(self._queries[qid] for qid in group.query_ids)
+
+    def queries_of_client(self, client_id: int) -> tuple[QueryRecord, ...]:
+        """Every query owned by one driver connection."""
+        return tuple(
+            r for r in self._queries.values() if r.client_id == client_id
+        )
+
+    def register(
+        self, query_id: int, spec: QuerySpec, client_id: int
+    ) -> tuple[QueryRecord, QueryGroup, bool]:
+        """Add a query; create its group if the shape is new.
+
+        Returns:
+            ``(record, group, created)`` where ``created`` says a new
+            group (and hence a cluster-wide activation round) is needed.
+
+        Raises:
+            QueryError: If ``query_id`` is already registered.
+        """
+        if query_id in self._queries:
+            existing = self._queries[query_id]
+            raise QueryError(
+                f"query id {query_id} is already registered "
+                f"(client {existing.client_id}: {existing.spec.describe()})"
+            )
+        shape = spec.shape
+        group_id = self._group_by_shape.get(shape)
+        created = group_id is None
+        if group_id is None:
+            group_id = self._next_group_id
+            self._next_group_id += 1
+            group = QueryGroup(group_id=group_id, shape=shape, spec=spec)
+            self._groups[group_id] = group
+            self._group_by_shape[shape] = group_id
+        else:
+            group = self._groups[group_id]
+        record = QueryRecord(
+            query_id=query_id,
+            spec=spec,
+            client_id=client_id,
+            group_id=group_id,
+        )
+        self._queries[query_id] = record
+        group.query_ids.append(query_id)
+        return record, group, created
+
+    def deregister(self, query_id: int) -> tuple[QueryRecord, QueryGroup, bool]:
+        """Remove a query; tear down its group when it empties.
+
+        Returns:
+            ``(record, group, emptied)`` where ``emptied`` says the group
+            lost its last member and the locals must drop it too.
+
+        Raises:
+            QueryError: If ``query_id`` is not registered.
+        """
+        record = self._queries.pop(query_id, None)
+        if record is None:
+            raise QueryError(f"query id {query_id} is not registered")
+        group = self._groups[record.group_id]
+        group.query_ids.remove(query_id)
+        emptied = not group.query_ids
+        if emptied:
+            del self._groups[group.group_id]
+            del self._group_by_shape[group.shape]
+        return record, group, emptied

@@ -1,0 +1,302 @@
+"""Live multi-query scenarios: churn, grading and the shared-cut invariant.
+
+:func:`run_query_scenario` boots a full live cluster with the query
+plane attached, drives it with one :class:`~repro.queries.client.QueryClient`
+— registering a mixed batch of tumbling and sliding queries over several
+key selectors *before* the replay, optionally churning (joining and
+deregistering queries) mid-run — then grades **every served result**
+bit-identically against the centralized oracle and asserts the
+shared-cut invariant from the trace: exactly one
+``query_identification`` span per (group, window), no matter how many
+queries ride the group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.bench.generator import GeneratorConfig, workload
+from repro.errors import ConfigurationError, QueryError
+from repro.obs.tracer import RecordingTracer, Tracer
+from repro.queries.client import QueryClient
+from repro.queries.oracle import grade_results, oracle_results
+from repro.queries.spec import QuerySpec
+from repro.runtime.cluster import (
+    LiveClusterConfig,
+    LiveRunReport,
+    QueryDriverContext,
+    run_live_cluster,
+)
+
+__all__ = ["QueryScenarioReport", "build_specs", "run_query_scenario"]
+
+#: Driver client node id — far above any local/stream id the cluster uses.
+DRIVER_CLIENT_ID = 9001
+
+#: Quantiles cycled over the generated specs (mixed extremes and medians).
+_QS = (0.5, 0.9, 0.25, 0.99, 0.75, 0.1, 0.95, 1.0)
+
+
+@dataclass
+class QueryScenarioReport:
+    """Outcome of one graded multi-query scenario."""
+
+    n_queries: int
+    n_registered: int
+    n_deregistered: int
+    groups: int
+    results_served: int
+    results_graded: int
+    mismatches: list[str]
+    identification_cuts: int
+    #: (group, window) pairs with more than one identification span —
+    #: the shared-cut invariant demands this stays 0.
+    duplicate_cuts: int
+    horizons: dict[int, int]
+    wall_seconds: float
+    live: LiveRunReport
+    nacks: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No grading mismatch and the shared-cut invariant held."""
+        return not self.mismatches and self.duplicate_cuts == 0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Per-query results served per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.results_served / self.wall_seconds
+
+
+def build_specs(
+    n_queries: int, n_keys: int, *, window_ms: int, gamma: int
+) -> list[QuerySpec]:
+    """A mixed batch: cycled quantiles × selectors, tumbling ∥ sliding.
+
+    Selectors cycle through ``all`` plus ``mod`` partitions (``n_keys``
+    distinct keys); every odd spec is sliding with a half-window step, so
+    consecutive windows overlap and exercise the shared-slice path.
+    """
+    if n_keys < 1:
+        raise ConfigurationError("need at least one key selector")
+    keys = ["all"] + [
+        f"mod:{max(2, n_keys)}:{k % max(2, n_keys)}"
+        for k in range(1, n_keys)
+    ]
+    specs = []
+    for index in range(n_queries):
+        sliding = index % 2 == 1
+        specs.append(
+            QuerySpec(
+                q=_QS[index % len(_QS)],
+                selector=keys[index % len(keys)],
+                kind="sliding" if sliding else "tumbling",
+                length_ms=window_ms,
+                step_ms=window_ms // 2 if sliding else None,
+                gamma=gamma,
+            )
+        )
+    return specs
+
+
+def run_query_scenario(
+    *,
+    n_queries: int = 8,
+    n_keys: int = 3,
+    n_locals: int = 3,
+    streams_per_local: int = 2,
+    event_rate: float = 400.0,
+    duration_s: float = 4.0,
+    transport: str = "memory",
+    time_scale: float = 0.0,
+    churn: bool = False,
+    seed: int = 7,
+    gamma: int = 32,
+    window_ms: int = 1000,
+    timeout_s: float = 120.0,
+    tracer: Tracer | None = None,
+    specs: "list[QuerySpec] | None" = None,
+) -> QueryScenarioReport:
+    """Run one live multi-query scenario and grade it end to end.
+
+    With ``churn`` (requires ``time_scale > 0`` so there *is* a mid-run)
+    the driver additionally registers two late joiners — one into an
+    already-active group, one forcing a fresh group — and deregisters
+    every other initial query while the streams are still flowing.
+
+    ``specs`` overrides the generated batch (the bench uses this to run
+    each query alone for the amortization baseline).
+    """
+    if churn and time_scale <= 0:
+        raise ConfigurationError(
+            "churn needs time_scale > 0 — registering and deregistering "
+            "mid-run is meaningless at replay-as-fast-as-possible"
+        )
+    if tracer is None:
+        tracer = RecordingTracer()
+    if specs is None:
+        specs = build_specs(
+            n_queries, n_keys, window_ms=window_ms, gamma=gamma
+        )
+    n_queries = len(specs)
+    local_ids = list(range(1, n_locals + 1))
+    streams = workload(
+        local_ids,
+        GeneratorConfig(
+            event_rate=event_rate, duration_s=duration_s, seed=seed
+        ),
+    )
+    config = LiveClusterConfig(
+        n_locals=n_locals,
+        streams_per_local=streams_per_local,
+        transport=transport,
+        time_scale=time_scale,
+        timeout_s=timeout_s,
+    )
+
+    initial = {index + 1: spec for index, spec in enumerate(specs)}
+    dropped: list[int] = []
+    joiners: dict[int, QuerySpec] = {}
+    nacks: list[str] = []
+    survivors_expect: dict[int, int] = {}
+    grid_end_box: dict[str, int] = {}
+
+    async def driver(context: QueryDriverContext) -> dict:
+        grid_end_box["grid_end"] = context.grid_end
+        client = QueryClient(
+            await context.dial(DRIVER_CLIENT_ID), DRIVER_CLIENT_ID
+        )
+        await client.start()
+        try:
+            for query_id, spec in initial.items():
+                await client.register(query_id, spec)
+            context.start_replay()
+            if churn:
+                # Churn once the run is demonstrably mid-protocol (at
+                # least one result served): every other initial query
+                # leaves; two joiners arrive — one sharing spec 1's shape
+                # (an active group, so it starts at the group's next
+                # unidentified window), one with a fresh shape (a full
+                # activation round mid-stream).
+                await asyncio.sleep(0.4 * duration_s * time_scale)
+                await client.wait_for(
+                    lambda c: any(c.results.values()), timeout=timeout_s
+                )
+                first = initial[1]
+                join_active = QuerySpec(
+                    q=0.33,
+                    selector=first.selector,
+                    kind=first.kind,
+                    length_ms=first.length_ms,
+                    step_ms=first.step_ms,
+                    gamma=first.gamma,
+                )
+                join_fresh = QuerySpec(
+                    q=0.66,
+                    selector="node:1",
+                    kind="sliding",
+                    length_ms=window_ms,
+                    step_ms=window_ms // 2,
+                    gamma=gamma,
+                )
+                for query_id, spec in (
+                    (n_queries + 1, join_active),
+                    (n_queries + 2, join_fresh),
+                ):
+                    try:
+                        await client.register(query_id, spec)
+                        joiners[query_id] = spec
+                    except QueryError as exc:
+                        nacks.append(f"join {query_id}: {exc}")
+                for query_id in list(initial)[::2]:
+                    await client.deregister(query_id)
+                    dropped.append(query_id)
+            # Completion: every surviving query must have a result for
+            # every window from its accepted horizon to the grid end.
+            surviving = [q for q in initial if q not in dropped]
+            surviving += list(joiners)
+            for query_id in surviving:
+                spec = initial.get(query_id) or joiners[query_id]
+                survivors_expect[query_id] = len(
+                    spec.window_starts(
+                        client.horizons[query_id], context.grid_end
+                    )
+                )
+            await client.wait_for(
+                lambda c: all(
+                    len(c.results.get(query_id, ()))
+                    >= survivors_expect[query_id]
+                    for query_id in surviving
+                ),
+                timeout=timeout_s,
+            )
+            return {
+                "results": {
+                    query_id: list(messages)
+                    for query_id, messages in client.results.items()
+                },
+                "horizons": dict(client.horizons),
+            }
+        finally:
+            await client.close()
+
+    report = asyncio.run(
+        run_live_cluster(config, streams, tracer=tracer, driver=driver)
+    )
+
+    served = report.queries.get("results", {})
+    horizons = report.queries.get("horizons", {})
+    grid_end = grid_end_box["grid_end"]
+    all_events = [event for share in streams.values() for event in share]
+    all_specs = dict(initial)
+    all_specs.update(joiners)
+    mismatches: list[str] = []
+    graded = 0
+    for query_id, spec in all_specs.items():
+        horizon = horizons.get(query_id)
+        if horizon is None:
+            mismatches.append(f"query {query_id}: never acknowledged")
+            continue
+        expected = oracle_results(
+            all_events, spec, start_from=horizon, horizon_end=grid_end
+        )
+        results = served.get(query_id, [])
+        graded += len(results)
+        mismatches.extend(
+            grade_results(
+                query_id,
+                results,
+                expected,
+                require_complete=query_id not in dropped,
+            )
+        )
+
+    # Shared-cut invariant from the trace: one identification span per
+    # (group, window), no matter how many queries the group carries.
+    cut_spans: dict[tuple, int] = {}
+    if isinstance(tracer, RecordingTracer):
+        for span in tracer.spans:
+            if span.name != "query_identification":
+                continue
+            key = (span.attrs.get("group"), span.window)
+            cut_spans[key] = cut_spans.get(key, 0) + 1
+    duplicate_cuts = sum(1 for count in cut_spans.values() if count > 1)
+
+    return QueryScenarioReport(
+        n_queries=len(all_specs),
+        n_registered=len(all_specs),
+        n_deregistered=len(dropped),
+        groups=len({spec.shape for spec in all_specs.values()}),
+        results_served=sum(len(r) for r in served.values()),
+        results_graded=graded,
+        mismatches=mismatches,
+        identification_cuts=sum(cut_spans.values()),
+        duplicate_cuts=duplicate_cuts,
+        horizons=dict(horizons),
+        wall_seconds=report.wall_seconds,
+        live=report,
+        nacks=nacks,
+    )

@@ -1,0 +1,178 @@
+"""Shared-slice sliding windows: pane store + two-stack run aggregation.
+
+Overlapping sliding windows share events; re-sorting every window from
+scratch does Θ(window · log window) work per *slide*.  The plane instead
+follows the two-stack (DABA-style) scheme of Tangwongsan, Hirzel and
+Schneider for mergeable aggregates, instantiated over the **sorted run**
+monoid: the elements are event runs sorted by the strict total order
+:func:`~repro.streaming.events.event_key`, and the monoid operation is a
+linear two-way merge.  Because the order is strict (no two events
+compare equal), *any* merge tree over the same panes yields the
+byte-identical sequence a full sort would — which is what makes the
+amortized structure safe to substitute for the naive recompute
+(property-tested in ``tests/queries``).
+
+Two pieces:
+
+* :class:`PaneStore` — events bucketed into fixed panes of
+  ``gcd(length, step)`` ms, each pane a
+  :class:`~repro.core.sorted_window.SortedLocalWindow` sealed exactly
+  once into a cached sorted run.  Stores are shared across every query
+  group with the same (selector, pane length), so one ingest sort
+  serves all of them.
+* :class:`SlidingRunAggregator` — the two-stack window assembler: pushes
+  and evictions cost O(1) amortized merges per pane, and ``query()``
+  returns the current window's full sorted run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.errors import QueryError
+from repro.streaming.events import Event, event_key
+
+__all__ = ["PaneStore", "SlidingRunAggregator", "merge_runs"]
+
+
+def merge_runs(
+    left: tuple[Event, ...], right: tuple[Event, ...]
+) -> tuple[Event, ...]:
+    """Two-way merge of key-sorted runs (either side may be empty)."""
+    if not left:
+        return right
+    if not right:
+        return left
+    return tuple(heapq.merge(left, right, key=event_key))
+
+
+class PaneStore:
+    """Fixed panes of sorted events, sealed once, shared across groups.
+
+    A pane is the half-open interval ``[k * pane_ms, (k+1) * pane_ms)``.
+    Ingest appends into the pane's :class:`SortedLocalWindow` (O(1) per
+    event); :meth:`sealed_run` sorts the pane exactly once and caches the
+    run, so every window overlapping the pane reuses the same sorted
+    slice.  Events arriving for an already-sealed pane are counted and
+    dropped — on the live path the min-watermark seal guarantee makes
+    this impossible, but the store is also a direct API for tests.
+    """
+
+    def __init__(self, pane_ms: int) -> None:
+        if pane_ms <= 0:
+            raise QueryError(f"pane length must be > 0 ms, got {pane_ms}")
+        self._pane_ms = pane_ms
+        self._open: dict[int, list[Event]] = {}
+        self._sealed: dict[int, tuple[Event, ...]] = {}
+        #: Events that arrived for a pane already sealed (late beyond the
+        #: watermark guarantee) and were dropped.
+        self.late_dropped = 0
+        #: Reference count: how many query groups read this store.
+        self.refs = 0
+
+    @property
+    def pane_ms(self) -> int:
+        """Pane length in event-time milliseconds."""
+        return self._pane_ms
+
+    def pane_start(self, timestamp: int) -> int:
+        """The start of the pane containing ``timestamp``."""
+        return (timestamp // self._pane_ms) * self._pane_ms
+
+    def add(self, event: Event) -> None:
+        """Ingest one event into its pane (drops if the pane is sealed)."""
+        start = self.pane_start(event.timestamp)
+        if start in self._sealed:
+            self.late_dropped += 1
+            return
+        self._open.setdefault(start, []).append(event)
+
+    def sealed_run(self, start: int) -> tuple[Event, ...]:
+        """The pane's sorted run; seals (sorts) the pane on first call."""
+        run = self._sealed.get(start)
+        if run is None:
+            events = self._open.pop(start, [])
+            events.sort(key=event_key)
+            run = tuple(events)
+            self._sealed[start] = run
+        return run
+
+    def prune_before(self, timestamp: int) -> None:
+        """Drop every pane entirely before ``timestamp``."""
+        for panes in (self._open, self._sealed):
+            for start in [s for s in panes if s + self._pane_ms <= timestamp]:
+                del panes[start]
+
+
+class SlidingRunAggregator:
+    """Two-stack sliding aggregation over the sorted-run monoid.
+
+    Maintains a FIFO of pane runs; :meth:`push` admits the newest pane,
+    :meth:`evict` retires the oldest, and :meth:`query` returns the merge
+    of everything in between.  The classic two-stack layout — a *back*
+    list with one running total, and a *front* stack of suffix merges
+    built at flip time — moves each pane from back to front exactly once,
+    so the amortized cost per slide is O(1) merges instead of re-merging
+    (or re-sorting) the full window.
+    """
+
+    def __init__(self) -> None:
+        #: Suffix merges of the front panes: ``_front[-1]`` is the merge
+        #: of every front pane still in the window.
+        self._front: list[tuple[Event, ...]] = []
+        self._back: list[tuple[Event, ...]] = []
+        self._back_total: tuple[Event, ...] = ()
+        #: Pane starts currently in the window, oldest first.
+        self._covered: deque[int] = deque()
+        #: Total merge work performed, in events touched (work metric for
+        #: the amortization tests and the bench artifact).
+        self.events_merged = 0
+
+    def __len__(self) -> int:
+        return len(self._covered)
+
+    @property
+    def covered(self) -> "tuple[int, ...]":
+        """Pane starts currently aggregated, oldest first."""
+        return tuple(self._covered)
+
+    def _merge(
+        self, left: tuple[Event, ...], right: tuple[Event, ...]
+    ) -> tuple[Event, ...]:
+        if left and right:
+            self.events_merged += len(left) + len(right)
+        return merge_runs(left, right)
+
+    def push(self, pane_start: int, run: tuple[Event, ...]) -> None:
+        """Admit the next pane's sorted run (panes must arrive in order)."""
+        if self._covered and pane_start <= self._covered[-1]:
+            raise QueryError(
+                f"panes must be pushed in ascending order; got {pane_start} "
+                f"after {self._covered[-1]}"
+            )
+        self._covered.append(pane_start)
+        self._back.append(run)
+        self._back_total = self._merge(self._back_total, run)
+
+    def evict(self) -> None:
+        """Retire the oldest pane still in the window."""
+        if not self._covered:
+            raise QueryError("cannot evict from an empty aggregator")
+        self._covered.popleft()
+        if not self._front:
+            # Flip: move the back panes to the front, precomputing suffix
+            # merges newest → oldest so ``_front[-1]`` always covers every
+            # front pane still in the window and each evict is a pop.
+            acc: tuple[Event, ...] = ()
+            for run in reversed(self._back):
+                acc = self._merge(run, acc)
+                self._front.append(acc)
+            self._back = []
+            self._back_total = ()
+        self._front.pop()
+
+    def query(self) -> tuple[Event, ...]:
+        """The current window's full sorted run."""
+        front = self._front[-1] if self._front else ()
+        return self._merge(front, self._back_total)

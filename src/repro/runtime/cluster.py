@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Awaitable, Callable, Mapping, Sequence
 
 from repro.core.local_node import DemaLocalNode
 from repro.core.query import QuantileQuery
@@ -50,7 +50,13 @@ from repro.runtime.transport import (
 )
 from repro.streaming.events import Event
 
-__all__ = ["LiveClusterConfig", "LiveRunReport", "run_live_cluster", "run_live"]
+__all__ = [
+    "LiveClusterConfig",
+    "LiveRunReport",
+    "QueryDriverContext",
+    "run_live_cluster",
+    "run_live",
+]
 
 #: Root node id, matching the simulated topology's convention.
 ROOT_NODE_ID = 0
@@ -119,6 +125,28 @@ class LiveClusterConfig:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class QueryDriverContext:
+    """What a query-plane driver coroutine gets handed by the cluster.
+
+    The driver runs alongside the cluster: it dials the root with the
+    ``driver`` role (:meth:`dial`), registers queries before or during
+    the replay, and decides when the event streams start flowing
+    (:meth:`start_replay` — replays are gated until then so queries
+    registered up front cover the whole grid).  Whatever dict the driver
+    returns lands in :attr:`LiveRunReport.queries`.
+    """
+
+    grid_start: int
+    grid_end: int
+    config: "LiveClusterConfig"
+    #: Dial the root as a driver client: ``await ctx.dial(client_id)``.
+    dial: Callable[[int], Awaitable[MessageStream]]
+    #: Open the replay gate; idempotent, called automatically when the
+    #: driver coroutine finishes (so a failed driver cannot hang the run).
+    start_replay: Callable[[], None]
+
+
 @dataclass
 class LiveRunReport:
     """Everything a caller needs from one live run."""
@@ -146,6 +174,8 @@ class LiveRunReport:
     #: Telemetry-plane facts (empty when the plane was off): the bound
     #: HTTP port, sampler tick count, traced live spans, recorder path.
     telemetry: dict = field(default_factory=dict)
+    #: Whatever dict the query-plane driver returned (empty without one).
+    queries: dict = field(default_factory=dict)
 
     @property
     def values(self) -> list[float | None]:
@@ -327,6 +357,9 @@ async def run_live_cluster(
     streams: Mapping[int, Sequence[Event]],
     *,
     tracer: Tracer = NOOP_TRACER,
+    driver: Callable[
+        [QueryDriverContext], Awaitable[dict | None]
+    ] | None = None,
 ) -> LiveRunReport:
     """Run the full live topology over ``streams`` and collect the report.
 
@@ -337,6 +370,12 @@ async def run_live_cluster(
             over its stream servers exactly as the simulated engine does.
         tracer: Observability hooks; live message deliveries are recorded
             as protocol traces.
+        driver: Optional query-plane driver coroutine.  When given, the
+            cluster attaches a :class:`~repro.queries.root.RootQueryPlane`
+            to the root and a :class:`~repro.queries.local.LocalQueryPlane`
+            to every local, gates the replays on the driver's
+            ``start_replay()`` call, and runs the driver alongside the
+            cluster.
 
     Returns:
         The run report with per-window outcomes and wall-clock metrics.
@@ -386,6 +425,22 @@ async def run_live_cluster(
         ChaosController(config.faults) if config.faults is not None else None
     )
 
+    query_plane = None
+    local_planes: dict = {}
+    replay_gate: asyncio.Event | None = None
+    if driver is not None:
+        # Imported lazily: the queries package's runner module imports
+        # this module back, so a top-level import would be circular.
+        from repro.queries.local import LocalQueryPlane
+        from repro.queries.root import RootQueryPlane
+
+        query_plane = RootQueryPlane(tuple(local_ids), tracer=tracer)
+        local_planes = {
+            local_id: LocalQueryPlane(local_id, grid_start=grid_start)
+            for local_id in local_ids
+        }
+        replay_gate = asyncio.Event()
+
     network = (
         TcpNetwork(failures=failures)
         if config.transport == "tcp"
@@ -421,7 +476,11 @@ async def run_live_cluster(
         echo_heartbeats=(
             telemetry.heartbeat_rtt if telemetry is not None else False
         ),
+        query_plane=query_plane,
     )
+    if query_plane is not None:
+        # Plane spans share the cluster's fabric clock.
+        query_plane.clock = lambda: root.fabric.now
     await network.listen(ROOT_NODE_ID, root.serve)
     root.start_monitor()
 
@@ -431,6 +490,8 @@ async def run_live_cluster(
     chaos_task: asyncio.Task | None = None
     main_task: asyncio.Task | None = None
     failure_task: asyncio.Task | None = None
+    driver_task: asyncio.Task | None = None
+    driver_result: dict = {}
     try:
         if sampler is not None:
             sampler.start()
@@ -502,6 +563,7 @@ async def run_live_cluster(
                 sample_rate=(
                     telemetry.sample_rate if telemetry is not None else 1.0
                 ),
+                query_plane=local_planes.get(local_id),
             )
             locals_.append(local)
             locals_by_id[local_id] = local
@@ -536,6 +598,10 @@ async def run_live_cluster(
                 next_stream_id += 1
 
                 async def replay(srv: StreamServer, dst: int) -> None:
+                    if replay_gate is not None:
+                        # Queries registered before the streams flow cover
+                        # the whole grid; the driver opens the gate.
+                        await replay_gate.wait()
                     pipe = await network.dial(dst)
                     track("stream_local", srv.stream_id, dst, pipe)
                     await srv.replay(pipe)
@@ -552,6 +618,37 @@ async def run_live_cluster(
                 )
             )
 
+        if driver is not None:
+            assert replay_gate is not None
+            gate = replay_gate
+
+            async def dial_client(client_id: int) -> MessageStream:
+                stream: MessageStream = await network.dial(ROOT_NODE_ID)
+                track("driver_root", client_id, ROOT_NODE_ID, stream)
+                return stream
+
+            context = QueryDriverContext(
+                grid_start=grid_start,
+                grid_end=grid_end,
+                config=config,
+                dial=dial_client,
+                start_replay=gate.set,
+            )
+
+            async def run_driver() -> None:
+                try:
+                    result = await driver(context)
+                    if isinstance(result, dict):
+                        driver_result.update(result)
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:
+                    failures.record(exc)
+                finally:
+                    gate.set()  # a dead driver must not hang the replays
+
+            driver_task = asyncio.ensure_future(run_driver())
+
         async def main() -> None:
             results = await asyncio.gather(*replays, return_exceptions=True)
             for result in results:
@@ -560,6 +657,8 @@ async def run_live_cluster(
                 if isinstance(result, BaseException):
                     raise result
             await root.done.wait()
+            if driver_task is not None:
+                await driver_task
 
         main_task = asyncio.ensure_future(main())
         failure_task = asyncio.ensure_future(failures.event.wait())
@@ -582,7 +681,7 @@ async def run_live_cluster(
             )
         main_task.result()  # propagate replay errors, if any
     finally:
-        for task in (chaos_task, main_task, failure_task):
+        for task in (chaos_task, main_task, failure_task, driver_task):
             if task is not None and not task.done():
                 task.cancel()
                 with contextlib.suppress(asyncio.CancelledError):
@@ -694,6 +793,7 @@ async def run_live_cluster(
         windows_lost=max(0, expected_windows - len(outcomes)),
         fault_events=list(controller.applied) if controller else [],
         telemetry=telemetry_report,
+        queries=driver_result,
     )
 
 
@@ -702,8 +802,11 @@ def run_live(
     streams: Mapping[int, Sequence[Event]],
     *,
     tracer: Tracer = NOOP_TRACER,
+    driver: Callable[
+        [QueryDriverContext], Awaitable[dict | None]
+    ] | None = None,
 ) -> LiveRunReport:
     """Synchronous wrapper around :func:`run_live_cluster`."""
     return asyncio.run(
-        run_live_cluster(config, streams, tracer=tracer)
+        run_live_cluster(config, streams, tracer=tracer, driver=driver)
     )

@@ -46,6 +46,10 @@ from repro.network.messages import (
     Message,
     PartialAggregateMessage,
     QDigestMessage,
+    QueryAckMessage,
+    QueryDeregisterMessage,
+    QueryRegisterMessage,
+    QueryResultMessage,
     ResultMessage,
     SortedRunMessage,
     SynopsisMessage,
@@ -130,6 +134,10 @@ TAG_BY_TYPE: dict[type, int] = {
     WatermarkMessage: 13,
     ResultMessage: 14,
     HeartbeatMessage: 15,
+    QueryRegisterMessage: 16,
+    QueryAckMessage: 17,
+    QueryResultMessage: 18,
+    QueryDeregisterMessage: 19,
 }
 
 TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
@@ -265,6 +273,51 @@ def _encode_heartbeat(m: HeartbeatMessage) -> bytes:
     return wire.U64.pack(m.sequence)
 
 
+#: Window-kind codes on the wire.  Append-only, like message tags.
+_QUERY_KIND_CODES = {"tumbling": 1, "sliding": 2, "session": 3}
+_QUERY_KIND_NAMES = {code: name for name, code in _QUERY_KIND_CODES.items()}
+
+
+def _encode_string(text: str) -> bytes:
+    """A UTF-8 string behind a u32 **byte** count."""
+    raw = text.encode("utf-8")
+    return wire.COUNT.pack(len(raw)) + raw
+
+
+def _encode_query_register(m: QueryRegisterMessage) -> bytes:
+    kind_code = _QUERY_KIND_CODES.get(m.kind)
+    if kind_code is None:
+        raise CodecError(
+            f"unknown query window kind {m.kind!r}; "
+            f"expected one of {sorted(_QUERY_KIND_CODES)}"
+        )
+    return wire.QUERY_REGISTER_FIXED.pack(
+        m.query_id,
+        m.q,
+        kind_code,
+        m.length_ms,
+        m.step_ms,
+        m.gamma,
+        m.freshness_ms,
+    ) + _encode_string(m.selector)
+
+
+def _encode_query_ack(m: QueryAckMessage) -> bytes:
+    return wire.QUERY_ACK_FIXED.pack(
+        m.query_id, 1 if m.accepted else 0
+    ) + _encode_string(m.reason)
+
+
+def _encode_query_result(m: QueryResultMessage) -> bytes:
+    return wire.QUERY_RESULT.pack(
+        m.query_id, m.value, m.global_window_size, m.rank
+    )
+
+
+def _encode_query_deregister(m: QueryDeregisterMessage) -> bytes:
+    return wire.U32.pack(m.query_id)
+
+
 _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     Message: _encode_empty,
     EventBatchMessage: _encode_event_batch,
@@ -281,6 +334,10 @@ _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     WatermarkMessage: _encode_watermark,
     ResultMessage: _encode_result,
     HeartbeatMessage: _encode_heartbeat,
+    QueryRegisterMessage: _encode_query_register,
+    QueryAckMessage: _encode_query_ack,
+    QueryResultMessage: _encode_query_result,
+    QueryDeregisterMessage: _encode_query_deregister,
 }
 
 
@@ -437,6 +494,48 @@ def _decode_heartbeat(r, sender, window, group_id):
     return HeartbeatMessage(sender, window, group_id, sequence)
 
 
+def _decode_string(r: _Reader) -> str:
+    raw = r.take(r.count())
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"string payload is not valid UTF-8: {exc}") from exc
+
+
+def _decode_query_register(r, sender, window, group_id):
+    (
+        query_id, q, kind_code, length_ms, step_ms, gamma, freshness_ms,
+    ) = r.unpack(wire.QUERY_REGISTER_FIXED)
+    kind = _QUERY_KIND_NAMES.get(kind_code)
+    if kind is None:
+        raise CodecError(f"unknown query window kind code {kind_code}")
+    selector = _decode_string(r)
+    return QueryRegisterMessage(
+        sender, window, group_id, query_id, q, kind,
+        length_ms, step_ms, gamma, freshness_ms, selector,
+    )
+
+
+def _decode_query_ack(r, sender, window, group_id):
+    (query_id, accepted) = r.unpack(wire.QUERY_ACK_FIXED)
+    reason = _decode_string(r)
+    return QueryAckMessage(
+        sender, window, group_id, query_id, bool(accepted), reason
+    )
+
+
+def _decode_query_result(r, sender, window, group_id):
+    (query_id, value, size, rank) = r.unpack(wire.QUERY_RESULT)
+    return QueryResultMessage(
+        sender, window, group_id, query_id, value, size, rank
+    )
+
+
+def _decode_query_deregister(r, sender, window, group_id):
+    (query_id,) = r.unpack(wire.U32)
+    return QueryDeregisterMessage(sender, window, group_id, query_id)
+
+
 _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[Message]: _decode_bare(Message),
     TAG_BY_TYPE[EventBatchMessage]: _decode_event_batch,
@@ -453,6 +552,10 @@ _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[WatermarkMessage]: _decode_watermark,
     TAG_BY_TYPE[ResultMessage]: _decode_result,
     TAG_BY_TYPE[HeartbeatMessage]: _decode_heartbeat,
+    TAG_BY_TYPE[QueryRegisterMessage]: _decode_query_register,
+    TAG_BY_TYPE[QueryAckMessage]: _decode_query_ack,
+    TAG_BY_TYPE[QueryResultMessage]: _decode_query_result,
+    TAG_BY_TYPE[QueryDeregisterMessage]: _decode_query_deregister,
 }
 
 

@@ -267,21 +267,42 @@ class NodeHost:
         """Subclass hook run after every timer-driven flush."""
 
     async def expect_hello(
-        self, stream: MessageStream, role: str
+        self, stream: MessageStream, role: "str | tuple[str, ...]"
     ) -> Hello:
-        """Read and validate the connection preamble."""
+        """Read and validate the connection preamble.
+
+        ``role`` may be a single role or a tuple of acceptable roles (the
+        root accepts both ``local`` and ``driver`` peers when a query
+        plane is attached).
+        """
+        roles = (role,) if isinstance(role, str) else tuple(role)
         first = await stream.recv()
         if not isinstance(first, Hello):
             raise TransportError(
                 f"node {self.node_id} expected a hello, got "
                 f"{type(first).__name__}"
             )
-        if first.role != role:
+        if first.role not in roles:
+            expected = " or ".join(repr(r) for r in roles)
             raise TransportError(
-                f"node {self.node_id} expected a {role!r} peer, got "
+                f"node {self.node_id} expected a {expected} peer, got "
                 f"{first.role!r} from node {first.node_id}"
             )
         return first
+
+    def _note_plane_message(self, message: Message) -> None:
+        """Account a query-plane frame handled outside ``dispatch``."""
+        if self.tracer.enabled:
+            now = self.fabric.now
+            self.tracer.record_message(
+                MessageTrace(
+                    sent_at=now,
+                    delivered_at=now,
+                    src=message.sender,
+                    dst=self.node_id,
+                    message=message,
+                )
+            )
 
 
 class RootServer(NodeHost):
@@ -302,12 +323,16 @@ class RootServer(NodeHost):
                  tolerance: ToleranceConfig | None = None,
                  failures: FailureLatch | None = None,
                  wire_tracing: bool = False,
-                 echo_heartbeats: bool = False) -> None:
+                 echo_heartbeats: bool = False,
+                 query_plane=None) -> None:
         super().__init__(node, fabric, tracer,
                          drop_unroutable=tolerance is not None,
                          failures=failures, wire_tracing=wire_tracing)
         self._expected_windows = expected_windows
         self._tolerance = tolerance
+        #: Optional :class:`~repro.queries.root.RootQueryPlane`: handles
+        #: driver connections and every ``group_id != 0`` frame.
+        self._query_plane = query_plane
         #: Telemetry: bounce each heartbeat back so the local can measure
         #: round-trip time.  Off by default — the echo is extra traffic.
         self._echo_heartbeats = echo_heartbeats
@@ -358,9 +383,57 @@ class RootServer(NodeHost):
         if hello.resume_from >= 0:
             self.node.resume_release(hello.node_id, hello.resume_from, now)
 
+    async def _ship_plane(
+        self, outgoing: "list[tuple[int, Message]]"
+    ) -> None:
+        """Send query-plane replies; a vanished peer is not fatal."""
+        for dst, reply in outgoing:
+            stream = self._peers.get(dst)
+            if stream is None:
+                self.dropped_sends += 1
+                continue
+            try:
+                await stream.send(reply)
+            except TransportError:
+                self.dropped_sends += 1
+
+    async def _serve_driver(
+        self, client_id: int, stream: MessageStream
+    ) -> None:
+        """Connection handler for one query-plane driver client."""
+        plane = self._query_plane
+        assert plane is not None
+        self.register_peer(client_id, stream)
+        plane.on_client_connect(client_id)
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    break  # driver link died: treated as a disconnect
+                if message is None:
+                    break
+                if isinstance(message, Hello):
+                    raise TransportError("unexpected second hello")
+                self._note_plane_message(message)
+                await self._ship_plane(
+                    plane.on_client_message(client_id, message)
+                )
+        finally:
+            if self._peers.get(client_id) is stream:
+                del self._peers[client_id]
+            await self._ship_plane(plane.on_client_gone(client_id))
+
     async def serve(self, stream: MessageStream) -> None:
-        """Connection handler for one dialing local node."""
-        hello = await self.expect_hello(stream, "local")
+        """Connection handler for one dialing local node or driver."""
+        roles = (
+            ("local", "driver") if self._query_plane is not None
+            else "local"
+        )
+        hello = await self.expect_hello(stream, roles)
+        if hello.role == "driver":
+            await self._serve_driver(hello.node_id, stream)
+            return
         self.register_peer(hello.node_id, stream)
         if self._tolerance is not None:
             self._on_local_hello(hello)
@@ -385,6 +458,14 @@ class RootServer(NodeHost):
                             with contextlib.suppress(TransportError):
                                 await stream.send(message)
                         continue
+                if message.group_id != 0 and self._query_plane is not None:
+                    # Query-plane traffic multiplexed on the local link:
+                    # handled by the plane, never by the base operator.
+                    self._note_plane_message(message)
+                    await self._ship_plane(
+                        self._query_plane.on_local_message(message)
+                    )
+                    continue
                 await self.dispatch(message, stream.last_context)
                 self._account_outcomes()
         finally:
@@ -469,12 +550,17 @@ class LocalServer(NodeHost):
                  ] | None = None,
                  failures: FailureLatch | None = None,
                  wire_tracing: bool = False,
-                 sample_rate: float = 1.0) -> None:
+                 sample_rate: float = 1.0,
+                 query_plane=None) -> None:
         super().__init__(node, fabric, tracer,
                          drop_unroutable=tolerance is not None,
                          failures=failures, wire_tracing=wire_tracing)
         if expected_streams < 1:
             raise TransportError("a local server needs at least one stream")
+        #: Optional :class:`~repro.queries.local.LocalQueryPlane`: fed
+        #: every ingested batch and watermark, plus ``group_id != 0``
+        #: frames from the root.
+        self._query_plane = query_plane
         self._expected_streams = expected_streams
         self._window_length_ms = window_length_ms
         self._grid_end = grid_end
@@ -558,6 +644,13 @@ class LocalServer(NodeHost):
                 if isinstance(message, HeartbeatMessage):
                     # Telemetry echo from the root: close the RTT loop.
                     self._record_heartbeat_rtt(message.sequence)
+                    continue
+                if message.group_id != 0 and self._query_plane is not None:
+                    # Query-plane traffic multiplexed on the root link.
+                    self._note_plane_message(message)
+                    await self._ship_plane(
+                        self._query_plane.on_root_message(message)
+                    )
                     continue
                 await self.dispatch(message, stream.last_context)
                 continue
@@ -707,7 +800,10 @@ class LocalServer(NodeHost):
                         watermark=message.watermark_time,
                     )
                 await self._seal_ready_windows()
+                await self._advance_query_plane()
             elif isinstance(message, EventBatchMessage):
+                if self._query_plane is not None:
+                    self._query_plane.ingest(message.events)
                 await self.dispatch(message, stream.last_context)
             else:
                 raise TransportError(
@@ -751,6 +847,26 @@ class LocalServer(NodeHost):
             self.seal_walls[window] = now
             self._next_start += length
             await self.flush()
+
+    async def _advance_query_plane(self) -> None:
+        """Seal query-group windows behind the min stream watermark."""
+        plane = self._query_plane
+        if plane is None or len(self._watermarks) < self._expected_streams:
+            return
+        watermark = min(self._watermarks.values())
+        await self._ship_plane(plane.on_watermark(watermark))
+
+    async def _ship_plane(self, messages: "list[Message]") -> None:
+        """Send query-plane messages to the root session."""
+        stream = self._peers.get(0)
+        for reply in messages:
+            if stream is None:
+                self.dropped_sends += 1
+                continue
+            try:
+                await stream.send(reply)
+            except TransportError:
+                self.dropped_sends += 1
 
     async def shutdown(self) -> None:
         """Stop listening to the root (called by the cluster on teardown)."""

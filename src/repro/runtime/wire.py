@@ -80,6 +80,12 @@ __all__ = [
     "QDIGEST_NODE_WIRE_BYTES",
     "I64",
     "I64_BYTES",
+    "QUERY_REGISTER_FIXED",
+    "QUERY_REGISTER_FIXED_BYTES",
+    "QUERY_ACK_FIXED",
+    "QUERY_ACK_FIXED_BYTES",
+    "QUERY_RESULT",
+    "QUERY_RESULT_BYTES",
 ]
 
 #: Protocol version stamped into every frame header.  A decoder refuses
@@ -164,6 +170,23 @@ CENTROID_WIRE_BYTES = CENTROID.size
 QDIGEST_NODE = struct.Struct("<IQI")
 QDIGEST_NODE_WIRE_BYTES = QDIGEST_NODE.size
 
+#: Query registration, fixed part: query_id u32, q f64, window kind u32,
+#: window length u64 (ms), window step u64 (ms), gamma u32, freshness u64
+#: (ms).  The variable part — the UTF-8 key selector behind a u32 count —
+#: follows it.
+QUERY_REGISTER_FIXED = struct.Struct("<IdIQQIQ")
+QUERY_REGISTER_FIXED_BYTES = QUERY_REGISTER_FIXED.size
+
+#: Query ack, fixed part: query_id u32, accepted u32 (0/1).  The UTF-8
+#: reason string behind a u32 count follows it.
+QUERY_ACK_FIXED = struct.Struct("<II")
+QUERY_ACK_FIXED_BYTES = QUERY_ACK_FIXED.size
+
+#: One served query result: query_id u32, value f64, global window size
+#: u64, rank u64.
+QUERY_RESULT = struct.Struct("<IdQQ")
+QUERY_RESULT_BYTES = QUERY_RESULT.size
+
 
 # The documented layout above is load-bearing for the simulator's byte
 # accounting; fail at import time if a struct edit ever drifts from it.
@@ -173,3 +196,6 @@ assert KEY_WIRE_BYTES == 16
 assert SYNOPSIS_WIRE_BYTES == 2 * KEY_WIRE_BYTES + 4 * U32_BYTES == 48
 assert QDIGEST_NODE_WIRE_BYTES == 16
 assert TRACE_CONTEXT_EXT_BYTES == 17
+assert QUERY_REGISTER_FIXED_BYTES == 44
+assert QUERY_ACK_FIXED_BYTES == 8
+assert QUERY_RESULT_BYTES == 28

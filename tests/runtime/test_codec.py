@@ -25,6 +25,10 @@ from repro.network.messages import (
     Message,
     PartialAggregateMessage,
     QDigestMessage,
+    QueryAckMessage,
+    QueryDeregisterMessage,
+    QueryRegisterMessage,
+    QueryResultMessage,
     ResultMessage,
     SortedRunMessage,
     SynopsisMessage,
@@ -69,6 +73,12 @@ windows = st.builds(
 
 events = st.builds(Event, value=f64, timestamp=u32, node_id=u32, seq=u32)
 event_batches = st.lists(events, max_size=30).map(tuple)
+
+#: Key selectors are arbitrary UTF-8 text on the wire (validation happens
+#: in QuerySpec, above the codec) — including astral-plane codepoints,
+#: whose UTF-8 length differs from their codepoint count.
+selector_text = st.text(max_size=24)
+window_kinds = st.sampled_from(["tumbling", "sliding", "session"])
 
 
 @st.composite
@@ -139,6 +149,32 @@ messages = st.one_of(
         lambda t: ResultMessage(t[0], t[1], t[2], t[3][0], t[3][1])
     ),
     _with_header(u64).map(lambda t: HeartbeatMessage(t[0], t[1], t[2], t[3])),
+    _with_header(
+        st.tuples(u32, f64, window_kinds, u64, u64, u32, u64, selector_text)
+    ).map(
+        lambda t: QueryRegisterMessage(
+            t[0], t[1], t[2],
+            query_id=t[3][0], q=t[3][1], kind=t[3][2], length_ms=t[3][3],
+            step_ms=t[3][4], gamma=t[3][5], freshness_ms=t[3][6],
+            selector=t[3][7],
+        )
+    ),
+    _with_header(st.tuples(u32, st.booleans(), selector_text)).map(
+        lambda t: QueryAckMessage(
+            t[0], t[1], t[2],
+            query_id=t[3][0], accepted=t[3][1], reason=t[3][2],
+        )
+    ),
+    _with_header(st.tuples(u32, f64, u64, u64)).map(
+        lambda t: QueryResultMessage(
+            t[0], t[1], t[2],
+            query_id=t[3][0], value=t[3][1],
+            global_window_size=t[3][2], rank=t[3][3],
+        )
+    ),
+    _with_header(u32).map(
+        lambda t: QueryDeregisterMessage(t[0], t[1], t[2], query_id=t[3])
+    ),
 )
 
 
@@ -227,6 +263,26 @@ SAMPLES = [
     (WatermarkMessage(5, W, watermark_time=999), 8),
     (ResultMessage(0, W, value=1.5, global_window_size=10), 8 + 8),
     (HeartbeatMessage(1, W, sequence=17), 8),
+    # Query plane (tags 16–19): the register fixed part is 44 bytes, the
+    # ack fixed part 8; both carry a u32-counted UTF-8 tail.
+    (
+        QueryRegisterMessage(
+            9001, W, query_id=7, q=0.9, kind="sliding", length_ms=1000,
+            step_ms=500, gamma=32, selector="mod:3:1",
+        ),
+        44 + 4 + 7,
+    ),
+    (
+        QueryAckMessage(0, W, query_id=7, accepted=False, reason="no"),
+        8 + 4 + 2,
+    ),
+    (
+        QueryResultMessage(
+            0, W, query_id=7, value=1.5, global_window_size=10, rank=5
+        ),
+        28,
+    ),
+    (QueryDeregisterMessage(9001, W, query_id=7), 4),
 ]
 
 
@@ -281,6 +337,28 @@ def test_large_synopsis_batch_roundtrip():
     )
     message = SynopsisMessage(1, W, synopses=synopses, local_window_size=5000)
     assert message.payload_bytes == 4 + 8 + 500 * 48
+    assert decode_frame(encode_frame(message)) == message
+
+
+def test_unicode_selector_counts_utf8_bytes():
+    # Payload size follows the UTF-8 encoding, not the codepoint count:
+    # "κλειδί-🔑" is 8 codepoints but 17 UTF-8 bytes.
+    selector = "κλειδί-🔑"
+    assert len(selector) == 8 and len(selector.encode("utf-8")) == 17
+    message = QueryRegisterMessage(1, W, query_id=1, selector=selector)
+    assert message.payload_bytes == 44 + 4 + 17
+    decoded = decode_frame(encode_frame(message))
+    assert decoded == message
+    assert decoded.selector == selector
+
+
+def test_query_ack_unicode_reason_roundtrip():
+    message = QueryAckMessage(
+        0, W, query_id=3, accepted=False, reason="пока нет — später"
+    )
+    assert message.payload_bytes == 8 + 4 + len(
+        message.reason.encode("utf-8")
+    )
     assert decode_frame(encode_frame(message)) == message
 
 

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.bench",
     "repro.obs",
     "repro.faults",
+    "repro.queries",
 ]
 
 MODULES = [
@@ -69,6 +70,15 @@ MODULES = [
     "repro.bench.model",
     "repro.bench.sweep",
     "repro.bench.runner",
+    "repro.bench.queries",
+    "repro.queries.spec",
+    "repro.queries.slide",
+    "repro.queries.registry",
+    "repro.queries.local",
+    "repro.queries.root",
+    "repro.queries.client",
+    "repro.queries.oracle",
+    "repro.queries.runner",
     "repro.obs.events",
     "repro.obs.tracer",
     "repro.obs.metrics",

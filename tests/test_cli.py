@@ -121,6 +121,28 @@ class TestReportErrors:
         assert capsys.readouterr().out == first
 
 
+class TestQuery:
+    def test_small_run_grades_and_writes_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_queries.json"
+        assert main([
+            "query", "--queries", "2", "--keys", "1", "--locals", "2",
+            "--streams", "1", "--rate", "200", "--duration", "2",
+            "--transport", "memory", "--bench", "--bench-output", str(out),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "2 queries registered" in captured
+        assert "bit-identical" in captured
+        artifact = json.loads(out.read_text())
+        assert artifact["benchmark"] == "multi_query_plane"
+        assert artifact["shared_run"]["mismatches"] == 0
+        assert artifact["independent_runs"]["runs"] == 2
+        # Serving both queries together must not cost more bytes than
+        # two separate deployments.
+        assert artifact["amortization"]["total_bytes_ratio"] < 1.0
+
+
 class TestLiveTelemetryFlags:
     def test_live_run_reports_telemetry(self, capsys):
         assert main([
