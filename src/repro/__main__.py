@@ -10,6 +10,7 @@ Usage::
     python -m repro report run.jsonl     # per-phase latency/byte breakdown
     python -m repro live --rate 20000    # live asyncio cluster over TCP
     python -m repro query --queries 8    # live multi-query plane, graded
+    python -m repro mesh --shards 4 --relay-fanin 8 --locals 100  # scale-out
     python -m repro chaos --scenario crash-reconnect   # fault injection
     python -m repro top --port 9470      # watch a serving cluster live
 """
@@ -236,6 +237,20 @@ def _cmd_live(args: argparse.Namespace) -> int:
     )
     from repro.bench.reporting import format_bytes
 
+    if args.locals < 1:
+        print(
+            f"error: --n-locals must be at least 1, got {args.locals}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.streams < 1:
+        print(
+            "error: --streams-per-local must be at least 1, "
+            f"got {args.streams}",
+            file=sys.stderr,
+        )
+        return 2
+
     config, report = live_benchmark(
         n_locals=args.locals,
         streams_per_local=args.streams,
@@ -365,6 +380,225 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if failed:
         return 1
     print("all served results bit-identical to the single-query oracle")
+    return 0
+
+
+def _parse_membership(joins: list[str], leaves: list[str]):
+    """Parse repeated ``LOCAL@MS`` membership flags into events."""
+    from repro.mesh import MembershipEvent
+
+    events = []
+    for kind, specs in (("join", joins), ("leave", leaves)):
+        for spec in specs:
+            local_raw, _, at_raw = spec.partition("@")
+            try:
+                local_id, at_ms = int(local_raw), int(at_raw)
+            except ValueError:
+                raise SystemExit(
+                    f"error: --{kind} expects LOCAL@MS "
+                    f"(e.g. 5@2000), got {spec!r}"
+                )
+            events.append(
+                MembershipEvent(at_ms=at_ms, local_id=local_id, kind=kind)
+            )
+    return tuple(sorted(events, key=lambda e: (e.at_ms, e.local_id)))
+
+
+def _mesh_smoke(args: argparse.Namespace) -> int:
+    """CI gate: elastic relay scenario graded, then the scale curve."""
+    from repro.bench.generator import GeneratorConfig, workload
+    from repro.bench.scale import DEFAULT_SCALE_PATH, write_scale_bench
+    from repro.core.query import QuantileQuery
+    from repro.errors import HarnessError
+    from repro.mesh import (
+        MembershipEvent,
+        MeshConfig,
+        classify_outcomes,
+        mesh_oracle,
+        run_mesh,
+    )
+
+    query = QuantileQuery(q=args.q, gamma=args.gamma)
+    config = MeshConfig(
+        n_locals=4,
+        streams_per_local=2,
+        n_shards=2,
+        relay_fanin=2,
+        query=query,
+        transport="memory",
+        membership=(
+            MembershipEvent(at_ms=2_000, local_id=5, kind="join"),
+            MembershipEvent(at_ms=3_000, local_id=2, kind="leave"),
+        ),
+    )
+    streams = workload(
+        [1, 2, 3, 4, 5],
+        GeneratorConfig(event_rate=120.0, duration_s=4.0, seed=args.seed),
+    )
+    report = run_mesh(config, streams)
+    classes = classify_outcomes(mesh_oracle(streams, config), report.outcomes)
+    print(
+        "elastic smoke: 4+1 locals, 2 shards, relay fan-in 2, "
+        "join 5@2s, leave 2@3s"
+    )
+    print(
+        f"  windows: {classes['recovered']} recovered, "
+        f"{classes['degraded']} degraded, {classes['lost']} lost, "
+        f"{classes['mismatch']} mismatched; "
+        f"members now {report.members}"
+    )
+    if (
+        classes["mismatch"]
+        or classes["lost"]
+        or classes["degraded"]
+        or not classes["recovered"]
+    ):
+        print("SMOKE FAILED: elastic scenario is not bit-identical to "
+              "the single-root oracle")
+        return 1
+
+    path = args.bench_output or DEFAULT_SCALE_PATH
+    try:
+        result = write_scale_bench(
+            path,
+            q=args.q,
+            gamma=args.gamma,
+            seed=args.seed,
+        )
+    except HarnessError as exc:
+        print(f"SMOKE FAILED: {exc}")
+        return 1
+    for point in result["curve"]:
+        relay = point["relay"]
+        print(
+            f"  {point['n_locals']:>4} locals: "
+            f"{relay['events_per_second']:>12,.0f} events/s relayed, "
+            f"frame savings {point['relay_frame_savings']:.0%}, "
+            f"ingress savings {point['relay_ingress_savings']:.1%}"
+        )
+    print(f"wrote {path}")
+    print("all mesh runs bit-identical to the single-root oracle")
+    return 0
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_bytes
+
+    if args.smoke:
+        return _mesh_smoke(args)
+
+    from repro.bench.generator import GeneratorConfig, workload
+    from repro.bench.scale import DEFAULT_SCALE_PATH, write_scale_bench
+    from repro.core.query import QuantileQuery
+    from repro.errors import ConfigurationError, HarnessError
+    from repro.mesh import (
+        MeshConfig,
+        classify_outcomes,
+        mesh_oracle,
+        run_mesh,
+    )
+
+    membership = _parse_membership(args.join, args.leave)
+    joiners = [e.local_id for e in membership if e.kind == "join"]
+    try:
+        config = MeshConfig(
+            n_locals=args.locals,
+            streams_per_local=args.streams,
+            n_shards=args.shards,
+            relay_fanin=args.relay_fanin,
+            query=QuantileQuery(q=args.q, gamma=args.gamma),
+            transport=args.transport,
+            membership=membership,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    streams = workload(
+        list(range(1, args.locals + 1)) + joiners,
+        GeneratorConfig(
+            event_rate=args.rate, duration_s=args.duration, seed=args.seed
+        ),
+    )
+    report = run_mesh(config, streams)
+    classes = classify_outcomes(mesh_oracle(streams, config), report.outcomes)
+
+    tier = (
+        f"relay fan-in {config.relay_fanin}" if config.relay_fanin
+        else "flat (no relay tier)"
+    )
+    print(
+        f"mesh over {config.transport}: {config.n_shards} root shards, "
+        f"{tier}, {config.n_locals} locals × "
+        f"{config.streams_per_local} streams"
+    )
+    print(
+        f"replayed {report.events_sent} events in "
+        f"{report.wall_seconds:.3f}s wall "
+        f"({report.events_per_second:,.0f} events/s)"
+    )
+    for window, outcome in sorted(report.outcome_by_window().items()):
+        if outcome.value is None:
+            continue
+        print(
+            f"  window [{window.start / 1000:.0f}s,"
+            f"{window.end / 1000:.0f}s): "
+            f"q{args.q:g}={outcome.value:10.4f}  "
+            f"n={outcome.global_window_size:<7d}"
+        )
+    if membership:
+        print(
+            f"membership: {len(joiners)} joins, "
+            f"{len(membership) - len(joiners)} leaves; "
+            f"members now {report.members}, "
+            f"shard epochs {report.membership_epochs}"
+        )
+    stats = report.seal_to_result
+    if stats.count:
+        print(
+            f"seal→result latency: p50 {stats.p50 * 1e3:.2f} ms  "
+            f"p95 {stats.p95 * 1e3:.2f} ms  max {stats.max * 1e3:.2f} ms"
+        )
+    print(
+        f"on the wire: {format_bytes(report.total_bytes)} "
+        f"({', '.join(f'{k} {format_bytes(v)}' for k, v in sorted(report.bytes_by_layer.items()))})"
+    )
+    print(
+        f"root ingress: {format_bytes(report.root_ingress_bytes)}"
+        + (
+            f" ({report.relay_frames_combined} relay-combined frames, "
+            f"{report.relay_sections_combined} sections)"
+            if config.relay_fanin
+            else ""
+        )
+    )
+    print(
+        f"windows: {classes['recovered']} recovered, "
+        f"{classes['degraded']} degraded, {classes['lost']} lost, "
+        f"{classes['mismatch']} mismatched (of {report.windows})"
+    )
+    if args.bench:
+        path = args.bench_output or DEFAULT_SCALE_PATH
+        try:
+            write_scale_bench(
+                path,
+                streams_per_local=args.streams,
+                n_shards=args.shards,
+                relay_fanin=args.relay_fanin or 8,
+                event_rate=int(args.rate),
+                duration_s=int(args.duration),
+                q=args.q,
+                gamma=args.gamma,
+                seed=args.seed,
+                transport=args.transport,
+            )
+        except HarnessError as exc:
+            print(f"BENCH FAILED: {exc}")
+            return 1
+        print(f"wrote {path}")
+    if classes["mismatch"]:
+        print("MISMATCHED WINDOWS: values diverged at full completeness "
+              "— protocol bug")
+        return 1
     return 0
 
 
@@ -558,9 +792,11 @@ def main(argv: list[str] | None = None) -> int:
     live = sub.add_parser(
         "live", help="run a live asyncio cluster (real wire protocol)"
     )
-    live.add_argument("--locals", type=int, default=2,
+    live.add_argument("--locals", "--n-locals", dest="locals",
+                      type=int, default=2,
                       help="local (edge) node count")
-    live.add_argument("--streams", type=int, default=2,
+    live.add_argument("--streams", "--streams-per-local", dest="streams",
+                      type=int, default=2,
                       help="stream servers per local node")
     live.add_argument("--rate", type=float, default=20_000.0,
                       help="target aggregate events/second")
@@ -614,6 +850,46 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--bench", action="store_true",
                        help="write the BENCH_queries.json artifact")
     query.add_argument("--bench-output", default=None, metavar="PATH")
+
+    mesh = sub.add_parser(
+        "mesh", help="scale-out mesh: sharded roots, relays, elastic "
+                     "membership"
+    )
+    mesh.add_argument("--locals", "--n-locals", dest="locals",
+                      type=int, default=8,
+                      help="initial local (edge) node count")
+    mesh.add_argument("--streams", "--streams-per-local", dest="streams",
+                      type=int, default=1,
+                      help="stream servers per local node")
+    mesh.add_argument("--shards", type=int, default=2,
+                      help="root shard count (window-partitioned)")
+    mesh.add_argument("--relay-fanin", type=int, default=0,
+                      help="children per relay (0 = no relay tier)")
+    mesh.add_argument("--rate", type=float, default=200.0,
+                      help="target aggregate events/second")
+    mesh.add_argument("--duration", type=float, default=4.0,
+                      help="workload length in event-time seconds")
+    mesh.add_argument("--transport", default="memory",
+                      choices=["tcp", "memory"])
+    mesh.add_argument("--gamma", type=int, default=10_000)
+    mesh.add_argument("--q", type=float, default=0.5)
+    mesh.add_argument("--seed", type=int, default=42)
+    mesh.add_argument("--join", action="append", default=[],
+                      metavar="LOCAL@MS",
+                      help="add local LOCAL at event-time MS (a window "
+                           "boundary); repeatable")
+    mesh.add_argument("--leave", action="append", default=[],
+                      metavar="LOCAL@MS",
+                      help="retire local LOCAL at event-time MS; repeatable")
+    mesh.add_argument("--smoke", action="store_true",
+                      help="CI mode: graded elastic relay scenario, then "
+                           "the 2..100-local scale curve with the "
+                           "BENCH_scale.json artifact; nonzero exit on "
+                           "any oracle divergence")
+    mesh.add_argument("--bench", action="store_true",
+                      help="also run the scale curve and write the "
+                           "BENCH_scale.json artifact")
+    mesh.add_argument("--bench-output", default=None, metavar="PATH")
 
     chaos = sub.add_parser(
         "chaos", help="run a cluster under a named fault scenario"
@@ -695,6 +971,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "live": _cmd_live,
         "query": _cmd_query,
+        "mesh": _cmd_mesh,
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "top": _cmd_top,

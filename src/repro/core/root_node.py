@@ -131,6 +131,14 @@ class DemaRootNode(SimulatedNode):
         #: Locals the failure detector has declared dead (until revived).
         self._dead: set[int] = set()
         self._deaths_declared = 0
+        #: Elastic membership: first window start a runtime joiner serves,
+        #: and first window start a departed local no longer serves.  The
+        #: constructor's locals carry no entries — they are eligible for
+        #: every window — so a run without joins or leaves behaves (and
+        #: answers) exactly as before.
+        self._joined_from: dict[int, int] = {}
+        self._left_at: dict[int, int] = {}
+        self._membership_epoch = 0
         #: Windows answered or aborted, permanently.  Unlike the expiring
         #: tombstones above, this survives arbitrarily long outages: a
         #: local resuming after minutes still gets a release, never a
@@ -185,6 +193,74 @@ class DemaRootNode(SimulatedNode):
         """Windows abandoned after exhausting reliability retries."""
         return self._aborted_windows
 
+    @property
+    def membership_epoch(self) -> int:
+        """Counts membership changes (joins + leaves) applied so far."""
+        return self._membership_epoch
+
+    @property
+    def current_members(self) -> tuple[int, ...]:
+        """Locals that have not announced a departure, in member order."""
+        return tuple(
+            local_id
+            for local_id in self._local_ids
+            if local_id not in self._left_at
+        )
+
+    def add_local(self, node_id: int, first_window_start: int) -> bool:
+        """Admit a runtime joiner, eligible from ``first_window_start``.
+
+        Idempotent; a re-join after a leave reopens eligibility from the
+        new start.  Returns whether the membership view changed.
+        """
+        changed = False
+        if node_id not in self._local_ids:
+            self._local_ids = self._local_ids + (node_id,)
+            changed = True
+        if self._joined_from.get(node_id) != first_window_start:
+            self._joined_from[node_id] = first_window_start
+            changed = True
+        if self._left_at.pop(node_id, None) is not None:
+            changed = True
+        self._dead.discard(node_id)
+        if changed:
+            self._membership_epoch += 1
+        return changed
+
+    def remove_local(
+        self, node_id: int, effective_from: int, now: float
+    ) -> bool:
+        """Graceful leave: stop expecting ``node_id`` from
+        ``effective_from`` on.
+
+        Open windows at or past the boundary immediately re-evaluate
+        without the leaver, so none of them can hang waiting on data the
+        leaver will never send.  Windows before the boundary are
+        untouched — the leaver still owes (and serves) them.
+        """
+        if node_id not in self._local_ids:
+            return False
+        if self._left_at.get(node_id) == effective_from:
+            return False
+        self._left_at[node_id] = effective_from
+        self._membership_epoch += 1
+        for window in sorted(self._states):
+            if window.start < effective_from:
+                continue
+            state = self._states.get(window)
+            if state is not None:
+                self._give_up_on(window, state, {node_id}, now)
+        return True
+
+    def _eligible_locals(self, window: Window) -> tuple[int, ...]:
+        """Locals that are members for ``window`` (joined, not yet left)."""
+        return tuple(
+            local_id
+            for local_id in self._local_ids
+            if self._joined_from.get(local_id, window.start) <= window.start
+            and window.start < self._left_at.get(local_id, window.end)
+        )
+
     def on_message(self, message: Message, now: float) -> None:
         """Dispatch local → root protocol messages."""
         if isinstance(message, SynopsisMessage):
@@ -233,19 +309,23 @@ class DemaRootNode(SimulatedNode):
             )
         if fresh and self._reliability is not None:
             self._arm_timer(message.window, now)
-        if state.identification is None and self._synopses_complete(state):
+        if state.identification is None and self._synopses_complete(
+            message.window, state
+        ):
             self._identify(message.window, state, now)
 
-    def _expected_locals(self, state: _WindowState) -> tuple[int, ...]:
+    def _expected_locals(
+        self, window: Window, state: _WindowState
+    ) -> tuple[int, ...]:
         """Locals this window still expects data from (alive, not given up)."""
         return tuple(
             local_id
-            for local_id in self._local_ids
+            for local_id in self._eligible_locals(window)
             if local_id not in self._dead and local_id not in state.excluded
         )
 
-    def _synopses_complete(self, state: _WindowState) -> bool:
-        return set(self._expected_locals(state)) <= set(state.synopses)
+    def _synopses_complete(self, window: Window, state: _WindowState) -> bool:
+        return set(self._expected_locals(window, state)) <= set(state.synopses)
 
     def _required_runs(self, state: _WindowState) -> set[tuple[int, int]]:
         """Run keys the current identification is waiting for."""
@@ -259,9 +339,9 @@ class DemaRootNode(SimulatedNode):
     def _runs_complete(self, state: _WindowState) -> bool:
         return self._required_runs(state) <= set(state.runs)
 
-    def _stalled_locals(self, state: _WindowState) -> set[int]:
+    def _stalled_locals(self, window: Window, state: _WindowState) -> set[int]:
         """Expected locals the current phase is still blocked on."""
-        expected = set(self._expected_locals(state))
+        expected = set(self._expected_locals(window, state))
         if state.identification is None:
             return expected - set(state.synopses)
         stalled = set()
@@ -345,7 +425,7 @@ class DemaRootNode(SimulatedNode):
         for node_id in gone:
             state.synopses.pop(node_id, None)
             state.sizes.pop(node_id, None)
-        if not self._expected_locals(state):
+        if not self._expected_locals(window, state):
             self._abort(window, state, now)
             return
         if state.identification is not None:
@@ -359,7 +439,7 @@ class DemaRootNode(SimulatedNode):
             state.identification = None
             state.participants = None
             state.runs.clear()
-        if self._synopses_complete(state):
+        if self._synopses_complete(window, state):
             self._identify(window, state, now)
 
     def _arm_timer(self, window: Window, now: float) -> None:
@@ -378,8 +458,8 @@ class DemaRootNode(SimulatedNode):
         assert self._reliability is not None
         if state.retries >= self._reliability.max_retries:
             if self._degrade:
-                stalled = self._stalled_locals(state)
-                expected = set(self._expected_locals(state))
+                stalled = self._stalled_locals(window, state)
+                expected = set(self._expected_locals(window, state))
                 if stalled and stalled != expected:
                     # Some locals are responsive: give up on the stragglers
                     # for this window only and answer from the rest, with a
@@ -394,7 +474,9 @@ class DemaRootNode(SimulatedNode):
             return
         state.retries += 1
         if state.identification is None:
-            missing = set(self._expected_locals(state)) - set(state.synopses)
+            missing = set(
+                self._expected_locals(window, state)
+            ) - set(state.synopses)
             for local_id in sorted(missing):
                 request = SynopsisRequestMessage(
                     sender=self.node_id, window=window
@@ -465,7 +547,7 @@ class DemaRootNode(SimulatedNode):
         # enough to answer every possible resend with a fresh release.
         horizon = (self._reliability.max_retries + 2) * self._reliability.timeout_s
         self._released[window] = now + horizon
-        for local_id in self._local_ids:
+        for local_id in self._eligible_locals(window):
             self.send(
                 WindowReleaseMessage(sender=self.node_id, window=window),
                 local_id,
@@ -477,11 +559,12 @@ class DemaRootNode(SimulatedNode):
         # Plan over the locals this window still expects; a straggler's
         # synopsis that arrived after its node was given up on must not
         # drag an unanswerable candidate request into the plan.
-        expected = self._expected_locals(state)
+        expected = self._expected_locals(window, state)
         synopses = {i: state.synopses[i] for i in expected if i in state.synopses}
         sizes = {i: state.sizes[i] for i in expected if i in state.sizes}
         state.participants = tuple(sorted(synopses))
-        completeness = len(state.participants) / len(self._local_ids)
+        eligible = max(len(self._eligible_locals(window)), 1)
+        completeness = len(state.participants) / eligible
         total = sum(sizes.values())
         tracing = self._tracer.enabled
         if tracing:
@@ -621,10 +704,11 @@ class DemaRootNode(SimulatedNode):
         self._finalized.add(window)
         if self._reliability is not None:
             self._release(window, finish)
+        eligible = self._eligible_locals(window)
         participants = (
             state.participants
             if state.participants is not None
-            else self._local_ids
+            else eligible
         )
         self._outcomes.append(
             WindowOutcome(
@@ -638,7 +722,7 @@ class DemaRootNode(SimulatedNode):
                     len(batch) for batch in state.synopses.values()
                 ),
                 gamma_used=state.gamma_used,
-                completeness=len(participants) / len(self._local_ids),
+                completeness=len(participants) / max(len(eligible), 1),
             )
         )
         if self._controller is not None:

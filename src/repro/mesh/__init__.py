@@ -1,0 +1,50 @@
+"""Scale-out mesh: elastic membership, sharded roots, relay aggregation.
+
+The mesh generalizes the single-root live runtime along three axes,
+without touching a line of the Dema operators:
+
+* **Elastic membership** — locals join and leave mid-run at grid
+  boundaries; windows re-plan around the change instead of hanging.
+* **Sharded roots** — window ownership is partitioned across R root
+  servers by a deterministic routing function; each shard runs the
+  unmodified identification/calculation operators on its share, and the
+  merged outcomes are bit-identical to a single root's.
+* **Relay-tree aggregation** — an optional tier of fan-in-F relays
+  combines children's synopsis and candidate frames, so root ingress
+  bytes grow with the relay count instead of the local count.
+
+See ``docs/mesh.md`` for the protocol details and invariants.
+"""
+
+from repro.mesh.config import MembershipEvent, MeshConfig
+from repro.mesh.cluster import (
+    MeshChaosContext,
+    MeshRunReport,
+    classify_outcomes,
+    mesh_oracle,
+    run_mesh,
+    run_mesh_cluster,
+)
+from repro.mesh.routing import (
+    RELAY_ID_BASE,
+    SHARD_ID_BASE,
+    relay_node_id,
+    shard_node_id,
+    shard_of,
+)
+
+__all__ = [
+    "MembershipEvent",
+    "MeshChaosContext",
+    "MeshConfig",
+    "MeshRunReport",
+    "classify_outcomes",
+    "mesh_oracle",
+    "run_mesh",
+    "run_mesh_cluster",
+    "RELAY_ID_BASE",
+    "SHARD_ID_BASE",
+    "relay_node_id",
+    "shard_node_id",
+    "shard_of",
+]

@@ -1,0 +1,683 @@
+"""Mesh cluster driver: shards, relays and elastic membership as one run.
+
+:func:`run_mesh_cluster` deploys R root shards behind the deterministic
+window→shard routing function, optionally a relay tier of fan-in F, and
+``n_locals`` locals fed by phased stream replays.  Membership events are
+driven at grid boundaries by a coordinator coroutine: the replays pause
+at each boundary, the coordinator applies the joins/leaves on every
+shard, and only then do post-boundary events flow — so a join serves its
+first full window correctly and a leave can never hang a window, by
+construction rather than by timeout.
+
+Without membership events and with a fixed γ, a mesh run's per-window
+quantile values are **bit-identical** to the single-root
+:class:`~repro.core.engine.DemaEngine` on the same workload: shards run
+the unmodified operators on disjoint window subsets, and relays combine
+frames without touching their contents.  :func:`mesh_oracle` computes
+that truth (membership truncations included) and
+:func:`classify_outcomes` grades a live mesh run against it with the
+chaos suite's recovered/degraded/lost taxonomy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.engine import DemaEngine
+from repro.core.local_node import DemaLocalNode
+from repro.core.root_node import DemaRootNode, WindowOutcome
+from repro.errors import ConfigurationError, TransportError
+from repro.mesh.config import MeshConfig
+from repro.mesh.relay import RelayServer
+from repro.mesh.routing import relay_node_id, shard_node_id, shard_of
+from repro.mesh.servers import (
+    MeshLocalServer,
+    MeshRootServer,
+    PhasedStreamServer,
+)
+from repro.network.metrics import LatencyStats
+from repro.network.topology import TopologyConfig, relay_groups
+from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.runtime.servers import LIVE_OPS_PER_SECOND, LiveFabric
+from repro.runtime.transport import (
+    FailureLatch,
+    MemoryNetwork,
+    MessageStream,
+    TcpNetwork,
+)
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+__all__ = [
+    "MeshChaosContext",
+    "MeshRunReport",
+    "run_mesh_cluster",
+    "run_mesh",
+    "mesh_oracle",
+    "classify_outcomes",
+]
+
+#: Stream-server ids start here: above every local, shard and relay id.
+_STREAM_ID_BASE = 1 << 22
+
+#: Coordinator poll interval while waiting on shard membership epochs.
+_EPOCH_POLL_S = 0.002
+
+
+@dataclass
+class MeshChaosContext:
+    """Live handles a ``disturb`` coroutine gets to inject faults with.
+
+    The hook runs alongside the replays; crash a local with
+    :meth:`~repro.mesh.servers.MeshLocalServer.crash_mesh` or kill a
+    whole relay with :meth:`~repro.mesh.relay.RelayServer.close` and the
+    shards' failure detectors degrade the affected windows — the run
+    still completes (the "degrade, never hang" guarantee under abrupt
+    death rather than graceful leave).
+    """
+
+    locals_by_id: "dict[int, MeshLocalServer]"
+    relays: "list[RelayServer]"
+    shards: "list[MeshRootServer]"
+
+
+@dataclass
+class MeshRunReport:
+    """Everything a caller needs from one mesh run."""
+
+    outcomes: list[WindowOutcome]
+    windows: int
+    events_sent: int
+    wall_seconds: float
+    #: Bytes/messages per layer, both directions: ``stream_local``,
+    #: ``local_root`` (flat), ``local_relay`` + ``relay_root`` (relayed).
+    bytes_by_layer: dict[str, int]
+    messages_by_layer: dict[str, int]
+    #: Bytes that actually entered a root shard (the toward-shard
+    #: direction of the ``local_root`` and ``relay_root`` links) — the
+    #: quantity the relay tier exists to shrink.
+    root_ingress_bytes: int
+    transport: str
+    n_shards: int
+    relay_fanin: int
+    #: Watermark seal (last local) → shard outcome, per completed window.
+    seal_to_result: LatencyStats
+    #: Final membership epoch per shard index (all equal on a clean run).
+    membership_epochs: dict[int, int] = field(default_factory=dict)
+    #: Final member list as shard 0 sees it.
+    members: tuple[int, ...] = ()
+    degraded_windows: int = 0
+    dropped_sends: int = 0
+    heartbeat_misses: int = 0
+    locals_declared_dead: int = 0
+    relay_frames_combined: int = 0
+    relay_sections_combined: int = 0
+
+    @property
+    def values(self) -> "list[float | None]":
+        """Per-window quantile values in window order."""
+        return [
+            outcome.value
+            for outcome in sorted(self.outcomes, key=lambda o: o.window)
+        ]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all layers and directions."""
+        return sum(self.bytes_by_layer.values())
+
+    @property
+    def events_per_second(self) -> float:
+        """Replay throughput on the wall clock."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_sent / self.wall_seconds
+
+    def outcome_by_window(self) -> "dict[Window, WindowOutcome]":
+        return {outcome.window: outcome for outcome in self.outcomes}
+
+
+def _grid(
+    streams: Mapping[int, Sequence[Event]], window_length_ms: int
+) -> "tuple[int, int]":
+    """The tumbling grid ``[start, end)`` covering every event."""
+    timestamps = [
+        event.timestamp
+        for events in streams.values()
+        for event in events
+    ]
+    if not timestamps:
+        raise ConfigurationError("mesh run needs at least one event")
+    lo, hi = min(timestamps), max(timestamps)
+    start = (lo // window_length_ms) * window_length_ms
+    end = (hi // window_length_ms + 1) * window_length_ms
+    return start, end
+
+
+def _membership_ranges(
+    config: MeshConfig, grid_start: int, grid_end: int
+) -> "dict[int, tuple[int, int]]":
+    """Per-local eligibility range ``[lo, hi)`` implied by the schedule."""
+    joins = {
+        event.local_id: event.at_ms
+        for event in config.membership
+        if event.kind == "join"
+    }
+    leaves = {
+        event.local_id: event.at_ms
+        for event in config.membership
+        if event.kind == "leave"
+    }
+    ranges: dict[int, tuple[int, int]] = {}
+    for local_id in range(1, config.n_locals + 1):
+        ranges[local_id] = (grid_start, leaves.get(local_id, grid_end))
+    for local_id, at_ms in joins.items():
+        ranges[local_id] = (at_ms, leaves.get(local_id, grid_end))
+    for local_id, at_ms in leaves.items():
+        if local_id not in ranges:
+            raise ConfigurationError(
+                f"local {local_id} leaves but never joins"
+            )
+        lo, _ = ranges[local_id]
+        if at_ms <= lo:
+            raise ConfigurationError(
+                f"local {local_id} leaves at {at_ms} before it is a "
+                f"member (from {lo})"
+            )
+    return ranges
+
+
+def mesh_oracle(
+    streams: Mapping[int, Sequence[Event]],
+    config: MeshConfig,
+) -> "dict[Window, float | None]":
+    """Ground truth: the single-root engine on the truncated workload.
+
+    Each local's stream is truncated to its eligibility range, which is
+    exactly the data the mesh serves — a graceful leave means "windows
+    past the boundary see none of my events", and a join means "windows
+    before the boundary see none of mine".  The engine's empty-synopsis
+    handling makes an ineligible local indistinguishable from an absent
+    one, so one engine run covers every membership schedule.
+    """
+    length = config.query.window_length_ms
+    grid_start, grid_end = _grid(streams, length)
+    ranges = _membership_ranges(config, grid_start, grid_end)
+    n_nodes = max(ranges)
+    truncated = {
+        local_id: [
+            event
+            for event in streams.get(local_id, ())
+            if ranges[local_id][0] <= event.timestamp < ranges[local_id][1]
+        ]
+        for local_id in range(1, n_nodes + 1)
+    }
+    engine = DemaEngine(
+        config.query,
+        TopologyConfig(n_local_nodes=n_nodes),
+        batch_size=config.batch_size,
+    )
+    report = engine.run(truncated)
+    return {
+        outcome.window: outcome.value for outcome in report.outcomes
+    }
+
+
+def classify_outcomes(
+    truth: "Mapping[Window, float | None]",
+    outcomes: "Sequence[WindowOutcome]",
+) -> "dict[str, int]":
+    """Grade mesh outcomes with the chaos suite's taxonomy.
+
+    ``recovered``: exact truth at completeness 1.0 (bit-identical);
+    ``degraded``: answered from a strict subset of the eligible locals;
+    ``lost``: no answer (or an empty answer where truth has a value);
+    ``mismatch``: a full-completeness answer that differs from truth —
+    always a bug, and exactly what the bit-identity tests pin to zero.
+    """
+    by_window = {outcome.window: outcome for outcome in outcomes}
+    classes = {"recovered": 0, "degraded": 0, "lost": 0, "mismatch": 0}
+    for window in sorted(truth):
+        expected = truth[window]
+        outcome = by_window.get(window)
+        if outcome is None:
+            classes["lost"] += 1
+        elif outcome.completeness < 1.0:
+            classes["degraded"] += 1
+        elif outcome.value is None:
+            if expected is None:
+                classes["recovered"] += 1
+            else:
+                classes["lost"] += 1
+        elif outcome.value == expected:
+            classes["recovered"] += 1
+        else:
+            classes["mismatch"] += 1
+    return classes
+
+
+async def run_mesh_cluster(
+    config: MeshConfig,
+    streams: Mapping[int, Sequence[Event]],
+    *,
+    tracer: Tracer = NOOP_TRACER,
+    disturb=None,
+) -> MeshRunReport:
+    """Run the full mesh topology over ``streams`` and collect the report.
+
+    Args:
+        config: Shards, relays, membership schedule, transport.
+        streams: Per-local event streams in timestamp order, keyed by
+            local id — including runtime joiners (their pre-join events
+            are dropped, as are a leaver's post-leave events).
+        tracer: Observability hooks; membership changes and relay
+            combines are recorded as spans, current membership as the
+            ``mesh_members`` gauge.
+        disturb: Optional ``async (MeshChaosContext) -> None`` fault
+            hook, started once the cluster is live and cancelled at
+            teardown.  Use with a :attr:`MeshConfig.tolerance` so the
+            failure detectors can degrade around what it breaks.
+    """
+    length = config.query.window_length_ms
+    grid_start, grid_end = _grid(streams, length)
+    ranges = _membership_ranges(config, grid_start, grid_end)
+    unknown = set(streams) - set(ranges)
+    if unknown:
+        raise ConfigurationError(
+            f"streams reference unknown local nodes {sorted(unknown)}"
+        )
+    for event in config.membership:
+        if not grid_start < event.at_ms < grid_end:
+            raise ConfigurationError(
+                f"membership boundary {event.at_ms} outside the grid "
+                f"({grid_start}, {grid_end})"
+            )
+        if (event.at_ms - grid_start) % length != 0:
+            raise ConfigurationError(
+                f"membership boundary {event.at_ms} is not on the "
+                f"{length} ms tumbling grid"
+            )
+
+    windows = [
+        Window(start, start + length)
+        for start in range(grid_start, grid_end, length)
+    ]
+    shard_windows = {
+        index: [
+            window for window in windows
+            if shard_of(window.start, length, config.n_shards) == index
+        ]
+        for index in range(config.n_shards)
+    }
+
+    initial_ids = list(range(1, config.n_locals + 1))
+    joiner_ids = sorted(
+        event.local_id
+        for event in config.membership
+        if event.kind == "join"
+    )
+    all_local_ids = sorted({*initial_ids, *joiner_ids})
+
+    #: Relay assignment covers every local that will ever exist, so a
+    #: joiner's relay is known (and wired) before the join happens.
+    groups = relay_groups(all_local_ids, config.relay_fanin)
+    relay_of = {
+        local_id: group_index
+        for group_index, group in enumerate(groups)
+        for local_id in group
+    }
+
+    tolerance = config.tolerance
+    reliability = tolerance.reliability if tolerance is not None else None
+    failures = FailureLatch()
+    network = (
+        TcpNetwork(failures=failures)
+        if config.transport == "tcp"
+        else MemoryNetwork(max_frames=config.queue_frames, failures=failures)
+    )
+    loop = asyncio.get_event_loop()
+    epoch = loop.time()
+    dialed: list[tuple[str, int, int, MessageStream]] = []
+
+    def track(layer: str, src: int, dst: int, stream: MessageStream) -> None:
+        dialed.append((layer, src, dst, stream))
+
+    gates = {
+        at_ms: asyncio.Event()
+        for at_ms in {event.at_ms for event in config.membership}
+    }
+
+    # ------------------------------------------------------------------
+    # root shards
+    shards: list[MeshRootServer] = []
+    downstream = (
+        {
+            local_id: relay_node_id(group_index)
+            for local_id, group_index in relay_of.items()
+        }
+        if groups
+        else None
+    )
+    for index in range(config.n_shards):
+        shard = MeshRootServer(
+            DemaRootNode(
+                shard_node_id(index),
+                local_ids=initial_ids,
+                query=config.query,
+                ops_per_second=LIVE_OPS_PER_SECOND,
+                reliability=reliability,
+                degrade_after_retries=tolerance is not None,
+            ),
+            LiveFabric(epoch),
+            expected_windows=len(shard_windows[index]),
+            downstream=downstream,
+            tracer=tracer,
+            tolerance=tolerance,
+            failures=failures,
+        )
+        await network.listen(shard_node_id(index), shard.serve)
+        shard.start_monitor()
+        shards.append(shard)
+
+    # ------------------------------------------------------------------
+    # relay tier
+    relays: list[RelayServer] = []
+    for group_index in range(len(groups)):
+        relay = RelayServer(
+            group_index,
+            window_length_ms=length,
+            n_shards=config.n_shards,
+            flush_after_s=config.relay_flush_s,
+            tracer=tracer,
+            failures=failures,
+        )
+        await network.listen(relay.node_id, relay.serve)
+        uplinks: dict[int, MessageStream] = {}
+        for index in range(config.n_shards):
+            stream = await network.dial(shard_node_id(index))
+            track("relay_root", relay.node_id, shard_node_id(index), stream)
+            uplinks[index] = stream
+        await relay.connect_shards(uplinks)
+        relays.append(relay)
+
+    # ------------------------------------------------------------------
+    # locals and their phased stream replays
+    locals_by_id: dict[int, MeshLocalServer] = {}
+    stream_servers: list[PhasedStreamServer] = []
+    replays: list[asyncio.Task] = []
+    next_stream_id = [_STREAM_ID_BASE]
+
+    async def start_local(
+        local_id: int, *, join_from: "int | None" = None
+    ) -> None:
+        lo, hi = ranges[local_id]
+        local = MeshLocalServer(
+            DemaLocalNode(
+                local_id,
+                root_id=0,
+                query=config.query,
+                ops_per_second=LIVE_OPS_PER_SECOND,
+                reliability=reliability,
+            ),
+            LiveFabric(epoch),
+            n_shards=config.n_shards,
+            expected_streams=config.streams_per_local,
+            grid_start=lo,
+            grid_end=hi,
+            window_length_ms=length,
+            tracer=tracer,
+            tolerance=tolerance,
+            failures=failures,
+        )
+        locals_by_id[local_id] = local
+        await network.listen(local_id, local.serve)
+        uplinks: dict[int, MessageStream] = {}
+        if groups:
+            relay_peer = relay_node_id(relay_of[local_id])
+            stream = await network.dial(relay_peer)
+            track("local_relay", local_id, relay_peer, stream)
+            uplinks[relay_peer] = stream
+        else:
+            for index in range(config.n_shards):
+                stream = await network.dial(shard_node_id(index))
+                track(
+                    "local_root", local_id, shard_node_id(index), stream
+                )
+                uplinks[shard_node_id(index)] = stream
+        await local.connect_upstreams(uplinks, join_from=join_from)
+
+        share = [
+            event
+            for event in streams.get(local_id, ())
+            if lo <= event.timestamp < hi
+        ]
+        split: list[list[Event]] = [
+            [] for _ in range(config.streams_per_local)
+        ]
+        for position, event in enumerate(share):
+            split[position % config.streams_per_local].append(event)
+        for events in split:
+            server = PhasedStreamServer(
+                next_stream_id[0],
+                events=events,
+                batch_size=config.batch_size,
+                grid_start=lo,
+                grid_end=hi,
+                window_length_ms=length,
+                gates=gates,
+            )
+            next_stream_id[0] += 1
+            stream_servers.append(server)
+
+            async def replay(srv: PhasedStreamServer, dst: int) -> None:
+                pipe = await network.dial(dst)
+                track("stream_local", srv.stream_id, dst, pipe)
+                await srv.replay(pipe)
+
+            replays.append(
+                asyncio.ensure_future(replay(server, local_id))
+            )
+
+    for local_id in initial_ids:
+        await start_local(local_id)
+
+    # ------------------------------------------------------------------
+    # membership coordinator: applies each boundary's joins/leaves on
+    # every shard before opening that boundary's replay gate.
+    async def coordinate_membership() -> None:
+        applied = 0
+        for at_ms in sorted(gates):
+            here = [
+                event for event in config.membership
+                if event.at_ms == at_ms
+            ]
+            for event in here:
+                if event.kind == "leave":
+                    await locals_by_id[event.local_id].announce_leave(at_ms)
+                else:
+                    await start_local(event.local_id, join_from=at_ms)
+                applied += 1
+            while any(
+                shard.node.membership_epoch < applied for shard in shards
+            ):
+                await asyncio.sleep(_EPOCH_POLL_S)
+            gates[at_ms].set()
+
+    async def run_disturb() -> None:
+        try:
+            await disturb(
+                MeshChaosContext(
+                    locals_by_id=locals_by_id, relays=relays, shards=shards
+                )
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            failures.record(exc)
+
+    coordinator: asyncio.Task | None = None
+    main_task: asyncio.Task | None = None
+    failure_task: asyncio.Task | None = None
+    disturb_task: asyncio.Task | None = None
+    try:
+        coordinator = asyncio.ensure_future(coordinate_membership())
+        if disturb is not None:
+            disturb_task = asyncio.ensure_future(run_disturb())
+
+        async def main() -> None:
+            assert coordinator is not None
+            await coordinator
+            results = await asyncio.gather(*replays, return_exceptions=True)
+            for result in results:
+                if isinstance(result, asyncio.CancelledError):
+                    continue  # a chaos crash cancels its feeds
+                if isinstance(result, BaseException):
+                    raise result
+            for shard in shards:
+                await shard.done.wait()
+
+        main_task = asyncio.ensure_future(main())
+        failure_task = asyncio.ensure_future(failures.event.wait())
+        done, _ = await asyncio.wait(
+            {main_task, failure_task},
+            timeout=config.timeout_s,
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if failure_task in done and failures.error is not None:
+            raise TransportError(
+                f"mesh cluster task failed: {failures.error!r}"
+            ) from failures.error
+        if main_task not in done:
+            finished = sum(len(s.node.outcomes) for s in shards)
+            raise TransportError(
+                f"mesh run did not complete {len(windows)} windows within "
+                f"{config.timeout_s}s ({finished} finished)"
+            )
+        main_task.result()
+    finally:
+        for task in (coordinator, main_task, failure_task, disturb_task):
+            if task is not None and not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+        for task in replays:
+            if not task.done():
+                task.cancel()
+        for shard in shards:
+            await shard.stop_monitor()
+        for local in locals_by_id.values():
+            await local.shutdown()
+        for relay in relays:
+            await relay.close()
+        for _, _, _, stream in dialed:
+            with contextlib.suppress(TransportError):
+                await stream.close()
+        await network.close()
+
+    # ------------------------------------------------------------------
+    # report
+    wall_seconds = loop.time() - epoch
+    outcomes = sorted(
+        (
+            outcome
+            for shard in shards
+            for outcome in shard.node.outcomes
+        ),
+        key=lambda outcome: outcome.window,
+    )
+    seal_to_result = LatencyStats()
+    for shard in shards:
+        for outcome in shard.node.outcomes:
+            sealed = max(
+                (
+                    local.seal_walls.get(outcome.window, 0.0)
+                    for local in locals_by_id.values()
+                ),
+                default=0.0,
+            )
+            finished = shard.result_walls.get(outcome.window)
+            if finished is not None:
+                seal_to_result.add(max(0.0, finished - sealed))
+
+    bytes_by_layer: dict[str, int] = {}
+    messages_by_layer: dict[str, int] = {}
+    root_ingress = 0
+    for layer, src, dst, stream in dialed:
+        stats = stream.stats
+        bytes_by_layer[layer] = (
+            bytes_by_layer.get(layer, 0)
+            + stats.bytes_sent
+            + stats.bytes_received
+        )
+        messages_by_layer[layer] = (
+            messages_by_layer.get(layer, 0)
+            + stats.messages_sent
+            + stats.messages_received
+        )
+        if layer in ("local_root", "relay_root"):
+            root_ingress += stats.bytes_sent
+        if tracer.enabled:
+            tracer.record_link(
+                src, dst,
+                bytes=stats.bytes_sent, messages=stats.messages_sent,
+            )
+            tracer.record_link(
+                dst, src,
+                bytes=stats.bytes_received, messages=stats.messages_received,
+            )
+
+    return MeshRunReport(
+        outcomes=outcomes,
+        windows=len(windows),
+        events_sent=sum(server.events_sent for server in stream_servers),
+        wall_seconds=wall_seconds,
+        bytes_by_layer=bytes_by_layer,
+        messages_by_layer=messages_by_layer,
+        root_ingress_bytes=root_ingress,
+        transport=config.transport,
+        n_shards=config.n_shards,
+        relay_fanin=config.relay_fanin,
+        seal_to_result=seal_to_result,
+        membership_epochs={
+            index: shard.node.membership_epoch
+            for index, shard in enumerate(shards)
+        },
+        members=shards[0].node.current_members,
+        degraded_windows=sum(
+            shard.node.degraded_windows for shard in shards
+        ),
+        dropped_sends=(
+            sum(shard.dropped_sends for shard in shards)
+            + sum(
+                local.dropped_sends for local in locals_by_id.values()
+            )
+        ),
+        heartbeat_misses=sum(
+            shard.heartbeat_misses for shard in shards
+        ),
+        locals_declared_dead=sum(
+            shard.locals_declared_dead for shard in shards
+        ),
+        relay_frames_combined=sum(
+            relay.frames_combined for relay in relays
+        ),
+        relay_sections_combined=sum(
+            relay.sections_combined for relay in relays
+        ),
+    )
+
+
+def run_mesh(
+    config: MeshConfig,
+    streams: Mapping[int, Sequence[Event]],
+    *,
+    tracer: Tracer = NOOP_TRACER,
+    disturb=None,
+) -> MeshRunReport:
+    """Synchronous wrapper around :func:`run_mesh_cluster`."""
+    return asyncio.run(
+        run_mesh_cluster(config, streams, tracer=tracer, disturb=disturb)
+    )

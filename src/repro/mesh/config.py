@@ -1,0 +1,131 @@
+"""Mesh deployment shape: shards, relays and the membership schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import QuantileQuery
+from repro.errors import ConfigurationError
+from repro.faults.plan import ToleranceConfig
+from repro.runtime.transport import DEFAULT_QUEUE_FRAMES
+
+__all__ = ["MembershipEvent", "MeshConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipEvent:
+    """One planned elastic-membership change.
+
+    Attributes:
+        at_ms: Event-time boundary (must lie on the tumbling grid,
+            strictly inside it).  A join makes ``local_id`` eligible for
+            windows starting at ``at_ms``; a leave makes windows from
+            ``at_ms`` on stop waiting for it.
+        local_id: The local node joining or leaving.
+        kind: ``"join"`` or ``"leave"``.
+    """
+
+    at_ms: int
+    local_id: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ConfigurationError(
+                f"membership kind must be 'join' or 'leave', got "
+                f"{self.kind!r}"
+            )
+        if self.local_id < 1:
+            raise ConfigurationError(
+                f"membership events need a local id >= 1, got {self.local_id}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class MeshConfig:
+    """Shape of one mesh run.
+
+    Attributes:
+        n_locals: Locals present from the start (ids ``1..n_locals``).
+            Joiners get ids above that, named by the membership schedule.
+        streams_per_local: Replay tasks feeding each local.
+        n_shards: Root shards; window ownership is
+            :func:`~repro.mesh.routing.shard_of`.
+        relay_fanin: Children per relay.  ``0`` (the default) runs the
+            flat topology — every local dials every shard directly.  With
+            a positive fan-in, locals are partitioned into relay groups
+            and only the relays dial the shards.
+        query: The quantile query.  Mesh runs require a **fixed** γ:
+            adaptive γ is per-root state, and independent shards would
+            diverge from the single-root baseline.
+        batch_size: Events per replayed batch.
+        transport: ``"memory"`` or ``"tcp"``.
+        queue_frames: Bound of each in-memory pipe direction.
+        timeout_s: Overall run deadline; ``None`` waits forever.
+        membership: Planned joins and leaves (may be empty).
+        relay_flush_s: Relay combine-buffer deadline: a window's combined
+            frame is forwarded when every eligible child has reported or
+            when this many wall seconds have passed since the first
+            section arrived, whichever is first — a crashed child can
+            delay a relay frame, never stall it.
+        tolerance: Optional survival policy.  ``None`` (the default) runs
+            the deterministic fail-fast path, which is also the
+            bit-identity configuration; set it to compose with fault
+            injection (heartbeats flow through relays transparently).
+    """
+
+    n_locals: int = 4
+    streams_per_local: int = 1
+    n_shards: int = 1
+    relay_fanin: int = 0
+    query: QuantileQuery = field(default_factory=QuantileQuery)
+    batch_size: int = 512
+    transport: str = "memory"
+    queue_frames: int = DEFAULT_QUEUE_FRAMES
+    timeout_s: float | None = 60.0
+    membership: tuple[MembershipEvent, ...] = ()
+    relay_flush_s: float = 1.0
+    tolerance: ToleranceConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_locals < 1:
+            raise ConfigurationError("need at least one local node")
+        if self.streams_per_local < 1:
+            raise ConfigurationError("need at least one stream per local")
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"need at least one root shard, got {self.n_shards}"
+            )
+        if self.relay_fanin < 0:
+            raise ConfigurationError(
+                f"relay fan-in must be >= 0, got {self.relay_fanin}"
+            )
+        if self.transport not in ("memory", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'memory' or 'tcp', got {self.transport!r}"
+            )
+        if self.query.adaptive:
+            raise ConfigurationError(
+                "mesh runs need a fixed gamma: adaptive gamma is per-root "
+                "state and independent shards would diverge"
+            )
+        if self.query.is_sliding:
+            raise ConfigurationError("the live runtime seals tumbling grids only")
+        if self.relay_flush_s <= 0:
+            raise ConfigurationError(
+                f"relay_flush_s must be > 0, got {self.relay_flush_s}"
+            )
+        seen: set[tuple[int, str]] = set()
+        for event in self.membership:
+            key = (event.local_id, event.kind)
+            if key in seen:
+                raise ConfigurationError(
+                    f"duplicate membership event for local "
+                    f"{event.local_id} ({event.kind})"
+                )
+            seen.add(key)
+            if event.kind == "join" and event.local_id <= self.n_locals:
+                raise ConfigurationError(
+                    f"local {event.local_id} is an initial member and "
+                    f"cannot join at runtime"
+                )

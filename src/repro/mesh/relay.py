@@ -1,0 +1,449 @@
+"""Relay tier: merge children's frames so root ingress scales with relays.
+
+A relay sits between a group of locals and every root shard.  Downstream
+it looks exactly like the root (children dial it and speak the unmodified
+local protocol); upstream it looks like a single very productive local.
+Its one job is *combining*: the per-window synopsis batches of its
+children become one :class:`~repro.network.messages.RelaySynopsisMessage`
+whose compact 36-byte entries drop everything the section structure
+reconstructs, and candidate runs become one
+:class:`~repro.network.messages.RelayRunsMessage`.  The root explodes the
+sections back into the identical per-child frames, so the operators on
+both ends run unmodified and the quantile values stay bit-identical —
+the relay saves header and per-synopsis overhead, not information.
+
+Combining waits for every window-eligible child, but never indefinitely:
+a flush deadline (:attr:`~repro.mesh.config.MeshConfig.relay_flush_s`)
+forwards whatever has arrived, and anything after that travels as a
+singleton frame.  A crashed child can therefore delay a relay frame by
+one deadline, never stall it — degradation is the root's call, made by
+its failure detector on the heartbeats the relay forwards verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+
+from repro.errors import TransportError
+from repro.network.messages import (
+    CandidateEventsMessage,
+    CandidateRequestMessage,
+    GammaUpdateMessage,
+    HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
+    Message,
+    RelayRunsMessage,
+    RelaySynopsisMessage,
+    RouteUpdateMessage,
+    SynopsisMessage,
+    SynopsisRequestMessage,
+    WindowReleaseMessage,
+)
+from repro.mesh.routing import relay_node_id, shard_of
+from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.runtime.codec import Hello
+from repro.runtime.transport import FailureLatch, MessageStream
+from repro.streaming.windows import Window
+
+__all__ = [
+    "combine_synopses",
+    "combine_runs",
+    "explode_synopses",
+    "explode_runs",
+    "RelayServer",
+]
+
+
+def combine_synopses(
+    parts: "dict[int, SynopsisMessage]", sender: int, window: Window
+) -> RelaySynopsisMessage:
+    """Merge per-child synopsis messages into one relay frame.
+
+    Sections are ordered by child id so the same inputs always produce
+    the same bytes.
+    """
+    sections = tuple(
+        (child, parts[child].local_window_size, tuple(parts[child].synopses))
+        for child in sorted(parts)
+    )
+    return RelaySynopsisMessage(
+        sender=sender, window=window, sections=sections
+    )
+
+
+def combine_runs(
+    parts: "dict[tuple[int, int], CandidateEventsMessage]",
+    sender: int,
+    window: Window,
+) -> RelayRunsMessage:
+    """Merge per-child candidate runs into one relay frame."""
+    sections = tuple(
+        (child, index, tuple(parts[child, index].events))
+        for child, index in sorted(parts)
+    )
+    return RelayRunsMessage(sender=sender, window=window, sections=sections)
+
+
+def explode_synopses(
+    message: RelaySynopsisMessage,
+) -> "list[SynopsisMessage]":
+    """Reconstruct the per-child synopsis frames a relay combined.
+
+    The result is exactly what each child would have sent directly, so
+    the identification operator cannot tell a relay was involved.
+    """
+    return [
+        SynopsisMessage(
+            sender=node_id,
+            window=message.window,
+            synopses=tuple(synopses),
+            local_window_size=size,
+        )
+        for node_id, size, synopses in message.sections
+    ]
+
+
+def explode_runs(message: RelayRunsMessage) -> "list[CandidateEventsMessage]":
+    """Reconstruct the per-child candidate-run frames a relay combined."""
+    return [
+        CandidateEventsMessage(
+            sender=node_id,
+            window=message.window,
+            slice_index=slice_index,
+            events=tuple(events),
+        )
+        for node_id, slice_index, events in message.sections
+    ]
+
+
+class RelayServer:
+    """One relay: children dial down, the relay dials every shard up.
+
+    Not a :class:`~repro.runtime.servers.NodeHost` — a relay hosts no
+    operator.  It is pure forwarding machinery with two combine buffers
+    (synopses up, candidate runs up) and a broadcast fan-out (releases
+    and gamma updates down).
+
+    Routing conventions on the shard links:
+
+    * upward frames carry ``group_id`` 0 and the relay's own sender id on
+      the outer frame (inner sections keep the children's ids);
+    * downward frames from a shard carry the destination child in
+      ``group_id`` (reset to 0 before forwarding, so children see exactly
+      the frames a direct root would send); ``group_id`` 0 means
+      broadcast to every connected child.
+
+    Membership messages pass through unmodified — but the relay applies
+    them to its own eligibility table *first*, so by the time any shard
+    has admitted a joiner the relay already waits for (or has stopped
+    waiting for) the right children.
+    """
+
+    def __init__(self, index: int, *, window_length_ms: int, n_shards: int,
+                 flush_after_s: float = 1.0,
+                 tracer: Tracer = NOOP_TRACER,
+                 failures: FailureLatch | None = None) -> None:
+        self.index = index
+        self.node_id = relay_node_id(index)
+        self._length = window_length_ms
+        self._n_shards = n_shards
+        self._flush_after_s = flush_after_s
+        self.tracer = tracer
+        self._failures = failures
+        self._loop = asyncio.get_event_loop()
+        #: Connected children and their streams.
+        self._children: dict[int, MessageStream] = {}
+        #: Elastic eligibility, mirroring the root's membership table.
+        self._joined_from: dict[int, int] = {}
+        self._left_at: dict[int, int] = {}
+        #: Shard index → dialed upstream stream.
+        self._shards: dict[int, MessageStream] = {}
+        self._readers: list[asyncio.Task] = []
+        #: Synopsis combine buffer: window → child → frame.
+        self._syn_buffer: dict[Window, dict[int, SynopsisMessage]] = {}
+        self._syn_timers: dict[Window, asyncio.TimerHandle] = {}
+        #: Candidate-run combine buffer: window → (child, index) → frame,
+        #: plus the (child, index) pairs owed per window, learned from the
+        #: requests forwarded down.
+        self._run_buffer: dict[
+            Window, dict[tuple[int, int], CandidateEventsMessage]
+        ] = {}
+        self._run_expected: dict[Window, set[tuple[int, int]]] = {}
+        self._run_timers: dict[Window, asyncio.TimerHandle] = {}
+        self._closing = False
+        self.frames_combined = 0
+        self.sections_combined = 0
+        self.singleton_forwards = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    async def connect_shards(
+        self, shards: "dict[int, MessageStream]"
+    ) -> None:
+        """Adopt the dialed shard streams and announce ourselves on each."""
+        self._shards = dict(shards)
+        for stream in self._shards.values():
+            await stream.send(Hello(node_id=self.node_id, role="relay"))
+        for shard_index, stream in self._shards.items():
+            task = asyncio.ensure_future(self._read_shard(shard_index, stream))
+            self._readers.append(task)
+
+    async def close(self) -> None:
+        """Stop forwarding and drop every link (teardown or chaos kill)."""
+        self._closing = True
+        for timer in (*self._syn_timers.values(), *self._run_timers.values()):
+            timer.cancel()
+        self._syn_timers.clear()
+        self._run_timers.clear()
+        for task in self._readers:
+            task.cancel()
+        for task in self._readers:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._readers.clear()
+        for stream in (*self._children.values(), *self._shards.values()):
+            with contextlib.suppress(TransportError):
+                await stream.close()
+
+    # ------------------------------------------------------------------
+    # downstream: one connection handler per dialing child
+
+    async def serve(self, stream: MessageStream) -> None:
+        """Connection handler for one dialing child local."""
+        first = await stream.recv()
+        if not isinstance(first, Hello) or first.role != "local":
+            raise TransportError(
+                f"relay {self.node_id} expected a local hello, got "
+                f"{type(first).__name__}"
+            )
+        child = first.node_id
+        self._children[child] = stream
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    break  # child died mid-frame; the root's detector rules
+                if message is None:
+                    break
+                await self._on_child_message(child, message)
+        finally:
+            if self._children.get(child) is stream:
+                del self._children[child]
+
+    async def _on_child_message(self, child: int, message: Message) -> None:
+        if isinstance(message, SynopsisMessage):
+            await self._buffer_synopsis(child, message)
+        elif isinstance(message, CandidateEventsMessage):
+            await self._buffer_run(child, message)
+        elif isinstance(message, JoinMessage):
+            # Apply locally *before* any shard sees it: eligibility at the
+            # relay must never lag the roots'.
+            self._joined_from[child] = message.first_window_start
+            self._left_at.pop(child, None)
+            await self._send_all_shards(message)
+        elif isinstance(message, LeaveMessage):
+            self._left_at[child] = message.effective_from
+            await self._send_all_shards(message)
+            await self._flush_unblocked_windows()
+        elif isinstance(message, HeartbeatMessage):
+            # Forward verbatim (sender intact): the shards' failure
+            # detectors track children straight through the relay.
+            await self._send_all_shards(message)
+        else:
+            raise TransportError(
+                f"relay {self.node_id} cannot forward "
+                f"{type(message).__name__} from child {child}"
+            )
+
+    # ------------------------------------------------------------------
+    # upstream: one reader task per dialed shard
+
+    async def _read_shard(
+        self, shard_index: int, stream: MessageStream
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    return  # shard link died; teardown owns the rest
+                if message is None:
+                    return
+                await self._on_shard_message(message)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
+
+    async def _on_shard_message(self, message: Message) -> None:
+        if isinstance(message, CandidateRequestMessage):
+            child = message.group_id
+            if message.slice_indices:
+                expected = self._run_expected.setdefault(message.window, set())
+                for index in message.slice_indices:
+                    expected.add((child, index))
+            await self._send_child(child, message)
+        elif isinstance(message, (
+            WindowReleaseMessage, GammaUpdateMessage, RouteUpdateMessage,
+            SynopsisRequestMessage, HeartbeatMessage,
+        )):
+            if message.group_id == 0:
+                for child in list(self._children):
+                    await self._send_child(child, message)
+            else:
+                await self._send_child(message.group_id, message)
+        else:
+            raise TransportError(
+                f"relay {self.node_id} cannot route "
+                f"{type(message).__name__} from a shard"
+            )
+
+    # ------------------------------------------------------------------
+    # combine buffers
+
+    def _eligible_children(self, window: Window) -> "set[int]":
+        """Connected children that are members for ``window``."""
+        return {
+            child
+            for child in self._children
+            if self._joined_from.get(child, window.start) <= window.start
+            and window.start < self._left_at.get(child, window.end)
+        }
+
+    async def _buffer_synopsis(
+        self, child: int, message: SynopsisMessage
+    ) -> None:
+        window = message.window
+        buffer = self._syn_buffer.setdefault(window, {})
+        if window not in self._syn_timers:
+            # Covers the late case too: a section arriving after the
+            # combined flush (reliability resend, or a child slower than
+            # the deadline) opens a fresh buffer and travels once its own
+            # deadline fires.  The root deduplicates, so that is safe.
+            self._syn_timers[window] = self._loop.call_later(
+                self._flush_after_s, self._fire, window, self._flush_synopses
+            )
+        buffer[child] = message
+        if self._eligible_children(window) <= set(buffer):
+            await self._flush_synopses(window)
+
+    async def _buffer_run(
+        self, child: int, message: CandidateEventsMessage
+    ) -> None:
+        window = message.window
+        key = (child, message.slice_index)
+        buffer = self._run_buffer.setdefault(window, {})
+        buffer[key] = message
+        if window not in self._run_timers:
+            self._run_timers[window] = self._loop.call_later(
+                self._flush_after_s, self._fire, window, self._flush_runs
+            )
+        expected = self._run_expected.get(window, set())
+        if expected and expected <= set(buffer):
+            await self._flush_runs(window)
+
+    def _fire(self, window: Window, flush) -> None:
+        """Deadline hook: flush whatever the window has accumulated."""
+        if self._closing:
+            return
+        task = asyncio.ensure_future(self._guarded(flush(window)))
+        del task  # fire-and-forget; failures land in the latch
+
+    async def _guarded(self, awaitable) -> None:
+        try:
+            await awaitable
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
+
+    async def _flush_synopses(self, window: Window) -> None:
+        parts = self._syn_buffer.pop(window, None)
+        timer = self._syn_timers.pop(window, None)
+        if timer is not None:
+            timer.cancel()
+        if not parts:
+            return
+        combined = combine_synopses(parts, self.node_id, window)
+        if len(parts) > 1:
+            self.frames_combined += 1
+            self.sections_combined += len(parts)
+        else:
+            self.singleton_forwards += 1
+        if self.tracer.enabled:
+            now = self._loop.time()
+            self.tracer.record(
+                "relay_combine", self.node_id, now, now,
+                window=window, sections=len(parts),
+                bytes=combined.wire_bytes,
+            )
+        await self._send_shard(window, combined)
+
+    async def _flush_runs(self, window: Window) -> None:
+        parts = self._run_buffer.pop(window, None)
+        timer = self._run_timers.pop(window, None)
+        if timer is not None:
+            timer.cancel()
+        expected = self._run_expected.pop(window, None)
+        if not parts:
+            return
+        if expected:
+            # Keep waiting for runs the deadline flush did not cover; a
+            # later arrival re-arms its own deadline.
+            remaining = expected - set(parts)
+            if remaining:
+                self._run_expected[window] = remaining
+        combined = combine_runs(parts, self.node_id, window)
+        if len(parts) > 1:
+            self.frames_combined += 1
+            self.sections_combined += len(parts)
+        else:
+            self.singleton_forwards += 1
+        await self._send_shard(window, combined)
+
+    async def _flush_unblocked_windows(self) -> None:
+        """Re-check every buffered window after a membership change."""
+        for window in list(self._syn_buffer):
+            buffer = self._syn_buffer.get(window)
+            if buffer and self._eligible_children(window) <= set(buffer):
+                await self._flush_synopses(window)
+
+    # ------------------------------------------------------------------
+    # sends
+
+    async def _send_shard(self, window: Window, message: Message) -> None:
+        shard = shard_of(window.start, self._length, self._n_shards)
+        stream = self._shards.get(shard)
+        if stream is None:
+            return  # torn down; nothing upstream to tell
+        with contextlib.suppress(TransportError):
+            await stream.send(message)
+
+    async def _send_all_shards(self, message: Message) -> None:
+        for stream in self._shards.values():
+            with contextlib.suppress(TransportError):
+                await stream.send(message)
+
+    async def _send_child(self, child: int, message: Message) -> None:
+        stream = self._children.get(child)
+        if stream is None:
+            return  # departed or crashed; the root's detector rules
+        if message.group_id != 0:
+            # Children must see the frames a direct root would send.
+            message = _with_group(message, 0)
+        with contextlib.suppress(TransportError):
+            await stream.send(message)
+
+
+def _with_group(message: Message, group_id: int) -> Message:
+    """Copy ``message`` with a different ``group_id``."""
+    return dataclasses.replace(message, group_id=group_id)

@@ -1,0 +1,55 @@
+"""Deterministic id spaces and window→shard routing for mesh runs.
+
+A mesh deployment has three kinds of long-lived node ids:
+
+* locals keep their small ids (``1..``, as in single-root runs);
+* root shards live at ``SHARD_ID_BASE + index``;
+* relays live at ``RELAY_ID_BASE + index``.
+
+The bases are far above any realistic local count, so the three spaces
+can never collide and a node id alone reveals the layer.
+
+Shard routing is a pure function of the window start: windows are
+numbered on the tumbling grid and dealt round-robin across shards.
+Every node (local, relay, shard, driver, test oracle) computes the same
+owner from the same arithmetic — no routing state to synchronize, which
+is what keeps sharded runs bit-identical to the single-root baseline.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SHARD_ID_BASE",
+    "RELAY_ID_BASE",
+    "shard_of",
+    "shard_node_id",
+    "relay_node_id",
+]
+
+#: Root-shard ids start here (shard r listens at ``SHARD_ID_BASE + r``).
+SHARD_ID_BASE = 1 << 20
+
+#: Relay ids start here (relay k listens at ``RELAY_ID_BASE + k``).
+RELAY_ID_BASE = 1 << 21
+
+
+def shard_of(window_start: int, window_length_ms: int, n_shards: int) -> int:
+    """The shard index owning the window that starts at ``window_start``.
+
+    Windows are dealt round-robin by grid index, so consecutive windows
+    land on different shards and every shard carries an equal share of a
+    long run (within one window).
+    """
+    if n_shards <= 1:
+        return 0
+    return (window_start // window_length_ms) % n_shards
+
+
+def shard_node_id(index: int) -> int:
+    """Wire node id of root shard ``index``."""
+    return SHARD_ID_BASE + index
+
+
+def relay_node_id(index: int) -> int:
+    """Wire node id of relay ``index``."""
+    return RELAY_ID_BASE + index

@@ -1,0 +1,474 @@
+"""Mesh hosts: sharded roots, multi-uplink locals, gated stream replay.
+
+All three are thin shells around the unmodified live hosts:
+
+``MeshRootServer``
+    A :class:`~repro.runtime.servers.RootServer` whose operator owns only
+    the windows its shard is responsible for.  It accepts both ``local``
+    and ``relay`` peers, applies membership messages to the operator's
+    table, and explodes relay frames back into the per-child originals —
+    so the identification and calculation operators run *unmodified* and
+    produce exactly the single-root bytes-for-bytes outcomes.
+
+``MeshLocalServer``
+    A :class:`~repro.runtime.servers.LocalServer` that holds one uplink
+    per shard (flat mode) or a single relay uplink, and routes each
+    outgoing frame by its window's owner shard.  The operator still
+    addresses everything to root id 0; routing is a host concern.
+
+``PhasedStreamServer``
+    A stream replay that pauses at membership boundaries: it ships every
+    pre-boundary batch, seals them with a watermark *at* the boundary,
+    and then waits for the cluster driver to apply the joins/leaves and
+    open the gate.  Because no post-boundary event can be in flight
+    before the gate opens, no window at or past the boundary can complete
+    before every shard has applied the membership change — which is the
+    whole correctness argument for elastic membership, enforced by
+    construction instead of by locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.errors import TransportError
+from repro.network.messages import (
+    EventBatchMessage,
+    GammaUpdateMessage,
+    HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
+    Message,
+    RelayRunsMessage,
+    RelaySynopsisMessage,
+    RouteUpdateMessage,
+    WatermarkMessage,
+    WindowReleaseMessage,
+)
+from repro.mesh.relay import explode_runs, explode_synopses
+from repro.mesh.routing import RELAY_ID_BASE, shard_node_id, shard_of
+from repro.obs.live.context import TraceContext
+from repro.runtime.codec import Hello
+from repro.runtime.servers import LocalServer, RootServer, batches_for
+from repro.runtime.transport import MessageStream
+from repro.streaming.events import Event
+from repro.streaming.windows import Window
+
+__all__ = ["MeshRootServer", "MeshLocalServer", "PhasedStreamServer"]
+
+#: Placeholder window on membership/heartbeat frames (the wire header
+#: needs a valid window; these frames are not about any window).
+_CONTROL_WINDOW = Window(0, 1)
+
+
+class MeshRootServer(RootServer):
+    """One root shard: the plain root server plus mesh-frame handling."""
+
+    def __init__(self, node, fabric, *, expected_windows: int,
+                 downstream: "Mapping[int, int] | None" = None,
+                 **kwargs) -> None:
+        super().__init__(node, fabric, expected_windows=expected_windows,
+                         **kwargs)
+        #: Static relay routing: child local id → the peer (relay id)
+        #: whose stream carries frames for it.  Empty in flat mode.
+        self._downstream: dict[int, int] = dict(downstream or {})
+        #: Shards whose window share is empty are born done.
+        if expected_windows == 0:
+            self.done.set()
+        #: Frames addressed to peers this shard has no stream to are
+        #: dropped, not fatal: a departed local's release, a gamma
+        #: broadcast to a child behind a relay that died, etc.
+        self._drop_unroutable = True
+
+    # -- membership & relay frames -------------------------------------
+
+    async def dispatch(
+        self, message: Message, context: TraceContext | None = None
+    ) -> None:
+        if isinstance(message, JoinMessage):
+            if self.node.add_local(message.sender, message.first_window_start):
+                self._note_membership()
+                await self._broadcast_route_update()
+            await self.flush()
+            return
+        if isinstance(message, LeaveMessage):
+            if self.node.remove_local(
+                message.sender, message.effective_from, self.fabric.now
+            ):
+                self._note_membership()
+                await self._broadcast_route_update()
+            # The leave may have completed degraded-eligible windows.
+            await self.flush()
+            self._account_outcomes()
+            return
+        if isinstance(message, RelaySynopsisMessage):
+            for part in explode_synopses(message):
+                await super().dispatch(part, context)
+            return
+        if isinstance(message, RelayRunsMessage):
+            for part in explode_runs(message):
+                await super().dispatch(part, context)
+            return
+        await super().dispatch(message, context)
+
+    def _note_membership(self) -> None:
+        if self.tracer.enabled:
+            now = self.fabric.now
+            members = self.node.current_members
+            self.tracer.record(
+                "mesh_membership", self.node_id, now, now,
+                epoch=self.node.membership_epoch, members=len(members),
+            )
+            self.tracer.registry.gauge(
+                "mesh_members",
+                "Locals currently admitted to the mesh.",
+            ).set(float(len(members)))
+
+    async def _broadcast_route_update(self) -> None:
+        update = RouteUpdateMessage(
+            sender=self.node_id,
+            window=_CONTROL_WINDOW,
+            epoch=self.node.membership_epoch,
+            members=self.node.current_members,
+        )
+        for stream in list(self._peers.values()):
+            with contextlib.suppress(TransportError):
+                await stream.send(update)
+
+    # -- relay-aware outbound routing ----------------------------------
+
+    async def flush(self) -> None:
+        """Ship queued frames, routing relay children via their relay.
+
+        A frame for a child behind a relay travels on the relay's stream
+        with the child in ``group_id``; identical broadcast-shaped frames
+        (releases, gamma updates) are coalesced into one ``group_id`` 0
+        frame per relay, which the relay fans out — the downlink copy of
+        the uplink's combining.
+        """
+        if not self._downstream:
+            await super().flush()
+            return
+        broadcast_sent: set[tuple[int, type, Window, int]] = set()
+        for dst, message in self.fabric.drain():
+            peer_id = self._downstream.get(dst, dst)
+            if peer_id != dst and isinstance(
+                message, (WindowReleaseMessage, GammaUpdateMessage)
+            ):
+                gamma = getattr(message, "gamma", 0)
+                key = (peer_id, type(message), message.window, gamma)
+                if key in broadcast_sent:
+                    continue
+                broadcast_sent.add(key)
+                outgoing = message  # group_id 0: relay broadcasts it
+            elif peer_id != dst:
+                outgoing = dataclasses.replace(message, group_id=dst)
+            else:
+                outgoing = message
+            stream = self._peers.get(peer_id)
+            if stream is None:
+                self.dropped_sends += 1
+                continue
+            try:
+                await stream.send(outgoing)
+            except TransportError:
+                self.dropped_sends += 1
+
+    # -- connection handling -------------------------------------------
+
+    async def serve(self, stream: MessageStream) -> None:
+        """Connection handler for one dialing local or relay."""
+        hello = await self.expect_hello(stream, ("local", "relay"))
+        self.register_peer(hello.node_id, stream)
+        if self._tolerance is not None and hello.role == "local":
+            self._on_local_hello(hello)
+            await self.flush()
+            self._account_outcomes()
+        elif self._tolerance is not None:
+            # A relay's children never dial us, so their hellos cannot
+            # enroll them; enroll every known member now and let their
+            # forwarded heartbeats keep the deadlines fed.
+            for local_id in self.node.current_members:
+                self._observe(local_id)
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    if self._tolerance is None:
+                        raise
+                    break
+                if message is None:
+                    break
+                if isinstance(message, Hello):
+                    raise TransportError("unexpected second hello")
+                if self._tolerance is not None:
+                    # Liveness evidence is per *original sender*: frames a
+                    # relay forwards keep the child's id, so children
+                    # behind relays are monitored transparently; the relay
+                    # id itself (no heartbeats of its own) is never
+                    # enrolled.
+                    if message.sender in self.node.local_ids:
+                        self._observe(message.sender)
+                    if isinstance(message, HeartbeatMessage):
+                        continue
+                await self.dispatch(message, stream.last_context)
+                self._account_outcomes()
+        finally:
+            if self._peers.get(hello.node_id) is stream:
+                del self._peers[hello.node_id]
+
+
+class MeshLocalServer(LocalServer):
+    """One local with an uplink per shard (or one relay uplink)."""
+
+    def __init__(self, node, fabric, *, n_shards: int, **kwargs) -> None:
+        super().__init__(node, fabric, dial_root=None, **kwargs)
+        self._n_shards = n_shards
+        #: Peer id → dialed stream; a single entry in relay mode.
+        self._upstreams: dict[int, MessageStream] = {}
+        #: Set iff the only upstream is a relay: constant-route fast path.
+        self._relay_peer: int | None = None
+        self._reader_tasks: list[asyncio.Task] = []
+        self._mesh_heartbeat_task: asyncio.Task | None = None
+        #: Latest membership epoch seen from each upstream peer.
+        self.route_epochs: dict[int, int] = {}
+
+    async def connect_upstreams(
+        self,
+        upstreams: "Mapping[int, MessageStream]",
+        *,
+        join_from: int | None = None,
+    ) -> None:
+        """Adopt the dialed uplinks, announce, and start reading them.
+
+        ``join_from`` marks a runtime joiner: a
+        :class:`~repro.network.messages.JoinMessage` goes out FIFO-first
+        on every uplink, so no shard can see the joiner's data before its
+        membership.
+        """
+        self._upstreams = dict(upstreams)
+        if len(self._upstreams) == 1:
+            only = next(iter(self._upstreams))
+            if only >= RELAY_ID_BASE:
+                self._relay_peer = only
+        for peer_id, stream in self._upstreams.items():
+            self.register_peer(peer_id, stream)
+            await stream.send(Hello(node_id=self.node_id, role="local"))
+            if join_from is not None:
+                await stream.send(
+                    JoinMessage(
+                        sender=self.node_id,
+                        window=_CONTROL_WINDOW,
+                        first_window_start=join_from,
+                    )
+                )
+        for peer_id, stream in self._upstreams.items():
+            task = asyncio.ensure_future(
+                self._read_upstream(peer_id, stream)
+            )
+            self._reader_tasks.append(task)
+        if self._tolerance is not None:
+            self._mesh_heartbeat_task = asyncio.ensure_future(
+                self._mesh_heartbeats()
+            )
+
+    async def announce_leave(self, effective_from: int) -> None:
+        """Tell every upstream this local serves no window past the mark."""
+        for stream in self._upstreams.values():
+            with contextlib.suppress(TransportError):
+                await stream.send(
+                    LeaveMessage(
+                        sender=self.node_id,
+                        window=_CONTROL_WINDOW,
+                        effective_from=effective_from,
+                    )
+                )
+
+    async def _read_upstream(
+        self, peer_id: int, stream: MessageStream
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await stream.recv()
+                except TransportError:
+                    if self._tolerance is None:
+                        raise
+                    return
+                if message is None:
+                    return
+                if isinstance(message, RouteUpdateMessage):
+                    self.route_epochs[peer_id] = max(
+                        self.route_epochs.get(peer_id, 0), message.epoch
+                    )
+                    continue
+                if isinstance(message, HeartbeatMessage):
+                    continue
+                await self.dispatch(message, stream.last_context)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            if self._failures is None:
+                raise
+            self._failures.record(exc)
+
+    async def _mesh_heartbeats(self) -> None:
+        """Liveness beacons on every uplink (relays forward verbatim)."""
+        assert self._tolerance is not None
+        interval = self._tolerance.heartbeat_interval_s
+        while not self._closing:
+            await asyncio.sleep(interval)
+            if self._crashed:
+                continue
+            self._heartbeat_seq += 1
+            beat = HeartbeatMessage(
+                sender=self.node_id,
+                window=_CONTROL_WINDOW,
+                sequence=self._heartbeat_seq,
+            )
+            for stream in self._upstreams.values():
+                with contextlib.suppress(TransportError):
+                    await stream.send(beat)
+
+    async def flush(self) -> None:
+        """Route each queued frame to its window's owner shard.
+
+        The operator addresses the root as id 0; the host resolves that
+        to the relay uplink, or to ``shard_of`` the frame's window.
+        """
+        for dst, message in self.fabric.drain():
+            peer_id = dst
+            if dst == 0:
+                if self._relay_peer is not None:
+                    peer_id = self._relay_peer
+                else:
+                    peer_id = shard_node_id(shard_of(
+                        message.window.start,
+                        self._window_length_ms,
+                        self._n_shards,
+                    ))
+            stream = self._upstreams.get(peer_id) or self._peers.get(peer_id)
+            if stream is None:
+                if self._drop_unroutable:
+                    self.dropped_sends += 1
+                    continue
+                raise TransportError(
+                    f"local {self.node_id} has no uplink to peer {peer_id}"
+                )
+            try:
+                await stream.send(message)
+            except TransportError:
+                if not self._drop_unroutable:
+                    raise
+                self.dropped_sends += 1
+
+    async def crash_mesh(self) -> None:
+        """Abrupt death: stop heartbeats and drop every uplink."""
+        self._crashed = True
+        self.crashes += 1
+        await self._stop_mesh_tasks()
+        for stream in self._upstreams.values():
+            with contextlib.suppress(TransportError):
+                await stream.close()
+
+    async def _stop_mesh_tasks(self) -> None:
+        tasks = list(self._reader_tasks)
+        if self._mesh_heartbeat_task is not None:
+            tasks.append(self._mesh_heartbeat_task)
+            self._mesh_heartbeat_task = None
+        self._reader_tasks = []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    async def shutdown(self) -> None:
+        self._closing = True
+        await self._stop_mesh_tasks()
+        await super().shutdown()
+
+
+class PhasedStreamServer:
+    """Stream replay that pauses at membership boundaries.
+
+    The boundary protocol: every batch with a timestamp below boundary
+    ``b`` is shipped, then a watermark at exactly ``b`` (sealing every
+    window that ends at or before ``b``), then the replay blocks on
+    ``gates[b]``.  The cluster driver opens the gate only after every
+    shard has applied the boundary's joins and leaves — so data and
+    membership can never race.
+    """
+
+    def __init__(self, stream_id: int, *, events: Sequence[Event],
+                 batch_size: int, grid_start: int, grid_end: int,
+                 window_length_ms: int,
+                 gates: "Mapping[int, asyncio.Event] | None" = None) -> None:
+        self.stream_id = stream_id
+        self._events = tuple(events)
+        self._batch_size = max(1, batch_size)
+        self._grid_start = grid_start
+        self._grid_end = grid_end
+        self._length = window_length_ms
+        self._gates = dict(gates or {})
+        self.events_sent = 0
+
+    async def replay(self, stream: MessageStream) -> None:
+        await stream.send(Hello(node_id=self.stream_id, role="stream"))
+        span = Window(
+            self._grid_start, max(self._grid_end, self._grid_start + 1)
+        )
+        timestamps = [event.timestamp for event in self._events]
+        boundaries = sorted(
+            b for b in self._gates if self._grid_start < b < self._grid_end
+        )
+        cursor = 0
+        for boundary in (*boundaries, self._grid_end):
+            stop = bisect.bisect_left(timestamps, boundary, cursor)
+            await self._ship(
+                stream, self._events[cursor:stop], span, boundary
+            )
+            cursor = stop
+            if boundary != self._grid_end:
+                await self._gates[boundary].wait()
+        await stream.close()
+
+    async def _ship(
+        self,
+        stream: MessageStream,
+        events: "tuple[Event, ...]",
+        span: Window,
+        seal_to: int,
+    ) -> None:
+        """One phase: every batch, then the sealing watermark."""
+        length = self._length
+        watermarked_window: int | None = None
+        for batch in batches_for(events, length, self._batch_size):
+            last_ts = batch[-1].timestamp
+            await stream.send(
+                EventBatchMessage(
+                    sender=self.stream_id,
+                    window=Window(batch[0].timestamp, last_ts + 1),
+                    events=batch,
+                )
+            )
+            window_index = last_ts // length
+            if window_index != watermarked_window:
+                watermarked_window = window_index
+                await stream.send(
+                    WatermarkMessage(
+                        sender=self.stream_id, window=span,
+                        watermark_time=last_ts,
+                    )
+                )
+            self.events_sent += len(batch)
+        await stream.send(
+            WatermarkMessage(
+                sender=self.stream_id, window=span, watermark_time=seal_to
+            )
+        )

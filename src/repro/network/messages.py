@@ -41,6 +41,11 @@ __all__ = [
     "QueryAckMessage",
     "QueryResultMessage",
     "QueryDeregisterMessage",
+    "JoinMessage",
+    "LeaveMessage",
+    "RouteUpdateMessage",
+    "RelaySynopsisMessage",
+    "RelayRunsMessage",
 ]
 
 #: Fixed per-message framing overhead: u32 length prefix plus the frame
@@ -359,6 +364,109 @@ class QueryDeregisterMessage(Message):
     @property
     def payload_bytes(self) -> int:
         return wire.U32_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class JoinMessage(Message):
+    """A local announces it is joining the mesh at runtime.
+
+    Sent FIFO-first on every upstream link (before any synopsis), so by
+    the time the joiner's first window data arrives, every root shard
+    already counts it as a member.  ``first_window_start`` is the start
+    (event-time ms) of the first grid window the joiner will fully serve;
+    the membership table makes it eligible from that window on.
+    """
+
+    first_window_start: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.I64_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveMessage(Message):
+    """A local announces a graceful departure.
+
+    ``effective_from`` is the first grid window start (event-time ms) the
+    sender will *not* serve.  Windows before it complete normally; windows
+    at or past it no longer wait on the sender — departure degrades
+    nothing and can never hang a window.
+    """
+
+    effective_from: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.I64_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class RouteUpdateMessage(Message):
+    """Root shard broadcasts its membership view after a join or leave.
+
+    ``epoch`` increments on every membership change; ``members`` is the
+    shard's full current member list.  Relays and locals use it to keep
+    their routing tables in step (and tests use it to assert convergence).
+    """
+
+    epoch: int = 0
+    members: tuple[int, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.U64_BYTES
+            + wire.COUNT_BYTES
+            + len(self.members) * wire.U32_BYTES
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RelaySynopsisMessage(Message):
+    """Several locals' synopsis batches combined into one relay frame.
+
+    Each section is ``(node_id, local_window_size, synopses)`` and carries
+    one child's *complete, ordered* batch for the window.  The compact
+    36-byte synopsis encoding drops the owner id (section header) and the
+    slice index / slice total (position and length of the section), all of
+    which reconstruct exactly on decode — the root explodes sections back
+    into the identical per-child :class:`SynopsisMessage` frames, so the
+    identification operator runs unmodified and bit-identically.
+    """
+
+    #: tuple[(node_id, local_window_size, tuple[SliceSynopsis, ...]), ...]
+    sections: tuple = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.COUNT_BYTES + sum(
+            wire.RELAY_SYNOPSIS_SECTION_FIXED_BYTES
+            + len(synopses) * wire.RELAY_SYNOPSIS_WIRE_BYTES
+            for _, _, synopses in self.sections
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RelayRunsMessage(Message):
+    """Several candidate runs combined into one relay frame.
+
+    Each section is ``(node_id, slice_index, events)`` — one child's
+    pre-sorted candidate run, exactly as the child served it.  The root
+    explodes sections into per-child :class:`CandidateEventsMessage`
+    frames, so the calculation operator runs unmodified.
+    """
+
+    #: tuple[(node_id, slice_index, tuple[Event, ...]), ...]
+    sections: tuple = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.COUNT_BYTES + sum(
+            wire.RELAY_RUN_SECTION_FIXED_BYTES
+            + len(events) * EVENT_WIRE_BYTES
+            for _, _, events in self.sections
+        )
 
 
 def batch_events(

@@ -25,7 +25,7 @@ from repro.network.channels import (
 )
 from repro.network.simulator import SimulatedNode, Simulator
 
-__all__ = ["NodeRole", "TopologyConfig", "Topology"]
+__all__ = ["NodeRole", "TopologyConfig", "Topology", "relay_groups"]
 
 #: Root node id is fixed; local and stream node ids are assigned from here.
 ROOT_NODE_ID = 0
@@ -37,6 +37,10 @@ class NodeRole(enum.Enum):
     STREAM = "stream"
     LOCAL = "local"
     ROOT = "root"
+    #: Optional aggregation tier between locals and the root (mesh runs):
+    #: a relay merges its children's synopsis batches into combined frames
+    #: so root ingress grows with the relay count, not the local count.
+    RELAY = "relay"
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,6 +215,21 @@ class Topology:
     def downlink(self, local_id: int) -> Channel:
         """The root → local channel of ``local_id``."""
         return self.simulator.channel(self.root_id, local_id)
+
+
+def relay_groups(
+    local_ids: "list[int] | tuple[int, ...]", fanin: int
+) -> "list[tuple[int, ...]]":
+    """Partition locals into contiguous relay groups of at most ``fanin``.
+
+    Deterministic: group ``k`` holds ``local_ids[k*fanin : (k+1)*fanin]``,
+    so the same member list always yields the same tree.  ``fanin <= 0``
+    means "no relay tier" and returns the empty list.
+    """
+    if fanin <= 0:
+        return []
+    ids = tuple(local_ids)
+    return [ids[i:i + fanin] for i in range(0, len(ids), fanin)]
 
 
 def _require_node(candidate, factory_name: str) -> None:

@@ -43,6 +43,8 @@ from repro.network.messages import (
     EventBatchMessage,
     GammaUpdateMessage,
     HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
     Message,
     PartialAggregateMessage,
     QDigestMessage,
@@ -50,7 +52,10 @@ from repro.network.messages import (
     QueryDeregisterMessage,
     QueryRegisterMessage,
     QueryResultMessage,
+    RelayRunsMessage,
+    RelaySynopsisMessage,
     ResultMessage,
+    RouteUpdateMessage,
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
@@ -82,7 +87,7 @@ __all__ = [
 HELLO_TAG = 0
 
 #: Roles a peer may announce in its ``Hello``.
-_ROLE_CODES = {"stream": 1, "local": 2, "root": 3, "driver": 4}
+_ROLE_CODES = {"stream": 1, "local": 2, "root": 3, "driver": 4, "relay": 5}
 _ROLE_NAMES = {code: name for name, code in _ROLE_CODES.items()}
 
 
@@ -138,6 +143,11 @@ TAG_BY_TYPE: dict[type, int] = {
     QueryAckMessage: 17,
     QueryResultMessage: 18,
     QueryDeregisterMessage: 19,
+    JoinMessage: 20,
+    LeaveMessage: 21,
+    RouteUpdateMessage: 22,
+    RelaySynopsisMessage: 23,
+    RelayRunsMessage: 24,
 }
 
 TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
@@ -318,6 +328,49 @@ def _encode_query_deregister(m: QueryDeregisterMessage) -> bytes:
     return wire.U32.pack(m.query_id)
 
 
+def _encode_join(m: JoinMessage) -> bytes:
+    return wire.I64.pack(m.first_window_start)
+
+
+def _encode_leave(m: LeaveMessage) -> bytes:
+    return wire.I64.pack(m.effective_from)
+
+
+def _encode_route_update(m: RouteUpdateMessage) -> bytes:
+    parts = [wire.U64.pack(m.epoch), wire.COUNT.pack(len(m.members))]
+    parts.extend(wire.U32.pack(member) for member in m.members)
+    return b"".join(parts)
+
+
+def _encode_relay_synopsis(m: RelaySynopsisMessage) -> bytes:
+    parts = [wire.COUNT.pack(len(m.sections))]
+    pack = wire.RELAY_SYNOPSIS.pack
+    for node_id, local_window_size, synopses in m.sections:
+        parts.append(
+            wire.RELAY_SYNOPSIS_SECTION_FIXED.pack(
+                node_id, local_window_size, len(synopses)
+            )
+        )
+        for s in synopses:
+            parts.append(pack(*s.first_key, *s.last_key, s.count))
+    return b"".join(parts)
+
+
+def _encode_relay_runs(m: RelayRunsMessage) -> bytes:
+    parts = [wire.COUNT.pack(len(m.sections))]
+    for node_id, slice_index, events in m.sections:
+        parts.append(
+            wire.RELAY_RUN_SECTION_FIXED.pack(
+                node_id, slice_index, len(events)
+            )
+        )
+        args: list = []
+        for ev in events:
+            args.extend((ev.value, ev.timestamp, ev.node_id, ev.seq))
+        parts.append(struct.pack("<" + "dIII" * len(events), *args))
+    return b"".join(parts)
+
+
 _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     Message: _encode_empty,
     EventBatchMessage: _encode_event_batch,
@@ -338,6 +391,11 @@ _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     QueryAckMessage: _encode_query_ack,
     QueryResultMessage: _encode_query_result,
     QueryDeregisterMessage: _encode_query_deregister,
+    JoinMessage: _encode_join,
+    LeaveMessage: _encode_leave,
+    RouteUpdateMessage: _encode_route_update,
+    RelaySynopsisMessage: _encode_relay_synopsis,
+    RelayRunsMessage: _encode_relay_runs,
 }
 
 
@@ -536,6 +594,58 @@ def _decode_query_deregister(r, sender, window, group_id):
     return QueryDeregisterMessage(sender, window, group_id, query_id)
 
 
+def _decode_join(r, sender, window, group_id):
+    (first_window_start,) = r.unpack(wire.I64)
+    return JoinMessage(sender, window, group_id, first_window_start)
+
+
+def _decode_leave(r, sender, window, group_id):
+    (effective_from,) = r.unpack(wire.I64)
+    return LeaveMessage(sender, window, group_id, effective_from)
+
+
+def _decode_route_update(r, sender, window, group_id):
+    (epoch,) = r.unpack(wire.U64)
+    n = r.count()
+    members = tuple(r.unpack(wire.U32)[0] for _ in range(n))
+    return RouteUpdateMessage(sender, window, group_id, epoch, members)
+
+
+def _decode_relay_synopsis(r, sender, window, group_id):
+    n_sections = r.count()
+    sections = []
+    for _ in range(n_sections):
+        node_id, local_window_size, n = r.unpack(
+            wire.RELAY_SYNOPSIS_SECTION_FIXED
+        )
+        synopses = []
+        for index in range(n):
+            raw = r.unpack(wire.RELAY_SYNOPSIS)
+            synopses.append(
+                SliceSynopsis(
+                    first_key=(raw[0], raw[1], raw[2]),
+                    last_key=(raw[3], raw[4], raw[5]),
+                    count=raw[6],
+                    slice_index=index,
+                    n_slices=n,
+                    node_id=node_id,
+                )
+            )
+        sections.append((node_id, local_window_size, tuple(synopses)))
+    return RelaySynopsisMessage(sender, window, group_id, tuple(sections))
+
+
+def _decode_relay_runs(r, sender, window, group_id):
+    n_sections = r.count()
+    sections = []
+    for _ in range(n_sections):
+        node_id, slice_index, n = r.unpack(wire.RELAY_RUN_SECTION_FIXED)
+        raw = r.view(n * wire.EVENT.size)
+        events = tuple(starmap(Event, wire.EVENT.iter_unpack(raw)))
+        sections.append((node_id, slice_index, events))
+    return RelayRunsMessage(sender, window, group_id, tuple(sections))
+
+
 _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[Message]: _decode_bare(Message),
     TAG_BY_TYPE[EventBatchMessage]: _decode_event_batch,
@@ -556,6 +666,11 @@ _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[QueryAckMessage]: _decode_query_ack,
     TAG_BY_TYPE[QueryResultMessage]: _decode_query_result,
     TAG_BY_TYPE[QueryDeregisterMessage]: _decode_query_deregister,
+    TAG_BY_TYPE[JoinMessage]: _decode_join,
+    TAG_BY_TYPE[LeaveMessage]: _decode_leave,
+    TAG_BY_TYPE[RouteUpdateMessage]: _decode_route_update,
+    TAG_BY_TYPE[RelaySynopsisMessage]: _decode_relay_synopsis,
+    TAG_BY_TYPE[RelayRunsMessage]: _decode_relay_runs,
 }
 
 

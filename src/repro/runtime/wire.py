@@ -86,6 +86,12 @@ __all__ = [
     "QUERY_ACK_FIXED_BYTES",
     "QUERY_RESULT",
     "QUERY_RESULT_BYTES",
+    "RELAY_SYNOPSIS",
+    "RELAY_SYNOPSIS_WIRE_BYTES",
+    "RELAY_SYNOPSIS_SECTION_FIXED",
+    "RELAY_SYNOPSIS_SECTION_FIXED_BYTES",
+    "RELAY_RUN_SECTION_FIXED",
+    "RELAY_RUN_SECTION_FIXED_BYTES",
 ]
 
 #: Protocol version stamped into every frame header.  A decoder refuses
@@ -187,6 +193,24 @@ QUERY_ACK_FIXED_BYTES = QUERY_ACK_FIXED.size
 QUERY_RESULT = struct.Struct("<IdQQ")
 QUERY_RESULT_BYTES = QUERY_RESULT.size
 
+#: One slice synopsis inside a relay-combined section: first key, last key,
+#: count u32.  12 bytes smaller than :data:`SYNOPSIS` because the owning
+#: node id lives in the section header and the slice index / slice total
+#: are implicit in the section (position and length) — the relay combines
+#: only *complete, ordered* synopsis batches, so both reconstruct exactly.
+RELAY_SYNOPSIS = struct.Struct("<dIIdIII")
+RELAY_SYNOPSIS_WIRE_BYTES = RELAY_SYNOPSIS.size
+
+#: Relay synopsis section header: node_id u32, local window size u64,
+#: synopsis count u32.  The compact synopses follow.
+RELAY_SYNOPSIS_SECTION_FIXED = struct.Struct("<IQI")
+RELAY_SYNOPSIS_SECTION_FIXED_BYTES = RELAY_SYNOPSIS_SECTION_FIXED.size
+
+#: Relay candidate-run section header: node_id u32, slice_index u32,
+#: event count u32.  The run's events follow.
+RELAY_RUN_SECTION_FIXED = struct.Struct("<III")
+RELAY_RUN_SECTION_FIXED_BYTES = RELAY_RUN_SECTION_FIXED.size
+
 
 # The documented layout above is load-bearing for the simulator's byte
 # accounting; fail at import time if a struct edit ever drifts from it.
@@ -199,3 +223,6 @@ assert TRACE_CONTEXT_EXT_BYTES == 17
 assert QUERY_REGISTER_FIXED_BYTES == 44
 assert QUERY_ACK_FIXED_BYTES == 8
 assert QUERY_RESULT_BYTES == 28
+assert RELAY_SYNOPSIS_WIRE_BYTES == 2 * KEY_WIRE_BYTES + U32_BYTES == 36
+assert RELAY_SYNOPSIS_SECTION_FIXED_BYTES == 16
+assert RELAY_RUN_SECTION_FIXED_BYTES == 12

@@ -1,0 +1,73 @@
+"""Validation tests for the mesh deployment config."""
+
+import pytest
+
+from repro.core.query import QuantileQuery
+from repro.errors import ConfigurationError
+from repro.mesh import MembershipEvent, MeshConfig
+
+
+class TestMembershipEvent:
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            MembershipEvent(at_ms=1_000, local_id=5, kind="restart")
+
+    def test_local_id_validated(self):
+        with pytest.raises(ConfigurationError):
+            MembershipEvent(at_ms=1_000, local_id=0, kind="join")
+
+
+class TestMeshConfig:
+    def test_defaults_are_valid(self):
+        config = MeshConfig()
+        assert config.n_shards == 1
+        assert config.relay_fanin == 0
+
+    def test_adaptive_gamma_rejected(self):
+        with pytest.raises(ConfigurationError, match="fixed gamma"):
+            MeshConfig(query=QuantileQuery(gamma=8, adaptive=True))
+
+    def test_sliding_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshConfig(
+                query=QuantileQuery(window_length_ms=1000, window_step_ms=500)
+            )
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshConfig(n_shards=0)
+
+    def test_negative_fanin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshConfig(relay_fanin=-1)
+
+    def test_nonpositive_flush_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshConfig(relay_flush_s=0.0)
+
+    def test_duplicate_membership_event_rejected(self):
+        events = (
+            MembershipEvent(at_ms=1_000, local_id=5, kind="join"),
+            MembershipEvent(at_ms=2_000, local_id=5, kind="join"),
+        )
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            MeshConfig(membership=events)
+
+    def test_initial_member_cannot_join(self):
+        with pytest.raises(ConfigurationError, match="initial member"):
+            MeshConfig(
+                n_locals=4,
+                membership=(
+                    MembershipEvent(at_ms=1_000, local_id=3, kind="join"),
+                ),
+            )
+
+    def test_join_then_leave_of_one_local_is_allowed(self):
+        config = MeshConfig(
+            n_locals=2,
+            membership=(
+                MembershipEvent(at_ms=1_000, local_id=3, kind="join"),
+                MembershipEvent(at_ms=2_000, local_id=3, kind="leave"),
+            ),
+        )
+        assert len(config.membership) == 2

@@ -1,0 +1,56 @@
+"""Tests for the deterministic mesh routing function and id spaces."""
+
+from repro.mesh import (
+    RELAY_ID_BASE,
+    SHARD_ID_BASE,
+    relay_node_id,
+    shard_node_id,
+    shard_of,
+)
+
+
+class TestShardOf:
+    def test_single_shard_owns_everything(self):
+        assert shard_of(0, 1000, 1) == 0
+        assert shard_of(123_000, 1000, 1) == 0
+        assert shard_of(0, 1000, 0) == 0
+
+    def test_round_robin_by_window_index(self):
+        assert [shard_of(start, 1000, 3) for start in range(0, 6000, 1000)] \
+            == [0, 1, 2, 0, 1, 2]
+
+    def test_deterministic(self):
+        assert shard_of(42_000, 500, 7) == shard_of(42_000, 500, 7)
+
+    def test_every_shard_is_hit(self):
+        n_shards = 4
+        owners = {
+            shard_of(start, 1000, n_shards)
+            for start in range(0, 100_000, 1000)
+        }
+        assert owners == set(range(n_shards))
+
+    def test_windows_in_one_grid_slot_share_a_shard(self):
+        # All events of one window land on the window's owner, regardless
+        # of where inside the window they fall.
+        assert shard_of(3_000, 1000, 4) == shard_of(3_000, 1000, 4)
+        assert shard_of(3_000, 1000, 4) != shard_of(4_000, 1000, 4)
+
+
+class TestIdSpaces:
+    def test_bases_are_disjoint(self):
+        assert SHARD_ID_BASE != RELAY_ID_BASE
+        # 1024 of each never collide with the other tier or with small
+        # local/root ids.
+        shard_ids = {shard_node_id(i) for i in range(1024)}
+        relay_ids = {relay_node_id(i) for i in range(1024)}
+        assert not (shard_ids & relay_ids)
+        assert all(nid >= SHARD_ID_BASE for nid in shard_ids)
+        assert all(nid >= RELAY_ID_BASE for nid in relay_ids)
+        assert not (shard_ids | relay_ids) & set(range(1024))
+
+    def test_node_ids_are_sequential(self):
+        assert shard_node_id(0) == SHARD_ID_BASE
+        assert shard_node_id(3) - shard_node_id(0) == 3
+        assert relay_node_id(0) == RELAY_ID_BASE
+        assert relay_node_id(5) - relay_node_id(0) == 5

@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.network.simulator import SimulatedNode, Simulator
-from repro.network.topology import NodeRole, Topology, TopologyConfig
+from repro.network.topology import (
+    NodeRole,
+    Topology,
+    TopologyConfig,
+    relay_groups,
+)
 
 
 class Stub(SimulatedNode):
@@ -101,6 +106,78 @@ class TestRoles:
         _, topology = build()
         with pytest.raises(ConfigurationError):
             topology.role_of(99)
+
+
+class TestScaleBuild:
+    """Topology.build at mesh scale: 100 and 500 locals."""
+
+    @pytest.mark.parametrize("n_local", [100, 500])
+    def test_role_assignment_at_scale(self, n_local):
+        _, topology = build(n_local=n_local, streams_per_local=1)
+        assert topology.role_of(0) is NodeRole.ROOT
+        roles = [topology.role_of(lid) for lid in topology.local_ids]
+        assert roles == [NodeRole.LOCAL] * n_local
+        for local_id, streams in topology.stream_ids.items():
+            for stream_id in streams:
+                assert topology.role_of(stream_id) is NodeRole.STREAM
+
+    @pytest.mark.parametrize("n_local", [100, 500])
+    def test_uplink_downlink_integrity_at_scale(self, n_local):
+        simulator, topology = build(n_local=n_local)
+        assert len(topology.local_ids) == n_local
+        assert len(set(topology.local_ids)) == n_local
+        for local_id in topology.local_ids:
+            uplink = topology.uplink(local_id)
+            downlink = topology.downlink(local_id)
+            assert (uplink.src, uplink.dst) == (local_id, 0)
+            assert (downlink.src, downlink.dst) == (0, local_id)
+            assert (local_id, 0) in simulator.channels
+            assert (0, local_id) in simulator.channels
+
+    def test_wiring_is_deterministic(self):
+        def snapshot():
+            simulator, topology = build(n_local=100, streams_per_local=2)
+            return (
+                topology.root_id,
+                tuple(topology.local_ids),
+                tuple(sorted(
+                    (k, tuple(v)) for k, v in topology.stream_ids.items()
+                )),
+                tuple(sorted(simulator.channels)),
+            )
+
+        assert snapshot() == snapshot()
+
+    def test_stream_ids_do_not_collide_with_locals(self):
+        _, topology = build(n_local=500, streams_per_local=3)
+        local_ids = set(topology.local_ids)
+        stream_ids = {
+            sid for streams in topology.stream_ids.values() for sid in streams
+        }
+        assert not (local_ids & stream_ids)
+        assert 0 not in local_ids | stream_ids
+        assert len(stream_ids) == 500 * 3
+
+
+class TestRelayGroups:
+    def test_even_split(self):
+        assert relay_groups([1, 2, 3, 4], 2) == [(1, 2), (3, 4)]
+
+    def test_ragged_tail(self):
+        assert relay_groups([1, 2, 3, 4, 5], 2) == [(1, 2), (3, 4), (5,)]
+
+    def test_zero_fanin_means_no_relays(self):
+        assert relay_groups([1, 2, 3], 0) == []
+
+    def test_fanin_larger_than_population(self):
+        assert relay_groups([1, 2], 10) == [(1, 2)]
+
+    def test_covers_every_local_exactly_once(self):
+        ids = list(range(1, 101))
+        groups = relay_groups(ids, 8)
+        flat = [lid for group in groups for lid in group]
+        assert flat == ids
+        assert all(len(group) <= 8 for group in groups)
 
 
 class TestConfigValidation:

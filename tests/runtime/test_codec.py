@@ -22,6 +22,8 @@ from repro.network.messages import (
     EventBatchMessage,
     GammaUpdateMessage,
     HeartbeatMessage,
+    JoinMessage,
+    LeaveMessage,
     Message,
     PartialAggregateMessage,
     QDigestMessage,
@@ -29,7 +31,10 @@ from repro.network.messages import (
     QueryDeregisterMessage,
     QueryRegisterMessage,
     QueryResultMessage,
+    RelayRunsMessage,
+    RelaySynopsisMessage,
     ResultMessage,
+    RouteUpdateMessage,
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
@@ -97,6 +102,54 @@ def synopses(draw):
         node_id=draw(u32),
         slice_index=draw(st.integers(min_value=0, max_value=n_slices - 1)),
         n_slices=n_slices,
+    )
+
+
+@st.composite
+def relay_synopsis_sections(draw):
+    """Sections whose dropped fields (owner, index, total) reconstruct.
+
+    The compact wire form omits ``node_id`` (section header),
+    ``slice_index`` (position) and ``n_slices`` (section length), so only
+    sections consistent with those conventions round-trip to equal
+    objects — which is exactly what a relay combining complete, ordered
+    batches produces.
+    """
+    sections = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        node_id = draw(u32)
+        n = draw(st.integers(min_value=0, max_value=4))
+        batch = []
+        for index in range(n):
+            keys = sorted(
+                [
+                    (draw(finite_f64), draw(u32), draw(u32)),
+                    (draw(finite_f64), draw(u32), draw(u32)),
+                ]
+            )
+            batch.append(
+                SliceSynopsis(
+                    first_key=keys[0],
+                    last_key=keys[1],
+                    count=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+                    node_id=node_id,
+                    slice_index=index,
+                    n_slices=n,
+                )
+            )
+        sections.append((node_id, draw(u64), tuple(batch)))
+    return tuple(sections)
+
+
+@st.composite
+def relay_run_sections(draw):
+    return tuple(
+        (
+            draw(u32),
+            draw(u32),
+            draw(st.lists(events, max_size=6).map(tuple)),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
     )
 
 
@@ -174,6 +227,23 @@ messages = st.one_of(
     ),
     _with_header(u32).map(
         lambda t: QueryDeregisterMessage(t[0], t[1], t[2], query_id=t[3])
+    ),
+    _with_header(st.integers(min_value=-(2**40), max_value=2**40)).map(
+        lambda t: JoinMessage(t[0], t[1], t[2], first_window_start=t[3])
+    ),
+    _with_header(st.integers(min_value=-(2**40), max_value=2**40)).map(
+        lambda t: LeaveMessage(t[0], t[1], t[2], effective_from=t[3])
+    ),
+    _with_header(st.tuples(u64, st.lists(u32, max_size=12).map(tuple))).map(
+        lambda t: RouteUpdateMessage(
+            t[0], t[1], t[2], epoch=t[3][0], members=t[3][1]
+        )
+    ),
+    _with_header(relay_synopsis_sections()).map(
+        lambda t: RelaySynopsisMessage(t[0], t[1], t[2], sections=t[3])
+    ),
+    _with_header(relay_run_sections()).map(
+        lambda t: RelayRunsMessage(t[0], t[1], t[2], sections=t[3])
     ),
 )
 
@@ -283,6 +353,40 @@ SAMPLES = [
         28,
     ),
     (QueryDeregisterMessage(9001, W, query_id=7), 4),
+    # Mesh membership + relay aggregation (tags 20–24).
+    (JoinMessage(3, W, first_window_start=1000), 8),
+    (LeaveMessage(3, W, effective_from=2000), 8),
+    (RouteUpdateMessage(0, W, epoch=2, members=(1, 2, 3)), 8 + 4 + 3 * 4),
+    # One section of two compact synopses: count + (16 + 2·36).
+    (
+        RelaySynopsisMessage(
+            9, W,
+            sections=(
+                (
+                    3,
+                    12,
+                    (
+                        SliceSynopsis(
+                            first_key=(1.0, 3, 0), last_key=(2.0, 3, 5),
+                            count=6, node_id=3, slice_index=0, n_slices=2,
+                        ),
+                        SliceSynopsis(
+                            first_key=(2.5, 3, 6), last_key=(3.0, 3, 11),
+                            count=6, node_id=3, slice_index=1, n_slices=2,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        4 + 16 + 2 * 36,
+    ),
+    # Two run sections: count + 2·(12 + 1·20).
+    (
+        RelayRunsMessage(
+            9, W, sections=((3, 0, (E,)), (4, 1, (E,))),
+        ),
+        4 + 2 * (12 + 20),
+    ),
 ]
 
 
@@ -367,7 +471,7 @@ def test_query_ack_unicode_reason_roundtrip():
 # ----------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("role", ["stream", "local", "root", "driver"])
+@pytest.mark.parametrize("role", ["stream", "local", "root", "driver", "relay"])
 def test_hello_roundtrip(role):
     frame = encode_hello(Hello(node_id=9, role=role))
     assert len(frame) == MESSAGE_HEADER_BYTES + wire.U32_BYTES + wire.I64_BYTES

@@ -143,6 +143,42 @@ class TestQuery:
         assert artifact["amortization"]["total_bytes_ratio"] < 1.0
 
 
+class TestMesh:
+    def test_sharded_relay_run_with_membership(self, capsys):
+        assert main([
+            "mesh", "--locals", "4", "--shards", "2", "--relay-fanin", "2",
+            "--rate", "120", "--duration", "4",
+            "--join", "5@2000", "--leave", "2@3000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 root shards" in out
+        assert "relay fan-in 2" in out
+        assert "members now (1, 3, 4, 5)" in out
+        assert "0 mismatched" in out
+        assert "relay-combined frames" in out
+
+    def test_bench_writes_scale_artifact(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_scale.json"
+        assert main([
+            "mesh", "--locals", "2", "--shards", "2", "--rate", "60",
+            "--duration", "2", "--bench", "--bench-output", str(out),
+        ]) == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["benchmark"] == "mesh_scale"
+        assert [p["n_locals"] for p in artifact["curve"]] == [2, 10, 50, 100]
+        for point in artifact["curve"]:
+            assert point["relay"]["root_link_frames"] \
+                < point["flat"]["root_link_frames"]
+            assert point["relay"]["root_ingress_bytes"] \
+                < point["flat"]["root_ingress_bytes"]
+
+    def test_malformed_membership_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mesh", "--join", "five@soon"])
+
+
 class TestLiveTelemetryFlags:
     def test_live_run_reports_telemetry(self, capsys):
         assert main([
