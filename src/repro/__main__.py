@@ -623,6 +623,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         gamma=args.gamma,
         q=args.q,
         telemetry=_telemetry_from_args(args),
+        shards=args.shards,
+        relay_fanin=args.relay_fanin,
     )
     print(f"chaos scenario {report.scenario!r} on the {report.mode} "
           f"substrate (seed {report.seed})")
@@ -642,6 +644,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"tolerance: {report.reconnects} reconnects, "
           f"{report.heartbeat_misses} heartbeat misses, "
           f"{report.locals_declared_dead} locals declared dead")
+    if report.shards:
+        print(f"failover : {report.shard_failovers} shard failovers, "
+              f"{report.windows_adopted} windows adopted, "
+              f"{report.relay_frames_replayed} relay frames replayed "
+              f"({report.shards} shards, fan-in {report.relay_fanin})")
+    if report.driver_reconnects:
+        print(f"driver   : {report.driver_reconnects} reconnects, "
+              "results replayed from the acked cursor")
     print(f"wall     : {report.wall_seconds:.2f}s")
     _print_telemetry(report.telemetry)
     if report.mismatched:
@@ -913,6 +923,11 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--gamma", type=int, default=64)
     chaos.add_argument("--q", type=float, default=0.5)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--shards", type=int, default=0,
+                       help="mesh scenarios: root shard count (default 2)")
+    chaos.add_argument("--relay-fanin", type=int, default=0,
+                       help="mesh scenarios: relay fan-in (0 = no relays; "
+                            "kill-shard-with-relay defaults to 3)")
     _add_telemetry_flags(chaos)
 
     top = sub.add_parser(

@@ -52,6 +52,7 @@ class DemaLocalNode(SimulatedNode):
         ops_per_second: float = 1e8,
         retain_until_release: bool = False,
         reliability=None,
+        cumulative_releases: bool = True,
     ) -> None:
         super().__init__(node_id, ops_per_second=ops_per_second)
         self._root_id = root_id
@@ -60,6 +61,13 @@ class DemaLocalNode(SimulatedNode):
         self._gamma = query.gamma
         self._reliability = reliability
         self._retain = retain_until_release or reliability is not None
+        #: Single-root runs prune every pending window at or below a
+        #: release (windows complete in end order at the one root).  With
+        #: sharded roots that inference is wrong — shard A's release says
+        #: nothing about shard B's windows, and pruning them would destroy
+        #: the failover replay source — so mesh hosts turn this off and
+        #: each release frees exactly its own window.
+        self._cumulative_releases = cumulative_releases
         self._open: dict[Window, SortedLocalWindow] = {}
         self._pending: dict[Window, SlicedWindow] = {}
         self._completed: set[Window] = set()
@@ -295,14 +303,17 @@ class DemaLocalNode(SimulatedNode):
             self._last_release_end = max(
                 self._last_release_end, message.window.end
             )
-            # Releases are cumulative: windows complete in end order at the
-            # root, so an acknowledgement for this window also covers any
-            # earlier window whose own release was lost.
-            self._pending = {
-                window: sliced
-                for window, sliced in self._pending.items()
-                if window.end > message.window.end
-            }
+            if self._cumulative_releases:
+                # Releases are cumulative: windows complete in end order at
+                # the root, so an acknowledgement for this window also
+                # covers any earlier window whose own release was lost.
+                self._pending = {
+                    window: sliced
+                    for window, sliced in self._pending.items()
+                    if window.end > message.window.end
+                }
+            else:
+                self._pending.pop(message.window, None)
         else:
             raise SliceError(
                 f"local node {self.node_id} cannot handle "

@@ -412,6 +412,24 @@ class DemaRootNode(SimulatedNode):
         )
         return True
 
+    def inherit_finalized(self, windows) -> int:
+        """Shard failover: adopt a dead predecessor's answered windows.
+
+        The successor must never answer a window its predecessor already
+        answered — locals replay *every* retained window on failover, and
+        a duplicate answer would double-count the window in the shard's
+        completion arithmetic.  Marking the predecessor's windows
+        finalized makes replayed synopses for them get a fresh release
+        (the convergent answered-window path) instead of opening phantom
+        state.  Returns how many windows were newly inherited.
+        """
+        inherited = 0
+        for window in windows:
+            if window not in self._finalized:
+                self._finalized.add(window)
+                inherited += 1
+        return inherited
+
     def _give_up_on(
         self, window: Window, state: _WindowState, gone: set[int], now: float
     ) -> None:

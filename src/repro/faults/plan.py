@@ -39,16 +39,23 @@ __all__ = [
 ]
 
 #: Recognized fault kinds, in the tie-break order used by the schedule.
+#: ``kill_shard`` and ``driver_drop`` are mesh/query-plane kinds: they
+#: compile only onto the substrates that have root shards and durable
+#: driver sessions (see :func:`repro.faults.runner.run_chaos`); the flat
+#: simulator and live cluster ignore them.
 FAULT_KINDS = (
     "crash",
     "restart",
     "drop_link",
     "partition_start",
     "partition_heal",
+    "kill_shard",
+    "driver_drop",
 )
 
-#: Kinds that target one specific local node.
-_NODE_SCOPED = frozenset({"crash", "restart", "drop_link"})
+#: Kinds that target one specific node.  For ``kill_shard`` the node is
+#: the 0-based root-shard index rather than a local id.
+_NODE_SCOPED = frozenset({"crash", "restart", "drop_link", "kill_shard"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,8 +65,10 @@ class FaultEvent:
     Attributes:
         at_s: When the fault fires.
         kind: One of :data:`FAULT_KINDS`.
-        node: Target local node id (required for node-scoped kinds, must
-            be omitted for partitions, which cut every local off the root).
+        node: Target node (required for node-scoped kinds, must be
+            omitted for partitions, which cut every local off the root).
+            A local id for crash/restart/drop_link; the 0-based shard
+            index for ``kill_shard``.
         duration_s: For ``drop_link`` only — how long the simulator models
             the link as dead before the live runtime's reconnect would
             have restored it.
@@ -94,7 +103,8 @@ class FaultEvent:
 
 def describe_event(event: FaultEvent) -> str:
     """Canonical one-line description, identical on both substrates."""
-    target = f" local {event.node}" if event.node is not None else ""
+    noun = "shard" if event.kind == "kill_shard" else "local"
+    target = f" {noun} {event.node}" if event.node is not None else ""
     extra = f" for {event.duration_s:.3f}s" if event.duration_s else ""
     return f"{event.kind}{target} @{event.at_s:.3f}s{extra}"
 

@@ -32,7 +32,7 @@ from repro.bench.generator import GeneratorConfig, workload
 from repro.core.engine import DemaEngine
 from repro.core.query import QuantileQuery
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan, ToleranceConfig
+from repro.faults.plan import FaultPlan, ToleranceConfig, describe_event
 from repro.faults.scenarios import SCENARIOS, build_plan
 from repro.faults.simulate import compile_plan
 from repro.network.topology import TopologyConfig
@@ -69,9 +69,24 @@ class ChaosReport:
     #: Live mode with telemetry: the run report's telemetry section
     #: (bound port, flight-recorder path, traced span count).
     telemetry: dict = field(default_factory=dict)
+    #: Mesh scenarios: deployment shape and failover accounting.
+    shards: int = 0
+    relay_fanin: int = 0
+    shard_failovers: int = 0
+    windows_adopted: int = 0
+    relay_frames_replayed: int = 0
+    #: Query scenarios: driver connections re-established mid-run.
+    driver_reconnects: int = 0
+    #: Aggregate grade counts for substrates whose grading is not
+    #: per-window (mesh runs grade per window but fill this directly;
+    #: query runs grade per (query, window) pair).  When set, it is the
+    #: source of truth for :meth:`count` and :attr:`classes` stays empty.
+    class_counts: "dict[str, int] | None" = None
 
     def count(self, grade: str) -> int:
-        """Windows with the given grade."""
+        """Windows (or graded pairs) with the given grade."""
+        if self.class_counts is not None:
+            return self.class_counts.get(grade, 0)
         return sum(1 for g in self.classes.values() if g == grade)
 
     @property
@@ -122,6 +137,8 @@ def run_chaos(
     q: float = 0.5,
     tracer: Tracer = NOOP_TRACER,
     telemetry: TelemetryConfig | None = None,
+    shards: int = 0,
+    relay_fanin: int = 0,
 ) -> ChaosReport:
     """Run one named scenario and grade every window against ground truth.
 
@@ -129,6 +146,7 @@ def run_chaos(
         scenario_name: A key of :data:`~repro.faults.scenarios.SCENARIOS`.
         mode: ``"sim"`` compiles the plan onto the discrete-event
             simulator; ``"live"`` injects it into the asyncio cluster.
+            Mesh and query scenarios run live only.
         seed: Seeds both the workload and the scenario's fault timings.
         n_locals: Local node count (fault targets are drawn from these).
         streams_per_local: Live replay tasks per local (live mode only).
@@ -141,6 +159,10 @@ def run_chaos(
         tracer: Observability hooks for the faulted run.
         telemetry: Live mode: turn on the telemetry plane (wire tracing,
             scrape endpoint, flight recorder) for the chaotic run.
+        shards: Mesh scenarios: root shard count (defaults to 2 — the
+            smallest ring with a successor to fail onto).
+        relay_fanin: Mesh scenarios: relay fan-in (``kill-shard-with-relay``
+            defaults to 3; ``0`` keeps the flat local→shard wiring).
     """
     if mode not in ("sim", "live"):
         raise ConfigurationError(
@@ -151,6 +173,41 @@ def run_chaos(
         raise ConfigurationError(
             f"unknown chaos scenario {scenario_name!r}; "
             f"expected one of {sorted(SCENARIOS)}"
+        )
+    if scenario.substrate == "mesh":
+        return _run_mesh_chaos(
+            scenario_name,
+            mode=mode,
+            seed=seed,
+            n_locals=n_locals,
+            streams_per_local=streams_per_local,
+            rate=rate,
+            duration_s=duration_s,
+            transport=transport,
+            gamma=gamma,
+            q=q,
+            tracer=tracer,
+            shards=shards,
+            relay_fanin=relay_fanin,
+        )
+    if scenario.substrate == "query":
+        return _run_query_chaos(
+            scenario_name,
+            mode=mode,
+            seed=seed,
+            n_locals=n_locals,
+            streams_per_local=streams_per_local,
+            rate=rate,
+            duration_s=duration_s,
+            time_scale=time_scale,
+            transport=transport,
+            gamma=gamma,
+            tracer=tracer,
+        )
+    if shards or relay_fanin:
+        raise ConfigurationError(
+            f"scenario {scenario_name!r} runs on the flat topology; "
+            "--shards/--relay-fanin apply to mesh scenarios only"
         )
     plan = build_plan(
         scenario_name, seed=seed, horizon_s=duration_s, n_locals=n_locals
@@ -234,4 +291,176 @@ def run_chaos(
         locals_declared_dead=live.locals_declared_dead,
         wall_seconds=time.monotonic() - started,
         telemetry=live.telemetry,
+    )
+
+
+def _run_mesh_chaos(
+    scenario_name: str,
+    *,
+    mode: str,
+    seed: int,
+    n_locals: int,
+    streams_per_local: int,
+    rate: float,
+    duration_s: float,
+    transport: str,
+    gamma: int,
+    q: float,
+    tracer: Tracer,
+    shards: int,
+    relay_fanin: int,
+) -> ChaosReport:
+    """Kill one root shard mid-run and grade the failover end to end.
+
+    The victim comes from the scenario's seeded plan; the kill itself is
+    pinned to a protocol point — the victim's first answered window —
+    via the :meth:`~repro.mesh.servers.MeshRootServer.crash_after`
+    tripwire, because an unpaced replay outruns any wall-clock schedule.
+    """
+    import asyncio
+
+    from repro.mesh.cluster import (
+        classify_outcomes,
+        mesh_oracle,
+        run_mesh_cluster,
+    )
+    from repro.mesh.config import MeshConfig
+
+    if mode != "live":
+        raise ConfigurationError(
+            f"mesh scenario {scenario_name!r} runs on the live substrate "
+            "only (the simulator has no shard plane)"
+        )
+    n_shards = shards if shards else 2
+    if n_shards < 2:
+        raise ConfigurationError(
+            "kill-shard needs at least 2 shards — a lone root has no "
+            "successor to fail onto"
+        )
+    fanin = relay_fanin
+    if not fanin and scenario_name == "kill-shard-with-relay":
+        fanin = 3
+    plan = build_plan(
+        scenario_name, seed=seed, horizon_s=duration_s, n_locals=n_shards
+    )
+    victim = plan.schedule()[0].node
+    assert victim is not None
+
+    query = QuantileQuery(q=q, gamma=gamma)
+    streams = workload(
+        list(range(1, n_locals + 1)),
+        GeneratorConfig(
+            event_rate=max(1.0, rate / n_locals),
+            duration_s=duration_s,
+            seed=seed,
+        ),
+    )
+    config = MeshConfig(
+        n_locals=n_locals,
+        streams_per_local=streams_per_local,
+        n_shards=n_shards,
+        relay_fanin=fanin,
+        query=query,
+        transport=transport,
+        timeout_s=120.0,
+        relay_flush_s=0.1,
+        # Fast heartbeats drive the failover sweep; the *local* death
+        # threshold stays loose — no local dies in these scenarios, and
+        # a tight threshold lets one slow tick on a loaded host declare
+        # a healthy local dead and degrade windows spuriously.
+        tolerance=ToleranceConfig(
+            heartbeat_interval_s=0.02, declare_dead_after_s=2.0
+        ),
+    )
+    truth = mesh_oracle(streams, config)
+
+    async def disturb(ctx) -> None:
+        ctx.shards[victim].crash_after(1)
+
+    started = time.monotonic()
+    report = asyncio.run(
+        run_mesh_cluster(config, streams, tracer=tracer, disturb=disturb)
+    )
+    return ChaosReport(
+        scenario=scenario_name,
+        mode=mode,
+        seed=seed,
+        plan=plan,
+        applied=[describe_event(event) for event in plan.schedule()],
+        windows=len(truth),
+        class_counts=classify_outcomes(truth, report.outcomes),
+        locals_declared_dead=report.locals_declared_dead,
+        heartbeat_misses=report.heartbeat_misses,
+        wall_seconds=time.monotonic() - started,
+        shards=n_shards,
+        relay_fanin=fanin,
+        shard_failovers=report.shard_failovers,
+        windows_adopted=report.windows_adopted,
+        relay_frames_replayed=report.relay_frames_replayed,
+    )
+
+
+def _run_query_chaos(
+    scenario_name: str,
+    *,
+    mode: str,
+    seed: int,
+    n_locals: int,
+    streams_per_local: int,
+    rate: float,
+    duration_s: float,
+    time_scale: float,
+    transport: str,
+    gamma: int,
+    tracer: Tracer,
+) -> ChaosReport:
+    """Drop the query driver's connection mid-run; grade exactly-once.
+
+    Grades per (query, window) pair: ``recovered`` results matched the
+    per-query oracle bit-identically, ``lost`` pairs never arrived, and
+    ``mismatch`` covers wrong values and duplicate deliveries (the
+    exactly-once promise failing in either direction).
+    """
+    from repro.queries.runner import run_query_scenario
+
+    if mode != "live":
+        raise ConfigurationError(
+            f"query scenario {scenario_name!r} runs on the live substrate "
+            "only (the simulator has no query plane)"
+        )
+    plan = build_plan(
+        scenario_name, seed=seed, horizon_s=duration_s, n_locals=n_locals
+    )
+    started = time.monotonic()
+    qreport = run_query_scenario(
+        driver_drop=True,
+        n_locals=n_locals,
+        streams_per_local=streams_per_local,
+        event_rate=rate,
+        duration_s=duration_s,
+        time_scale=max(time_scale, 0.05),
+        transport=transport,
+        gamma=gamma,
+        seed=seed,
+        tracer=None,
+    )
+    lost = sum(
+        1 for note in qreport.mismatches if "no result for window" in note
+    )
+    bad = len(qreport.mismatches) - lost
+    return ChaosReport(
+        scenario=scenario_name,
+        mode=mode,
+        seed=seed,
+        plan=plan,
+        applied=[describe_event(event) for event in plan.schedule()],
+        windows=qreport.results_graded + lost,
+        class_counts={
+            "recovered": qreport.results_graded - bad,
+            "degraded": 0,
+            "lost": lost,
+            "mismatch": bad,
+        },
+        wall_seconds=time.monotonic() - started,
+        driver_reconnects=qreport.driver_reconnects,
     )

@@ -35,13 +35,19 @@ class ChaosScenario:
         detect_after_s: Failure-detector silence threshold in event-time
             seconds, or ``None`` to keep the detector in grace for the
             whole run (recovery must come from reconnect/resume).
-        build: ``(rng, horizon_s, n_locals) -> events``.
+        build: ``(rng, horizon_s, n_targets) -> events``.  The target
+            pool is the local set for flat scenarios and the shard set
+            for mesh ones.
+        substrate: ``"flat"`` runs on the simulator or the flat live
+            cluster; ``"mesh"`` needs the sharded mesh (and a failover
+            controller); ``"query"`` drives the durable query plane.
     """
 
     name: str
     description: str
     detect_after_s: float | None
     build: Callable[[random.Random, float, int], tuple[FaultEvent, ...]]
+    substrate: str = "flat"
 
 
 def _pick_local(rng: random.Random, n_locals: int) -> int:
@@ -99,6 +105,33 @@ def _partition(
     )
 
 
+def _kill_shard(
+    rng: random.Random, horizon_s: float, n_shards: int
+) -> tuple[FaultEvent, ...]:
+    # The mesh runner pins the kill to a protocol point (after the
+    # victim's first answered window) rather than this wall-clock time;
+    # the event records *which* shard dies and the nominal schedule.
+    victim = rng.randrange(n_shards)
+    return (
+        FaultEvent(
+            at_s=horizon_s * (0.40 + 0.10 * rng.random()),
+            kind="kill_shard",
+            node=victim,
+        ),
+    )
+
+
+def _driver_drop(
+    rng: random.Random, horizon_s: float, n_locals: int
+) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            at_s=horizon_s * (0.25 + 0.10 * rng.random()),
+            kind="driver_drop",
+        ),
+    )
+
+
 SCENARIOS: dict[str, ChaosScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -137,6 +170,36 @@ SCENARIOS: dict[str, ChaosScenario] = {
             ),
             detect_after_s=None,
             build=_partition,
+        ),
+        ChaosScenario(
+            name="kill-shard",
+            description=(
+                "one root shard dies mid-run; its windows fail over to "
+                "the ring successor and replay from retained buffers"
+            ),
+            detect_after_s=0.15,
+            build=_kill_shard,
+            substrate="mesh",
+        ),
+        ChaosScenario(
+            name="kill-shard-with-relay",
+            description=(
+                "kill-shard behind a relay tier; relays re-send retained "
+                "combined frames to the successor"
+            ),
+            detect_after_s=0.15,
+            build=_kill_shard,
+            substrate="mesh",
+        ),
+        ChaosScenario(
+            name="driver-drop",
+            description=(
+                "the query driver's connection dies mid-run; it redials "
+                "with its cursor and receives every result exactly once"
+            ),
+            detect_after_s=None,
+            build=_driver_drop,
+            substrate="query",
         ),
     )
 }

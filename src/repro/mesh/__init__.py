@@ -25,19 +25,23 @@ from repro.mesh.cluster import (
     run_mesh,
     run_mesh_cluster,
 )
+from repro.mesh.failover import FailoverController
 from repro.mesh.routing import (
     RELAY_ID_BASE,
     SHARD_ID_BASE,
+    ShardMap,
     relay_node_id,
     shard_node_id,
     shard_of,
 )
 
 __all__ = [
+    "FailoverController",
     "MembershipEvent",
     "MeshChaosContext",
     "MeshConfig",
     "MeshRunReport",
+    "ShardMap",
     "classify_outcomes",
     "mesh_oracle",
     "run_mesh",

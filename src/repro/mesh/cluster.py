@@ -31,6 +31,7 @@ from repro.core.local_node import DemaLocalNode
 from repro.core.root_node import DemaRootNode, WindowOutcome
 from repro.errors import ConfigurationError, TransportError
 from repro.mesh.config import MeshConfig
+from repro.mesh.failover import FailoverController
 from repro.mesh.relay import RelayServer
 from repro.mesh.routing import relay_node_id, shard_node_id, shard_of
 from repro.mesh.servers import (
@@ -82,6 +83,23 @@ class MeshChaosContext:
     locals_by_id: "dict[int, MeshLocalServer]"
     relays: "list[RelayServer]"
     shards: "list[MeshRootServer]"
+    #: The failover plane; present when the run has shards and a
+    #: tolerance config (detection needs the heartbeat cadence).
+    failover: "FailoverController | None" = None
+
+    async def kill_shard(self, index: int) -> None:
+        """Crash root shard ``index`` and wait for its takeover.
+
+        Requires a failover controller (``n_shards > 1`` plus a
+        tolerance config): killing the only root, or killing without a
+        failure detector, has no successor to recover onto.
+        """
+        if self.failover is None:
+            raise ConfigurationError(
+                "kill_shard needs a failover controller "
+                "(n_shards > 1 and a tolerance config)"
+            )
+        await self.failover.kill_shard(index)
 
 
 @dataclass
@@ -115,6 +133,14 @@ class MeshRunReport:
     locals_declared_dead: int = 0
     relay_frames_combined: int = 0
     relay_sections_combined: int = 0
+    #: Shard takeovers completed by the failover controller.
+    shard_failovers: int = 0
+    #: Windows re-homed onto successor shards.
+    windows_adopted: int = 0
+    #: Retained frames relays re-sent to successors on failover.
+    relay_frames_replayed: int = 0
+    #: Frames from epoch-fenced (dead) shards dropped by hosts.
+    fenced_frames: int = 0
 
     @property
     def values(self) -> "list[float | None]":
@@ -382,6 +408,19 @@ async def run_mesh_cluster(
         shard.start_monitor()
         shards.append(shard)
 
+    #: The failover plane exists when there is a successor to fail onto
+    #: and a heartbeat cadence to detect with.
+    failover: FailoverController | None = None
+    if config.n_shards > 1 and tolerance is not None:
+        failover = FailoverController(
+            shards,
+            shard_windows,
+            heartbeat_interval_s=tolerance.heartbeat_interval_s,
+            tracer=tracer,
+            failures=failures,
+        )
+        failover.start()
+
     # ------------------------------------------------------------------
     # relay tier
     relays: list[RelayServer] = []
@@ -393,6 +432,9 @@ async def run_mesh_cluster(
             flush_after_s=config.relay_flush_s,
             tracer=tracer,
             failures=failures,
+            on_shard_down=(
+                failover.report_link_down if failover is not None else None
+            ),
         )
         await network.listen(relay.node_id, relay.serve)
         uplinks: dict[int, MessageStream] = {}
@@ -421,9 +463,16 @@ async def run_mesh_cluster(
                 query=config.query,
                 ops_per_second=LIVE_OPS_PER_SECOND,
                 reliability=reliability,
+                # Sharded roots release windows independently, so a
+                # release must prune only its own window — the others
+                # are the failover replay source (see DemaLocalNode).
+                cumulative_releases=config.n_shards <= 1,
             ),
             LiveFabric(epoch),
             n_shards=config.n_shards,
+            on_upstream_down=(
+                failover.report_link_down if failover is not None else None
+            ),
             expected_streams=config.streams_per_local,
             grid_start=lo,
             grid_end=hi,
@@ -501,7 +550,9 @@ async def run_mesh_cluster(
                     await start_local(event.local_id, join_from=at_ms)
                 applied += 1
             while any(
-                shard.node.membership_epoch < applied for shard in shards
+                shard.node.membership_epoch < applied
+                for shard in shards
+                if not shard.crashed
             ):
                 await asyncio.sleep(_EPOCH_POLL_S)
             gates[at_ms].set()
@@ -510,7 +561,10 @@ async def run_mesh_cluster(
         try:
             await disturb(
                 MeshChaosContext(
-                    locals_by_id=locals_by_id, relays=relays, shards=shards
+                    locals_by_id=locals_by_id,
+                    relays=relays,
+                    shards=shards,
+                    failover=failover,
                 )
             )
         except asyncio.CancelledError:
@@ -566,6 +620,8 @@ async def run_mesh_cluster(
         for task in replays:
             if not task.done():
                 task.cancel()
+        if failover is not None:
+            await failover.close()
         for shard in shards:
             await shard.stop_monitor()
         for local in locals_by_id.values():
@@ -580,13 +636,16 @@ async def run_mesh_cluster(
     # ------------------------------------------------------------------
     # report
     wall_seconds = loop.time() - epoch
+    #: Keyed by window: after a failover the dead shard's pre-crash
+    #: answers and the successor's adopted share partition the windows,
+    #: but a race on the very takeover boundary could answer one window
+    #: on both sides (identically) — the report keeps one.
+    outcome_index: dict[Window, WindowOutcome] = {}
+    for shard in shards:
+        for outcome in shard.node.outcomes:
+            outcome_index.setdefault(outcome.window, outcome)
     outcomes = sorted(
-        (
-            outcome
-            for shard in shards
-            for outcome in shard.node.outcomes
-        ),
-        key=lambda outcome: outcome.window,
+        outcome_index.values(), key=lambda outcome: outcome.window
     )
     seal_to_result = LatencyStats()
     for shard in shards:
@@ -666,6 +725,19 @@ async def run_mesh_cluster(
         ),
         relay_sections_combined=sum(
             relay.sections_combined for relay in relays
+        ),
+        shard_failovers=(
+            failover.failovers if failover is not None else 0
+        ),
+        windows_adopted=sum(
+            shard.windows_adopted for shard in shards
+        ),
+        relay_frames_replayed=sum(
+            relay.frames_replayed for relay in relays
+        ),
+        fenced_frames=(
+            sum(local.fenced_frames for local in locals_by_id.values())
+            + sum(relay.fenced_frames for relay in relays)
         ),
     )
 

@@ -38,11 +38,12 @@ from repro.network.messages import (
     RelayRunsMessage,
     RelaySynopsisMessage,
     RouteUpdateMessage,
+    ShardFailoverMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
     WindowReleaseMessage,
 )
-from repro.mesh.routing import relay_node_id, shard_of
+from repro.mesh.routing import ShardMap, relay_node_id
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
 from repro.runtime.transport import FailureLatch, MessageStream
@@ -145,11 +146,17 @@ class RelayServer:
     def __init__(self, index: int, *, window_length_ms: int, n_shards: int,
                  flush_after_s: float = 1.0,
                  tracer: Tracer = NOOP_TRACER,
-                 failures: FailureLatch | None = None) -> None:
+                 failures: FailureLatch | None = None,
+                 on_shard_down=None) -> None:
         self.index = index
         self.node_id = relay_node_id(index)
         self._length = window_length_ms
         self._n_shards = n_shards
+        #: Epoch-versioned shard liveness; upward frames route by owner.
+        self._shard_map = ShardMap(max(1, n_shards))
+        #: Coordinator callback ``(shard_index) -> None`` fired when an
+        #: uplink to a shard dies (failure-detection evidence).
+        self._on_shard_down = on_shard_down
         self._flush_after_s = flush_after_s
         self.tracer = tracer
         self._failures = failures
@@ -174,9 +181,16 @@ class RelayServer:
         self._run_expected: dict[Window, set[tuple[int, int]]] = {}
         self._run_timers: dict[Window, asyncio.TimerHandle] = {}
         self._closing = False
+        #: Sent-but-unreleased combined frames per window: the failover
+        #: replay source.  A window's release (observed on its way down)
+        #: is the pruning horizon, exactly as at the locals.
+        self._retained: dict[Window, list[Message]] = {}
         self.frames_combined = 0
         self.sections_combined = 0
         self.singleton_forwards = 0
+        self.failovers_seen = 0
+        self.frames_replayed = 0
+        self.fenced_frames = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -271,9 +285,16 @@ class RelayServer:
                 try:
                     message = await stream.recv()
                 except TransportError:
-                    return  # shard link died; teardown owns the rest
-                if message is None:
+                    self._report_shard_down(shard_index)
                     return
+                if message is None:
+                    self._report_shard_down(shard_index)
+                    return
+                if not self._shard_map.is_live(shard_index):
+                    # Epoch fence: a dead shard resurrecting cannot speak
+                    # for windows that already moved to its successor.
+                    self.fenced_frames += 1
+                    continue
                 await self._on_shard_message(message)
         except asyncio.CancelledError:
             raise
@@ -282,7 +303,56 @@ class RelayServer:
                 raise
             self._failures.record(exc)
 
+    def _report_shard_down(self, shard_index: int) -> None:
+        """Hand link-death evidence for a shard uplink to the coordinator."""
+        if self._closing or self._on_shard_down is None:
+            return
+        self._on_shard_down(shard_index)
+
+    async def _on_shard_failover(self, message: ShardFailoverMessage) -> None:
+        """Converge on a newer shard map and replay retained frames.
+
+        Every retained combined frame whose window just changed owner is
+        re-sent (now routed to the successor), and the announcement is
+        forwarded to every child so locals behind this relay converge on
+        the same epoch.  Stale epochs are dropped — the resurrection
+        fence.
+        """
+        if message.epoch <= self._shard_map.epoch:
+            return
+        old_map = self._shard_map
+        self._shard_map = ShardMap(
+            n_shards=old_map.n_shards,
+            epoch=message.epoch,
+            dead=frozenset(message.dead),
+        )
+        self.failovers_seen += 1
+        for child in list(self._children):
+            await self._send_child(child, message)
+        for window in sorted(self._retained):
+            old_owner = old_map.owner(window.start, self._length)
+            new_owner = self._shard_map.owner(window.start, self._length)
+            if old_owner == new_owner:
+                continue
+            for frame in self._retained[window]:
+                self.frames_replayed += 1
+                await self._send_shard(window, frame)
+        if self.tracer.enabled:
+            now = self._loop.time()
+            self.tracer.record(
+                "relay_failover", self.node_id, now, now,
+                epoch=message.epoch, replayed=self.frames_replayed,
+            )
+
     async def _on_shard_message(self, message: Message) -> None:
+        if isinstance(message, ShardFailoverMessage):
+            await self._on_shard_failover(message)
+            return
+        if isinstance(message, WindowReleaseMessage):
+            # The release is the retained-buffer pruning horizon: the
+            # window is answered, so nothing of it needs replaying to a
+            # successor ever again.
+            self._retained.pop(message.window, None)
         if isinstance(message, CandidateRequestMessage):
             child = message.group_id
             if message.slice_indices:
@@ -386,6 +456,7 @@ class RelayServer:
                 window=window, sections=len(parts),
                 bytes=combined.wire_bytes,
             )
+        self._retained.setdefault(window, []).append(combined)
         await self._send_shard(window, combined)
 
     async def _flush_runs(self, window: Window) -> None:
@@ -408,6 +479,7 @@ class RelayServer:
             self.sections_combined += len(parts)
         else:
             self.singleton_forwards += 1
+        self._retained.setdefault(window, []).append(combined)
         await self._send_shard(window, combined)
 
     async def _flush_unblocked_windows(self) -> None:
@@ -421,7 +493,7 @@ class RelayServer:
     # sends
 
     async def _send_shard(self, window: Window, message: Message) -> None:
-        shard = shard_of(window.start, self._length, self._n_shards)
+        shard = self._shard_map.owner(window.start, self._length)
         stream = self._shards.get(shard)
         if stream is None:
             return  # torn down; nothing upstream to tell

@@ -14,13 +14,25 @@ numbered on the tumbling grid and dealt round-robin across shards.
 Every node (local, relay, shard, driver, test oracle) computes the same
 owner from the same arithmetic — no routing state to synchronize, which
 is what keeps sharded runs bit-identical to the single-root baseline.
+
+Failover extends the same idea one level up: a :class:`ShardMap` is an
+epoch-versioned view of which shards are alive.  Ownership under
+failures stays a pure function — ``owner = successor(shard_of(w))``
+where the successor walk skips dead shards in ring order — so any two
+nodes holding the same ``(epoch, dead)`` pair agree on every window's
+owner without exchanging another byte.  The pair travels in-band in a
+``ShardFailoverMessage``; epochs only grow, which is what fences a dead
+shard's late resurrection.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 __all__ = [
     "SHARD_ID_BASE",
     "RELAY_ID_BASE",
+    "ShardMap",
     "shard_of",
     "shard_node_id",
     "relay_node_id",
@@ -53,3 +65,88 @@ def shard_node_id(index: int) -> int:
 def relay_node_id(index: int) -> int:
     """Wire node id of relay ``index``."""
     return RELAY_ID_BASE + index
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMap:
+    """Epoch-versioned shard liveness: who owns a window under failures.
+
+    The map is immutable; :meth:`fail` returns the next version.  The
+    epoch counts failovers applied, so a given failover sequence yields
+    exactly one ``(epoch, dead)`` pair per step and two nodes at the
+    same epoch can never disagree on ownership (property-tested in
+    ``tests/property/test_failover_routing.py``).
+
+    Attributes:
+        n_shards: Total shards the run started with (ring size).
+        epoch: Failovers applied so far; ``0`` is the healthy map.
+        dead: Indices of shards declared dead.  Ownership of their
+            windows moves to the next live shard in ring order.
+    """
+
+    n_shards: int
+    epoch: int = 0
+    dead: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"need at least one shard, got {self.n_shards}")
+        dead = frozenset(self.dead)
+        object.__setattr__(self, "dead", dead)
+        if any(index < 0 or index >= self.n_shards for index in dead):
+            raise ValueError(
+                f"dead shard indices must be in [0, {self.n_shards}), "
+                f"got {sorted(dead)}"
+            )
+        if len(dead) >= self.n_shards:
+            raise ValueError("every shard is dead: no live successor exists")
+        if self.epoch < len(dead):
+            raise ValueError(
+                f"epoch {self.epoch} cannot have produced "
+                f"{len(dead)} dead shards"
+            )
+
+    @property
+    def live(self) -> tuple[int, ...]:
+        """Live shard indices, ascending."""
+        return tuple(
+            index for index in range(self.n_shards) if index not in self.dead
+        )
+
+    def is_live(self, index: int) -> bool:
+        """Whether shard ``index`` is still alive under this map."""
+        return 0 <= index < self.n_shards and index not in self.dead
+
+    def successor(self, index: int) -> int:
+        """The live shard owning ``index``'s share: itself, or the next
+        live shard walking the ring upward."""
+        for step in range(self.n_shards):
+            candidate = (index + step) % self.n_shards
+            if candidate not in self.dead:
+                return candidate
+        raise ValueError("no live shard")  # unreachable: __post_init__
+
+    def owner(self, window_start: int, window_length_ms: int) -> int:
+        """The live shard owning the window at ``window_start``."""
+        return self.successor(
+            shard_of(window_start, window_length_ms, self.n_shards)
+        )
+
+    def fail(self, index: int) -> "ShardMap":
+        """The next-epoch map with shard ``index`` declared dead.
+
+        Idempotent: failing an already-dead shard returns ``self``
+        unchanged (no epoch bump), so duplicate failure reports from
+        independent observers converge instead of diverging.
+        """
+        if index < 0 or index >= self.n_shards:
+            raise ValueError(
+                f"shard index {index} out of range [0, {self.n_shards})"
+            )
+        if index in self.dead:
+            return self
+        return ShardMap(
+            n_shards=self.n_shards,
+            epoch=self.epoch + 1,
+            dead=self.dead | {index},
+        )

@@ -46,11 +46,17 @@ from repro.network.messages import (
     RelayRunsMessage,
     RelaySynopsisMessage,
     RouteUpdateMessage,
+    ShardFailoverMessage,
     WatermarkMessage,
     WindowReleaseMessage,
 )
 from repro.mesh.relay import explode_runs, explode_synopses
-from repro.mesh.routing import RELAY_ID_BASE, shard_node_id, shard_of
+from repro.mesh.routing import (
+    RELAY_ID_BASE,
+    SHARD_ID_BASE,
+    ShardMap,
+    shard_node_id,
+)
 from repro.obs.live.context import TraceContext
 from repro.runtime.codec import Hello
 from repro.runtime.servers import LocalServer, RootServer, batches_for
@@ -83,6 +89,101 @@ class MeshRootServer(RootServer):
         #: dropped, not fatal: a departed local's release, a gamma
         #: broadcast to a child behind a relay that died, etc.
         self._drop_unroutable = True
+        #: Failover state: set by :meth:`crash` (chaos) and by the
+        #: coordinator's takeover protocol (:meth:`adopt_windows`).
+        self.crashed = False
+        self.failover_epoch = 0
+        self.windows_adopted = 0
+        self._crash_after: int | None = None
+
+    # -- failover --------------------------------------------------------
+
+    def crash_after(self, n_outcomes: int) -> None:
+        """Arm a deterministic mid-run crash (chaos tripwire).
+
+        The serve loop freezes this shard *synchronously* — flag set and
+        fabric halted with no intervening yield — the moment its
+        operator has answered ``n_outcomes`` windows, then severs the
+        peer links asynchronously.  Unpaced replays burst through whole
+        runs between event-loop ticks, so a wall-clock kill cannot
+        reliably land mid-run; the tripwire pins the kill to a protocol
+        point instead, making ``kill-shard`` scenarios reproducible.
+        """
+        self._crash_after = n_outcomes
+
+    def _maybe_trip_crash(self) -> bool:
+        if (
+            self._crash_after is None
+            or self.crashed
+            or len(self.node.outcomes) < self._crash_after
+        ):
+            return False
+        self.crashed = True
+        self.fabric.halt()
+        asyncio.ensure_future(self.crash())
+        return True
+
+    async def crash(self) -> None:
+        """Abrupt shard death: stop monitoring and sever every peer link.
+
+        Peers observe the EOF, report the link down, and the coordinator
+        runs the takeover.  The operator's already-answered outcomes stay
+        readable in-process for the final report — exactly what a
+        post-mortem of the real process would recover from its log.
+        """
+        self.crashed = True
+        self.fabric.halt()
+        await self.stop_monitor()
+        for stream in list(self._peers.values()):
+            with contextlib.suppress(TransportError):
+                await stream.close()
+        self._peers.clear()
+
+    def adopt_windows(self, windows: "Sequence[Window]", *, epoch: int,
+                      finalized: "Sequence[Window]" = ()) -> None:
+        """Take over a dead predecessor's unanswered windows.
+
+        ``windows`` is the share this shard must now answer on top of its
+        own; ``finalized`` is everything the predecessor already answered
+        (inherited so replayed synopses get releases, never duplicate
+        answers).  Completion arithmetic is re-armed: a shard that was
+        born done (or finished early) wakes back up for the adopted
+        share.
+        """
+        self.failover_epoch = max(self.failover_epoch, epoch)
+        self.node.inherit_finalized(finalized)
+        self._expected_windows += len(windows)
+        self.windows_adopted += len(windows)
+        outcomes = len(self.node.outcomes) + self.node.aborted_windows
+        if outcomes < self._expected_windows:
+            self.done.clear()
+        if self.tracer.enabled:
+            now = self.fabric.now
+            self.tracer.record(
+                "shard_takeover", self.node_id, now, now,
+                epoch=epoch, adopted=len(windows),
+            )
+            self.tracer.registry.counter(
+                "shard_windows_adopted_total",
+                "Windows re-homed to a successor shard by failover.",
+            ).inc(len(windows))
+
+    async def announce_failover(self, shard_map: ShardMap) -> None:
+        """Broadcast the new epoch's shard map to every connected peer.
+
+        In-band announcement: locals (flat mode) and relays (who forward
+        to their children) converge on the same ``(epoch, dead)`` pair
+        and reroute + replay from retained buffers.
+        """
+        update = ShardFailoverMessage(
+            sender=self.node_id,
+            window=_CONTROL_WINDOW,
+            epoch=shard_map.epoch,
+            dead=tuple(sorted(shard_map.dead)),
+        )
+        for stream in list(self._peers.values()):
+            with contextlib.suppress(TransportError):
+                await stream.send(update)
 
     # -- membership & relay frames -------------------------------------
 
@@ -204,6 +305,11 @@ class MeshRootServer(RootServer):
                     break
                 if message is None:
                     break
+                if self.crashed:
+                    # Crash is a synchronous freeze: the flag is set
+                    # before the crash yields, so nothing dispatched
+                    # after it can mutate the operator's outcome log.
+                    break
                 if isinstance(message, Hello):
                     raise TransportError("unexpected second hello")
                 if self._tolerance is not None:
@@ -218,6 +324,8 @@ class MeshRootServer(RootServer):
                         continue
                 await self.dispatch(message, stream.last_context)
                 self._account_outcomes()
+                if self._maybe_trip_crash():
+                    break
         finally:
             if self._peers.get(hello.node_id) is stream:
                 del self._peers[hello.node_id]
@@ -226,7 +334,8 @@ class MeshRootServer(RootServer):
 class MeshLocalServer(LocalServer):
     """One local with an uplink per shard (or one relay uplink)."""
 
-    def __init__(self, node, fabric, *, n_shards: int, **kwargs) -> None:
+    def __init__(self, node, fabric, *, n_shards: int,
+                 on_upstream_down=None, **kwargs) -> None:
         super().__init__(node, fabric, dial_root=None, **kwargs)
         self._n_shards = n_shards
         #: Peer id → dialed stream; a single entry in relay mode.
@@ -237,6 +346,13 @@ class MeshLocalServer(LocalServer):
         self._mesh_heartbeat_task: asyncio.Task | None = None
         #: Latest membership epoch seen from each upstream peer.
         self.route_epochs: dict[int, int] = {}
+        #: Epoch-versioned shard liveness; frames route by its owner.
+        self._shard_map = ShardMap(max(1, n_shards))
+        #: Coordinator callback ``(shard_index) -> None`` fired when an
+        #: uplink to a shard dies (failure-detection evidence).
+        self._on_upstream_down = on_upstream_down
+        self.failovers_seen = 0
+        self.fenced_frames = 0
 
     async def connect_upstreams(
         self,
@@ -299,9 +415,19 @@ class MeshLocalServer(LocalServer):
                 except TransportError:
                     if self._tolerance is None:
                         raise
+                    self._report_upstream_down(peer_id)
                     return
                 if message is None:
+                    self._report_upstream_down(peer_id)
                     return
+                if self._is_fenced(peer_id):
+                    # A dead shard resurrecting cannot speak for windows
+                    # that already moved: everything it says is stale.
+                    self.fenced_frames += 1
+                    continue
+                if isinstance(message, ShardFailoverMessage):
+                    await self._on_shard_failover(message)
+                    continue
                 if isinstance(message, RouteUpdateMessage):
                     self.route_epochs[peer_id] = max(
                         self.route_epochs.get(peer_id, 0), message.epoch
@@ -316,6 +442,53 @@ class MeshLocalServer(LocalServer):
             if self._failures is None:
                 raise
             self._failures.record(exc)
+
+    def _is_fenced(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` is a shard the current epoch declares dead."""
+        if not SHARD_ID_BASE <= peer_id < RELAY_ID_BASE:
+            return False
+        return not self._shard_map.is_live(peer_id - SHARD_ID_BASE)
+
+    def _report_upstream_down(self, peer_id: int) -> None:
+        """Hand link-death evidence for a shard uplink to the coordinator."""
+        if self._closing or self._crashed:
+            return
+        if self._on_upstream_down is None:
+            return
+        if SHARD_ID_BASE <= peer_id < RELAY_ID_BASE:
+            self._on_upstream_down(peer_id - SHARD_ID_BASE)
+
+    async def _on_shard_failover(self, message: ShardFailoverMessage) -> None:
+        """Converge on a newer shard map and replay retained windows.
+
+        The successor now owns the dead shard's windows; every sealed
+        window still retained (sent but unreleased — the release is the
+        pruning horizon) is re-announced so the new owner can run the
+        unmodified identification/calculation protocol on it.  Windows
+        the dead shard already answered get back a release instead.
+        Stale (non-monotonic) epochs are ignored: that is the fence
+        against a dead shard's late resurrection.
+        """
+        if message.epoch <= self._shard_map.epoch:
+            return
+        self._shard_map = ShardMap(
+            n_shards=self._shard_map.n_shards,
+            epoch=message.epoch,
+            dead=frozenset(message.dead),
+        )
+        self.failovers_seen += 1
+        if self.tracer.enabled:
+            now = self.fabric.now
+            self.tracer.record(
+                "shard_failover", self.node_id, now, now,
+                epoch=message.epoch, dead=len(message.dead),
+            )
+            self.tracer.registry.counter(
+                "shard_failovers_seen_total",
+                "Failover announcements applied by mesh hosts.",
+            ).inc()
+        self.node.replay_pending(self.fabric.now)
+        await self.flush()
 
     async def _mesh_heartbeats(self) -> None:
         """Liveness beacons on every uplink (relays forward verbatim)."""
@@ -347,10 +520,8 @@ class MeshLocalServer(LocalServer):
                 if self._relay_peer is not None:
                     peer_id = self._relay_peer
                 else:
-                    peer_id = shard_node_id(shard_of(
-                        message.window.start,
-                        self._window_length_ms,
-                        self._n_shards,
+                    peer_id = shard_node_id(self._shard_map.owner(
+                        message.window.start, self._window_length_ms,
                     ))
             stream = self._upstreams.get(peer_id) or self._peers.get(peer_id)
             if stream is None:

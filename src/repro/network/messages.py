@@ -46,6 +46,8 @@ __all__ = [
     "RouteUpdateMessage",
     "RelaySynopsisMessage",
     "RelayRunsMessage",
+    "ShardFailoverMessage",
+    "ResultAckMessage",
 ]
 
 #: Fixed per-message framing overhead: u32 length prefix plus the frame
@@ -467,6 +469,51 @@ class RelayRunsMessage(Message):
             + len(events) * EVENT_WIRE_BYTES
             for _, _, events in self.sections
         )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFailoverMessage(Message):
+    """A successor shard announces an epoch-versioned failover in-band.
+
+    ``epoch`` is the failover count (strictly greater than any epoch a
+    receiver has seen, or the frame is stale and dropped); ``dead``
+    lists every shard index declared dead so far.  The pair fully
+    determines window ownership (see
+    :class:`~repro.mesh.routing.ShardMap`): receivers rebuild the map,
+    reroute, and replay their retained sent-but-unreleased state to the
+    successor.  Monotonic epochs double as the resurrection fence — a
+    dead shard coming back cannot announce anything newer than its
+    death.
+    """
+
+    epoch: int = 0
+    dead: tuple[int, ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.U64_BYTES
+            + wire.COUNT_BYTES
+            + len(self.dead) * wire.U32_BYTES
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ResultAckMessage(Message):
+    """A query driver acknowledges served results up to a cursor.
+
+    ``cursor`` counts results received on this client's connection since
+    registration (the same unit as the ``resume_from`` hello field for
+    the ``driver`` role).  A durable root prunes its per-client result
+    log below the acked cursor — the query-plane analogue of the window
+    release acting as the locals' pruning horizon.
+    """
+
+    cursor: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return wire.U64_BYTES
 
 
 def batch_events(

@@ -6,19 +6,32 @@ round trips (futures keyed by query id) and a stream of per-query
 results over the single socket.  Results accumulate in
 :attr:`QueryClient.results` in arrival order; scenario code polls
 :meth:`wait_for` until its completion predicate holds.
+
+Given a ``dial`` callback the client is **durable**: when the
+connection dies it redials, says hello again with ``resume_from`` set
+to how many results it has received, and the root replays everything at
+or past that cursor from its retained per-client log — so a driver
+killed and reconnected mid-run still receives every result exactly
+once.  Requests still in flight at the disconnect are re-sent on the
+new connection (registration is idempotent at the root), and each
+received result is acknowledged with a
+:class:`~repro.network.messages.ResultAckMessage` so the root can prune
+its log to the acked horizon.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable
+from typing import Awaitable, Callable
 
 from repro.errors import QueryError, TransportError
 from repro.network.messages import (
+    Message,
     QueryAckMessage,
     QueryDeregisterMessage,
     QueryRegisterMessage,
     QueryResultMessage,
+    ResultAckMessage,
 )
 from repro.queries.spec import CONTROL_WINDOW, QuerySpec
 from repro.runtime.codec import Hello
@@ -26,18 +39,36 @@ from repro.runtime.transport import MessageStream
 
 __all__ = ["QueryClient"]
 
+#: Pause between redial attempts while the root is unreachable.
+_REDIAL_BACKOFF_S = 0.02
+
 
 class QueryClient:
     """Registers queries over the wire and collects their result streams."""
 
-    def __init__(self, stream: MessageStream, client_id: int) -> None:
+    def __init__(
+        self,
+        stream: MessageStream,
+        client_id: int,
+        *,
+        dial: "Callable[[], Awaitable[MessageStream]] | None" = None,
+    ) -> None:
         self.stream = stream
         self.client_id = client_id
-        self._acks: dict[int, asyncio.Future] = {}
+        #: Redial callback for durable sessions; ``None`` disables
+        #: reconnects (an EOF ends the client, the original semantics).
+        self._dial = dial
+        #: In-flight request futures and their messages, keyed by query
+        #: id; the message is retained so a reconnect can re-send it.
+        self._acks: dict[int, tuple[asyncio.Future, Message]] = {}
         #: Served results per query id, arrival order.
         self.results: dict[int, list[QueryResultMessage]] = {}
         #: Accepted horizons per query id (first guaranteed window start).
         self.horizons: dict[int, int] = {}
+        #: Total results received — the resume/ack cursor.
+        self.received = 0
+        #: Connections re-established after an EOF.
+        self.reconnects = 0
         self._reader: asyncio.Task | None = None
         self._closed = False
 
@@ -56,6 +87,18 @@ class QueryClient:
             except asyncio.CancelledError:
                 pass
             self._reader = None
+        try:
+            await self.stream.close()
+        except TransportError:
+            pass
+
+    async def drop_connection(self) -> None:
+        """Sever the link without closing the client (chaos helper).
+
+        The read loop observes the EOF and, when a ``dial`` callback was
+        given, redials with the resume cursor — exactly what a driver
+        surviving a network blip does.
+        """
         try:
             await self.stream.close()
         except TransportError:
@@ -128,16 +171,22 @@ class QueryClient:
         return tuple(self.results.get(query_id, ()))
 
     async def _round_trip(
-        self, query_id: int, message, *, timeout: float
+        self, query_id: int, message: Message, *, timeout: float
     ) -> QueryAckMessage:
         if query_id in self._acks:
             raise QueryError(
                 f"query id {query_id} already has a request in flight"
             )
         future: asyncio.Future = asyncio.get_event_loop().create_future()
-        self._acks[query_id] = future
+        self._acks[query_id] = (future, message)
         try:
-            await self.stream.send(message)
+            try:
+                await self.stream.send(message)
+            except TransportError:
+                if self._dial is None:
+                    raise
+                # The link is down; the read loop's reconnect re-sends
+                # every pending request, this one included.
             ack = await asyncio.wait_for(future, timeout)
         finally:
             self._acks.pop(query_id, None)
@@ -145,30 +194,76 @@ class QueryClient:
             raise QueryError(ack.reason)
         return ack
 
+    async def _reconnect(self) -> bool:
+        """Redial, resume from the received cursor, re-send pending.
+
+        Returns ``True`` once a new session is established, ``False``
+        if the client was closed while redialing.
+        """
+        assert self._dial is not None
+        while not self._closed:
+            try:
+                stream = await self._dial()
+                await stream.send(
+                    Hello(
+                        node_id=self.client_id,
+                        role="driver",
+                        resume_from=self.received,
+                    )
+                )
+                for _, message in self._acks.values():
+                    await stream.send(message)
+            except TransportError:
+                await asyncio.sleep(_REDIAL_BACKOFF_S)
+                continue
+            self.stream = stream
+            self.reconnects += 1
+            return True
+        return False
+
     async def _read_loop(self) -> None:
         try:
             while True:
                 try:
                     message = await self.stream.recv()
                 except TransportError:
-                    break
+                    message = None
                 if message is None:
-                    break
+                    if self._closed or self._dial is None:
+                        break
+                    if not await self._reconnect():
+                        break
+                    continue
                 if isinstance(message, QueryAckMessage):
-                    future = self._acks.get(message.query_id)
-                    if future is not None and not future.done():
-                        future.set_result(message)
+                    entry = self._acks.get(message.query_id)
+                    if entry is not None and not entry[0].done():
+                        entry[0].set_result(message)
                 elif isinstance(message, QueryResultMessage):
                     self.results.setdefault(message.query_id, []).append(
                         message
                     )
+                    self.received += 1
+                    await self._send_ack()
         finally:
             if not self._closed:
                 # EOF with requests still pending: fail them fast.
-                for future in self._acks.values():
+                for future, _ in self._acks.values():
                     if not future.done():
                         future.set_exception(
                             TransportError(
                                 "root connection closed before the ack"
                             )
                         )
+
+    async def _send_ack(self) -> None:
+        """Tell the root how far the result stream has durably landed."""
+        try:
+            await self.stream.send(
+                ResultAckMessage(
+                    sender=self.client_id,
+                    window=CONTROL_WINDOW,
+                    cursor=self.received,
+                )
+            )
+        except TransportError:
+            pass  # the link is dying; the resume hello re-states the cursor

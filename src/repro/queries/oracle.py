@@ -89,13 +89,20 @@ def grade_results(
 
     Every served result must match its window's oracle triple exactly
     (empty windows compare size/rank only — the 0.0 value is a filler).
-    With ``require_complete`` the query must also have received a result
-    for *every* expected window.
+    A window served more than once is a mismatch — the plane promises
+    exactly-once delivery even across driver reconnects.  With
+    ``require_complete`` the query must also have received a result for
+    *every* expected window.
     """
     mismatches: list[str] = []
     seen: set[Window] = set()
     for result in served:
         window = result.window
+        if window in seen:
+            mismatches.append(
+                f"query {query_id}: duplicate result for window {window}"
+            )
+            continue
         seen.add(window)
         truth = expected.get(window)
         if truth is None:

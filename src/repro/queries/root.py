@@ -44,6 +44,7 @@ from repro.network.messages import (
     QueryDeregisterMessage,
     QueryRegisterMessage,
     QueryResultMessage,
+    ResultAckMessage,
     SynopsisMessage,
 )
 from repro.obs.tracer import NOOP_TRACER, Tracer
@@ -59,6 +60,43 @@ ROOT_SENDER = 0
 
 #: ``(destination node id, message)`` pairs for the hosting server to ship.
 Outgoing = list[tuple[int, Message]]
+
+
+@dataclass(slots=True)
+class _ClientLog:
+    """Durable per-client result log: retained to the acked horizon.
+
+    Entry ``i`` (absolute index ``base + position``) is the client's
+    ``i``-th result in serve order.  A reconnecting driver says how many
+    results it has received (its ``resume_from`` cursor); everything at
+    or past that cursor is replayed, and a
+    :class:`~repro.network.messages.ResultAckMessage` prunes entries
+    below the acked cursor — exactly-once delivery by cursor
+    arithmetic, with the ack as the retention horizon.
+    """
+
+    base: int = 0
+    entries: list[QueryResultMessage] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Absolute index one past the last logged result."""
+        return self.base + len(self.entries)
+
+    def append(self, message: QueryResultMessage) -> None:
+        self.entries.append(message)
+
+    def tail_from(self, cursor: int) -> "list[QueryResultMessage]":
+        """Entries at or past ``cursor`` (clamped to what is retained)."""
+        return list(self.entries[max(0, cursor - self.base):])
+
+    def prune_below(self, cursor: int) -> int:
+        """Drop entries below ``cursor``; returns how many were dropped."""
+        drop = min(max(0, cursor - self.base), len(self.entries))
+        if drop:
+            del self.entries[:drop]
+            self.base += drop
+        return drop
 
 
 @dataclass(slots=True)
@@ -86,19 +124,29 @@ class RootQueryPlane:
         *,
         tracer: Tracer = NOOP_TRACER,
         clock: Callable[[], float] = time.monotonic,
+        durable: bool = False,
     ) -> None:
         if not local_ids:
             raise QueryError("the query plane needs at least one local node")
         self.local_ids = tuple(sorted(local_ids))
         self.tracer = tracer
         self.clock = clock
+        #: Durable mode: a disconnect *retains* the client's
+        #: registrations and per-client result log, so a reconnecting
+        #: driver resumes from its acked cursor instead of starting
+        #: over.  Off (the default), a disconnect deregisters
+        #: everything the client owned — the original semantics.
+        self.durable = durable
         self.registry = QueryRegistry()
         self._cuts: dict[tuple[int, Window], _CutState] = {}
         self._clients: set[int] = set()
+        self._logs: dict[int, _ClientLog] = {}
         #: Identification passes run (one per completed (group, window)).
         self.identification_cuts = 0
         #: Per-query results shipped to clients.
         self.results_served = 0
+        #: Results replayed to reconnecting clients (durable mode).
+        self.results_replayed = 0
 
     # -- client side ----------------------------------------------------
 
@@ -106,9 +154,59 @@ class RootQueryPlane:
         """A driver connection said hello."""
         self._clients.add(client_id)
 
+    def on_client_resume(self, client_id: int, resume_from: int) -> int:
+        """A driver (re)connected with a result cursor; marks it live.
+
+        Returns the absolute log cursor the connection's result stream
+        must start from: the client's own cursor when it presented one
+        (``resume_from >= 0`` — everything at or past it gets
+        replayed), else the log end (a fresh connection sees only
+        results produced after it arrived).  Non-durable planes always
+        start at the end; there is no retained log to replay.
+        """
+        self.on_client_connect(client_id)
+        if not self.durable:
+            return 0
+        log = self._logs.setdefault(client_id, _ClientLog())
+        if resume_from < 0:
+            return log.end
+        cursor = min(resume_from, log.end)
+        replay = log.end - cursor
+        if replay:
+            self.results_replayed += replay
+            if self.tracer.enabled:
+                self.tracer.registry.counter(
+                    "query_results_replayed_total",
+                    "Results replayed to reconnecting driver clients.",
+                ).inc(replay)
+        return cursor
+
+    def log_from(
+        self, client_id: int, cursor: int
+    ) -> "list[QueryResultMessage]":
+        """Retained results for ``client_id`` at or past ``cursor``."""
+        log = self._logs.get(client_id)
+        if log is None:
+            return []
+        return log.tail_from(cursor)
+
+    def on_result_ack(self, client_id: int, cursor: int) -> None:
+        """The client has durably received everything below ``cursor``."""
+        log = self._logs.get(client_id)
+        if log is not None:
+            log.prune_below(cursor)
+
     def on_client_gone(self, client_id: int) -> Outgoing:
-        """A driver connection closed: deregister everything it owned."""
+        """A driver connection closed.
+
+        Durable planes only mark the client disconnected — its
+        registrations keep producing results into the retained log, and
+        a reconnect replays from the acked cursor.  Otherwise the
+        disconnect deregisters everything the client owned.
+        """
         self._clients.discard(client_id)
+        if self.durable:
+            return []
         out: Outgoing = []
         for record in self.registry.queries_of_client(client_id):
             _, group, emptied = self.registry.deregister(record.query_id)
@@ -118,11 +216,13 @@ class RootQueryPlane:
         return out
 
     def on_client_message(self, client_id: int, message: Message) -> Outgoing:
-        """Handle a register/deregister request from a driver."""
+        """Handle a register/deregister/ack request from a driver."""
         if isinstance(message, QueryRegisterMessage):
             return self._on_register(client_id, message)
         if isinstance(message, QueryDeregisterMessage):
             return self._on_deregister(client_id, message)
+        if isinstance(message, ResultAckMessage):
+            self.on_result_ack(client_id, message.cursor)
         return []
 
     def _nack(self, client_id: int, query_id: int, reason: str) -> Outgoing:
@@ -178,6 +278,24 @@ class RootQueryPlane:
                 "session boundaries are a property of the merged stream, "
                 "which per-local pane stores cannot decide",
             )
+        existing = self.registry.get(message.query_id)
+        if (
+            existing is not None
+            and existing.client_id == client_id
+            and existing.spec == spec
+        ):
+            # Idempotent re-registration: a reconnecting driver replays
+            # requests it cannot prove were applied.  Same client, same
+            # spec — re-ack (or stay silent while the group is still
+            # negotiating; activation will ack) instead of nacking.
+            group = self.registry.group(existing.group_id)
+            if (
+                group is not None
+                and group.active
+                and existing.horizon_start is not None
+            ):
+                return [self._ack(existing, group)]
+            return []
         try:
             record, group, created = self.registry.register(
                 message.query_id, spec, client_id
@@ -453,18 +571,24 @@ class RootQueryPlane:
                 "query_results_served",
                 "Per-query results shipped to driver clients.",
             ).inc()
-        return (
-            record.client_id,
-            QueryResultMessage(
-                sender=ROOT_SENDER,
-                window=window,
-                group_id=group.group_id,
-                query_id=record.query_id,
-                value=value,
-                global_window_size=total,
-                rank=rank,
-            ),
+        message = QueryResultMessage(
+            sender=ROOT_SENDER,
+            window=window,
+            group_id=group.group_id,
+            query_id=record.query_id,
+            value=value,
+            global_window_size=total,
+            rank=rank,
         )
+        if self.durable:
+            # Results reach durable clients only through the log: the
+            # hosting server's per-connection writer drains it in
+            # order, which is what makes the resume cursor arithmetic
+            # exact (no live send can jump the replay queue).
+            self._logs.setdefault(record.client_id, _ClientLog()).append(
+                message
+            )
+        return (record.client_id, message)
 
     def _record_result_span(
         self,

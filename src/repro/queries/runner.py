@@ -57,6 +57,8 @@ class QueryScenarioReport:
     wall_seconds: float
     live: LiveRunReport
     nacks: list[str] = field(default_factory=list)
+    #: Driver connections re-established mid-run (durable sessions only).
+    driver_reconnects: int = 0
 
     @property
     def ok(self) -> bool:
@@ -119,6 +121,7 @@ def run_query_scenario(
     timeout_s: float = 120.0,
     tracer: Tracer | None = None,
     specs: "list[QuerySpec] | None" = None,
+    driver_drop: bool = False,
 ) -> QueryScenarioReport:
     """Run one live multi-query scenario and grade it end to end.
 
@@ -127,6 +130,13 @@ def run_query_scenario(
     already-active group, one forcing a fresh group — and deregisters
     every other initial query while the streams are still flowing.
 
+    With ``driver_drop`` the cluster runs durable queries: once the run
+    has served at least one result the driver severs its connection and
+    redials with its resume cursor; grading then proves every result
+    still arrived exactly once (the duplicate check in
+    :func:`~repro.queries.oracle.grade_results` makes "at most once"
+    explicit, completeness makes it "at least once").
+
     ``specs`` overrides the generated batch (the bench uses this to run
     each query alone for the amortization baseline).
     """
@@ -134,6 +144,12 @@ def run_query_scenario(
         raise ConfigurationError(
             "churn needs time_scale > 0 — registering and deregistering "
             "mid-run is meaningless at replay-as-fast-as-possible"
+        )
+    if driver_drop and time_scale <= 0:
+        raise ConfigurationError(
+            "driver_drop needs time_scale > 0 — at replay-as-fast-as-"
+            "possible the run finishes before the connection can drop "
+            "mid-stream"
         )
     if tracer is None:
         tracer = RecordingTracer()
@@ -155,6 +171,7 @@ def run_query_scenario(
         transport=transport,
         time_scale=time_scale,
         timeout_s=timeout_s,
+        durable_queries=driver_drop,
     )
 
     initial = {index + 1: spec for index, spec in enumerate(specs)}
@@ -163,17 +180,60 @@ def run_query_scenario(
     nacks: list[str] = []
     survivors_expect: dict[int, int] = {}
     grid_end_box: dict[str, int] = {}
+    reconnects_box: dict[str, int] = {"reconnects": 0}
 
     async def driver(context: QueryDriverContext) -> dict:
         grid_end_box["grid_end"] = context.grid_end
+        redial_gate = asyncio.Event()
+        redial_gate.set()
+
+        async def gated_dial():
+            await redial_gate.wait()
+            return await context.dial(DRIVER_CLIENT_ID)
+
         client = QueryClient(
-            await context.dial(DRIVER_CLIENT_ID), DRIVER_CLIENT_ID
+            await context.dial(DRIVER_CLIENT_ID),
+            DRIVER_CLIENT_ID,
+            dial=gated_dial if driver_drop else None,
         )
         await client.start()
         try:
             for query_id, spec in initial.items():
                 await client.register(query_id, spec)
             context.start_replay()
+            if driver_drop:
+                # Sever the driver link after the first served result,
+                # then hold the redial shut until the root has produced
+                # the *entire* run — everything after the drop lands
+                # only in the retained per-client log.  Reopening the
+                # gate forces a resume that must replay that tail from
+                # the acked cursor.
+                await client.wait_for(
+                    lambda c: any(c.results.values()), timeout=timeout_s
+                )
+                expected_total = sum(
+                    len(
+                        spec.window_starts(
+                            client.horizons[query_id], context.grid_end
+                        )
+                    )
+                    for query_id, spec in initial.items()
+                )
+                redial_gate.clear()
+                await client.drop_connection()
+                loop = asyncio.get_event_loop()
+                deadline = loop.time() + timeout_s
+                while context.plane_results() < expected_total:
+                    if loop.time() > deadline:
+                        raise QueryError(
+                            "timed out waiting for the disconnected "
+                            "plane to finish the run"
+                        )
+                    await asyncio.sleep(0.01)
+                redial_gate.set()
+                await client.wait_for(
+                    lambda c: c.reconnects >= 1, timeout=timeout_s
+                )
             if churn:
                 # Churn once the run is demonstrably mid-protocol (at
                 # least one result served): every other initial query
@@ -233,6 +293,7 @@ def run_query_scenario(
                 ),
                 timeout=timeout_s,
             )
+            reconnects_box["reconnects"] = client.reconnects
             return {
                 "results": {
                     query_id: list(messages)
@@ -299,4 +360,5 @@ def run_query_scenario(
         wall_seconds=report.wall_seconds,
         live=report,
         nacks=nacks,
+        driver_reconnects=reconnects_box["reconnects"],
     )

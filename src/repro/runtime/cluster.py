@@ -91,6 +91,10 @@ class LiveClusterConfig:
             ``None`` — the default — starts none of it and puts zero
             extra bytes on the wire; quantile results are bit-identical
             either way.
+        durable_queries: Retain per-driver result logs at the root and
+            replay them when a driver reconnects with a resume cursor,
+            so a dropped query connection loses no results.  Only
+            meaningful when a query driver is attached.
     """
 
     n_locals: int = 2
@@ -104,6 +108,7 @@ class LiveClusterConfig:
     faults: FaultPlan | None = None
     tolerance: ToleranceConfig | None = None
     telemetry: TelemetryConfig | None = None
+    durable_queries: bool = False
 
     def __post_init__(self) -> None:
         if self.n_locals < 1:
@@ -145,6 +150,10 @@ class QueryDriverContext:
     #: Open the replay gate; idempotent, called automatically when the
     #: driver coroutine finishes (so a failed driver cannot hang the run).
     start_replay: Callable[[], None]
+    #: Total results the root plane has produced so far (all clients).
+    #: Durable-session scenarios poll this while *disconnected* to know
+    #: when the retained log holds the whole run.
+    plane_results: Callable[[], int] = lambda: 0
 
 
 @dataclass
@@ -434,7 +443,9 @@ async def run_live_cluster(
         from repro.queries.local import LocalQueryPlane
         from repro.queries.root import RootQueryPlane
 
-        query_plane = RootQueryPlane(tuple(local_ids), tracer=tracer)
+        query_plane = RootQueryPlane(
+            tuple(local_ids), tracer=tracer, durable=config.durable_queries
+        )
         local_planes = {
             local_id: LocalQueryPlane(local_id, grid_start=grid_start)
             for local_id in local_ids
@@ -627,12 +638,15 @@ async def run_live_cluster(
                 track("driver_root", client_id, ROOT_NODE_ID, stream)
                 return stream
 
+            plane = query_plane
+
             context = QueryDriverContext(
                 grid_start=grid_start,
                 grid_end=grid_end,
                 config=config,
                 dial=dial_client,
                 start_replay=gate.set,
+                plane_results=lambda: plane.results_served,
             )
 
             async def run_driver() -> None:

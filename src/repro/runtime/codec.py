@@ -54,8 +54,10 @@ from repro.network.messages import (
     QueryResultMessage,
     RelayRunsMessage,
     RelaySynopsisMessage,
+    ResultAckMessage,
     ResultMessage,
     RouteUpdateMessage,
+    ShardFailoverMessage,
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
@@ -148,6 +150,8 @@ TAG_BY_TYPE: dict[type, int] = {
     RouteUpdateMessage: 22,
     RelaySynopsisMessage: 23,
     RelayRunsMessage: 24,
+    ShardFailoverMessage: 25,
+    ResultAckMessage: 26,
 }
 
 TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
@@ -342,6 +346,16 @@ def _encode_route_update(m: RouteUpdateMessage) -> bytes:
     return b"".join(parts)
 
 
+def _encode_shard_failover(m: ShardFailoverMessage) -> bytes:
+    parts = [wire.U64.pack(m.epoch), wire.COUNT.pack(len(m.dead))]
+    parts.extend(wire.U32.pack(index) for index in m.dead)
+    return b"".join(parts)
+
+
+def _encode_result_ack(m: ResultAckMessage) -> bytes:
+    return wire.U64.pack(m.cursor)
+
+
 def _encode_relay_synopsis(m: RelaySynopsisMessage) -> bytes:
     parts = [wire.COUNT.pack(len(m.sections))]
     pack = wire.RELAY_SYNOPSIS.pack
@@ -396,6 +410,8 @@ _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     RouteUpdateMessage: _encode_route_update,
     RelaySynopsisMessage: _encode_relay_synopsis,
     RelayRunsMessage: _encode_relay_runs,
+    ShardFailoverMessage: _encode_shard_failover,
+    ResultAckMessage: _encode_result_ack,
 }
 
 
@@ -611,6 +627,18 @@ def _decode_route_update(r, sender, window, group_id):
     return RouteUpdateMessage(sender, window, group_id, epoch, members)
 
 
+def _decode_shard_failover(r, sender, window, group_id):
+    (epoch,) = r.unpack(wire.U64)
+    n = r.count()
+    dead = tuple(r.unpack(wire.U32)[0] for _ in range(n))
+    return ShardFailoverMessage(sender, window, group_id, epoch, dead)
+
+
+def _decode_result_ack(r, sender, window, group_id):
+    (cursor,) = r.unpack(wire.U64)
+    return ResultAckMessage(sender, window, group_id, cursor)
+
+
 def _decode_relay_synopsis(r, sender, window, group_id):
     n_sections = r.count()
     sections = []
@@ -671,6 +699,8 @@ _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[RouteUpdateMessage]: _decode_route_update,
     TAG_BY_TYPE[RelaySynopsisMessage]: _decode_relay_synopsis,
     TAG_BY_TYPE[RelayRunsMessage]: _decode_relay_runs,
+    TAG_BY_TYPE[ShardFailoverMessage]: _decode_shard_failover,
+    TAG_BY_TYPE[ResultAckMessage]: _decode_result_ack,
 }
 
 

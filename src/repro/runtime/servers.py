@@ -49,6 +49,7 @@ from repro.network.messages import (
     EventBatchMessage,
     HeartbeatMessage,
     Message,
+    QueryResultMessage,
     ResultMessage,
     SynopsisMessage,
     WatermarkMessage,
@@ -115,6 +116,7 @@ class LiveFabric:
         self._loop = asyncio.get_event_loop()
         self._epoch = self._loop.time() if epoch is None else epoch
         self._outbox: list[tuple[int, Message]] = []
+        self._halted = False
         #: Set by the owning host: called after each timer action so
         #: messages the action queued (reliability retransmits, releases)
         #: get flushed — a timer has no dispatch to piggyback on.
@@ -141,11 +143,23 @@ class LiveFabric:
         delay = max(0.0, time - self.now)
 
         def fire() -> None:
+            if self._halted:
+                return
             action(self.now)
             if self.on_timer is not None:
                 self.on_timer()
 
         self._loop.call_later(delay, fire)
+
+    def halt(self) -> None:
+        """Stop firing scheduled actions: the owning host crashed.
+
+        A killed shard's armed reliability timers must not keep mutating
+        its operator — the takeover protocol snapshots the dead node's
+        answered windows, and a post-mortem timer answering one more
+        window would race that snapshot.
+        """
+        self._halted = True
 
     def drain(self) -> list[tuple[int, Message]]:
         """Take every queued ``(dst, message)`` pair."""
@@ -335,6 +349,9 @@ class RootServer(NodeHost):
         #: Optional :class:`~repro.queries.root.RootQueryPlane`: handles
         #: driver connections and every ``group_id != 0`` frame.
         self._query_plane = query_plane
+        #: Durable-plane result writers: client id → the event that
+        #: wakes its connection's log-drain task when new results land.
+        self._driver_wakeups: dict[int, asyncio.Event] = {}
         #: Telemetry: bounce each heartbeat back so the local can measure
         #: round-trip time.  Off by default — the echo is extra traffic.
         self._echo_heartbeats = echo_heartbeats
@@ -408,8 +425,25 @@ class RootServer(NodeHost):
     async def _ship_plane(
         self, outgoing: "list[tuple[int, Message]]"
     ) -> None:
-        """Send query-plane replies; a vanished peer is not fatal."""
+        """Send query-plane replies; a vanished peer is not fatal.
+
+        On a durable plane, results for driver clients never go out
+        here: the plane has already appended them to the client's
+        retained log, and the connection's writer task drains that log
+        in order (see :meth:`_drive_results`) — one totally-ordered
+        result stream per client is what makes the resume cursor exact.
+        """
+        plane = self._query_plane
         for dst, reply in outgoing:
+            if (
+                plane is not None
+                and plane.durable
+                and isinstance(reply, QueryResultMessage)
+            ):
+                wake = self._driver_wakeups.get(dst)
+                if wake is not None:
+                    wake.set()
+                continue
             stream = self._peers.get(dst)
             if stream is None:
                 self.dropped_sends += 1
@@ -419,14 +453,56 @@ class RootServer(NodeHost):
             except TransportError:
                 self.dropped_sends += 1
 
+    async def _drive_results(
+        self, client_id: int, stream: MessageStream, cursor: int,
+        wake: asyncio.Event,
+    ) -> None:
+        """Single writer for one durable driver connection.
+
+        Drains the client's retained result log from ``cursor`` — the
+        resume replay and live tail are one stream, so the client's
+        received count is always a log prefix.  A transport error ends
+        the writer; the recv loop observes the same death and tears the
+        connection down.
+        """
+        plane = self._query_plane
+        assert plane is not None
+        try:
+            while True:
+                batch = plane.log_from(client_id, cursor)
+                if not batch:
+                    wake.clear()
+                    await wake.wait()
+                    continue
+                for message in batch:
+                    await stream.send(message)
+                    cursor += 1
+        except TransportError:
+            pass
+
     async def _serve_driver(
-        self, client_id: int, stream: MessageStream
+        self, hello: Hello, stream: MessageStream
     ) -> None:
         """Connection handler for one query-plane driver client."""
         plane = self._query_plane
         assert plane is not None
+        client_id = hello.node_id
         self.register_peer(client_id, stream)
-        plane.on_client_connect(client_id)
+        cursor = plane.on_client_resume(client_id, hello.resume_from)
+        writer: asyncio.Task | None = None
+        wake: asyncio.Event | None = None
+        if plane.durable:
+            wake = asyncio.Event()
+            wake.set()  # drain any retained backlog immediately
+            self._driver_wakeups[client_id] = wake
+            writer = asyncio.ensure_future(
+                self._drive_results(client_id, stream, cursor, wake)
+            )
+            if self.tracer.enabled and hello.resume_from >= 0:
+                self.tracer.registry.counter(
+                    "driver_reconnects_total",
+                    "Driver clients that resumed with a result cursor.",
+                ).inc()
         try:
             while True:
                 try:
@@ -442,6 +518,12 @@ class RootServer(NodeHost):
                     plane.on_client_message(client_id, message)
                 )
         finally:
+            if writer is not None:
+                writer.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await writer
+            if wake is not None and self._driver_wakeups.get(client_id) is wake:
+                del self._driver_wakeups[client_id]
             if self._peers.get(client_id) is stream:
                 del self._peers[client_id]
             await self._ship_plane(plane.on_client_gone(client_id))
@@ -454,7 +536,7 @@ class RootServer(NodeHost):
         )
         hello = await self.expect_hello(stream, roles)
         if hello.role == "driver":
-            await self._serve_driver(hello.node_id, stream)
+            await self._serve_driver(hello, stream)
             return
         self.register_peer(hello.node_id, stream)
         if self._tolerance is not None:
@@ -531,8 +613,16 @@ class RootServer(NodeHost):
                 while heap and heap[0][0] <= now:
                     _, local_id, seen_then = heapq.heappop(heap)
                     seen = self.last_seen.get(local_id, seen_then)
-                    if local_id in self.node.dead_nodes:
-                        # Stop monitoring; a fresh hello re-enrolls it.
+                    if (
+                        local_id in self.node.dead_nodes
+                        or local_id not in self.node.current_members
+                    ):
+                        # Dead or gracefully departed: drop the tombstoned
+                        # entry instead of re-arming it forever (a leaver
+                        # never heartbeats again, so its entry would
+                        # otherwise accrue misses each interval and end in
+                        # a bogus death declaration).  A fresh hello
+                        # re-enrolls either way.
                         self._monitored.discard(local_id)
                         continue
                     if seen != seen_then:

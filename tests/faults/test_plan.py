@@ -53,6 +53,14 @@ class TestDescribeEvent:
         event = FaultEvent(at_s=2.0, kind="partition_start")
         assert describe_event(event) == "partition_start @2.000s"
 
+    def test_kill_shard_names_a_shard_not_a_local(self):
+        event = FaultEvent(at_s=1.5, kind="kill_shard", node=0)
+        assert describe_event(event) == "kill_shard shard 0 @1.500s"
+
+    def test_driver_drop_has_no_target(self):
+        event = FaultEvent(at_s=1.0, kind="driver_drop")
+        assert describe_event(event) == "driver_drop @1.000s"
+
 
 class TestFaultPlanValidation:
     def test_horizon_must_be_positive(self):
@@ -123,12 +131,16 @@ class TestSchedule:
 
 class TestScenarios:
     def test_every_scenario_builds_a_valid_plan(self):
-        for name in SCENARIOS:
+        for name, scenario in SCENARIOS.items():
             plan = build_plan(name, seed=3, horizon_s=3.0, n_locals=2)
             assert plan.events, name
             assert all(e.at_s <= plan.horizon_s for e in plan.events), name
             targets = {e.node for e in plan.events if e.node is not None}
-            assert targets <= {1, 2}, name
+            if scenario.substrate == "mesh":
+                # Mesh scenarios target 0-based shard indices.
+                assert targets <= {0, 1}, name
+            else:
+                assert targets <= {1, 2}, name
 
     def test_same_seed_same_schedule(self):
         for name in SCENARIOS:
@@ -187,4 +199,5 @@ class TestToleranceConfigValidation:
 def test_fault_kinds_are_the_tie_break_order():
     assert FAULT_KINDS == (
         "crash", "restart", "drop_link", "partition_start", "partition_heal",
+        "kill_shard", "driver_drop",
     )

@@ -1,0 +1,45 @@
+"""Chaos runner substrate dispatch: scenario/flag validation.
+
+The runner routes each scenario by its substrate — flat, mesh, or
+query — and must reject impossible combinations up front instead of
+booting a cluster that cannot exercise the fault: mesh and query
+scenarios live only on the live substrate, and the mesh-only flags
+are meaningless on a flat topology.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.runner import run_chaos
+from repro.faults.scenarios import SCENARIOS
+
+
+class TestSubstrateDispatch:
+    @pytest.mark.parametrize(
+        "scenario", ["kill-shard", "kill-shard-with-relay"]
+    )
+    def test_mesh_scenario_rejects_sim_mode(self, scenario):
+        with pytest.raises(ConfigurationError, match="live substrate"):
+            run_chaos(scenario, mode="sim")
+
+    def test_query_scenario_rejects_sim_mode(self):
+        with pytest.raises(ConfigurationError, match="live substrate"):
+            run_chaos("driver-drop", mode="sim")
+
+    def test_flat_scenario_rejects_mesh_flags(self):
+        with pytest.raises(ConfigurationError, match="mesh scenarios only"):
+            run_chaos("crash-reconnect", mode="sim", shards=2)
+        with pytest.raises(ConfigurationError, match="mesh scenarios only"):
+            run_chaos("crash-reconnect", mode="sim", relay_fanin=3)
+
+    def test_single_shard_mesh_rejected(self):
+        """A lone root has no successor — refuse before booting."""
+        with pytest.raises(ConfigurationError, match="at least 2 shards"):
+            run_chaos("kill-shard", mode="live", shards=1)
+
+    def test_substrates_are_known(self):
+        assert {s.substrate for s in SCENARIOS.values()} <= {
+            "flat",
+            "mesh",
+            "query",
+        }

@@ -1,0 +1,133 @@
+"""Property tests for epoch-versioned failover routing.
+
+The failover guarantee rests on ownership staying a *pure function* of
+``(window, epoch, dead)``: any two nodes holding the same map agree on
+every window's owner without exchanging another byte, and any failover
+sequence leaves each window with exactly one live owner.  These
+properties are what the locals' re-routing, the relays' replay targets
+and the coordinator's takeover all silently assume.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.routing import ShardMap, shard_of
+
+WINDOW_MS = 1_000
+
+#: A deployment small enough to exhaust and big enough to ring-walk.
+n_shards_st = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def failover_sequences(draw):
+    """``(n_shards, kills)``: an arbitrary order of shard deaths that
+    always leaves at least one survivor (duplicates allowed — duplicate
+    failure reports are part of the contract)."""
+    n_shards = draw(n_shards_st)
+    distinct = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_shards - 1),
+            unique=True,
+            max_size=n_shards - 1,
+        )
+    )
+    kills = draw(st.permutations(distinct + distinct))
+    return n_shards, kills
+
+
+def apply_kills(n_shards: int, kills) -> ShardMap:
+    shard_map = ShardMap(n_shards)
+    for index in kills:
+        shard_map = shard_map.fail(index)
+    return shard_map
+
+
+def window_starts(n_shards: int):
+    """Enough grid windows to hit every shard several times."""
+    return [index * WINDOW_MS for index in range(4 * n_shards)]
+
+
+class TestOwnershipUnderFailover:
+    @given(failover_sequences())
+    @settings(max_examples=200)
+    def test_every_window_has_exactly_one_live_owner(self, case):
+        n_shards, kills = case
+        shard_map = apply_kills(n_shards, kills)
+        for start in window_starts(n_shards):
+            owner = shard_map.owner(start, WINDOW_MS)
+            assert shard_map.is_live(owner)
+            # "Exactly one": ownership is a function, and re-evaluating
+            # the same map yields the same single owner.
+            assert shard_map.owner(start, WINDOW_MS) == owner
+
+    @given(failover_sequences())
+    @settings(max_examples=200)
+    def test_same_epoch_same_dead_never_disagree(self, case):
+        """Two nodes that converged on the same ``(epoch, dead)`` pair
+        route identically — regardless of the order each one learned
+        the failures in."""
+        n_shards, kills = case
+        one = apply_kills(n_shards, kills)
+        other = apply_kills(n_shards, list(reversed(kills)))
+        assert one.dead == other.dead
+        assert one.epoch == other.epoch == len(one.dead)
+        for start in window_starts(n_shards):
+            assert one.owner(start, WINDOW_MS) == other.owner(
+                start, WINDOW_MS
+            )
+
+    @given(failover_sequences())
+    @settings(max_examples=200)
+    def test_fail_is_idempotent_and_epochs_only_grow(self, case):
+        n_shards, kills = case
+        shard_map = ShardMap(n_shards)
+        for index in kills:
+            before = shard_map
+            shard_map = shard_map.fail(index)
+            if index in before.dead:
+                assert shard_map is before  # duplicate report: no bump
+            else:
+                assert shard_map.epoch == before.epoch + 1
+                assert shard_map.dead == before.dead | {index}
+
+    @given(failover_sequences())
+    @settings(max_examples=200)
+    def test_surviving_shards_keep_their_own_windows(self, case):
+        """Failover only re-homes the dead shards' windows; a live
+        shard's original share never moves."""
+        n_shards, kills = case
+        shard_map = apply_kills(n_shards, kills)
+        for start in window_starts(n_shards):
+            home = shard_of(start, WINDOW_MS, n_shards)
+            if shard_map.is_live(home):
+                assert shard_map.owner(start, WINDOW_MS) == home
+
+    @given(n_shards_st)
+    def test_healthy_map_matches_shard_of(self, n_shards):
+        shard_map = ShardMap(n_shards)
+        for start in window_starts(n_shards):
+            assert shard_map.owner(start, WINDOW_MS) == shard_of(
+                start, WINDOW_MS, n_shards
+            )
+
+
+class TestMapValidation:
+    @given(n_shards_st)
+    def test_killing_every_shard_raises(self, n_shards):
+        shard_map = ShardMap(n_shards)
+        for index in range(n_shards - 1):
+            shard_map = shard_map.fail(index)
+        with pytest.raises(ValueError):
+            shard_map.fail(n_shards - 1)
+
+    def test_out_of_range_fail_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(3).fail(3)
+        with pytest.raises(ValueError):
+            ShardMap(3).fail(-1)
+
+    def test_epoch_below_dead_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(3, epoch=0, dead=frozenset({1}))

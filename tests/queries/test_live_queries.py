@@ -59,6 +59,29 @@ class TestScenarios:
         with pytest.raises(ConfigurationError, match="time_scale"):
             run_query_scenario(churn=True, time_scale=0.0)
 
+    def test_driver_drop_replays_exactly_once(self):
+        """A driver severed mid-run redials with its resume cursor and
+        still receives every result exactly once: grading checks both
+        completeness (at least once) and the duplicate guard (at most
+        once) against the per-query oracle."""
+        report = run_query_scenario(
+            n_queries=4,
+            duration_s=4.0,
+            event_rate=400.0,
+            time_scale=0.05,
+            driver_drop=True,
+        )
+        assert report.ok, report.mismatches
+        assert report.driver_reconnects >= 1
+        assert report.results_served > 0
+        assert report.results_graded == report.results_served
+
+    def test_driver_drop_without_pacing_rejected(self):
+        """An unpaced replay bursts every result out before the drop can
+        land, so the scenario refuses to pretend it tested anything."""
+        with pytest.raises(ConfigurationError, match="time_scale"):
+            run_query_scenario(driver_drop=True, time_scale=0.0)
+
     def test_single_spec_override(self):
         spec = build_specs(1, 1, window_ms=1000, gamma=32)[0]
         report = run_query_scenario(
@@ -117,15 +140,27 @@ class TestRootPlaneControl:
         assert not ack.accepted
         assert "modulus" in ack.reason
 
-    def test_duplicate_query_id_nacked(self):
+    def test_duplicate_query_id_same_spec_is_idempotent(self):
         plane = self.plane()
         spec = QuerySpec()
         first = plane.on_client_message(9001, register_message(1, spec))
-        # A fresh shape defers the client ack until activation; the
-        # duplicate is nacked immediately.
+        # A fresh shape defers the client ack until activation; an exact
+        # re-registration (a reconnecting driver replaying its request)
+        # stays silent rather than nacking — the eventual activation ack
+        # answers both.
         assert not self.acks_to(first, 9001)
+        retry = plane.on_client_message(9001, register_message(1, spec))
+        assert not self.acks_to(retry, 9001)
+        assert len(plane.registry) == 1
+
+    def test_duplicate_query_id_conflicting_spec_nacked(self):
+        plane = self.plane()
+        plane.on_client_message(9001, register_message(1, QuerySpec()))
         (ack,) = self.acks_to(
-            plane.on_client_message(9001, register_message(1, spec)), 9001
+            plane.on_client_message(
+                9001, register_message(1, QuerySpec(q=0.9))
+            ),
+            9001,
         )
         assert not ack.accepted
         assert "already registered" in ack.reason

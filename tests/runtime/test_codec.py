@@ -33,8 +33,10 @@ from repro.network.messages import (
     QueryResultMessage,
     RelayRunsMessage,
     RelaySynopsisMessage,
+    ResultAckMessage,
     ResultMessage,
     RouteUpdateMessage,
+    ShardFailoverMessage,
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
@@ -245,6 +247,14 @@ messages = st.one_of(
     _with_header(relay_run_sections()).map(
         lambda t: RelayRunsMessage(t[0], t[1], t[2], sections=t[3])
     ),
+    _with_header(st.tuples(u64, st.lists(u32, max_size=8).map(tuple))).map(
+        lambda t: ShardFailoverMessage(
+            t[0], t[1], t[2], epoch=t[3][0], dead=t[3][1]
+        )
+    ),
+    _with_header(u64).map(
+        lambda t: ResultAckMessage(t[0], t[1], t[2], cursor=t[3])
+    ),
 )
 
 
@@ -387,6 +397,10 @@ SAMPLES = [
         ),
         4 + 2 * (12 + 20),
     ),
+    # Failover + durable query plane (tags 25–26): epoch u64 plus a
+    # u32-counted dead-shard list; result-cursor ack is a bare u64.
+    (ShardFailoverMessage(0, W, epoch=3, dead=(0, 2)), 8 + 4 + 2 * 4),
+    (ResultAckMessage(9001, W, cursor=7), 8),
 ]
 
 
@@ -697,3 +711,31 @@ def test_unregistered_type_has_no_tag():
 def test_decode_payload_unknown_tag():
     with pytest.raises(CodecError, match="unknown frame type tag"):
         decode_payload(99, b"", sender=0, window=W)
+
+
+def test_shard_failover_truncated_dead_list_rejected():
+    # The count announces two dead shards, then the payload ends one
+    # u32 short: the decoder must reject, never fabricate a shard map.
+    message = ShardFailoverMessage(0, W, epoch=3, dead=(0, 2))
+    payload = encode_payload(message)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), payload[:-4], sender=0, window=W)
+
+
+def test_shard_failover_trailing_bytes_rejected():
+    message = ShardFailoverMessage(0, W, epoch=3, dead=(0,))
+    payload = encode_payload(message) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_payload(tag_of(message), payload, sender=0, window=W)
+
+
+def test_result_ack_truncated_cursor_rejected():
+    message = ResultAckMessage(9001, W, cursor=7)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), b"\x00" * 7, sender=9001, window=W)
+
+
+def test_result_ack_trailing_bytes_rejected():
+    message = ResultAckMessage(9001, W, cursor=7)
+    with pytest.raises(CodecError, match="trailing"):
+        decode_payload(tag_of(message), b"\x00" * 9, sender=9001, window=W)
