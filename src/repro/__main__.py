@@ -11,8 +11,10 @@ Usage::
     python -m repro live --rate 20000    # live asyncio cluster over TCP
     python -m repro query --queries 8    # live multi-query plane, graded
     python -m repro mesh --shards 4 --relay-fanin 8 --locals 100  # scale-out
+    python -m repro fleet                # fleet-telemetry smoke + BENCH_fleet
     python -m repro chaos --scenario crash-reconnect   # fault injection
     python -m repro top --port 9470      # watch a serving cluster live
+    python -m repro top --mesh           # fleet view of a serving mesh
 """
 
 from __future__ import annotations
@@ -508,7 +510,9 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
             relay_fanin=args.relay_fanin,
             query=QuantileQuery(q=args.q, gamma=args.gamma),
             transport=args.transport,
+            time_scale=args.time_scale,
             membership=membership,
+            telemetry=_telemetry_from_args(args),
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -576,6 +580,14 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
         f"{classes['degraded']} degraded, {classes['lost']} lost, "
         f"{classes['mismatch']} mismatched (of {report.windows})"
     )
+    _print_telemetry(report.telemetry)
+    if report.telemetry.get("fleet"):
+        fleet = report.telemetry["fleet"]
+        print(
+            f"fleet: {fleet['frames']} telemetry frames "
+            f"({fleet['bytes']} bytes), {fleet['digest_count']} digests "
+            f"from {len(fleet['senders'])} nodes"
+        )
     if args.bench:
         path = args.bench_output or DEFAULT_SCALE_PATH
         try:
@@ -716,7 +728,137 @@ def _cmd_top(args: argparse.Namespace) -> int:
         args.port,
         interval_s=args.interval,
         once=args.once,
+        mesh=args.mesh,
     )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet telemetry smoke: run a mesh, scrape /fleet mid-run, grade it.
+
+    The CI gate behind ``repro fleet --smoke``: a telemetry-enabled mesh
+    run whose ``/fleet`` endpoint is scraped *while the cluster serves*,
+    asserting the scrape is valid JSON with a nonzero merged digest
+    count, then grading the fleet's merged seal→result percentiles
+    against the centrally-computed oracle, and finally writing the
+    digest-vs-raw byte-cost artifact (BENCH_fleet.json).
+    """
+    import asyncio as _asyncio
+    import queue as _queue
+
+    from repro.bench.generator import GeneratorConfig, workload
+    from repro.core.query import QuantileQuery
+    from repro.mesh import MeshConfig, classify_outcomes, mesh_oracle, run_mesh
+    from repro.obs.fleet import DEFAULT_FLEET_PATH, write_fleet_bench
+    from repro.obs.live.config import TelemetryConfig
+    from repro.obs.live.top import fetch_json, render_fleet
+
+    ports: "_queue.Queue[int]" = _queue.Queue()
+    config = MeshConfig(
+        n_locals=args.locals,
+        n_shards=args.shards,
+        relay_fanin=args.relay_fanin,
+        query=QuantileQuery(q=args.q, gamma=args.gamma),
+        # Paced replay: an unpaced mesh run saturates the event loop and
+        # starves the HTTP plane, so the mid-run scrape would always lose
+        # the race.  ~duration * time_scale seconds of wall clock leaves
+        # the loop mostly idle between batches.
+        time_scale=args.time_scale,
+        telemetry=TelemetryConfig(
+            http_port=0, announce=ports.put, sampler_interval_s=0.02
+        ),
+        timeout_s=120.0,
+    )
+    streams = workload(
+        list(range(1, args.locals + 1)),
+        GeneratorConfig(
+            event_rate=args.rate, duration_s=args.duration, seed=args.seed
+        ),
+    )
+    scraped: dict = {}
+
+    async def scrape_mid_run(ctx) -> None:
+        port = ports.get(timeout=5.0)
+        # Keep scraping until the collector holds merged digests (or the
+        # run ends and cancels us) — the last successful scrape wins.
+        while True:
+            try:
+                doc = await _asyncio.to_thread(
+                    fetch_json, "127.0.0.1", port, "/fleet", 2.0
+                )
+                scraped.clear()
+                scraped.update(doc)
+                if doc.get("digest_count", 0) > 0:
+                    return
+            except Exception:
+                pass
+            await _asyncio.sleep(0.02)
+
+    report = run_mesh(config, streams, disturb=scrape_mid_run)
+    classes = classify_outcomes(mesh_oracle(streams, config), report.outcomes)
+    final = report.telemetry["fleet"]
+    mid = scraped or final
+    print(
+        f"fleet smoke: {config.n_locals} locals, {config.n_shards} shards, "
+        f"relay fan-in {config.relay_fanin}"
+    )
+    print(
+        f"  mid-run /fleet scrape: {mid['frames']} frames, "
+        f"{mid['digest_count']} digests"
+        + ("" if scraped else " (run outpaced the scraper; final view)")
+    )
+    print(render_fleet(final))
+    failed = False
+    if final["digest_count"] <= 0:
+        print("SMOKE FAILED: no merged telemetry digests")
+        failed = True
+    if classes["mismatch"] or classes["lost"]:
+        print(f"SMOKE FAILED: oracle divergence {classes}")
+        failed = True
+    merged = final["metrics"].get("seal_to_result_s", {})
+    central = report.seal_to_result
+    if central.count and merged.get("count"):
+        # The shard digests are built from exactly the samples the
+        # central LatencyStats aggregates, so the comparison is only
+        # bounded by t-digest interpolation.
+        for name, reference in (("p50", central.p50), ("p95", central.p95)):
+            got = merged[name]
+            bound = max(0.05 * reference, 1e-4)
+            print(
+                f"  seal→result {name}: fleet {got * 1e3:.3f} ms vs "
+                f"central {reference * 1e3:.3f} ms"
+            )
+            if abs(got - reference) > bound:
+                print(
+                    f"SMOKE FAILED: fleet {name} diverges from the "
+                    f"central oracle by more than {bound * 1e3:.3f} ms"
+                )
+                failed = True
+    elif central.count:
+        print("SMOKE FAILED: fleet view has no seal→result digest")
+        failed = True
+    path = args.bench_output or DEFAULT_FLEET_PATH
+    artifact = write_fleet_bench(path, seed=args.seed)
+    worst = max(
+        point["digest_fraction_of_raw"] for point in artifact["curve"]
+    )
+    for point in artifact["curve"]:
+        print(
+            f"  {point['n_locals']:>4} locals: digest uplink "
+            f"{point['digest_uplink_bytes']:>9} B vs raw "
+            f"{point['raw_sample_bytes']:>11} B "
+            f"({point['digest_fraction_of_raw']:.1%})"
+        )
+    print(f"wrote {path}")
+    if worst > 0.10:
+        print(
+            f"SMOKE FAILED: digest uplink costs {worst:.1%} of raw-sample "
+            "shipping at some fleet size (bound: 10%)"
+        )
+        failed = True
+    if failed:
+        return 1
+    print("fleet telemetry plane healthy; digests within the byte budget")
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -881,6 +1023,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="workload length in event-time seconds")
     mesh.add_argument("--transport", default="memory",
                       choices=["tcp", "memory"])
+    mesh.add_argument("--time-scale", type=float, default=0.0,
+                      help="wall seconds per event-time second (0 = replay "
+                           "unpaced; pace the run to watch it serve)")
     mesh.add_argument("--gamma", type=int, default=10_000)
     mesh.add_argument("--q", type=float, default=0.5)
     mesh.add_argument("--seed", type=int, default=42)
@@ -900,6 +1045,32 @@ def main(argv: list[str] | None = None) -> int:
                       help="also run the scale curve and write the "
                            "BENCH_scale.json artifact")
     mesh.add_argument("--bench-output", default=None, metavar="PATH")
+    _add_telemetry_flags(mesh)
+
+    fleet = sub.add_parser(
+        "fleet", help="fleet-telemetry smoke: scrape /fleet mid-run and "
+                      "grade the merged digests"
+    )
+    fleet.add_argument("--locals", "--n-locals", dest="locals",
+                       type=int, default=16,
+                       help="local (edge) node count")
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="root shard count")
+    fleet.add_argument("--relay-fanin", type=int, default=4,
+                       help="children per relay (0 = no relay tier)")
+    fleet.add_argument("--rate", type=float, default=300.0,
+                       help="target aggregate events/second")
+    fleet.add_argument("--duration", type=float, default=6.0,
+                       help="workload length in event-time seconds")
+    fleet.add_argument("--gamma", type=int, default=10_000)
+    fleet.add_argument("--q", type=float, default=0.5)
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--time-scale", type=float, default=0.4,
+                       help="wall seconds per event-time second; the run "
+                            "must be paced so the mid-run /fleet scrape "
+                            "sees a serving mesh (0 = unpaced)")
+    fleet.add_argument("--bench-output", default=None, metavar="PATH",
+                       help="BENCH_fleet.json output path")
 
     chaos = sub.add_parser(
         "chaos", help="run a cluster under a named fault scenario"
@@ -941,6 +1112,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="refresh period in seconds")
     top.add_argument("--once", action="store_true",
                      help="print one snapshot and exit")
+    top.add_argument("--mesh", action="store_true",
+                     help="scrape /fleet and render the mesh-wide fleet "
+                          "view instead of /summary")
 
     perf = sub.add_parser(
         "perf", help="hot-path microbenchmarks and regression check"
@@ -987,6 +1161,7 @@ def main(argv: list[str] | None = None) -> int:
         "live": _cmd_live,
         "query": _cmd_query,
         "mesh": _cmd_mesh,
+        "fleet": _cmd_fleet,
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "top": _cmd_top,

@@ -187,6 +187,7 @@ def run_chaos(
             gamma=gamma,
             q=q,
             tracer=tracer,
+            telemetry=telemetry,
             shards=shards,
             relay_fanin=relay_fanin,
         )
@@ -307,6 +308,7 @@ def _run_mesh_chaos(
     gamma: int,
     q: float,
     tracer: Tracer,
+    telemetry: TelemetryConfig | None,
     shards: int,
     relay_fanin: int,
 ) -> ChaosReport:
@@ -371,6 +373,7 @@ def _run_mesh_chaos(
         tolerance=ToleranceConfig(
             heartbeat_interval_s=0.02, declare_dead_after_s=2.0
         ),
+        telemetry=telemetry,
     )
     truth = mesh_oracle(streams, config)
 
@@ -397,6 +400,7 @@ def _run_mesh_chaos(
         shard_failovers=report.shard_failovers,
         windows_adopted=report.windows_adopted,
         relay_frames_replayed=report.relay_frames_replayed,
+        telemetry=report.telemetry,
     )
 
 

@@ -41,7 +41,11 @@ from repro.mesh.servers import (
 )
 from repro.network.metrics import LatencyStats
 from repro.network.topology import TopologyConfig, relay_groups
-from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.obs.fleet import FleetCollector, TelemetryUplink
+from repro.obs.live.http import TelemetryServer
+from repro.obs.live.recorder import FlightRecorder
+from repro.obs.live.sampler import RuntimeSampler
+from repro.obs.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from repro.runtime.servers import LIVE_OPS_PER_SECOND, LiveFabric
 from repro.runtime.transport import (
     FailureLatch,
@@ -66,6 +70,9 @@ _STREAM_ID_BASE = 1 << 22
 
 #: Coordinator poll interval while waiting on shard membership epochs.
 _EPOCH_POLL_S = 0.002
+
+#: Placeholder window on telemetry frames built by the cluster driver.
+_TELEMETRY_WINDOW = Window(0, 1)
 
 
 @dataclass
@@ -141,6 +148,9 @@ class MeshRunReport:
     relay_frames_replayed: int = 0
     #: Frames from epoch-fenced (dead) shards dropped by hosts.
     fenced_frames: int = 0
+    #: Fleet telemetry report (empty dict when telemetry is off): the
+    #: final ``/fleet`` document plus recorder/sampler bookkeeping.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def values(self) -> "list[float | None]":
@@ -358,7 +368,38 @@ async def run_mesh_cluster(
 
     tolerance = config.tolerance
     reliability = tolerance.reliability if tolerance is not None else None
-    failures = FailureLatch()
+
+    # -- fleet telemetry plane (off by default; bit-identical when off) --
+    telemetry = config.telemetry
+    if telemetry is not None and not tracer.enabled:
+        # The plane needs somewhere to put spans and metrics; a caller
+        # who asked for telemetry but passed no tracer gets a private one.
+        tracer = RecordingTracer()
+    wire_tracing = telemetry is not None
+    recorder: FlightRecorder | None = None
+    if telemetry is not None and telemetry.flight_recorder_path is not None:
+        recorder = FlightRecorder(
+            telemetry.flight_recorder_path,
+            capacity=telemetry.flight_recorder_capacity,
+        )
+        if isinstance(tracer, RecordingTracer):
+            tracer.on_record = recorder.record
+    collector = FleetCollector() if telemetry is not None else None
+    sampler: RuntimeSampler | None = None
+    if telemetry is not None and telemetry.sampler_interval_s > 0:
+        sampler = RuntimeSampler(
+            tracer.registry, interval_s=telemetry.sampler_interval_s
+        )
+    uplink_interval = (
+        telemetry.sampler_interval_s
+        if telemetry is not None and telemetry.sampler_interval_s > 0
+        else 0.25
+    )
+    http_server: TelemetryServer | None = None
+
+    failures = FailureLatch(
+        on_trip=recorder.on_failure if recorder is not None else None
+    )
     network = (
         TcpNetwork(failures=failures)
         if config.transport == "tcp"
@@ -370,6 +411,8 @@ async def run_mesh_cluster(
 
     def track(layer: str, src: int, dst: int, stream: MessageStream) -> None:
         dialed.append((layer, src, dst, stream))
+        if sampler is not None:
+            sampler.register_stream(stream, src=src, dst=dst)
 
     gates = {
         at_ms: asyncio.Event()
@@ -403,6 +446,15 @@ async def run_mesh_cluster(
             tracer=tracer,
             tolerance=tolerance,
             failures=failures,
+            wire_tracing=wire_tracing,
+            on_telemetry=(
+                collector.on_message if collector is not None else None
+            ),
+            uplink=(
+                TelemetryUplink(shard_node_id(index))
+                if telemetry is not None
+                else None
+            ),
         )
         await network.listen(shard_node_id(index), shard.serve)
         shard.start_monitor()
@@ -412,12 +464,34 @@ async def run_mesh_cluster(
     #: and a heartbeat cadence to detect with.
     failover: FailoverController | None = None
     if config.n_shards > 1 and tolerance is not None:
+
+        def on_takeover(
+            dead: int, successor: int, map_epoch: int, adopted: int
+        ) -> None:
+            if collector is not None:
+                collector.record_failover(
+                    dead, successor, map_epoch, loop.time() - epoch
+                )
+            if recorder is not None:
+                # Dump the in-flight span ring at the moment of takeover:
+                # the post-mortem of the dead shard, captured while the
+                # evidence is fresh (same contract as a latch trip).
+                recorder.dump(
+                    f"shard {dead} takeover by {successor} "
+                    f"(epoch {map_epoch}, {adopted} windows adopted)"
+                )
+
         failover = FailoverController(
             shards,
             shard_windows,
             heartbeat_interval_s=tolerance.heartbeat_interval_s,
             tracer=tracer,
             failures=failures,
+            on_takeover=(
+                on_takeover
+                if collector is not None or recorder is not None
+                else None
+            ),
         )
         failover.start()
 
@@ -435,6 +509,12 @@ async def run_mesh_cluster(
             on_shard_down=(
                 failover.report_link_down if failover is not None else None
             ),
+            uplink=(
+                TelemetryUplink(relay_node_id(group_index))
+                if telemetry is not None
+                else None
+            ),
+            uplink_interval_s=uplink_interval,
         )
         await network.listen(relay.node_id, relay.serve)
         uplinks: dict[int, MessageStream] = {}
@@ -480,6 +560,16 @@ async def run_mesh_cluster(
             tracer=tracer,
             tolerance=tolerance,
             failures=failures,
+            wire_tracing=wire_tracing,
+            sample_rate=(
+                telemetry.sample_rate if telemetry is not None else 1.0
+            ),
+            uplink=(
+                TelemetryUplink(local_id)
+                if telemetry is not None
+                else None
+            ),
+            uplink_interval_s=uplink_interval,
         )
         locals_by_id[local_id] = local
         await network.listen(local_id, local.serve)
@@ -517,6 +607,7 @@ async def run_mesh_cluster(
                 grid_end=hi,
                 window_length_ms=length,
                 gates=gates,
+                time_scale=config.time_scale,
             )
             next_stream_id[0] += 1
             stream_servers.append(server)
@@ -572,14 +663,134 @@ async def run_mesh_cluster(
         except BaseException as exc:
             failures.record(exc)
 
+    observed_results: set[Window] = set()
+
+    def pump_shard_uplinks() -> None:
+        """Feed shard uplinks straight into the collector.
+
+        Shards are collocated with the coordinator, so their telemetry
+        never crosses a wire: the driver refreshes their stats and hands
+        the built frames to the collector in-process.  Locals and relays
+        uplink in-band on their own cadence.  Seal→result latency is
+        observed here — the driver is where the locals' seal walls and
+        the shards' result walls meet — so the merged fleet digest is
+        built from exactly the samples the central report aggregates.
+        """
+        assert collector is not None
+        for index, shard in enumerate(shards):
+            if shard.uplink is None:
+                continue
+            for outcome in shard.node.outcomes:
+                window = outcome.window
+                if window in observed_results:
+                    continue
+                finished = shard.result_walls.get(window)
+                if finished is None:
+                    continue
+                observed_results.add(window)
+                sealed = max(
+                    (
+                        local.seal_walls.get(window, 0.0)
+                        for local in locals_by_id.values()
+                    ),
+                    default=0.0,
+                )
+                shard.uplink.observe(
+                    "seal_to_result_s", max(0.0, finished - sealed)
+                )
+            shard.uplink.set_stat(
+                "windows_answered", float(len(shard.node.outcomes))
+            )
+            shard.uplink.set_stat(
+                "windows_adopted", float(shard.windows_adopted)
+            )
+            shard.uplink.set_stat(
+                "heartbeat_misses", float(shard.heartbeat_misses)
+            )
+            for frame in shard.uplink.build(_TELEMETRY_WINDOW):
+                collector.on_message(frame)
+
+    def fleet_summary() -> dict:
+        """The ``/fleet`` document: merged digests plus mesh health."""
+        assert collector is not None
+        pump_shard_uplinks()
+        answered = {
+            outcome.window
+            for shard in shards
+            for outcome in shard.node.outcomes
+        }
+        summary = collector.report()
+        summary["shards"] = [
+            {
+                "index": index,
+                "node_id": shard_node_id(index),
+                "live": not shard.crashed,
+                "windows_answered": len(shard.node.outcomes),
+                "windows_expected": (
+                    len(shard_windows[index]) + shard.windows_adopted
+                ),
+                "windows_adopted": shard.windows_adopted,
+                "heartbeat_misses": shard.heartbeat_misses,
+            }
+            for index, shard in enumerate(shards)
+        ]
+        summary["relays"] = [
+            {
+                "index": group_index,
+                "node_id": relay_node_id(group_index),
+                "frames_combined": relay.frames_combined,
+                "sections_combined": relay.sections_combined,
+                "singleton_forwards": relay.singleton_forwards,
+                "frames_replayed": relay.frames_replayed,
+                "fenced_frames": relay.fenced_frames,
+            }
+            for group_index, relay in enumerate(relays)
+        ]
+        summary["windows"] = {
+            "expected": len(windows),
+            "answered": len(answered),
+            "completeness": (
+                len(answered) / len(windows) if windows else 1.0
+            ),
+        }
+        summary["epoch"] = (
+            failover.map.epoch if failover is not None else 0
+        )
+        summary["staleness_s"] = collector.stat_max("oldest_pending_age_s")
+        return summary
+
     coordinator: asyncio.Task | None = None
     main_task: asyncio.Task | None = None
     failure_task: asyncio.Task | None = None
     disturb_task: asyncio.Task | None = None
     try:
-        coordinator = asyncio.ensure_future(coordinate_membership())
+        # Arm chaos before any await: starting the telemetry HTTP plane
+        # yields to the loop, and an unpaced replay can burst through
+        # the whole run in those ticks — a disturb scheduled after it
+        # would arm its tripwires against an already-finished cluster.
         if disturb is not None:
             disturb_task = asyncio.ensure_future(run_disturb())
+        if sampler is not None:
+            sampler.start()
+        if telemetry is not None and telemetry.http_port is not None:
+
+            def live_spans():
+                if isinstance(tracer, RecordingTracer):
+                    return tracer.spans
+                return []
+
+            http_server = TelemetryServer(
+                tracer.registry,
+                host=telemetry.http_host,
+                port=telemetry.http_port,
+                spans=live_spans,
+                fleet=fleet_summary,
+            )
+            await http_server.start()
+            if telemetry.announce is not None:
+                telemetry.announce(http_server.port)
+
+        coordinator = asyncio.ensure_future(coordinate_membership())
 
         async def main() -> None:
             assert coordinator is not None
@@ -632,6 +843,10 @@ async def run_mesh_cluster(
             with contextlib.suppress(TransportError):
                 await stream.close()
         await network.close()
+        if http_server is not None:
+            await http_server.stop()
+        if sampler is not None:
+            await sampler.stop()
 
     # ------------------------------------------------------------------
     # report
@@ -688,6 +903,41 @@ async def run_mesh_cluster(
                 bytes=stats.bytes_received, messages=stats.messages_received,
             )
 
+    telemetry_report: dict = {}
+    if telemetry is not None and collector is not None:
+        # Final pump: the in-band cadence may not have fired on a fast
+        # run, so refresh and drain every uplink once more — cumulative
+        # digests with latest-sequence-wins make this idempotent.
+        for local in locals_by_id.values():
+            if local.uplink is not None:
+                local.refresh_uplink_stats()
+                for frame in local.uplink.build(_TELEMETRY_WINDOW):
+                    collector.on_message(frame)
+        for relay in relays:
+            if relay.uplink is not None:
+                relay.refresh_uplink_stats()
+                for frame in relay.uplink.build(_TELEMETRY_WINDOW):
+                    collector.on_message(frame)
+        traced_live = 0
+        if isinstance(tracer, RecordingTracer):
+            traced_live = sum(
+                1 for span in tracer.spans if span.name.startswith("live_")
+            )
+        telemetry_report = {
+            "http_port": (
+                http_server.port if http_server is not None else None
+            ),
+            "sampler_samples": sampler.samples if sampler is not None else 0,
+            "traced_live_spans": traced_live,
+            "flight_recorder": (
+                str(recorder.path) if recorder is not None else None
+            ),
+            "flight_recorder_dumped": (
+                recorder.dumped if recorder is not None else False
+            ),
+            "fleet": fleet_summary(),
+        }
+
     return MeshRunReport(
         outcomes=outcomes,
         windows=len(windows),
@@ -739,6 +989,7 @@ async def run_mesh_cluster(
             sum(local.fenced_frames for local in locals_by_id.values())
             + sum(relay.fenced_frames for relay in relays)
         ),
+        telemetry=telemetry_report,
     )
 
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.query import QuantileQuery
 from repro.errors import ConfigurationError
 from repro.faults.plan import ToleranceConfig
+from repro.obs.live.config import TelemetryConfig
 from repro.runtime.transport import DEFAULT_QUEUE_FRAMES
 
 __all__ = ["MembershipEvent", "MeshConfig"]
@@ -62,6 +63,10 @@ class MeshConfig:
         transport: ``"memory"`` or ``"tcp"``.
         queue_frames: Bound of each in-memory pipe direction.
         timeout_s: Overall run deadline; ``None`` waits forever.
+        time_scale: Wall seconds per event-time second for the replays.
+            ``0`` (the default) replays unpaced, as fast as backpressure
+            allows; a positive scale paces the run so telemetry scrapes
+            and watchers see a *serving* mesh rather than a burst.
         membership: Planned joins and leaves (may be empty).
         relay_flush_s: Relay combine-buffer deadline: a window's combined
             frame is forwarded when every eligible child has reported or
@@ -72,6 +77,12 @@ class MeshConfig:
             the deterministic fail-fast path, which is also the
             bit-identity configuration; set it to compose with fault
             injection (heartbeats flow through relays transparently).
+        telemetry: Optional fleet-telemetry plane.  ``None`` (the
+            default) is the bit-identity configuration: no tracer, no
+            uplink tasks, zero telemetry bytes on the wire.  Set it to
+            start per-node telemetry uplinks, the coordinator's
+            :class:`~repro.obs.fleet.FleetCollector` and (if
+            ``http_port`` is set) the ``/fleet`` HTTP surface.
     """
 
     n_locals: int = 4
@@ -83,9 +94,11 @@ class MeshConfig:
     transport: str = "memory"
     queue_frames: int = DEFAULT_QUEUE_FRAMES
     timeout_s: float | None = 60.0
+    time_scale: float = 0.0
     membership: tuple[MembershipEvent, ...] = ()
     relay_flush_s: float = 1.0
     tolerance: ToleranceConfig | None = None
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_locals < 1:
@@ -95,6 +108,10 @@ class MeshConfig:
         if self.n_shards < 1:
             raise ConfigurationError(
                 f"need at least one root shard, got {self.n_shards}"
+            )
+        if self.time_scale < 0:
+            raise ConfigurationError(
+                f"time scale must be >= 0, got {self.time_scale}"
             )
         if self.relay_fanin < 0:
             raise ConfigurationError(

@@ -63,6 +63,12 @@ class FailoverController:
             ``shard_failovers_total`` counter.
         failures: Optional latch; an exception inside an async takeover
             is recorded there instead of being swallowed.
+        on_takeover: Optional synchronous callback fired after each
+            completed takeover with ``(dead_index, successor_index,
+            epoch, adopted)`` — the telemetry plane hooks flight-recorder
+            dumps and fleet failover events here.  Exceptions from the
+            callback are routed to ``failures`` (takeover itself has
+            already committed).
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class FailoverController:
         heartbeat_interval_s: float = 0.05,
         tracer: Tracer = NOOP_TRACER,
         failures=None,
+        on_takeover=None,
     ) -> None:
         if not shards:
             raise ConfigurationError("failover needs at least one shard")
@@ -84,6 +91,7 @@ class FailoverController:
         self._interval = heartbeat_interval_s
         self._tracer = tracer
         self._failures = failures
+        self._on_takeover = on_takeover
         self.map = ShardMap(len(self._shards))
         self._lock = asyncio.Lock()
         self._pending: set[int] = set()
@@ -195,6 +203,15 @@ class FailoverController:
                 "shard_failovers_total",
                 "Shard takeovers completed by the failover controller.",
             ).inc()
+        if self._on_takeover is not None:
+            try:
+                self._on_takeover(
+                    index, successor_index, self.map.epoch, len(unanswered)
+                )
+            except BaseException as exc:
+                if self._failures is None:
+                    raise
+                self._failures.record(exc)
 
     # -- chaos & lifecycle ---------------------------------------------
 

@@ -41,9 +41,12 @@ from repro.network.messages import (
     ShardFailoverMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
     WindowReleaseMessage,
 )
 from repro.mesh.routing import ShardMap, relay_node_id
+from repro.obs.live.context import TraceContext, trace_id_for_window
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
 from repro.runtime.transport import FailureLatch, MessageStream
@@ -57,21 +60,34 @@ __all__ = [
     "RelayServer",
 ]
 
+#: Placeholder window on control/telemetry frames (the wire header needs
+#: a valid window; these frames are not about any window).
+_CONTROL_WINDOW = Window(0, 1)
+
 
 def combine_synopses(
-    parts: "dict[int, SynopsisMessage]", sender: int, window: Window
+    parts: "dict[int, SynopsisMessage]", sender: int, window: Window,
+    contexts: "dict[int, TraceContext | None] | None" = None,
 ) -> RelaySynopsisMessage:
     """Merge per-child synopsis messages into one relay frame.
 
     Sections are ordered by child id so the same inputs always produce
-    the same bytes.
+    the same bytes.  ``contexts`` (child → the trace context that child's
+    frame carried) stamps one section context per section in the same
+    order; they travel in the frame's header extension block, so the
+    payload bytes — and old peers' decoding — are unchanged.
     """
+    children = sorted(parts)
     sections = tuple(
         (child, parts[child].local_window_size, tuple(parts[child].synopses))
-        for child in sorted(parts)
+        for child in children
+    )
+    section_contexts = (
+        tuple(contexts.get(child) for child in children) if contexts else ()
     )
     return RelaySynopsisMessage(
-        sender=sender, window=window, sections=sections
+        sender=sender, window=window, sections=sections,
+        section_contexts=section_contexts,
     )
 
 
@@ -79,13 +95,21 @@ def combine_runs(
     parts: "dict[tuple[int, int], CandidateEventsMessage]",
     sender: int,
     window: Window,
+    contexts: "dict[tuple[int, int], TraceContext | None] | None" = None,
 ) -> RelayRunsMessage:
     """Merge per-child candidate runs into one relay frame."""
+    keys = sorted(parts)
     sections = tuple(
         (child, index, tuple(parts[child, index].events))
-        for child, index in sorted(parts)
+        for child, index in keys
     )
-    return RelayRunsMessage(sender=sender, window=window, sections=sections)
+    section_contexts = (
+        tuple(contexts.get(key) for key in keys) if contexts else ()
+    )
+    return RelayRunsMessage(
+        sender=sender, window=window, sections=sections,
+        section_contexts=section_contexts,
+    )
 
 
 def explode_synopses(
@@ -147,7 +171,9 @@ class RelayServer:
                  flush_after_s: float = 1.0,
                  tracer: Tracer = NOOP_TRACER,
                  failures: FailureLatch | None = None,
-                 on_shard_down=None) -> None:
+                 on_shard_down=None,
+                 uplink=None,
+                 uplink_interval_s: float = 0.25) -> None:
         self.index = index
         self.node_id = relay_node_id(index)
         self._length = window_length_ms
@@ -169,9 +195,26 @@ class RelayServer:
         #: Shard index → dialed upstream stream.
         self._shards: dict[int, MessageStream] = {}
         self._readers: list[asyncio.Task] = []
+        #: Optional :class:`~repro.obs.fleet.TelemetryUplink` for the
+        #: relay's own metrics (flush delay digest, combine counters);
+        #: ``None`` ships zero telemetry bytes.
+        self.uplink = uplink
+        self._uplink_interval = uplink_interval_s
+        self._telemetry_task: asyncio.Task | None = None
         #: Synopsis combine buffer: window → child → frame.
         self._syn_buffer: dict[Window, dict[int, SynopsisMessage]] = {}
         self._syn_timers: dict[Window, asyncio.TimerHandle] = {}
+        #: Trace context each buffered child frame arrived under, kept
+        #: aligned with the combine buffers so the flushed frame can
+        #: carry one section context per section.
+        self._syn_contexts: dict[Window, dict[int, TraceContext | None]] = {}
+        self._run_contexts: dict[
+            Window, dict[tuple[int, int], TraceContext | None]
+        ] = {}
+        #: Wall time the first section of each buffered window arrived —
+        #: the flush-delay clock.
+        self._syn_first: dict[Window, float] = {}
+        self._run_first: dict[Window, float] = {}
         #: Candidate-run combine buffer: window → (child, index) → frame,
         #: plus the (child, index) pairs owed per window, learned from the
         #: requests forwarded down.
@@ -205,6 +248,37 @@ class RelayServer:
         for shard_index, stream in self._shards.items():
             task = asyncio.ensure_future(self._read_shard(shard_index, stream))
             self._readers.append(task)
+        if self.uplink is not None:
+            self._telemetry_task = asyncio.ensure_future(
+                self._telemetry_uplink()
+            )
+
+    async def _telemetry_uplink(self) -> None:
+        """Ship the relay's own metrics upstream on the uplink cadence."""
+        uplink = self.uplink
+        assert uplink is not None
+        while not self._closing:
+            before = self._loop.time()
+            await asyncio.sleep(self._uplink_interval)
+            lag = self._loop.time() - before - self._uplink_interval
+            uplink.observe("event_loop_lag_s", max(0.0, lag))
+            self.refresh_uplink_stats()
+            for frame in uplink.build(_CONTROL_WINDOW):
+                await self._send_shard(_CONTROL_WINDOW, frame)
+
+    def refresh_uplink_stats(self) -> None:
+        """Refresh the flat stats the next uplink snapshot will carry."""
+        uplink = self.uplink
+        if uplink is None:
+            return
+        uplink.set_stat("frames_combined", float(self.frames_combined))
+        uplink.set_stat("sections_combined", float(self.sections_combined))
+        uplink.set_stat(
+            "singleton_forwards", float(self.singleton_forwards)
+        )
+        uplink.set_stat("frames_replayed", float(self.frames_replayed))
+        uplink.set_stat("failovers_seen", float(self.failovers_seen))
+        uplink.set_stat("children", float(len(self._children)))
 
     async def close(self) -> None:
         """Stop forwarding and drop every link (teardown or chaos kill)."""
@@ -213,6 +287,9 @@ class RelayServer:
             timer.cancel()
         self._syn_timers.clear()
         self._run_timers.clear()
+        if self._telemetry_task is not None:
+            self._readers.append(self._telemetry_task)
+            self._telemetry_task = None
         for task in self._readers:
             task.cancel()
         for task in self._readers:
@@ -244,16 +321,28 @@ class RelayServer:
                     break  # child died mid-frame; the root's detector rules
                 if message is None:
                     break
-                await self._on_child_message(child, message)
+                await self._on_child_message(
+                    child, message, stream.last_context
+                )
         finally:
             if self._children.get(child) is stream:
                 del self._children[child]
 
-    async def _on_child_message(self, child: int, message: Message) -> None:
+    async def _on_child_message(
+        self, child: int, message: Message,
+        context: "TraceContext | None" = None,
+    ) -> None:
         if isinstance(message, SynopsisMessage):
-            await self._buffer_synopsis(child, message)
+            await self._buffer_synopsis(child, message, context)
         elif isinstance(message, CandidateEventsMessage):
-            await self._buffer_run(child, message)
+            await self._buffer_run(child, message, context)
+        elif isinstance(
+            message, (TelemetrySnapshotMessage, TelemetryDigestMessage)
+        ):
+            # Fleet uplinks pass through with the child's sender id
+            # intact, like heartbeats — one shard suffices, every shard
+            # feeds the same collector.
+            await self._send_shard(message.window, message)
         elif isinstance(message, JoinMessage):
             # Apply locally *before* any shard sees it: eligibility at the
             # relay must never lag the roots'.
@@ -388,10 +477,13 @@ class RelayServer:
         }
 
     async def _buffer_synopsis(
-        self, child: int, message: SynopsisMessage
+        self, child: int, message: SynopsisMessage,
+        context: "TraceContext | None" = None,
     ) -> None:
         window = message.window
         buffer = self._syn_buffer.setdefault(window, {})
+        if not buffer:
+            self._syn_first[window] = self._loop.time()
         if window not in self._syn_timers:
             # Covers the late case too: a section arriving after the
             # combined flush (reliability resend, or a child slower than
@@ -401,16 +493,21 @@ class RelayServer:
                 self._flush_after_s, self._fire, window, self._flush_synopses
             )
         buffer[child] = message
+        self._syn_contexts.setdefault(window, {})[child] = context
         if self._eligible_children(window) <= set(buffer):
             await self._flush_synopses(window)
 
     async def _buffer_run(
-        self, child: int, message: CandidateEventsMessage
+        self, child: int, message: CandidateEventsMessage,
+        context: "TraceContext | None" = None,
     ) -> None:
         window = message.window
         key = (child, message.slice_index)
         buffer = self._run_buffer.setdefault(window, {})
+        if not buffer:
+            self._run_first[window] = self._loop.time()
         buffer[key] = message
+        self._run_contexts.setdefault(window, {})[key] = context
         if window not in self._run_timers:
             self._run_timers[window] = self._loop.call_later(
                 self._flush_after_s, self._fire, window, self._flush_runs
@@ -436,14 +533,23 @@ class RelayServer:
                 raise
             self._failures.record(exc)
 
+    def _observe_flush_delay(self, first_at: "float | None") -> None:
+        if self.uplink is not None and first_at is not None:
+            self.uplink.observe(
+                "relay_flush_delay_s",
+                max(0.0, self._loop.time() - first_at),
+            )
+
     async def _flush_synopses(self, window: Window) -> None:
         parts = self._syn_buffer.pop(window, None)
+        contexts = self._syn_contexts.pop(window, None)
         timer = self._syn_timers.pop(window, None)
         if timer is not None:
             timer.cancel()
         if not parts:
             return
-        combined = combine_synopses(parts, self.node_id, window)
+        self._observe_flush_delay(self._syn_first.pop(window, None))
+        combined = combine_synopses(parts, self.node_id, window, contexts)
         if len(parts) > 1:
             self.frames_combined += 1
             self.sections_combined += len(parts)
@@ -455,12 +561,14 @@ class RelayServer:
                 "relay_combine", self.node_id, now, now,
                 window=window, sections=len(parts),
                 bytes=combined.wire_bytes,
+                trace_id=trace_id_for_window(window.start),
             )
         self._retained.setdefault(window, []).append(combined)
         await self._send_shard(window, combined)
 
     async def _flush_runs(self, window: Window) -> None:
         parts = self._run_buffer.pop(window, None)
+        contexts = self._run_contexts.pop(window, None)
         timer = self._run_timers.pop(window, None)
         if timer is not None:
             timer.cancel()
@@ -473,12 +581,21 @@ class RelayServer:
             remaining = expected - set(parts)
             if remaining:
                 self._run_expected[window] = remaining
-        combined = combine_runs(parts, self.node_id, window)
+        self._observe_flush_delay(self._run_first.pop(window, None))
+        combined = combine_runs(parts, self.node_id, window, contexts)
         if len(parts) > 1:
             self.frames_combined += 1
             self.sections_combined += len(parts)
         else:
             self.singleton_forwards += 1
+        if self.tracer.enabled:
+            now = self._loop.time()
+            self.tracer.record(
+                "relay_combine", self.node_id, now, now,
+                window=window, sections=len(parts),
+                bytes=combined.wire_bytes,
+                trace_id=trace_id_for_window(window.start),
+            )
         self._retained.setdefault(window, []).append(combined)
         await self._send_shard(window, combined)
 

@@ -47,6 +47,8 @@ from repro.network.messages import (
     RelaySynopsisMessage,
     RouteUpdateMessage,
     ShardFailoverMessage,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
     WatermarkMessage,
     WindowReleaseMessage,
 )
@@ -57,7 +59,12 @@ from repro.mesh.routing import (
     ShardMap,
     shard_node_id,
 )
-from repro.obs.live.context import TraceContext
+from repro.obs.live.context import (
+    TraceContext,
+    context_scope,
+    should_sample,
+    trace_id_for_window,
+)
 from repro.runtime.codec import Hello
 from repro.runtime.servers import LocalServer, RootServer, batches_for
 from repro.runtime.transport import MessageStream
@@ -76,9 +83,15 @@ class MeshRootServer(RootServer):
 
     def __init__(self, node, fabric, *, expected_windows: int,
                  downstream: "Mapping[int, int] | None" = None,
-                 **kwargs) -> None:
+                 uplink=None, **kwargs) -> None:
         super().__init__(node, fabric, expected_windows=expected_windows,
                          **kwargs)
+        #: Optional :class:`~repro.obs.fleet.TelemetryUplink`: the shard's
+        #: own contribution to the fleet plane (ingress frame sizes as a
+        #: digest plus outcome counters).  Shards are collocated with the
+        #: collector, so the cluster driver pumps this directly — no wire
+        #: hop.
+        self.uplink = uplink
         #: Static relay routing: child local id → the peer (relay id)
         #: whose stream carries frames for it.  Empty in flat mode.
         self._downstream: dict[int, int] = dict(downstream or {})
@@ -207,12 +220,24 @@ class MeshRootServer(RootServer):
             self._account_outcomes()
             return
         if isinstance(message, RelaySynopsisMessage):
-            for part in explode_synopses(message):
-                await super().dispatch(part, context)
+            # Each exploded part dispatches under its own section context
+            # (captured by the relay at combine time), so the child's
+            # spans — not the relay hop's — parent the shard-side work
+            # and the window's timeline survives the combine/explode.
+            contexts = message.section_contexts
+            for index, part in enumerate(explode_synopses(message)):
+                part_context = (
+                    contexts[index] if index < len(contexts) else None
+                )
+                await super().dispatch(part, part_context or context)
             return
         if isinstance(message, RelayRunsMessage):
-            for part in explode_runs(message):
-                await super().dispatch(part, context)
+            contexts = message.section_contexts
+            for index, part in enumerate(explode_runs(message)):
+                part_context = (
+                    contexts[index] if index < len(contexts) else None
+                )
+                await super().dispatch(part, part_context or context)
             return
         await super().dispatch(message, context)
 
@@ -322,6 +347,20 @@ class MeshRootServer(RootServer):
                         self._observe(message.sender)
                     if isinstance(message, HeartbeatMessage):
                         continue
+                if isinstance(
+                    message, (TelemetrySnapshotMessage, TelemetryDigestMessage)
+                ):
+                    # Fleet uplinks ride the data links like heartbeats;
+                    # they feed the coordinator's collector, never the
+                    # operator.
+                    if self._on_telemetry is not None:
+                        self._on_telemetry(message)
+                    continue
+                if self.uplink is not None:
+                    self.uplink.observe(
+                        "shard_ingress_bytes", float(message.wire_bytes)
+                    )
+                    self.uplink.inc_stat("ingress_frames")
                 await self.dispatch(message, stream.last_context)
                 self._account_outcomes()
                 if self._maybe_trip_crash():
@@ -335,7 +374,8 @@ class MeshLocalServer(LocalServer):
     """One local with an uplink per shard (or one relay uplink)."""
 
     def __init__(self, node, fabric, *, n_shards: int,
-                 on_upstream_down=None, **kwargs) -> None:
+                 on_upstream_down=None, uplink=None,
+                 uplink_interval_s: float = 0.25, **kwargs) -> None:
         super().__init__(node, fabric, dial_root=None, **kwargs)
         self._n_shards = n_shards
         #: Peer id → dialed stream; a single entry in relay mode.
@@ -344,6 +384,16 @@ class MeshLocalServer(LocalServer):
         self._relay_peer: int | None = None
         self._reader_tasks: list[asyncio.Task] = []
         self._mesh_heartbeat_task: asyncio.Task | None = None
+        #: Optional :class:`~repro.obs.fleet.TelemetryUplink`.  ``None``
+        #: (the default) starts no uplink task and ships zero telemetry
+        #: bytes — the bit-identity configuration.
+        self.uplink = uplink
+        self._uplink_interval = uplink_interval_s
+        self._telemetry_task: asyncio.Task | None = None
+        #: Windows whose release has been observed (for seal→result
+        #: latency and staleness accounting; releases may repeat after a
+        #: failover replay, so observation is once per window).
+        self._released_windows: set[Window] = set()
         #: Latest membership epoch seen from each upstream peer.
         self.route_epochs: dict[int, int] = {}
         #: Epoch-versioned shard liveness; frames route by its owner.
@@ -392,6 +442,10 @@ class MeshLocalServer(LocalServer):
             self._mesh_heartbeat_task = asyncio.ensure_future(
                 self._mesh_heartbeats()
             )
+        if self.uplink is not None:
+            self._telemetry_task = asyncio.ensure_future(
+                self._telemetry_uplink()
+            )
 
     async def announce_leave(self, effective_from: int) -> None:
         """Tell every upstream this local serves no window past the mark."""
@@ -435,6 +489,10 @@ class MeshLocalServer(LocalServer):
                     continue
                 if isinstance(message, HeartbeatMessage):
                     continue
+                if self.uplink is not None and isinstance(
+                    message, WindowReleaseMessage
+                ):
+                    self._observe_release(message.window)
                 await self.dispatch(message, stream.last_context)
         except asyncio.CancelledError:
             raise
@@ -487,8 +545,96 @@ class MeshLocalServer(LocalServer):
                 "shard_failovers_seen_total",
                 "Failover announcements applied by mesh hosts.",
             ).inc()
-        self.node.replay_pending(self.fabric.now)
-        await self.flush()
+        if self.wire_tracing:
+            await self._replay_traced(message.epoch)
+        else:
+            self.node.replay_pending(self.fabric.now)
+            await self.flush()
+
+    def _observe_release(self, window: Window) -> None:
+        """Sample this window's seal→release latency (once per window).
+
+        This is the local's own decentralized view of answer latency —
+        seal to release arrival, one release hop more than seal→result —
+        and it only exists when a reliability config makes roots emit
+        releases.  The authoritative seal→result digest lives on the
+        shard uplinks, fed by the cluster driver where both walls meet.
+        """
+        if window in self._released_windows:
+            return
+        self._released_windows.add(window)
+        sealed = self.seal_walls.get(window)
+        if sealed is not None:
+            self.uplink.observe(
+                "seal_to_release_s", max(0.0, self.fabric.now - sealed)
+            )
+
+    async def _telemetry_uplink(self) -> None:
+        """Summarize-and-send loop: this node's metrics, in-band.
+
+        Every interval the node refreshes its flat stats (window
+        progress, staleness, drop counters), samples its own event-loop
+        lag, and ships the cumulative digests + snapshot on the first
+        live upstream — telemetry piggybacks on connections that already
+        exist, exactly like heartbeats, so partitions and failover
+        exercise it for free.
+        """
+        uplink = self.uplink
+        assert uplink is not None
+        loop = asyncio.get_event_loop()
+        while not self._closing:
+            before = loop.time()
+            await asyncio.sleep(self._uplink_interval)
+            if self._crashed:
+                continue
+            lag = loop.time() - before - self._uplink_interval
+            uplink.observe("event_loop_lag_s", max(0.0, lag))
+            self.refresh_uplink_stats()
+            await self.send_telemetry(uplink.build(_CONTROL_WINDOW))
+
+    def refresh_uplink_stats(self) -> None:
+        """Refresh the flat stats the next uplink snapshot will carry."""
+        uplink = self.uplink
+        if uplink is None:
+            return
+        pending = [
+            wall
+            for window, wall in self.seal_walls.items()
+            if window not in self._released_windows
+        ]
+        now = self.fabric.now
+        uplink.set_stat("windows_sealed", float(len(self.seal_walls)))
+        uplink.set_stat(
+            "windows_released", float(len(self._released_windows))
+        )
+        uplink.set_stat("windows_pending", float(len(pending)))
+        uplink.set_stat(
+            "oldest_pending_age_s",
+            max(0.0, now - min(pending)) if pending else 0.0,
+        )
+        uplink.set_stat("dropped_sends", float(self.dropped_sends))
+        uplink.set_stat("failovers_seen", float(self.failovers_seen))
+
+    async def send_telemetry(self, frames: "Sequence[Message]") -> None:
+        """Ship one uplink's frames on the first live upstream.
+
+        One upstream suffices — every shard feeds the same collector, and
+        cumulative sequence-stamped digests make the choice of carrier
+        irrelevant.  A dead or fenced upstream just means the next one
+        carries this round.
+        """
+        if not frames:
+            return
+        for peer_id in sorted(self._upstreams):
+            if self._is_fenced(peer_id):
+                continue
+            stream = self._upstreams[peer_id]
+            try:
+                for frame in frames:
+                    await stream.send(frame)
+                return
+            except TransportError:
+                continue
 
     async def _mesh_heartbeats(self) -> None:
         """Liveness beacons on every uplink (relays forward verbatim)."""
@@ -508,13 +654,45 @@ class MeshLocalServer(LocalServer):
                 with contextlib.suppress(TransportError):
                     await stream.send(beat)
 
+    async def _replay_traced(self, epoch: int) -> None:
+        """Replay retained windows, one failover span per window.
+
+        Each replayed window's frames travel under a fresh
+        ``live_failover_replay`` span carrying the window's trace id and
+        the new shard-map epoch, so the successor shard's dispatch spans
+        parent onto it and the stitched timeline spans both the dead
+        shard's work and its adopter's.
+        """
+        self.node.replay_pending(self.fabric.now)
+        by_window: "dict[Window, list[tuple[int, Message]]]" = {}
+        for dst, message in self.fabric.drain():
+            by_window.setdefault(message.window, []).append((dst, message))
+        for window in sorted(by_window, key=lambda w: w.start):
+            trace_id = trace_id_for_window(window.start)
+            if should_sample(trace_id, self._sample_rate):
+                now = self.fabric.now
+                span_id = self.tracer.begin(
+                    "live_failover_replay", self.node_id, now,
+                    window=window, trace_id=trace_id, epoch=epoch,
+                )
+                with context_scope(TraceContext(trace_id, span_id)):
+                    await self._send_routed(by_window[window])
+                self.tracer.end(span_id, self.fabric.now)
+            else:
+                await self._send_routed(by_window[window])
+
     async def flush(self) -> None:
         """Route each queued frame to its window's owner shard.
 
         The operator addresses the root as id 0; the host resolves that
         to the relay uplink, or to ``shard_of`` the frame's window.
         """
-        for dst, message in self.fabric.drain():
+        await self._send_routed(self.fabric.drain())
+
+    async def _send_routed(
+        self, pairs: "Sequence[tuple[int, Message]]"
+    ) -> None:
+        for dst, message in pairs:
             peer_id = dst
             if dst == 0:
                 if self._relay_peer is not None:
@@ -552,6 +730,9 @@ class MeshLocalServer(LocalServer):
         if self._mesh_heartbeat_task is not None:
             tasks.append(self._mesh_heartbeat_task)
             self._mesh_heartbeat_task = None
+        if self._telemetry_task is not None:
+            tasks.append(self._telemetry_task)
+            self._telemetry_task = None
         self._reader_tasks = []
         for task in tasks:
             task.cancel()
@@ -579,7 +760,8 @@ class PhasedStreamServer:
     def __init__(self, stream_id: int, *, events: Sequence[Event],
                  batch_size: int, grid_start: int, grid_end: int,
                  window_length_ms: int,
-                 gates: "Mapping[int, asyncio.Event] | None" = None) -> None:
+                 gates: "Mapping[int, asyncio.Event] | None" = None,
+                 time_scale: float = 0.0) -> None:
         self.stream_id = stream_id
         self._events = tuple(events)
         self._batch_size = max(1, batch_size)
@@ -587,10 +769,13 @@ class PhasedStreamServer:
         self._grid_end = grid_end
         self._length = window_length_ms
         self._gates = dict(gates or {})
+        self._time_scale = time_scale
+        self._epoch: "float | None" = None
         self.events_sent = 0
 
     async def replay(self, stream: MessageStream) -> None:
         await stream.send(Hello(node_id=self.stream_id, role="stream"))
+        self._epoch = asyncio.get_event_loop().time()
         span = Window(
             self._grid_start, max(self._grid_end, self._grid_start + 1)
         )
@@ -618,9 +803,20 @@ class PhasedStreamServer:
     ) -> None:
         """One phase: every batch, then the sealing watermark."""
         length = self._length
+        loop = asyncio.get_event_loop()
         watermarked_window: int | None = None
         for batch in batches_for(events, length, self._batch_size):
             last_ts = batch[-1].timestamp
+            if self._time_scale > 0 and self._epoch is not None:
+                # Same pacing contract as the flat cluster's StreamServer:
+                # a batch ending at event-time t leaves no earlier than
+                # epoch + (t - grid_start) * time_scale / 1000.
+                target = self._epoch + (
+                    (last_ts - self._grid_start) / 1000.0
+                ) * self._time_scale
+                delay = target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
             await stream.send(
                 EventBatchMessage(
                     sender=self.stream_id,

@@ -48,6 +48,8 @@ __all__ = [
     "RelayRunsMessage",
     "ShardFailoverMessage",
     "ResultAckMessage",
+    "TelemetrySnapshotMessage",
+    "TelemetryDigestMessage",
 ]
 
 #: Fixed per-message framing overhead: u32 length prefix plus the frame
@@ -435,10 +437,22 @@ class RelaySynopsisMessage(Message):
     which reconstruct exactly on decode — the root explodes sections back
     into the identical per-child :class:`SynopsisMessage` frames, so the
     identification operator runs unmodified and bit-identically.
+
+    ``section_contexts`` (one trace context or ``None`` per section, in
+    section order) travels in the frame's *header extension block*
+    (:data:`repro.runtime.wire.EXT_SECTION_CONTEXT`), never the payload —
+    old peers skip the unknown extension entries and decode the same
+    frame, and ``payload_bytes`` accounting is untouched.  It lets the
+    root parent each exploded section's dispatch span on the child span
+    that actually caused it, instead of truncating every mesh timeline
+    at the relay boundary.
     """
 
     #: tuple[(node_id, local_window_size, tuple[SliceSynopsis, ...]), ...]
     sections: tuple = ()
+    #: tuple[TraceContext | None, ...] aligned with ``sections`` (typed
+    #: loosely to keep this module import-free of the tracing layer).
+    section_contexts: tuple = ()
 
     @property
     def payload_bytes(self) -> int:
@@ -457,10 +471,16 @@ class RelayRunsMessage(Message):
     pre-sorted candidate run, exactly as the child served it.  The root
     explodes sections into per-child :class:`CandidateEventsMessage`
     frames, so the calculation operator runs unmodified.
+
+    ``section_contexts`` mirrors :class:`RelaySynopsisMessage`: per-section
+    trace contexts riding the header extension block, invisible to the
+    payload byte accounting and skippable by older peers.
     """
 
     #: tuple[(node_id, slice_index, tuple[Event, ...]), ...]
     sections: tuple = ()
+    #: tuple[TraceContext | None, ...] aligned with ``sections``.
+    section_contexts: tuple = ()
 
     @property
     def payload_bytes(self) -> int:
@@ -514,6 +534,70 @@ class ResultAckMessage(Message):
     @property
     def payload_bytes(self) -> int:
         return wire.U64_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySnapshotMessage(Message):
+    """One node's counters and gauges, piggybacked on an existing link.
+
+    Part of the fleet telemetry plane: every node periodically ships its
+    scalar vitals (frames sent, windows sealed, oldest-pending-window age,
+    …) in-band to the coordinator, the way heartbeats ride the data
+    links — so chaos and partition scenarios exercise the telemetry path
+    automatically.  ``stats`` is a tuple of ``(name, value)`` pairs; each
+    name travels as UTF-8 behind a u32 byte count, each value as one f64.
+    The header window is a placeholder (snapshots are not window-scoped)
+    and ``sequence`` orders snapshots from one sender so a late frame
+    routed through a second shard never rolls the collector backwards.
+    """
+
+    sequence: int = 0
+    stats: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.U64_BYTES
+            + wire.COUNT_BYTES
+            + sum(
+                wire.COUNT_BYTES
+                + len(name.encode("utf-8"))
+                + wire.F64_BYTES
+                for name, _ in self.stats
+            )
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryDigestMessage(Message):
+    """One node's t-digest summary of one local metric's samples.
+
+    The fleet collector merges these per-metric across nodes into
+    cluster-wide percentiles — the repo's own sketch machinery applied to
+    its own operational latencies, at a fraction of the bytes raw-sample
+    shipping would cost.  The layout mirrors :class:`DigestMessage`
+    (u32 centroid count, exact min/max f64, 16-byte centroid pairs) with
+    a UTF-8 metric name and a snapshot ``sequence`` in front; digests are
+    cumulative per (sender, metric), so the collector keeps only the
+    highest sequence from each sender and merges across senders.
+    """
+
+    metric: str = ""
+    sequence: int = 0
+    centroids: tuple[tuple[float, float], ...] = ()
+    minimum: float = 0.0
+    maximum: float = 0.0
+
+    @property
+    def payload_bytes(self) -> int:
+        return (
+            wire.COUNT_BYTES
+            + len(self.metric.encode("utf-8"))
+            + wire.U64_BYTES
+            + wire.COUNT_BYTES
+            + 2 * wire.F64_BYTES
+            + len(self.centroids) * wire.CENTROID_WIRE_BYTES
+        )
 
 
 def batch_events(

@@ -1,0 +1,183 @@
+"""Coordinator side of the fleet telemetry plane.
+
+The :class:`FleetCollector` receives every node's
+``TelemetrySnapshotMessage`` / ``TelemetryDigestMessage`` uplinks and
+keeps, per sender, the latest snapshot and the latest cumulative digest
+of each metric.  Merging the per-node digests with
+:func:`repro.sketches.tdigest.TDigest.merge_all` yields cluster-wide
+percentiles — exactly the paper's decentralized-aggregation move, turned
+on the system's own latency distributions.
+
+Uplinks are idempotent: each carries a monotonically increasing
+per-sender sequence number and digests are cumulative, so the collector
+keeps the highest sequence and drops the rest.  Relay replay, failover
+reconnects and duplicated control frames therefore cannot double-count.
+"""
+
+from __future__ import annotations
+
+from repro.network.messages import (
+    Message,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
+)
+from repro.sketches.tdigest import DEFAULT_COMPRESSION, TDigest
+
+__all__ = ["FleetCollector", "FLEET_QUANTILES"]
+
+#: The quantiles every fleet report serves.
+FLEET_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class FleetCollector:
+    """Merges per-node telemetry uplinks into a cluster-wide view."""
+
+    def __init__(self, *, compression: float = DEFAULT_COMPRESSION) -> None:
+        self.compression = compression
+        #: sender -> (sequence, {stat: value})
+        self._snapshots: dict[int, tuple[int, dict[str, float]]] = {}
+        #: (sender, metric) -> (sequence, centroids, minimum, maximum)
+        self._digests: dict[
+            tuple[int, str],
+            tuple[int, tuple[tuple[float, float], ...], float, float],
+        ] = {}
+        self._frames = 0
+        self._bytes = 0
+        self._stale = 0
+        self._failovers: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Ingest.
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> bool:
+        """Absorb one frame; returns ``True`` if it was telemetry."""
+        if isinstance(message, TelemetrySnapshotMessage):
+            self._frames += 1
+            self._bytes += message.wire_bytes
+            held = self._snapshots.get(message.sender)
+            if held is not None and held[0] >= message.sequence:
+                self._stale += 1
+                return True
+            self._snapshots[message.sender] = (
+                message.sequence,
+                dict(message.stats),
+            )
+            return True
+        if isinstance(message, TelemetryDigestMessage):
+            self._frames += 1
+            self._bytes += message.wire_bytes
+            key = (message.sender, message.metric)
+            held = self._digests.get(key)
+            if held is not None and held[0] >= message.sequence:
+                self._stale += 1
+                return True
+            self._digests[key] = (
+                message.sequence,
+                message.centroids,
+                message.minimum,
+                message.maximum,
+            )
+            return True
+        return False
+
+    def record_failover(
+        self, dead: int, successor: int, epoch: int, at: float
+    ) -> None:
+        """Note one shard-failover takeover for the fleet report."""
+        self._failovers.append(
+            {"dead": dead, "successor": successor, "epoch": epoch, "at": at}
+        )
+
+    # ------------------------------------------------------------------
+    # Read side.
+    # ------------------------------------------------------------------
+
+    @property
+    def frames(self) -> int:
+        """Telemetry frames absorbed (including stale duplicates)."""
+        return self._frames
+
+    @property
+    def bytes(self) -> int:
+        """Telemetry wire bytes absorbed."""
+        return self._bytes
+
+    @property
+    def digest_count(self) -> int:
+        """Distinct ``(sender, metric)`` digests currently held."""
+        return len(self._digests)
+
+    @property
+    def failovers(self) -> list[dict]:
+        """Failover events observed, in arrival order."""
+        return list(self._failovers)
+
+    def senders(self) -> list[int]:
+        """Every node id that has uplinked anything."""
+        ids = set(self._snapshots)
+        ids.update(sender for sender, _ in self._digests)
+        return sorted(ids)
+
+    def metrics(self) -> list[str]:
+        """Every metric name any node has uplinked a digest for."""
+        return sorted({metric for _, metric in self._digests})
+
+    def stats(self, sender: int) -> dict[str, float]:
+        """The latest flat stats snapshot from ``sender`` (empty if none)."""
+        held = self._snapshots.get(sender)
+        return dict(held[1]) if held is not None else {}
+
+    def stat_sum(self, name: str) -> float:
+        """Sum of one stat across every sender's latest snapshot."""
+        return sum(stats.get(name, 0.0) for _, stats in self._snapshots.values())
+
+    def stat_max(self, name: str) -> float:
+        """Max of one stat across senders holding it (0.0 if nobody does)."""
+        values = [
+            stats[name]
+            for _, stats in self._snapshots.values()
+            if name in stats
+        ]
+        return max(values) if values else 0.0
+
+    def merged(self, metric: str) -> TDigest:
+        """All senders' digests of ``metric`` merged into one."""
+        parts = [
+            TDigest.from_centroid_tuples(
+                centroids, self.compression, minimum=minimum, maximum=maximum
+            )
+            for (_, held_metric), (_, centroids, minimum, maximum)
+            in sorted(self._digests.items())
+            if held_metric == metric and centroids
+        ]
+        return TDigest.merge_all(parts, self.compression)
+
+    def percentiles(self, metric: str) -> dict:
+        """JSON-ready percentile summary of one merged metric."""
+        digest = self.merged(metric)
+        if digest.count == 0:
+            return {"count": 0.0}
+        return {
+            "count": digest.count,
+            "min": digest.min,
+            "max": digest.max,
+            **{f"p{int(q * 100)}": digest.quantile(q) for q in FLEET_QUANTILES},
+        }
+
+    def report(self) -> dict:
+        """The full JSON-ready fleet view served at ``/fleet``."""
+        return {
+            "frames": self._frames,
+            "bytes": self._bytes,
+            "stale_frames": self._stale,
+            "digest_count": self.digest_count,
+            "senders": self.senders(),
+            "metrics": {
+                metric: self.percentiles(metric) for metric in self.metrics()
+            },
+            "nodes": {
+                str(sender): self.stats(sender) for sender in self.senders()
+            },
+            "failovers": list(self._failovers),
+        }

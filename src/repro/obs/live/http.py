@@ -10,6 +10,9 @@ observability plane while it runs:
   timeline (:func:`~repro.obs.live.timeline.window_timeline`) as JSON.
 * ``GET /summary`` — the per-node phase/queue digest ``repro top``
   renders, as JSON.
+* ``GET /fleet`` — the mesh-wide fleet view (merged telemetry digests,
+  per-shard health, staleness, failover events) as JSON; 404 on
+  clusters without a fleet collector.
 * ``GET /healthz`` — liveness.
 
 Every response closes the connection; this is a scrape endpoint, not a
@@ -49,12 +52,14 @@ class TelemetryServer:
         port: int = 0,
         spans: Callable[[], list[Span]] | None = None,
         summary: Callable[[], dict] | None = None,
+        fleet: Callable[[], dict] | None = None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port  # rewritten with the bound port by start()
         self._spans = spans
         self._summary = summary
+        self._fleet = fleet
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> int:
@@ -122,6 +127,10 @@ class TelemetryServer:
             if self._summary is None:
                 return 404, "text/plain", "no summary provider attached"
             return 200, "application/json", json.dumps(self._summary())
+        if path == "/fleet":
+            if self._fleet is None:
+                return 404, "text/plain", "no fleet collector attached"
+            return 200, "application/json", json.dumps(self._fleet())
         if path.startswith("/timeline/"):
             if self._spans is None:
                 return 404, "text/plain", "no span source attached"

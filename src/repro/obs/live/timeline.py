@@ -10,6 +10,17 @@ incoming frame's trace context — so one global window's journey
 is reconstructable as a tree across real processes-worth of nodes from
 the flat span list alone.  This module does that reconstruction; the
 telemetry HTTP server serves the result at ``/timeline/<window-start>``.
+
+Mesh runs add two cross-node hops to the same story.  Relay combine
+spans (``relay_combine``) mark where several locals' frames became one
+section-carrying frame, and the per-section trace contexts on that frame
+let the shard's dispatch spans parent onto the *originating* local's
+span rather than vanishing at the relay.  Shard failover adds
+``live_failover_replay`` spans: when a window is re-homed, each replayed
+frame travels under a replay span stamped with the new ShardMap epoch,
+so the dead shard's pre-crash work and the successor's adopted work knit
+into one tree — :func:`window_timeline` surfaces the epochs it saw under
+``"epochs"`` and flags stitched-failover windows with ``"failover"``.
 """
 
 from __future__ import annotations
@@ -19,7 +30,12 @@ from typing import Iterable
 from repro.obs.live.context import trace_id_for_window
 from repro.obs.tracer import Span, span_to_dict
 
-__all__ = ["LIVE_PHASES", "window_timeline", "timeline_tree"]
+__all__ = [
+    "LIVE_PHASES",
+    "MESH_PHASES",
+    "window_timeline",
+    "timeline_tree",
+]
 
 #: The live window lifecycle, in causal order.  ``live_dispatch`` (the
 #: fallback span for message types outside the named lifecycle) is
@@ -34,6 +50,12 @@ LIVE_PHASES = (
     "live_release",
 )
 
+#: Cross-node hops a mesh run adds to a window's timeline.
+MESH_PHASES = (
+    "relay_combine",
+    "live_failover_replay",
+)
+
 
 def window_timeline(spans: Iterable[Span], window_start: int) -> dict:
     """The causal timeline of the window starting at ``window_start``.
@@ -41,10 +63,14 @@ def window_timeline(spans: Iterable[Span], window_start: int) -> dict:
     Returns a JSON-ready dict::
 
         {"window_start": ..., "trace_id": ..., "phases": [...],
-         "nodes": [...], "spans": [span dicts, by start time]}
+         "nodes": [...], "epochs": [...], "failover": bool,
+         "spans": [span dicts, by start time]}
 
     ``phases`` and ``nodes`` are the distinct span names and node ids
-    seen, so a caller can check coverage at a glance.
+    seen, so a caller can check coverage at a glance.  ``epochs`` lists
+    the ShardMap epochs stamped on failover-replay spans (empty on a
+    clean run) and ``failover`` is True when the window's tree stitches
+    a dead shard's work to its successor's.
     """
     trace_id = trace_id_for_window(window_start)
     rows = [
@@ -53,11 +79,18 @@ def window_timeline(spans: Iterable[Span], window_start: int) -> dict:
         if int(span.attrs.get("trace_id", -1)) == trace_id
     ]
     rows.sort(key=lambda row: (row["start"], row["id"]))
+    epochs = sorted({
+        int(row["attrs"]["epoch"])
+        for row in rows
+        if row["name"] == "live_failover_replay" and "epoch" in row["attrs"]
+    })
     return {
         "window_start": window_start,
         "trace_id": trace_id,
         "phases": sorted({row["name"] for row in rows}),
         "nodes": sorted({row["node"] for row in rows}),
+        "epochs": epochs,
+        "failover": bool(epochs),
         "spans": rows,
     }
 

@@ -10,6 +10,12 @@ With no ``--port``, there is nothing to attach to, so ``top`` spawns a
 small in-process demo cluster with telemetry enabled in a background
 thread and watches that — a one-command way to see the plane working
 (and a self-contained smoke test).
+
+``--mesh`` switches the scrape target to ``/fleet`` and the rendering to
+the mesh-wide fleet view: cluster percentiles merged from every node's
+t-digest uplinks, per-shard and per-relay health, window completeness,
+staleness and failover events.  The no-port demo then runs a small
+sharded mesh instead of the flat cluster.
 """
 
 from __future__ import annotations
@@ -19,9 +25,9 @@ import sys
 import time
 import urllib.error
 import urllib.request
-from typing import TextIO
+from typing import Callable, TextIO
 
-__all__ = ["fetch_json", "render_summary", "run_top"]
+__all__ = ["fetch_json", "render_summary", "render_fleet", "run_top"]
 
 
 def fetch_json(
@@ -71,6 +77,63 @@ def render_summary(summary: dict) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(fleet: dict) -> str:
+    """One snapshot of the mesh fleet view as a text dashboard."""
+    windows = fleet.get("windows", {})
+    lines = [
+        "repro top — fleet "
+        f"windows {windows.get('answered', 0)}"
+        f"/{windows.get('expected', 0)} "
+        f"(completeness {windows.get('completeness', 0.0):.2f}) "
+        f"epoch {fleet.get('epoch', 0)}",
+        f"telemetry: {fleet.get('frames', 0)} frames, "
+        f"{fleet.get('bytes', 0)} bytes, "
+        f"{fleet.get('digest_count', 0)} digests from "
+        f"{len(fleet.get('senders', []))} nodes, "
+        f"staleness {fleet.get('staleness_s', 0.0):.3f}s",
+        "",
+        f"{'METRIC':<24} {'COUNT':>8} {'P50':>12} {'P95':>12} {'P99':>12}",
+    ]
+    for metric, row in sorted(fleet.get("metrics", {}).items()):
+        if row.get("count", 0.0) <= 0:
+            lines.append(f"{metric:<24} {0:>8}")
+            continue
+        lines.append(
+            f"{metric:<24} {int(row['count']):>8} "
+            f"{row['p50']:>12.6f} {row['p95']:>12.6f} {row['p99']:>12.6f}"
+        )
+    lines += [
+        "",
+        f"{'SHARD':>6} {'LIVE':>5} {'ANSWERED':>9} {'EXPECTED':>9} "
+        f"{'ADOPTED':>8} {'HB_MISS':>8}",
+    ]
+    for shard in fleet.get("shards", []):
+        lines.append(
+            f"{shard['index']:>6} {str(shard['live']):>5} "
+            f"{shard['windows_answered']:>9} {shard['windows_expected']:>9} "
+            f"{shard['windows_adopted']:>8} {shard['heartbeat_misses']:>8}"
+        )
+    if fleet.get("relays"):
+        lines += [
+            "",
+            f"{'RELAY':>6} {'COMBINED':>9} {'SECTIONS':>9} "
+            f"{'SINGLETON':>10} {'REPLAYED':>9}",
+        ]
+        for relay in fleet["relays"]:
+            lines.append(
+                f"{relay['index']:>6} {relay['frames_combined']:>9} "
+                f"{relay['sections_combined']:>9} "
+                f"{relay['singleton_forwards']:>10} "
+                f"{relay['frames_replayed']:>9}"
+            )
+    for event in fleet.get("failovers", []):
+        lines.append(
+            f"failover: shard {event['dead']} -> {event['successor']} "
+            f"at {event['at']:.3f}s (epoch {event['epoch']})"
+        )
+    return "\n".join(lines)
+
+
 def _watch(
     host: str,
     port: int,
@@ -78,20 +141,22 @@ def _watch(
     interval_s: float,
     once: bool,
     out: TextIO,
+    path: str = "/summary",
+    render: "Callable[[dict], str]" = render_summary,
 ) -> int:
     while True:
         try:
-            summary = fetch_json(host, port, "/summary")
+            summary = fetch_json(host, port, path)
         except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
             print(
-                f"repro top: cannot fetch http://{host}:{port}/summary: "
+                f"repro top: cannot fetch http://{host}:{port}{path}: "
                 f"{exc}",
                 file=sys.stderr,
             )
             return 1
         if not once:
             out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
-        out.write(render_summary(summary) + "\n")
+        out.write(render(summary) + "\n")
         out.flush()
         if once:
             return 0
@@ -101,7 +166,9 @@ def _watch(
             return 0
 
 
-def _demo(*, interval_s: float, once: bool, out: TextIO) -> int:
+def _demo(
+    *, interval_s: float, once: bool, out: TextIO, mesh: bool = False
+) -> int:
     """Spawn a small telemetry-enabled cluster in a thread and watch it."""
     import queue
     import threading
@@ -111,6 +178,34 @@ def _demo(*, interval_s: float, once: bool, out: TextIO) -> int:
     from repro.bench.generator import GeneratorConfig, workload
     from repro.core.query import QuantileQuery
     from repro.obs.live.config import TelemetryConfig
+
+    if mesh:
+        # Mesh replays are unpaced, so a demo run is over in well under
+        # a refresh interval — scrape-while-running would race the run.
+        # Run it to completion and render the final fleet view instead;
+        # ``--port`` is the live-scrape path for a real serving mesh.
+        from repro.mesh import MeshConfig, run_mesh
+
+        config = MeshConfig(
+            n_locals=4,
+            n_shards=2,
+            relay_fanin=2,
+            query=QuantileQuery(q=0.9, window_length_ms=500, gamma=64),
+            telemetry=TelemetryConfig(sampler_interval_s=0.01),
+        )
+        streams = workload(
+            [1, 2, 3, 4],
+            GeneratorConfig(event_rate=200.0, duration_s=2.0, seed=41),
+        )
+        print(
+            "repro top: no --port given; running a demo mesh",
+            file=sys.stderr,
+        )
+        report = run_mesh(config, streams)
+        out.write(render_fleet(report.telemetry["fleet"]) + "\n")
+        out.flush()
+        return 0
+
     from repro.runtime.cluster import LiveClusterConfig, run_live
 
     ports: "queue.Queue[int]" = queue.Queue()
@@ -161,9 +256,14 @@ def run_top(
     interval_s: float = 1.0,
     once: bool = False,
     out: TextIO | None = None,
+    mesh: bool = False,
 ) -> int:
     """Entry point behind ``python -m repro top``; returns an exit code."""
     out = out if out is not None else sys.stdout
     if port is None:
-        return _demo(interval_s=interval_s, once=once, out=out)
-    return _watch(host, port, interval_s=interval_s, once=once, out=out)
+        return _demo(interval_s=interval_s, once=once, out=out, mesh=mesh)
+    return _watch(
+        host, port, interval_s=interval_s, once=once, out=out,
+        path="/fleet" if mesh else "/summary",
+        render=render_fleet if mesh else render_summary,
+    )

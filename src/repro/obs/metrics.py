@@ -38,11 +38,21 @@ def _label_key(labels: Mapping[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition: backslash, double-quote and newline are
+    # the three characters that must be escaped inside a label value.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = key + extra
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
     return "{" + body + "}"
 
 

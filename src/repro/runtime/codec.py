@@ -29,7 +29,7 @@ simulator's byte accounting and old captures valid.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import starmap
 from typing import Callable
 
@@ -61,6 +61,8 @@ from repro.network.messages import (
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
     WatermarkMessage,
     WindowReleaseMessage,
 )
@@ -152,6 +154,8 @@ TAG_BY_TYPE: dict[type, int] = {
     RelayRunsMessage: 24,
     ShardFailoverMessage: 25,
     ResultAckMessage: 26,
+    TelemetrySnapshotMessage: 27,
+    TelemetryDigestMessage: 28,
 }
 
 TYPE_BY_TAG: dict[int, type] = {tag: cls for cls, tag in TAG_BY_TYPE.items()}
@@ -356,6 +360,28 @@ def _encode_result_ack(m: ResultAckMessage) -> bytes:
     return wire.U64.pack(m.cursor)
 
 
+def _encode_telemetry_snapshot(m: TelemetrySnapshotMessage) -> bytes:
+    parts = [wire.U64.pack(m.sequence), wire.COUNT.pack(len(m.stats))]
+    for name, value in m.stats:
+        parts.append(_encode_string(name))
+        parts.append(wire.F64.pack(value))
+    return b"".join(parts)
+
+
+def _encode_telemetry_digest(m: TelemetryDigestMessage) -> bytes:
+    parts = [
+        _encode_string(m.metric),
+        wire.U64.pack(m.sequence),
+        wire.COUNT.pack(len(m.centroids)),
+        wire.F64.pack(m.minimum),
+        wire.F64.pack(m.maximum),
+    ]
+    parts.extend(
+        wire.CENTROID.pack(mean, weight) for mean, weight in m.centroids
+    )
+    return b"".join(parts)
+
+
 def _encode_relay_synopsis(m: RelaySynopsisMessage) -> bytes:
     parts = [wire.COUNT.pack(len(m.sections))]
     pack = wire.RELAY_SYNOPSIS.pack
@@ -412,6 +438,8 @@ _ENCODERS: dict[type, Callable[[Message], bytes]] = {
     RelayRunsMessage: _encode_relay_runs,
     ShardFailoverMessage: _encode_shard_failover,
     ResultAckMessage: _encode_result_ack,
+    TelemetrySnapshotMessage: _encode_telemetry_snapshot,
+    TelemetryDigestMessage: _encode_telemetry_digest,
 }
 
 
@@ -639,6 +667,31 @@ def _decode_result_ack(r, sender, window, group_id):
     return ResultAckMessage(sender, window, group_id, cursor)
 
 
+def _decode_telemetry_snapshot(r, sender, window, group_id):
+    (sequence,) = r.unpack(wire.U64)
+    n = r.count()
+    stats = []
+    for _ in range(n):
+        name = _decode_string(r)
+        (value,) = r.unpack(wire.F64)
+        stats.append((name, value))
+    return TelemetrySnapshotMessage(
+        sender, window, group_id, sequence, tuple(stats)
+    )
+
+
+def _decode_telemetry_digest(r, sender, window, group_id):
+    metric = _decode_string(r)
+    (sequence,) = r.unpack(wire.U64)
+    n = r.count()
+    (minimum,) = r.unpack(wire.F64)
+    (maximum,) = r.unpack(wire.F64)
+    centroids = tuple(r.unpack(wire.CENTROID) for _ in range(n))
+    return TelemetryDigestMessage(
+        sender, window, group_id, metric, sequence, centroids, minimum, maximum
+    )
+
+
 def _decode_relay_synopsis(r, sender, window, group_id):
     n_sections = r.count()
     sections = []
@@ -701,6 +754,8 @@ _DECODERS: dict[int, Callable] = {
     TAG_BY_TYPE[RelayRunsMessage]: _decode_relay_runs,
     TAG_BY_TYPE[ShardFailoverMessage]: _decode_shard_failover,
     TAG_BY_TYPE[ResultAckMessage]: _decode_result_ack,
+    TAG_BY_TYPE[TelemetrySnapshotMessage]: _decode_telemetry_snapshot,
+    TAG_BY_TYPE[TelemetryDigestMessage]: _decode_telemetry_digest,
 }
 
 
@@ -709,46 +764,101 @@ _DECODERS: dict[int, Callable] = {
 # ----------------------------------------------------------------------
 
 
-def encode_extensions(context: TraceContext) -> bytes:
-    """Serialize the header extension block carrying ``context``."""
-    body = wire.TRACE_CONTEXT_EXT.pack(
+def _pack_context_body(context: TraceContext | None) -> bytes:
+    """One 17-byte context body; ``None`` packs the absent marker."""
+    if context is None:
+        return wire.TRACE_CONTEXT_EXT.pack(
+            0, 0, wire.SECTION_CONTEXT_ABSENT_BIT
+        )
+    return wire.TRACE_CONTEXT_EXT.pack(
         context.trace_id,
         context.span_id,
         wire.TRACE_SAMPLED_BIT if context.sampled else 0,
     )
-    return (
-        wire.EXT_COUNT.pack(1)
-        + wire.EXT_HEADER.pack(wire.EXT_TRACE_CONTEXT, len(body))
-        + body
+
+
+def encode_extensions(
+    context: TraceContext | None,
+    section_contexts: "tuple[TraceContext | None, ...]" = (),
+) -> bytes:
+    """Serialize the header extension block.
+
+    One :data:`~repro.runtime.wire.EXT_TRACE_CONTEXT` entry carries the
+    frame's own ``context`` (when given); one
+    :data:`~repro.runtime.wire.EXT_SECTION_CONTEXT` entry per element of
+    ``section_contexts`` carries a relay-combined frame's per-child
+    contexts in section order (``None`` elements ship the absent marker
+    so alignment with the section list survives untraced children).
+    """
+    entries = []
+    if context is not None:
+        body = _pack_context_body(context)
+        entries.append(
+            wire.EXT_HEADER.pack(wire.EXT_TRACE_CONTEXT, len(body)) + body
+        )
+    for section_context in section_contexts:
+        body = _pack_context_body(section_context)
+        entries.append(
+            wire.EXT_HEADER.pack(wire.EXT_SECTION_CONTEXT, len(body)) + body
+        )
+    if len(entries) > 255:
+        raise CodecError(
+            f"extension block of {len(entries)} entries exceeds the u8 count"
+        )
+    return wire.EXT_COUNT.pack(len(entries)) + b"".join(entries)
+
+
+def _unpack_context_body(body: bytes) -> TraceContext | None:
+    trace_id, span_id, flags = wire.TRACE_CONTEXT_EXT.unpack(body)
+    if flags & wire.SECTION_CONTEXT_ABSENT_BIT:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=bool(flags & wire.TRACE_SAMPLED_BIT),
     )
 
 
-def _decode_extensions(reader: _Reader) -> TraceContext | None:
-    """Consume the extension block; returns the trace context if present.
+def _decode_extensions(
+    reader: _Reader,
+) -> "tuple[TraceContext | None, list[TraceContext | None] | None]":
+    """Consume the extension block.
 
-    Unknown extension types are skipped by their declared length — the
-    compatibility contract that lets an old decoder read a newer peer's
-    frames (and this decoder read frames from a future one).
+    Returns the frame's trace context (``None`` when absent) and the
+    per-section context list (``None`` when no section-context entries
+    were present).  Unknown extension types are skipped by their declared
+    length — the compatibility contract that lets an old decoder read a
+    newer peer's frames (and this decoder read frames from a future one).
     """
     (count,) = reader.unpack(wire.EXT_COUNT)
     context: TraceContext | None = None
+    sections: "list[TraceContext | None] | None" = None
     for _ in range(count):
         ext_type, ext_length = reader.unpack(wire.EXT_HEADER)
         body = reader.take(ext_length)
-        if ext_type != wire.EXT_TRACE_CONTEXT:
-            continue  # length-delimited: step over anything we don't know
-        if ext_length != wire.TRACE_CONTEXT_EXT_BYTES:
-            raise CodecError(
-                f"trace-context extension of {ext_length} bytes, expected "
-                f"{wire.TRACE_CONTEXT_EXT_BYTES}"
+        if ext_type == wire.EXT_TRACE_CONTEXT:
+            if ext_length != wire.TRACE_CONTEXT_EXT_BYTES:
+                raise CodecError(
+                    f"trace-context extension of {ext_length} bytes, "
+                    f"expected {wire.TRACE_CONTEXT_EXT_BYTES}"
+                )
+            trace_id, span_id, flags = wire.TRACE_CONTEXT_EXT.unpack(body)
+            context = TraceContext(
+                trace_id=trace_id,
+                span_id=span_id,
+                sampled=bool(flags & wire.TRACE_SAMPLED_BIT),
             )
-        trace_id, span_id, flags = wire.TRACE_CONTEXT_EXT.unpack(body)
-        context = TraceContext(
-            trace_id=trace_id,
-            span_id=span_id,
-            sampled=bool(flags & wire.TRACE_SAMPLED_BIT),
-        )
-    return context
+        elif ext_type == wire.EXT_SECTION_CONTEXT:
+            if ext_length != wire.TRACE_CONTEXT_EXT_BYTES:
+                raise CodecError(
+                    f"section-context extension of {ext_length} bytes, "
+                    f"expected {wire.TRACE_CONTEXT_EXT_BYTES}"
+                )
+            if sections is None:
+                sections = []
+            sections.append(_unpack_context_body(body))
+        # Any other type: length-delimited, step over what we don't know.
+    return context, sections
 
 
 # ----------------------------------------------------------------------
@@ -772,12 +882,13 @@ def encode_payload(message: Message) -> bytes:
 
 
 def _frame(tag: int, sender: int, group_id: int, start: int, end: int,
-           payload: bytes, context: TraceContext | None = None) -> bytes:
+           payload: bytes, context: TraceContext | None = None,
+           section_contexts: "tuple[TraceContext | None, ...]" = ()) -> bytes:
     flags = 0
     extensions = b""
-    if context is not None:
+    if context is not None or section_contexts:
         flags = wire.FLAG_EXTENSIONS
-        extensions = encode_extensions(context)
+        extensions = encode_extensions(context, section_contexts)
     header = wire.HEADER.pack(
         wire.WIRE_VERSION, tag, flags, sender, group_id, start, end
     )
@@ -797,7 +908,10 @@ def encode_frame(
 
     Without a ``context``, ``len(encode_frame(m)) == m.wire_bytes``
     exactly; with one, the frame grows by the extension block (telemetry
-    overhead is real bytes and is reported as such, never hidden).
+    overhead is real bytes and is reported as such, never hidden).  A
+    relay-combined message whose ``section_contexts`` field is set also
+    grows by one section-context entry per section — again real,
+    reported bytes, and skippable by peers that predate the extension.
     """
     return _frame(
         tag_of(message),
@@ -807,6 +921,7 @@ def encode_frame(
         message.window.end,
         encode_payload(message),
         context,
+        getattr(message, "section_contexts", ()),
     )
 
 
@@ -854,8 +969,9 @@ def decode_body_traced(
         )
     reader = _Reader(view[wire.HEADER.size:])
     context: TraceContext | None = None
+    section_contexts: "list[TraceContext | None] | None" = None
     if flags & wire.FLAG_EXTENSIONS:
-        context = _decode_extensions(reader)
+        context, section_contexts = _decode_extensions(reader)
     if tag == HELLO_TAG:
         (role_code,) = reader.unpack(wire.U32)
         (resume_from,) = reader.unpack(wire.I64)
@@ -869,6 +985,15 @@ def decode_body_traced(
         raise CodecError(f"unknown frame type tag {tag}")
     message = decoder(reader, sender, Window(start, end), group_id)
     reader.finish()
+    if section_contexts is not None and isinstance(
+        message, (RelaySynopsisMessage, RelayRunsMessage)
+    ):
+        if len(section_contexts) != len(message.sections):
+            raise CodecError(
+                f"{len(section_contexts)} section-context extensions on a "
+                f"frame with {len(message.sections)} sections"
+            )
+        message = replace(message, section_contexts=tuple(section_contexts))
     return message, context
 
 

@@ -52,6 +52,8 @@ from repro.network.messages import (
     QueryResultMessage,
     ResultMessage,
     SynopsisMessage,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
     WatermarkMessage,
     WindowReleaseMessage,
 )
@@ -340,12 +342,18 @@ class RootServer(NodeHost):
                  failures: FailureLatch | None = None,
                  wire_tracing: bool = False,
                  echo_heartbeats: bool = False,
-                 query_plane=None) -> None:
+                 query_plane=None,
+                 on_telemetry=None) -> None:
         super().__init__(node, fabric, tracer,
                          drop_unroutable=tolerance is not None,
                          failures=failures, wire_tracing=wire_tracing)
         self._expected_windows = expected_windows
         self._tolerance = tolerance
+        #: Optional fleet-telemetry sink: uplinked
+        #: ``TelemetrySnapshotMessage``/``TelemetryDigestMessage`` frames
+        #: are handed here (usually ``FleetCollector.on_message``) and
+        #: never reach the operator.  ``None`` drops them.
+        self._on_telemetry = on_telemetry
         #: Optional :class:`~repro.queries.root.RootQueryPlane`: handles
         #: driver connections and every ``group_id != 0`` frame.
         self._query_plane = query_plane
@@ -562,6 +570,15 @@ class RootServer(NodeHost):
                             with contextlib.suppress(TransportError):
                                 await stream.send(message)
                         continue
+                if isinstance(
+                    message, (TelemetrySnapshotMessage, TelemetryDigestMessage)
+                ):
+                    # In-band fleet telemetry rides the local link the way
+                    # heartbeats do; it is collector traffic, never operator
+                    # input.
+                    if self._on_telemetry is not None:
+                        self._on_telemetry(message)
+                    continue
                 if message.group_id != 0 and self._query_plane is not None:
                     # Query-plane traffic multiplexed on the local link:
                     # handled by the plane, never by the base operator.

@@ -36,10 +36,14 @@ does not understand an extension type steps over it by its declared
 length, so frames from a newer peer still decode.  Frames without the
 flag bit are byte-for-byte identical to wire version 1 as first shipped —
 ``payload_bytes`` accounting and the simulator's byte model are
-untouched.  The only assigned extension is :data:`EXT_TRACE_CONTEXT`,
+untouched.  Two extension types are assigned: :data:`EXT_TRACE_CONTEXT`,
 carrying a distributed-tracing context (trace id u64, parent span id u64,
-flags u8 — bit 0 = sampled).  The 32-byte fixed total is
-:data:`MESSAGE_HEADER_BYTES`, charged per message by the simulator.
+flags u8 — bit 0 = sampled), and :data:`EXT_SECTION_CONTEXT`, one entry
+*per section* of a relay-combined frame carrying that child section's
+trace context in section order (same 17-byte body; flags bit 1 marks an
+absent context so ordering survives untraced children).  The 32-byte
+fixed total is :data:`MESSAGE_HEADER_BYTES`, charged per message by the
+simulator.
 """
 
 from __future__ import annotations
@@ -51,11 +55,13 @@ __all__ = [
     "FLAG_EXTENSIONS",
     "KNOWN_FLAGS",
     "EXT_TRACE_CONTEXT",
+    "EXT_SECTION_CONTEXT",
     "EXT_COUNT",
     "EXT_HEADER",
     "TRACE_CONTEXT_EXT",
     "TRACE_CONTEXT_EXT_BYTES",
     "TRACE_SAMPLED_BIT",
+    "SECTION_CONTEXT_ABSENT_BIT",
     "MAX_FRAME_BYTES",
     "LENGTH_PREFIX",
     "HEADER",
@@ -109,6 +115,13 @@ KNOWN_FLAGS = FLAG_EXTENSIONS
 #: tags, like message tags, are append-only and never reused.
 EXT_TRACE_CONTEXT = 1
 
+#: Extension type tag for one *section's* trace context on a
+#: relay-combined frame (``RelaySynopsisMessage`` / ``RelayRunsMessage``).
+#: One entry per section, in section order, same 17-byte body as
+#: :data:`EXT_TRACE_CONTEXT`; a peer that predates this tag skips the
+#: entries by their declared length and decodes the frame unchanged.
+EXT_SECTION_CONTEXT = 2
+
 #: u8 count of extensions in the block.
 EXT_COUNT = struct.Struct("<B")
 
@@ -121,6 +134,11 @@ TRACE_CONTEXT_EXT_BYTES = TRACE_CONTEXT_EXT.size
 
 #: Bit 0 of the trace-context flags byte: head-based sampling verdict.
 TRACE_SAMPLED_BIT = 0x01
+
+#: Bit 1 of a section-context flags byte: this section carried no trace
+#: context (the child frame was untraced).  Keeps the entry list aligned
+#: with the section list without inventing a context.
+SECTION_CONTEXT_ABSENT_BIT = 0x02
 
 #: Upper bound on one frame's ``length`` field.  Protects a receiver from
 #: allocating gigabytes on a corrupt or hostile length prefix.

@@ -151,3 +151,38 @@ class TestPrometheusRendering:
         text = registry.render_prometheus()
         assert text.count("# HELP bytes_total") == 1
         assert text.count("# TYPE bytes_total") == 1
+
+    def test_label_values_escape_backslash_quote_newline(self):
+        # The three characters the Prometheus text exposition format
+        # requires escaping inside a label value, together in one value.
+        registry = MetricsRegistry()
+        registry.counter(
+            "errors_total", reason='disk "C:\\" failed\nretrying'
+        ).inc()
+        text = registry.render_prometheus()
+        assert (
+            'errors_total{reason="disk \\"C:\\\\\\" failed\\nretrying"} 1'
+            in text
+        )
+        # Rendering never leaks a raw newline into the middle of a line.
+        assert all(
+            line.startswith(("#", "errors_total"))
+            for line in text.strip().splitlines()
+        )
+
+    def test_plain_label_values_render_unchanged(self):
+        registry = MetricsRegistry()
+        registry.gauge("up", job="mesh-shard_0.example:9100/fleet").set(1.0)
+        assert 'up{job="mesh-shard_0.example:9100/fleet"} 1' in (
+            MetricsRegistry.render_prometheus(registry)
+        )
+
+    def test_escaped_rendering_roundtrips_each_character(self):
+        from repro.obs.metrics import _escape_label_value
+
+        assert _escape_label_value("\\") == "\\\\"
+        assert _escape_label_value('"') == '\\"'
+        assert _escape_label_value("\n") == "\\n"
+        assert _escape_label_value("plain") == "plain"
+        # Escaping composes: one pass over the value, no double-escapes.
+        assert _escape_label_value('\\"\n') == '\\\\\\"\\n'

@@ -40,6 +40,8 @@ from repro.network.messages import (
     SortedRunMessage,
     SynopsisMessage,
     SynopsisRequestMessage,
+    TelemetryDigestMessage,
+    TelemetrySnapshotMessage,
     WatermarkMessage,
     WindowReleaseMessage,
 )
@@ -255,6 +257,32 @@ messages = st.one_of(
     _with_header(u64).map(
         lambda t: ResultAckMessage(t[0], t[1], t[2], cursor=t[3])
     ),
+    # Fleet telemetry (tags 27–28): stat names and metric names are
+    # arbitrary UTF-8 on the wire, like query selectors.
+    _with_header(
+        st.tuples(
+            u64, st.lists(st.tuples(selector_text, f64), max_size=8).map(tuple)
+        )
+    ).map(
+        lambda t: TelemetrySnapshotMessage(
+            t[0], t[1], t[2], sequence=t[3][0], stats=t[3][1]
+        )
+    ),
+    _with_header(
+        st.tuples(
+            selector_text,
+            u64,
+            st.lists(st.tuples(f64, f64), max_size=20).map(tuple),
+            f64,
+            f64,
+        )
+    ).map(
+        lambda t: TelemetryDigestMessage(
+            t[0], t[1], t[2],
+            metric=t[3][0], sequence=t[3][1], centroids=t[3][2],
+            minimum=t[3][3], maximum=t[3][4],
+        )
+    ),
 )
 
 
@@ -401,6 +429,24 @@ SAMPLES = [
     # u32-counted dead-shard list; result-cursor ack is a bare u64.
     (ShardFailoverMessage(0, W, epoch=3, dead=(0, 2)), 8 + 4 + 2 * 4),
     (ResultAckMessage(9001, W, cursor=7), 8),
+    # Fleet telemetry (tags 27–28): a snapshot is sequence u64 + stat
+    # count + per-stat (u32-counted UTF-8 name + f64 value); a digest is
+    # a u32-counted metric name, sequence u64, then the DigestMessage
+    # layout (centroid count, min/max f64, 16-byte centroid pairs).
+    (
+        TelemetrySnapshotMessage(
+            3, W, sequence=5,
+            stats=(("frames_sent", 12.0), ("lag_s", 0.5)),
+        ),
+        8 + 4 + (4 + 11 + 8) + (4 + 5 + 8),
+    ),
+    (
+        TelemetryDigestMessage(
+            3, W, metric="seal_to_result_s", sequence=2,
+            centroids=((1.0, 2.0),), minimum=0.5, maximum=1.5,
+        ),
+        4 + 16 + 8 + 4 + 2 * 8 + 16,
+    ),
 ]
 
 
@@ -616,6 +662,99 @@ def test_malformed_trace_context_extension_rejected():
         decode_frame_traced(_frame_with_extensions(message, ext))
 
 
+#: One section-context entry's framing cost: (type, length) + 17-byte body.
+_SECTION_ENTRY_BYTES = wire.EXT_HEADER.size + wire.TRACE_CONTEXT_EXT_BYTES
+
+
+@st.composite
+def relay_messages_with_section_contexts(draw):
+    """Relay frames whose per-section contexts align with the sections."""
+    if draw(st.booleans()):
+        sections = draw(relay_synopsis_sections())
+        cls = RelaySynopsisMessage
+    else:
+        sections = draw(relay_run_sections())
+        cls = RelayRunsMessage
+    section_contexts = tuple(
+        draw(st.one_of(st.none(), contexts)) for _ in sections
+    )
+    return cls(
+        draw(u32), draw(windows), draw(u32),
+        sections=sections, section_contexts=section_contexts,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(relay_messages_with_section_contexts())
+def test_section_context_roundtrip(message):
+    frame = encode_frame(message)
+    # One extension entry per section — absent contexts ship the marker
+    # so alignment survives untraced children.  Real, accounted bytes.
+    expected_ext = (
+        wire.EXT_COUNT.size + len(message.sections) * _SECTION_ENTRY_BYTES
+        if message.sections
+        else 0
+    )
+    assert len(frame) == message.wire_bytes + expected_ext
+
+    decoded = decode_frame(frame)
+    assert decoded.section_contexts == message.section_contexts
+    # Bit-level round trip holds even for NaN payloads; object equality
+    # additionally holds whenever no NaN is involved.
+    assert encode_frame(decoded) == frame
+    if "nan" not in repr(message):
+        assert decoded == message
+
+
+@settings(max_examples=100, deadline=None)
+@given(relay_messages_with_section_contexts(), contexts)
+def test_section_contexts_compose_with_frame_context(message, context):
+    decoded, got = decode_frame_traced(encode_frame(message, context))
+    assert got == context
+    assert decoded.section_contexts == message.section_contexts
+
+
+def test_section_context_count_mismatch_rejected():
+    message = RelayRunsMessage(9, W, sections=((3, 0, (E,)), (4, 1, (E,))))
+    ext = (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(
+            wire.EXT_SECTION_CONTEXT, wire.TRACE_CONTEXT_EXT_BYTES
+        )
+        + wire.TRACE_CONTEXT_EXT.pack(7, 9, 0)
+    )
+    with pytest.raises(CodecError, match="1 section-context extensions"):
+        decode_frame_traced(_frame_with_extensions(message, ext))
+
+
+def test_malformed_section_context_extension_rejected():
+    message = RelayRunsMessage(9, W, sections=((3, 0, (E,)),))
+    ext = (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(wire.EXT_SECTION_CONTEXT, 5)
+        + b"\x00" * 5
+    )
+    with pytest.raises(CodecError, match="section-context extension of 5"):
+        decode_frame_traced(_frame_with_extensions(message, ext))
+
+
+def test_section_context_on_sectionless_message_ignored():
+    # A confused peer attaches section contexts to a frame type that has
+    # no sections: the entries are decoded and dropped, not an error —
+    # same forward-compatibility posture as unknown extension types.
+    message = WatermarkMessage(5, W, watermark_time=42)
+    ext = (
+        wire.EXT_COUNT.pack(1)
+        + wire.EXT_HEADER.pack(
+            wire.EXT_SECTION_CONTEXT, wire.TRACE_CONTEXT_EXT_BYTES
+        )
+        + wire.TRACE_CONTEXT_EXT.pack(7, 9, 0)
+    )
+    decoded, context = decode_frame_traced(_frame_with_extensions(message, ext))
+    assert decoded == message
+    assert context is None
+
+
 def test_truncated_extension_block_rejected():
     # Announces one extension, then the frame ends mid-block.
     message = WatermarkMessage(5, W, watermark_time=42)
@@ -727,6 +866,54 @@ def test_shard_failover_trailing_bytes_rejected():
     payload = encode_payload(message) + b"\x00"
     with pytest.raises(CodecError, match="trailing"):
         decode_payload(tag_of(message), payload, sender=0, window=W)
+
+
+def test_telemetry_snapshot_truncated_stat_rejected():
+    # The stat count announces two entries, then the payload ends mid
+    # way through the second value: reject, never invent a gauge.
+    message = TelemetrySnapshotMessage(
+        3, W, sequence=5, stats=(("a", 1.0), ("b", 2.0))
+    )
+    payload = encode_payload(message)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), payload[:-4], sender=3, window=W)
+
+
+def test_telemetry_snapshot_trailing_bytes_rejected():
+    message = TelemetrySnapshotMessage(3, W, sequence=5, stats=(("a", 1.0),))
+    payload = encode_payload(message) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_payload(tag_of(message), payload, sender=3, window=W)
+
+
+def test_telemetry_snapshot_overlong_name_rejected():
+    # A stat-name byte count pointing past the end of the payload.
+    message = TelemetrySnapshotMessage(3, W, sequence=5, stats=(("ab", 1.0),))
+    payload = bytearray(encode_payload(message))
+    # The name count sits after sequence (8) and stat count (4).
+    payload[12:16] = wire.U32.pack(1000)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), bytes(payload), sender=3, window=W)
+
+
+def test_telemetry_digest_truncated_centroids_rejected():
+    message = TelemetryDigestMessage(
+        3, W, metric="m", sequence=1,
+        centroids=((1.0, 2.0), (3.0, 4.0)), minimum=1.0, maximum=3.0,
+    )
+    payload = encode_payload(message)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), payload[:-8], sender=3, window=W)
+
+
+def test_telemetry_digest_trailing_bytes_rejected():
+    message = TelemetryDigestMessage(
+        3, W, metric="m", sequence=1,
+        centroids=((1.0, 2.0),), minimum=1.0, maximum=1.0,
+    )
+    payload = encode_payload(message) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_payload(tag_of(message), payload, sender=3, window=W)
 
 
 def test_result_ack_truncated_cursor_rejected():
