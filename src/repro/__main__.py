@@ -253,6 +253,20 @@ def _cmd_live(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.uvloop:
+        # uvloop is an optional accelerator, never a requirement: when the
+        # module is absent the run proceeds on stock asyncio unchanged.
+        try:
+            import uvloop
+        except ImportError:
+            print(
+                "warning: --uvloop requested but uvloop is not installed; "
+                "continuing on the default asyncio event loop",
+                file=sys.stderr,
+            )
+        else:
+            uvloop.install()
+
     config, report = live_benchmark(
         n_locals=args.locals,
         streams_per_local=args.streams,
@@ -264,6 +278,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         q=args.q,
         seed=args.seed,
         telemetry=_telemetry_from_args(args),
+        columnar=not args.objects,
     )
     completed = [o for o in report.outcomes if o.value is not None]
     print(
@@ -688,26 +703,47 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         progress=lambda name, rate: print(f"  {name:32s} {rate:>14,.2f}"),
     )
 
+    # Per-mode baselines: a smoke run is compared against (and gated on)
+    # the committed *smoke* numbers only, and both baselines are carried
+    # into the rewritten artifact untouched — a smoke run must never
+    # clobber or be judged by the full-mode baseline.
     artifact = hotpath.load_artifact(args.baseline)
     if artifact is None:
-        baseline: dict[str, float] = {}
+        baselines: dict[str, dict[str, float]] = {}
         print(f"no baseline artifact at {args.baseline}; "
               "writing current numbers without a comparison")
     else:
-        key = "baseline_smoke" if args.smoke else "baseline"
-        baseline = artifact.get(key) or artifact.get("baseline") or {}
+        baselines = {
+            "baseline": artifact.get("baseline") or {},
+            "baseline_smoke": artifact.get("baseline_smoke") or {},
+        }
+    baseline = baselines.get(hotpath.baseline_key(mode)) or {}
 
     hotpath.write_hotpath(
-        args.output, config, current, baseline,
-        mode=mode,
-        extra={"baseline_smoke": artifact.get("baseline_smoke")}
-        if artifact and artifact.get("baseline_smoke") else None,
+        args.output, config, current, baselines, mode=mode,
     )
     print(f"wrote {args.output}")
     for name, rate in current.items():
         reference = baseline.get(name)
         if reference:
             print(f"  {name:32s} {rate / reference:6.2f}x baseline")
+
+    if args.curve:
+        from repro.bench import scaling
+
+        counts = (
+            scaling.SMOKE_LOCALS if args.smoke else scaling.FULL_LOCALS
+        )
+        print(f"throughput-vs-locals curve ({', '.join(map(str, counts))})")
+        points = scaling.scaling_curve(
+            locals_counts=counts,
+            duration_s=1.0 if args.smoke else 3.0,
+            progress=lambda n, rate: print(
+                f"  {n:2d} locals {rate:>14,.0f} ev/s"
+            ),
+        )
+        scaling.write_scaling(args.curve_output, points, mode=mode)
+        print(f"wrote {args.curve_output}")
 
     if args.smoke:
         failures = hotpath.check_regressions(current, baseline)
@@ -967,6 +1003,13 @@ def main(argv: list[str] | None = None) -> int:
     live.add_argument("--bench", action="store_true",
                       help="write the BENCH_live.json artifact")
     live.add_argument("--bench-output", default=None, metavar="PATH")
+    live.add_argument("--objects", action="store_true",
+                      help="replay per-event objects instead of columnar "
+                           "batches (bit-identical results, slower)")
+    live.add_argument("--uvloop", action="store_true",
+                      help="install uvloop as the event-loop policy if "
+                           "available (falls back to asyncio with a "
+                           "warning when it is not)")
     _add_telemetry_flags(live)
 
     query = sub.add_parser(
@@ -1132,6 +1175,12 @@ def main(argv: list[str] | None = None) -> int:
                       help="artifact holding the baseline numbers to "
                            "compare against (default: the committed "
                            "BENCH_hotpath.json)")
+    perf.add_argument("--curve", action="store_true",
+                      help="also measure the throughput-vs-locals "
+                           "scaling curve and write its artifact")
+    perf.add_argument("--curve-output", default="BENCH_scaling.json",
+                      metavar="PATH",
+                      help="scaling-curve artifact output path")
 
     sweep = sub.add_parser("sweep", help="sweep a parameter over systems")
     sweep.add_argument("--parameter", required=True,

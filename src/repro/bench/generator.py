@@ -24,9 +24,15 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import GeneratorError
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 
-__all__ = ["GeneratorConfig", "SensorStreamGenerator", "workload"]
+__all__ = [
+    "GeneratorConfig",
+    "SensorStreamGenerator",
+    "workload",
+    "workload_columns",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +147,18 @@ class SensorStreamGenerator:
             for i in range(len(values))
         ]
 
+    def generate_columns(self, node_id: int) -> EventColumns:
+        """The node's stream as one columnar batch — no per-event objects.
+
+        Bit-identical to :meth:`generate`: the float64 values and int64
+        timestamps land in the wire columns through the same conversions
+        (f64 bits preserved; timestamps are non-negative and in u32
+        range for any realistic duration).
+        """
+        return EventColumns.from_arrays(
+            self.values(node_id), self.timestamps(node_id), node_id
+        )
+
     def arrival_times(self, node_id: int) -> np.ndarray:
         """Per-event arrival timestamps (event time + random network delay)."""
         cfg = self._config
@@ -185,10 +203,46 @@ def workload(
     """
     streams: dict[int, list[Event]] = {}
     for node_id in node_ids:
-        config = replace(base_config, replay_offset=base_config.replay_offset + node_id)
-        if scale_rates is not None and node_id in scale_rates:
-            config = replace(config, scale_rate=scale_rates[node_id])
-        if event_rates is not None and node_id in event_rates:
-            config = replace(config, event_rate=event_rates[node_id])
+        config = _node_config(
+            base_config, node_id, scale_rates, event_rates
+        )
         streams[node_id] = SensorStreamGenerator(config).generate(node_id)
     return streams
+
+
+def workload_columns(
+    node_ids: list[int] | range,
+    base_config: GeneratorConfig,
+    *,
+    scale_rates: Mapping[int, float] | None = None,
+    event_rates: Mapping[int, float] | None = None,
+) -> dict[int, EventColumns]:
+    """:func:`workload`, emitted as columnar batches (the live fast path).
+
+    Same streams event for event; only the container differs.
+    """
+    streams: dict[int, EventColumns] = {}
+    for node_id in node_ids:
+        config = _node_config(
+            base_config, node_id, scale_rates, event_rates
+        )
+        streams[node_id] = SensorStreamGenerator(config).generate_columns(
+            node_id
+        )
+    return streams
+
+
+def _node_config(
+    base_config: GeneratorConfig,
+    node_id: int,
+    scale_rates: Mapping[int, float] | None,
+    event_rates: Mapping[int, float] | None,
+) -> GeneratorConfig:
+    config = replace(
+        base_config, replay_offset=base_config.replay_offset + node_id
+    )
+    if scale_rates is not None and node_id in scale_rates:
+        config = replace(config, scale_rate=scale_rates[node_id])
+    if event_rates is not None and node_id in event_rates:
+        config = replace(config, event_rate=event_rates[node_id])
+    return config

@@ -44,6 +44,7 @@ from repro.core.sorted_window import SortedLocalWindow
 from repro.network.messages import EventBatchMessage
 from repro.runtime.codec import decode_frame, encode_frame
 from repro.sketches.tdigest import TDigest
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
 
@@ -53,6 +54,7 @@ __all__ = [
     "SMOKE",
     "HotpathConfig",
     "REGRESSION_TOLERANCE",
+    "baseline_key",
     "check_regressions",
     "run_hotpath",
     "write_hotpath",
@@ -199,6 +201,47 @@ def bench_codec_roundtrip(config: HotpathConfig) -> float:
     return _best_of(run, config.repeats)
 
 
+def bench_ingest_columnar(config: HotpathConfig) -> float:
+    """Events/s through columnar batch ingest (add_all + seal on arrays).
+
+    Same arrival → sorted-run boundary as ``ingest_sort``, but fed the
+    way the live path feeds it: batches of :class:`EventColumns`.
+    """
+    events = EventColumns.from_events(
+        _shuffled_events(config.ingest_events, config.seed)
+    )
+    batch = max(1, config.codec_batch)
+    chunks = [events[i:i + batch] for i in range(0, len(events), batch)]
+
+    def run() -> int:
+        window = SortedLocalWindow()
+        for chunk in chunks:
+            window.add_all(chunk)
+        window.seal()
+        return len(events)
+
+    return _best_of(run, config.repeats)
+
+
+def bench_codec_columnar(config: HotpathConfig) -> float:
+    """Events/s through encode + decode of *columnar* event batches —
+    the wire path live streams actually take (no object materialization
+    on either side)."""
+    events = EventColumns.from_events(
+        _shuffled_events(config.codec_batch, config.seed + 2)
+    )
+    message = EventBatchMessage(
+        sender=1, window=Window(0, 1000), events=events
+    )
+
+    def run() -> int:
+        for _ in range(config.codec_rounds):
+            decode_frame(encode_frame(message))
+        return config.codec_rounds * len(events)
+
+    return _best_of(run, config.repeats)
+
+
 def bench_live(config: HotpathConfig) -> float:
     """Events/s through the live asyncio cluster (BENCH_live configuration)."""
     from repro.bench.live import live_benchmark
@@ -218,9 +261,11 @@ def bench_live(config: HotpathConfig) -> float:
 #: Metric name → benchmark callable; iteration order is report order.
 BENCHMARKS: dict[str, Callable[[HotpathConfig], float]] = {
     "ingest_sort_events_per_s": bench_ingest_sort,
+    "ingest_columnar_events_per_s": bench_ingest_columnar,
     "cut_slice_events_per_s": bench_cut_slice,
     "tdigest_merges_per_s": bench_tdigest_merge,
     "codec_roundtrip_events_per_s": bench_codec_roundtrip,
+    "codec_columnar_events_per_s": bench_codec_columnar,
     "live_events_per_s": bench_live,
 }
 
@@ -277,32 +322,49 @@ def load_artifact(path: str) -> dict[str, Any] | None:
         return None
 
 
+def baseline_key(mode: str) -> str:
+    """The artifact key holding ``mode``'s committed baseline numbers.
+
+    Smoke runs shrink the live benchmark, so their numbers live under
+    ``baseline_smoke`` and are only ever compared against smoke runs;
+    full runs compare against ``baseline``.  Comparing across modes is
+    exactly the bug this split exists to prevent.
+    """
+    return "baseline_smoke" if mode == "smoke" else "baseline"
+
+
 def write_hotpath(
     path: str,
     config: HotpathConfig,
     current: dict[str, float],
-    baseline: dict[str, float],
+    baselines: "dict[str, dict[str, float]] | None",
     *,
     mode: str = "full",
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Write the benchmark artifact; returns the written dict.
 
-    ``baseline`` carries the pre-optimization numbers the metrics are
-    judged against; ``speedup`` is the current/baseline ratio per metric.
+    ``baselines`` maps artifact key (``"baseline"``, ``"baseline_smoke"``)
+    to that mode's committed pre-optimization numbers.  **Both** keys are
+    always written back, so a smoke run can never clobber the full-mode
+    baseline (or vice versa); ``speedup`` is current/baseline against the
+    *running* mode's own baseline only.
     """
+    baselines = baselines or {}
+    own = baselines.get(baseline_key(mode)) or {}
     payload: dict[str, Any] = {
         "benchmark": "hotpath",
         "mode": mode,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "config": asdict(config),
-        "baseline": baseline,
+        "baseline": baselines.get("baseline") or {},
+        "baseline_smoke": baselines.get("baseline_smoke") or {},
         "current": current,
         "speedup": {
-            name: current[name] / baseline[name]
+            name: current[name] / own[name]
             for name in current
-            if baseline.get(name)
+            if own.get(name)
         },
     }
     if extra:

@@ -15,7 +15,11 @@ import platform
 import sys
 from typing import Any
 
-from repro.bench.generator import GeneratorConfig, workload
+from repro.bench.generator import (
+    GeneratorConfig,
+    workload,
+    workload_columns,
+)
 from repro.core.query import QuantileQuery
 from repro.network.metrics import LatencyStats
 from repro.obs.live.config import TelemetryConfig
@@ -87,6 +91,7 @@ def live_benchmark(
     q: float = 0.5,
     seed: int = 42,
     telemetry: "TelemetryConfig | None" = None,
+    columnar: bool = True,
 ) -> tuple[LiveClusterConfig, LiveRunReport]:
     """Generate a workload, run the live cluster once, return both halves.
 
@@ -95,7 +100,10 @@ def live_benchmark(
     a ``time_scale`` of 1.0 replays at exactly that wall-clock rate and
     0.0 measures the runtime's ceiling.  ``telemetry`` turns the live
     telemetry plane on for the benchmarked run; the report's
-    ``telemetry`` section carries what it measured.
+    ``telemetry`` section carries what it measured.  ``columnar`` feeds
+    the cluster columnar batches (the production fast path); ``False``
+    replays the same events as per-event objects — results are
+    bit-identical either way, only the wall clock differs.
     """
     query = QuantileQuery(q=q, gamma=gamma)
     config = LiveClusterConfig(
@@ -106,7 +114,8 @@ def live_benchmark(
         time_scale=time_scale,
         telemetry=telemetry,
     )
-    streams = workload(
+    make_workload = workload_columns if columnar else workload
+    streams = make_workload(
         list(range(1, n_locals + 1)),
         GeneratorConfig(
             event_rate=max(1.0, rate / n_locals),

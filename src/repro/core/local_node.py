@@ -25,8 +25,13 @@ from repro.network.messages import (
 import math
 
 from repro.network.simulator import INGEST_OPS, SimulatedNode, receive_ops
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 from repro.streaming.windows import TumblingWindows, Window
+
+# Hot-path module: columnar batches flow through ingest → window → slices
+# without materializing per-event ``Event`` objects (enforced by
+# tests/test_hotpath_lint.py).
 from repro.core.query import QuantileQuery
 from repro.core.slicing import SlicedWindow, slice_sorted_events
 from repro.core.sorted_window import SortedLocalWindow
@@ -151,6 +156,54 @@ class DemaLocalNode(SimulatedNode):
         late = 0
         assigner = self._assigner
         completed = self._completed
+        if (
+            isinstance(events, EventColumns)
+            and isinstance(assigner, TumblingWindows)
+            and len(events)
+        ):
+            # Columnar fast path: the live replay never sends a batch that
+            # spans a window boundary (batches_for splits on them), so one
+            # min/max check assigns the whole batch at array speed.  A
+            # boundary-spanning batch from another caller falls through to
+            # the generic per-event loop below.
+            length = assigner.length
+            lo = events.min_timestamp()
+            start = lo - lo % length
+            if events.max_timestamp() < start + length:
+                window = Window(start, start + length)
+                if window in completed:
+                    late = len(events)
+                    grouped: list[tuple[Window, Sequence[Event]]] = []
+                else:
+                    grouped = [(window, events)]
+                self._late_events += late
+                insert_ops = 0.0
+                for window, bucket in grouped:
+                    sorted_window = self._open.get(window)
+                    if sorted_window is None:
+                        sorted_window = self._open[window] = (
+                            SortedLocalWindow()
+                        )
+                    sorted_window.add_all(bucket)
+                    # Identical simulated charge to the per-event loop:
+                    # count · log2(window size after the batch landed).
+                    insert_ops += len(bucket) * math.log2(
+                        max(len(sorted_window), 2)
+                    )
+                self._events_ingested += len(events)
+                finish = self.work(
+                    INGEST_OPS * len(events) + insert_ops, now
+                )
+                if self._tracer.enabled:
+                    self._tracer.record(
+                        "ingest",
+                        self.node_id,
+                        now,
+                        finish,
+                        events=len(events),
+                        ops=INGEST_OPS * len(events) + insert_ops,
+                    )
+                return finish
         if isinstance(assigner, TumblingWindows):
             # Tumbling assignment is a pure floor-division; computing it
             # inline avoids one method call and one Window allocation per

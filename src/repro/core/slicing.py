@@ -13,9 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
 from repro.errors import SliceError
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 from repro.core.synopsis import SliceSynopsis
+
+# Hot-path module: a columnar window slices into columnar runs — keys are
+# read straight off the arrays, and no per-event ``Event`` objects are
+# built here (enforced by tests/test_hotpath_lint.py).
 
 __all__ = ["SlicedWindow", "slice_sorted_events", "MIN_GAMMA"]
 
@@ -30,11 +37,14 @@ class SlicedWindow:
     Attributes:
         node_id: Owner of the window.
         runs: Per-slice sorted event runs; ``runs[i]`` backs ``synopses[i]``.
+            Each run is a tuple of events or a columnar batch view,
+            depending on how the window was fed — both are immutable
+            event sequences with identical contents.
         synopses: One synopsis per slice, in value order.
     """
 
     node_id: int
-    runs: tuple[tuple[Event, ...], ...]
+    runs: tuple[Sequence[Event], ...]
     synopses: tuple[SliceSynopsis, ...]
 
     @property
@@ -47,7 +57,7 @@ class SlicedWindow:
         """Number of slices the window was cut into."""
         return len(self.runs)
 
-    def run_for(self, slice_index: int) -> tuple[Event, ...]:
+    def run_for(self, slice_index: int) -> Sequence[Event]:
         """The sorted event run backing slice ``slice_index``.
 
         Raises:
@@ -62,7 +72,7 @@ class SlicedWindow:
 
 
 def slice_sorted_events(
-    sorted_events: list[Event], gamma: int, node_id: int
+    sorted_events: Sequence[Event], gamma: int, node_id: int
 ) -> SlicedWindow:
     """Cut a sorted local window into γ-sized slices with synopses.
 
@@ -91,16 +101,19 @@ def slice_sorted_events(
     if len(boundaries) > 1 and n - boundaries[-1] == 1:
         boundaries.pop()
 
+    columnar = isinstance(sorted_events, EventColumns)
     runs = []
     for b, start in enumerate(boundaries):
         end = boundaries[b + 1] if b + 1 < len(boundaries) else n
-        runs.append(tuple(sorted_events[start:end]))
+        # Columnar runs are zero-copy views into the window's arrays.
+        run = sorted_events[start:end]
+        runs.append(run if columnar else tuple(run))
 
     n_slices = len(runs)
     synopses = tuple(
         SliceSynopsis(
-            first_key=run[0].key,
-            last_key=run[-1].key,
+            first_key=run.key_at(0) if columnar else run[0].key,
+            last_key=run.key_at(-1) if columnar else run[-1].key,
             count=len(run),
             node_id=node_id,
             slice_index=index,

@@ -50,6 +50,7 @@ from repro.obs.live.context import TraceContext, trace_id_for_window
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
 from repro.runtime.transport import FailureLatch, MessageStream
+from repro.streaming.columns import EventColumns
 from repro.streaming.windows import Window
 
 __all__ = [
@@ -99,8 +100,15 @@ def combine_runs(
 ) -> RelayRunsMessage:
     """Merge per-child candidate runs into one relay frame."""
     keys = sorted(parts)
+    # Columnar runs pass through unconverted (they are immutable batch
+    # views); object runs snapshot to tuples exactly as before.
+    def section_events(events):
+        return (
+            events if isinstance(events, EventColumns) else tuple(events)
+        )
+
     sections = tuple(
-        (child, index, tuple(parts[child, index].events))
+        (child, index, section_events(parts[child, index].events))
         for child, index in keys
     )
     section_contexts = (

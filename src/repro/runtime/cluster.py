@@ -48,6 +48,7 @@ from repro.runtime.transport import (
     MessageStream,
     TcpNetwork,
 )
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 
 __all__ = [
@@ -348,14 +349,21 @@ def _grid(
     streams: Mapping[int, Sequence[Event]], window_length_ms: int
 ) -> tuple[int, int]:
     """The tumbling-window grid ``[start, end)`` covering every event."""
-    timestamps = [
-        event.timestamp
-        for events in streams.values()
-        for event in events
-    ]
-    if not timestamps:
+    lo = hi = None
+    for events in streams.values():
+        if not len(events):
+            continue
+        if isinstance(events, EventColumns):
+            # Columnar shares answer min/max off the timestamp array.
+            share_lo = events.min_timestamp()
+            share_hi = events.max_timestamp()
+        else:
+            share_lo = min(event.timestamp for event in events)
+            share_hi = max(event.timestamp for event in events)
+        lo = share_lo if lo is None else min(lo, share_lo)
+        hi = share_hi if hi is None else max(hi, share_hi)
+    if lo is None:
         raise ConfigurationError("live run needs at least one event")
-    lo, hi = min(timestamps), max(timestamps)
     start = (lo // window_length_ms) * window_length_ms
     end = (hi // window_length_ms + 1) * window_length_ms
     return start, end
@@ -581,12 +589,18 @@ async def run_live_cluster(
             await network.listen(local_id, local.serve)
             await local.connect_root(await dial_root())
 
-            share = list(streams.get(local_id, ()))
-            shards: list[list[Event]] = [
-                [] for _ in range(config.streams_per_local)
-            ]
-            for index, event in enumerate(share):
-                shards[index % config.streams_per_local].append(event)
+            share = streams.get(local_id, ())
+            n_shards = config.streams_per_local
+            if isinstance(share, EventColumns):
+                # Strided views give exactly the round-robin assignment
+                # (shard k takes events k, k+n, k+2n, …) without copying.
+                shards: list[Sequence[Event]] = [
+                    share[k::n_shards] for k in range(n_shards)
+                ]
+            else:
+                shards = [[] for _ in range(n_shards)]
+                for index, event in enumerate(share):
+                    shards[index % n_shards].append(event)
             for shard in shards:
                 server = StreamServer(
                     next_stream_id,

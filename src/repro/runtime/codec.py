@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, replace
-from itertools import starmap
 from typing import Callable
 
 from repro.core.synopsis import SliceSynopsis
@@ -67,8 +66,12 @@ from repro.network.messages import (
     WindowReleaseMessage,
 )
 from repro.runtime import wire
-from repro.streaming.events import Event
+from repro.streaming.columns import EventColumns
 from repro.streaming.windows import Window
+
+# Hot-path module: event arrays decode into zero-copy ``EventColumns``
+# views and encode from them — no per-event ``Event`` construction here
+# (enforced by tests/test_hotpath_lint.py).
 
 __all__ = [
     "Hello",
@@ -194,7 +197,10 @@ def _event_batch_struct(n: int) -> struct.Struct:
     return fmt
 
 
-def _encode_events(events: tuple[Event, ...]) -> bytes:
+def _encode_events(events) -> bytes:
+    if isinstance(events, EventColumns):
+        # Columnar batches ARE the wire layout: count prefix + raw columns.
+        return wire.COUNT.pack(len(events)) + events.to_wire()
     args: list = []
     extend = args.extend
     for ev in events:
@@ -404,6 +410,9 @@ def _encode_relay_runs(m: RelayRunsMessage) -> bytes:
                 node_id, slice_index, len(events)
             )
         )
+        if isinstance(events, EventColumns):
+            parts.append(events.to_wire())
+            continue
         args: list = []
         for ev in events:
             args.extend((ev.value, ev.timestamp, ev.node_id, ev.seq))
@@ -485,6 +494,12 @@ class _Reader:
         self._pos = end
         return raw
 
+    def rest(self) -> memoryview:
+        """All remaining bytes as a zero-copy view (payload-tail arrays)."""
+        raw = self._view[self._pos:]
+        self._pos = len(self._view)
+        return raw
+
     def finish(self) -> None:
         if self._pos != len(self._view):
             raise CodecError(
@@ -492,12 +507,14 @@ class _Reader:
             )
 
 
-def _decode_events(r: _Reader) -> tuple[Event, ...]:
+def _decode_events(r: _Reader) -> EventColumns:
+    # The event array is always the payload tail, so hand the remaining
+    # bytes to the columnar constructor, which rejects byte lengths that
+    # are not a multiple of the event stride or disagree with the count —
+    # strict validation instead of iter_unpack's truncation behavior.
     n = r.count()
-    raw = r.view(n * wire.EVENT.size)
-    # starmap drives the Event constructor from C, skipping one generator
-    # frame resume per event on the decode hot path.
-    return tuple(starmap(Event, wire.EVENT.iter_unpack(raw)))
+    raw = r.rest()
+    return EventColumns.from_wire(raw, count=n)
 
 
 def _decode_event_batch(r, sender, window, group_id):
@@ -722,8 +739,9 @@ def _decode_relay_runs(r, sender, window, group_id):
     for _ in range(n_sections):
         node_id, slice_index, n = r.unpack(wire.RELAY_RUN_SECTION_FIXED)
         raw = r.view(n * wire.EVENT.size)
-        events = tuple(starmap(Event, wire.EVENT.iter_unpack(raw)))
-        sections.append((node_id, slice_index, events))
+        sections.append(
+            (node_id, slice_index, EventColumns.from_wire(raw, count=n))
+        )
     return RelayRunsMessage(sender, window, group_id, tuple(sections))
 
 

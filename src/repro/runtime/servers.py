@@ -68,8 +68,13 @@ from repro.obs.live.context import (
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.runtime.codec import Hello
 from repro.runtime.transport import FailureLatch, MessageStream
+from repro.streaming.columns import EventColumns
 from repro.streaming.events import Event
 from repro.streaming.windows import Window
+
+# Hot-path module: event batches stay columnar from workload to window,
+# and no per-event ``Event`` objects are constructed here (enforced by
+# tests/test_hotpath_lint.py).
 
 __all__ = [
     "LIVE_OPS_PER_SECOND",
@@ -248,22 +253,46 @@ class NodeHost:
             await self.flush()
 
     async def flush(self) -> None:
-        """Ship every message the operator queued on the fabric."""
-        for dst, message in self.fabric.drain():
+        """Ship every message the operator queued on the fabric.
+
+        Consecutive messages to the same destination coalesce into one
+        ``send_many`` — one writev + one drain on TCP instead of a write
+        and drain per frame (candidate serves and synopsis fan-out queue
+        many frames per destination in a row).
+        """
+        queued = self.fabric.drain()
+        i, n = 0, len(queued)
+        while i < n:
+            dst = queued[i][0]
+            j = i + 1
+            while j < n and queued[j][0] == dst:
+                j += 1
+            group = [message for _, message in queued[i:j]]
+            i = j
             stream = self._peers.get(dst)
             if stream is None:
                 if self._drop_unroutable:
-                    self.dropped_sends += 1
+                    self.dropped_sends += len(group)
                     continue
                 raise TransportError(
                     f"node {self.node_id} has no stream to peer {dst}"
                 )
-            try:
-                await stream.send(message)
-            except TransportError:
-                if not self._drop_unroutable:
-                    raise
-                self.dropped_sends += 1
+            send_many = getattr(stream, "send_many", None)
+            if len(group) > 1 and send_many is not None:
+                try:
+                    await send_many(group)
+                except TransportError:
+                    if not self._drop_unroutable:
+                        raise
+                    self.dropped_sends += len(group)
+                continue
+            for message in group:
+                try:
+                    await stream.send(message)
+                except TransportError:
+                    if not self._drop_unroutable:
+                        raise
+                    self.dropped_sends += 1
 
     def _on_fabric_timer(self) -> None:
         """Timer actions queue messages; spawn a task to flush them."""
@@ -1048,15 +1077,39 @@ class LocalServer(NodeHost):
 
 def batches_for(
     events: Sequence[Event], window_length_ms: int, batch_size: int
-) -> "list[tuple[Event, ...]]":
+) -> "list[Sequence[Event]]":
     """Split ``events`` into size-capped batches that never span a window.
 
     Shared by :class:`StreamServer` and the mesh's phased stream replay:
     both need the simulator driver's batching discipline — a batch holds
     events of exactly one tumbling window of the agreed grid, capped at
     ``batch_size`` events.
+
+    Columnar inputs batch on the timestamp array and come back as
+    zero-copy :class:`EventColumns` slices — the object path below is
+    untouched and produces the same boundaries.
     """
-    events = tuple(events)
+    if isinstance(events, EventColumns):
+        if not len(events):
+            return []
+        if events.timestamps_sorted():
+            length = window_length_ms
+            size = max(1, batch_size)
+            timestamps = events.timestamps.tolist()
+            column_batches: list[EventColumns] = []
+            lo, n = 0, len(events)
+            while lo < n:
+                window_end = (timestamps[lo] // length + 1) * length
+                hi = bisect.bisect_left(timestamps, window_end, lo)
+                for i in range(lo, hi, size):
+                    column_batches.append(events[i:min(i + size, hi)])
+                lo = hi
+            return column_batches
+        # Out-of-order columns are a cold path: fall through to the
+        # per-event grouping below over materialized events.
+        events = tuple(events)
+    else:
+        events = tuple(events)
     if not events:
         return []
     length = window_length_ms
@@ -1113,7 +1166,11 @@ class StreamServer:
                  sample_rate: float = 1.0,
                  epoch: float | None = None) -> None:
         self.stream_id = stream_id
-        self._events = tuple(events)
+        # Columnar workloads stay columnar; anything else snapshots to a
+        # tuple exactly as before.
+        self._events = (
+            events if isinstance(events, EventColumns) else tuple(events)
+        )
         self._batch_size = max(1, batch_size)
         self._grid_start = grid_start
         self._grid_end = grid_end
@@ -1129,7 +1186,7 @@ class StreamServer:
         self._epoch = epoch
         self.events_sent = 0
 
-    def _batches(self) -> "list[tuple[Event, ...]]":
+    def _batches(self) -> "list[Sequence[Event]]":
         return batches_for(
             self._events, self._window_length_ms, self._batch_size
         )
@@ -1154,8 +1211,14 @@ class StreamServer:
         span = Window(self._grid_start, max(self._grid_end, self._grid_start + 1))
         length = self._window_length_ms
         watermarked_window: int | None = None
+        send_many = getattr(stream, "send_many", None)
         for batch in self._batches():
-            last_ts = batch[-1].timestamp
+            if isinstance(batch, EventColumns):
+                first_ts = batch.timestamp_at(0)
+                last_ts = batch.timestamp_at(-1)
+            else:
+                first_ts = batch[0].timestamp
+                last_ts = batch[-1].timestamp
             if self._time_scale > 0:
                 target = epoch + (
                     (last_ts - self._grid_start) / _MS_PER_SECOND
@@ -1165,7 +1228,7 @@ class StreamServer:
                     await asyncio.sleep(delay)
             batch_message = EventBatchMessage(
                 sender=self.stream_id,
-                window=Window(batch[0].timestamp, last_ts + 1),
+                window=Window(first_ts, last_ts + 1),
                 events=batch,
             )
             # Batches never span a window boundary, so the batch's window
@@ -1192,14 +1255,24 @@ class StreamServer:
                         events=len(batch),
                     )
                     with context_scope(TraceContext(trace_id, span_id)):
-                        await stream.send(batch_message)
-                        if watermark_message is not None:
-                            await stream.send(watermark_message)
+                        # Batch + sealing watermark coalesce into one
+                        # writev/drain when the transport supports it.
+                        if watermark_message is not None and send_many:
+                            await send_many(
+                                (batch_message, watermark_message)
+                            )
+                        else:
+                            await stream.send(batch_message)
+                            if watermark_message is not None:
+                                await stream.send(watermark_message)
                     self.tracer.end(span_id, loop.time() - clock_zero)
             if not span_id:
-                await stream.send(batch_message)
-                if watermark_message is not None:
-                    await stream.send(watermark_message)
+                if watermark_message is not None and send_many:
+                    await send_many((batch_message, watermark_message))
+                else:
+                    await stream.send(batch_message)
+                    if watermark_message is not None:
+                        await stream.send(watermark_message)
             self.events_sent += len(batch)
         await stream.send(
             WatermarkMessage(

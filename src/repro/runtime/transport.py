@@ -43,6 +43,9 @@ from repro.runtime.codec import (
     encode_hello,
 )
 
+# Hot-path module: frames move as encoded bytes; no per-event ``Event``
+# objects are constructed here (enforced by tests/test_hotpath_lint.py).
+
 __all__ = [
     "FailureLatch",
     "Frame",
@@ -131,6 +134,12 @@ class MessageStream(Protocol):
         """Encode and ship one message; awaits under backpressure."""
         ...
 
+    async def send_many(self, messages) -> None:
+        """Encode and ship several messages, coalescing transport work
+        (one writev + one drain on TCP).  Framing is unchanged: the peer
+        receives exactly the frames ``send`` would have produced."""
+        ...
+
     async def recv(self) -> "Message | Hello | None":
         """Next decoded message, or ``None`` once the peer closed."""
         ...
@@ -186,6 +195,23 @@ class TcpMessageStream:
             raise TransportError(f"TCP send failed: {exc}") from exc
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(data)
+
+    async def send_many(self, messages) -> None:
+        """Frame-coalesced send: all frames in one writelines, one drain."""
+        if self._closed:
+            raise TransportError("send on closed TCP stream")
+        frames = [_encode(message) for message in messages]
+        if not frames:
+            return
+        try:
+            self._writer.writelines(frames)
+            t0 = time.monotonic()
+            await self._writer.drain()
+            self.stats.send_stall_s += time.monotonic() - t0
+        except (ConnectionError, RuntimeError) as exc:
+            raise TransportError(f"TCP send failed: {exc}") from exc
+        self.stats.messages_sent += len(frames)
+        self.stats.bytes_sent += sum(len(data) for data in frames)
 
     def send_backlog(self) -> int:
         """Bytes sitting in the socket's write buffer."""
@@ -354,6 +380,12 @@ class MemoryMessageStream:
         self.stats.send_stall_s += time.monotonic() - t0
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(data)
+
+    async def send_many(self, messages) -> None:
+        """Sequential puts — frames stay individually queued; the method
+        exists so callers can coalesce uniformly across transports."""
+        for message in messages:
+            await self.send(message)
 
     def send_backlog(self) -> int:
         """Frames waiting in the peer's inbox queue."""

@@ -68,24 +68,41 @@ class TestArtifact:
     def test_write_then_load_round_trips(self, tmp_path):
         path = str(tmp_path / "bench.json")
         current = {"a_per_s": 200.0}
-        baseline = {"a_per_s": 100.0}
-        written = write_hotpath(path, TINY, current, baseline, mode="full")
+        baselines = {
+            "baseline": {"a_per_s": 100.0},
+            "baseline_smoke": {"a_per_s": 90.0},
+        }
+        written = write_hotpath(path, TINY, current, baselines, mode="full")
         loaded = load_artifact(path)
         assert loaded == written
         assert loaded["current"] == current
-        assert loaded["baseline"] == baseline
-        assert loaded["speedup"]["a_per_s"] == 2.0
+        assert loaded["baseline"] == baselines["baseline"]
+        assert loaded["baseline_smoke"] == baselines["baseline_smoke"]
+        assert loaded["speedup"]["a_per_s"] == 2.0  # vs "baseline", not smoke
         assert loaded["mode"] == "full"
         assert loaded["config"]["ingest_events"] == TINY.ingest_events
 
+    def test_smoke_mode_speedup_uses_smoke_baseline(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        baselines = {
+            "baseline": {"a_per_s": 100.0},
+            "baseline_smoke": {"a_per_s": 50.0},
+        }
+        loaded_smoke = write_hotpath(
+            path, TINY, {"a_per_s": 200.0}, baselines, mode="smoke"
+        )
+        assert loaded_smoke["speedup"]["a_per_s"] == 4.0
+        # Both baseline sections survive either mode's rewrite untouched.
+        assert loaded_smoke["baseline"] == baselines["baseline"]
+        assert loaded_smoke["baseline_smoke"] == baselines["baseline_smoke"]
+
     def test_extra_section_preserved(self, tmp_path):
         path = str(tmp_path / "bench.json")
-        smoke_baseline = {"a_per_s": 90.0}
         write_hotpath(
-            path, TINY, {"a_per_s": 1.0}, {},
-            extra={"baseline_smoke": smoke_baseline},
+            path, TINY, {"a_per_s": 1.0}, None,
+            extra={"notes": "ad hoc"},
         )
-        assert load_artifact(path)["baseline_smoke"] == smoke_baseline
+        assert load_artifact(path)["notes"] == "ad hoc"
 
     def test_load_missing_or_corrupt_is_none(self, tmp_path):
         assert load_artifact(str(tmp_path / "absent.json")) is None
@@ -128,8 +145,11 @@ class TestBenchmarks:
         assert set(artifact["baseline"]) == set(BENCHMARKS)
         assert set(artifact["baseline_smoke"]) == set(BENCHMARKS)
         # The artifact's whole point: the optimized numbers must beat the
-        # committed pre-optimization baseline.
-        assert all(ratio > 1.0 for ratio in artifact["speedup"].values())
+        # committed pre-optimization baseline.  Metrics born optimized
+        # (the columnar benchmarks) are seeded at their first measured
+        # value and sit at exactly 1.0 until something moves them.
+        assert all(ratio >= 1.0 for ratio in artifact["speedup"].values())
+        assert any(ratio > 1.0 for ratio in artifact["speedup"].values())
 
 
 class TestBitIdenticalResults:

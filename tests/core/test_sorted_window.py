@@ -96,3 +96,44 @@ class TestLazyBufferEquivalence:
         window.add_all(tail)
         reference.extend(tail)
         assert window.seal() == sorted(reference, key=event_key)
+
+
+class TestSnapshotSemantics:
+    """``sorted_events()`` is a zero-copy read-only snapshot.
+
+    Mid-window cuts call it once per synopsis refresh; an O(n) defensive
+    copy per call made repeated cuts quadratic, which is exactly what
+    the snapshot contract removed.  The price is documented: the
+    snapshot is only valid until the next insert plus compaction.
+    """
+
+    def test_repeated_snapshots_do_not_copy(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([3, 1, 2]))
+        first = window.sorted_events()
+        assert window.sorted_events() is first
+
+    def test_seal_returns_the_same_run(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([3, 1, 2]))
+        snapshot = window.sorted_events()
+        assert window.seal() is snapshot
+
+    def test_snapshot_refreshes_after_inserts(self):
+        window = SortedLocalWindow()
+        window.add_all(make_events([3.0, 1.0]))
+        before = list(window.sorted_events())
+        window.add_all(make_events([2.0], start_seq=2))
+        after = window.sorted_events()
+        assert [e.value for e in before] == [1.0, 3.0]
+        assert [e.value for e in after] == [1.0, 2.0, 3.0]
+
+    def test_columnar_snapshot_is_the_run(self):
+        from repro.streaming.columns import EventColumns
+
+        window = SortedLocalWindow()
+        window.add_all(EventColumns.from_events(make_events([3, 1, 2])))
+        snapshot = window.sorted_events()
+        assert isinstance(snapshot, EventColumns)
+        assert window.sorted_events() is snapshot
+        assert [e.value for e in snapshot] == [1.0, 2.0, 3.0]

@@ -926,3 +926,79 @@ def test_result_ack_trailing_bytes_rejected():
     message = ResultAckMessage(9001, W, cursor=7)
     with pytest.raises(CodecError, match="trailing"):
         decode_payload(tag_of(message), b"\x00" * 9, sender=9001, window=W)
+
+
+# Columnar event arrays are decoded as one zero-copy tail slice, so the
+# decoder must check the byte length itself: a payload whose event array
+# is not a whole number of 20-byte strides (or disagrees with the
+# announced count) is rejected outright — iter_unpack's old behavior of
+# silently dropping a truncated final event is exactly the bug this
+# guards against.
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda events: EventBatchMessage(1, W, events=events),
+        lambda events: SortedRunMessage(1, W, events=events),
+        lambda events: CandidateEventsMessage(
+            1, W, slice_index=0, events=events
+        ),
+    ],
+    ids=["event_batch", "sorted_run", "candidate_events"],
+)
+def test_event_array_stride_mismatch_rejected(factory):
+    message = factory((E, E, E))
+    payload = encode_payload(message)
+    for cut in (1, 19):  # mid-event truncation from either end of a stride
+        with pytest.raises(CodecError, match="stride"):
+            decode_payload(
+                tag_of(message), payload[:-cut], sender=1, window=W
+            )
+    with pytest.raises(CodecError, match="stride"):  # oversize, non-stride
+        decode_payload(
+            tag_of(message), payload + b"\x00" * 7, sender=1, window=W
+        )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda events: EventBatchMessage(1, W, events=events),
+        lambda events: SortedRunMessage(1, W, events=events),
+        lambda events: CandidateEventsMessage(
+            1, W, slice_index=0, events=events
+        ),
+    ],
+    ids=["event_batch", "sorted_run", "candidate_events"],
+)
+def test_event_array_count_mismatch_rejected(factory):
+    # A whole extra (or missing) event is stride-aligned, so only the
+    # announced count can catch it.
+    message = factory((E, E))
+    payload = encode_payload(message)
+    extra = wire.EVENT.pack(E.value, E.timestamp, E.node_id, E.seq)
+    with pytest.raises(CodecError, match="announced"):
+        decode_payload(tag_of(message), payload + extra, sender=1, window=W)
+    with pytest.raises(CodecError, match="announced"):
+        decode_payload(
+            tag_of(message), payload[:-wire.EVENT.size], sender=1, window=W
+        )
+
+
+def test_relay_runs_truncated_section_events_rejected():
+    message = RelayRunsMessage(9, W, sections=((3, 0, (E, E)),))
+    payload = encode_payload(message)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), payload[:-3], sender=9, window=W)
+
+
+def test_relay_runs_section_count_overruns_rejected():
+    # The section header announces more events than the payload holds.
+    message = RelayRunsMessage(9, W, sections=((3, 0, (E,)),))
+    payload = bytearray(encode_payload(message))
+    # Section event count sits after the section count (4) and the
+    # node_id + slice_index pair (8).
+    payload[12:16] = wire.U32.pack(2)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_payload(tag_of(message), bytes(payload), sender=9, window=W)

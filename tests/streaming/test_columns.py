@@ -1,0 +1,234 @@
+"""Unit tests for the columnar event-batch type."""
+
+import math
+import struct
+
+import pytest
+
+from repro.errors import CodecError, ConfigurationError
+from repro.runtime import wire
+from repro.streaming import columns
+from repro.streaming.columns import (
+    EventColumns,
+    concat_columns,
+    get_backend,
+    merge_runs,
+    set_backend,
+)
+from repro.streaming.events import Event, event_key, make_events
+
+
+@pytest.fixture(params=["numpy", "python"])
+def backend(request):
+    previous = set_backend(request.param)
+    yield request.param
+    set_backend(previous)
+
+
+def _pack(events):
+    return b"".join(
+        wire.EVENT.pack(e.value, e.timestamp, e.node_id, e.seq)
+        for e in events
+    )
+
+
+EVENTS = (
+    Event(value=3.5, timestamp=10, node_id=1, seq=0),
+    Event(value=-1.25, timestamp=11, node_id=2, seq=7),
+    Event(value=3.5, timestamp=9, node_id=1, seq=1),
+    Event(value=0.0, timestamp=12, node_id=3, seq=2),
+)
+
+
+class TestConstruction:
+    def test_from_wire_roundtrip(self, backend):
+        cols = EventColumns.from_wire(_pack(EVENTS))
+        assert len(cols) == len(EVENTS)
+        assert tuple(cols) == EVENTS
+        assert cols.to_wire() == _pack(EVENTS)
+
+    def test_from_events_matches_from_wire(self, backend):
+        assert EventColumns.from_events(EVENTS) == EventColumns.from_wire(
+            _pack(EVENTS)
+        )
+
+    def test_empty(self, backend):
+        cols = EventColumns.from_wire(b"")
+        assert len(cols) == 0
+        assert tuple(cols) == ()
+        assert cols.to_wire() == b""
+
+    def test_stride_mismatch_rejected(self, backend):
+        with pytest.raises(CodecError, match="stride"):
+            EventColumns.from_wire(_pack(EVENTS)[:-3])
+
+    def test_count_mismatch_rejected(self, backend):
+        with pytest.raises(CodecError, match="announced"):
+            EventColumns.from_wire(_pack(EVENTS), count=3)
+
+    def test_count_match_accepted(self, backend):
+        cols = EventColumns.from_wire(_pack(EVENTS), count=len(EVENTS))
+        assert len(cols) == len(EVENTS)
+
+    def test_nan_bits_survive_roundtrip(self, backend):
+        # A non-default NaN payload must come back bit for bit.
+        raw = struct.pack(
+            "<dIII", struct.unpack("<d", b"\x01\x00\x00\x00\x00\x00\xf8\x7f")[0],
+            5, 1, 0,
+        )
+        cols = EventColumns.from_wire(raw)
+        assert cols.to_wire() == raw
+        assert math.isnan(cols[0].value)
+
+
+class TestSequenceProtocol:
+    def test_indexing_materializes_pure_python_types(self, backend):
+        cols = EventColumns.from_events(EVENTS)
+        event = cols[1]
+        assert event == EVENTS[1]
+        assert type(event.value) is float
+        assert type(event.timestamp) is int
+        assert type(event.node_id) is int
+        assert type(event.seq) is int
+        assert cols[-1] == EVENTS[-1]
+
+    def test_slicing_returns_columns(self, backend):
+        cols = EventColumns.from_events(EVENTS)
+        assert isinstance(cols[1:3], EventColumns)
+        assert tuple(cols[1:3]) == EVENTS[1:3]
+        assert tuple(cols[::2]) == EVENTS[::2]
+        assert tuple(cols[1::2]) == EVENTS[1::2]
+        assert cols[1:3].to_wire() == _pack(EVENTS[1:3])
+
+    def test_equality_against_event_sequences(self, backend):
+        cols = EventColumns.from_events(EVENTS)
+        assert cols == EVENTS
+        assert EVENTS == cols
+        assert cols == list(EVENTS)
+        assert cols != EVENTS[:-1]
+        assert cols != EVENTS[:-1] + (Event(99.0, 1, 1, 99),)
+        assert hash(cols) == hash(EVENTS)
+
+    def test_keys_and_timestamps(self, backend):
+        cols = EventColumns.from_events(EVENTS)
+        assert cols.key_at(0) == EVENTS[0].key
+        assert cols.key_at(-1) == EVENTS[-1].key
+        assert all(type(part) in (float, int) for part in cols.key_at(2))
+        assert cols.timestamp_at(2) == 9
+        assert cols.min_timestamp() == 9
+        assert cols.max_timestamp() == 12
+        assert not cols.timestamps_sorted()
+        assert EventColumns.from_events(
+            sorted(EVENTS, key=lambda e: e.timestamp)
+        ).timestamps_sorted()
+
+
+class TestBackends:
+    def test_backend_switch_round_trips(self):
+        previous = set_backend("python")
+        try:
+            py = EventColumns.from_events(EVENTS)
+            set_backend("numpy")
+            np_cols = EventColumns.from_events(EVENTS)
+        finally:
+            set_backend(previous)
+        assert py == np_cols
+        assert py.to_wire() == np_cols.to_wire()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            set_backend("fortran")
+        assert get_backend() in ("numpy", "python")
+
+    def test_mixed_backend_concat(self):
+        previous = set_backend("python")
+        try:
+            py = EventColumns.from_events(EVENTS[:2])
+            set_backend("numpy")
+            np_cols = EventColumns.from_events(EVENTS[2:])
+            merged = concat_columns([py, np_cols])
+        finally:
+            set_backend(previous)
+        assert tuple(merged) == EVENTS
+
+
+class TestMergeRuns:
+    def test_sorts_like_object_path(self, backend):
+        pending = EventColumns.from_events(EVENTS)
+        merged = merge_runs(None, pending)
+        assert list(merged) == sorted(EVENTS, key=event_key)
+
+    def test_merges_into_run(self, backend):
+        base = sorted(EVENTS, key=event_key)
+        run = merge_runs(None, EventColumns.from_events(base))
+        extra = make_events([2.0, -5.0], node_id=9, start_timestamp=20)
+        merged = merge_runs(run, EventColumns.from_events(extra))
+        assert list(merged) == sorted(
+            list(EVENTS) + list(extra), key=event_key
+        )
+
+    def test_nan_matches_object_sort_exactly(self, backend):
+        events = [
+            Event(value=2.0, timestamp=0, node_id=1, seq=0),
+            Event(value=float("nan"), timestamp=1, node_id=1, seq=1),
+            Event(value=1.0, timestamp=2, node_id=1, seq=2),
+            Event(value=float("nan"), timestamp=3, node_id=2, seq=0),
+            Event(value=0.5, timestamp=4, node_id=2, seq=1),
+        ]
+        # The object path: sort the arrival buffer with Timsort.  NaN
+        # makes the result order-dependent but deterministic; the
+        # columnar path must reproduce that exact permutation.
+        expected = sorted(events, key=event_key)
+        merged = merge_runs(None, EventColumns.from_events(events))
+        assert [(e.node_id, e.seq) for e in merged] == [
+            (e.node_id, e.seq) for e in expected
+        ]
+
+    def test_nan_merge_into_run_matches_object_merge(self, backend):
+        # Distinct NaN objects per event, exactly as wire decode produces
+        # them.  (A shared NaN object would flip tuple comparisons via
+        # CPython's identity fast path — an order production never sees.)
+        run_events = [
+            Event(value=1.0, timestamp=0, node_id=1, seq=0),
+            Event(value=float("nan"), timestamp=1, node_id=1, seq=1),
+            Event(value=3.0, timestamp=2, node_id=1, seq=2),
+        ]
+        pending = [
+            Event(value=2.0, timestamp=3, node_id=2, seq=0),
+            Event(value=float("nan"), timestamp=4, node_id=2, seq=1),
+        ]
+        # Mirror of SortedLocalWindow._compact on objects.
+        buf = sorted(pending, key=event_key)
+        merged_obj, i, j = [], 0, 0
+        while i < len(run_events) and j < len(buf):
+            if run_events[i].key <= buf[j].key:
+                merged_obj.append(run_events[i])
+                i += 1
+            else:
+                merged_obj.append(buf[j])
+                j += 1
+        merged_obj.extend(run_events[i:])
+        merged_obj.extend(buf[j:])
+
+        run = EventColumns.from_events(run_events)
+        merged = merge_runs(run, EventColumns.from_events(pending))
+        assert [(e.node_id, e.seq) for e in merged] == [
+            (e.node_id, e.seq) for e in merged_obj
+        ]
+
+    def test_duplicate_keys_stable(self, backend):
+        # node_id/seq pairs make keys strict in production; a pathological
+        # exact-duplicate key must still sort stably (run before pending).
+        twin = Event(value=1.0, timestamp=0, node_id=1, seq=0)
+        run = merge_runs(None, EventColumns.from_events([twin]))
+        merged = merge_runs(run, EventColumns.from_events([twin]))
+        assert list(merged) == [twin, twin]
+
+
+class TestConcat:
+    def test_concat_orders_chunks(self, backend):
+        a = EventColumns.from_events(EVENTS[:2])
+        b = EventColumns.from_events(EVENTS[2:])
+        assert tuple(concat_columns([a, b])) == EVENTS
+        assert concat_columns([a]) is a
+        assert len(concat_columns([])) == 0

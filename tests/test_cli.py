@@ -267,11 +267,11 @@ class TestPerf:
 
         baseline_path = str(tmp_path / "committed.json")
         out = str(tmp_path / "bench.json")
-        # An unreachable baseline must fail the smoke gate ...
+        # An unreachable smoke baseline must fail the smoke gate ...
         impossible = {"ingest_sort_events_per_s": 1e15}
         write_hotpath(
-            baseline_path, tiny_configs, impossible, {},
-            extra={"baseline_smoke": impossible},
+            baseline_path, tiny_configs, impossible,
+            {"baseline_smoke": impossible},
         )
         assert main([
             "perf", "--smoke", "--no-live", "-o", out,
@@ -281,8 +281,8 @@ class TestPerf:
         # ... and a trivially low one must pass.
         easy = {"ingest_sort_events_per_s": 1e-6}
         write_hotpath(
-            baseline_path, tiny_configs, easy, {},
-            extra={"baseline_smoke": easy},
+            baseline_path, tiny_configs, easy,
+            {"baseline_smoke": easy},
         )
         assert main([
             "perf", "--smoke", "--no-live", "-o", out,
@@ -290,3 +290,86 @@ class TestPerf:
         ]) == 0
         assert "no hot-path regressions" in capsys.readouterr().out
         assert load_artifact(out)["baseline_smoke"] == easy
+
+    def test_smoke_gates_against_smoke_baseline_only(
+        self, capsys, tmp_path, tiny_configs
+    ):
+        """A smoke run is judged by (and preserves) the per-mode baselines.
+
+        The full baseline can be unreachable without tripping the smoke
+        gate, and a smoke run's artifact rewrite must carry the full
+        baseline through untouched instead of clobbering it with smoke
+        numbers.
+        """
+        from repro.bench.hotpath import load_artifact, write_hotpath
+
+        baseline_path = str(tmp_path / "committed.json")
+        out = str(tmp_path / "bench.json")
+        impossible_full = {"ingest_sort_events_per_s": 1e15}
+        easy_smoke = {"ingest_sort_events_per_s": 1e-6}
+        write_hotpath(
+            baseline_path, tiny_configs, easy_smoke,
+            {"baseline": impossible_full, "baseline_smoke": easy_smoke},
+            mode="smoke",
+        )
+        assert main([
+            "perf", "--smoke", "--no-live", "-o", out,
+            "--baseline", baseline_path,
+        ]) == 0
+        assert "no hot-path regressions" in capsys.readouterr().out
+        artifact = load_artifact(out)
+        assert artifact["baseline"] == impossible_full
+        assert artifact["baseline_smoke"] == easy_smoke
+
+    def test_full_run_ignores_smoke_baseline(self, tmp_path, tiny_configs):
+        from repro.bench.hotpath import load_artifact, write_hotpath
+
+        baseline_path = str(tmp_path / "committed.json")
+        out = str(tmp_path / "bench.json")
+        full = {"ingest_sort_events_per_s": 1e-6}
+        smoke = {"ingest_sort_events_per_s": 123.0}
+        write_hotpath(
+            baseline_path, tiny_configs, full,
+            {"baseline": full, "baseline_smoke": smoke},
+        )
+        assert main([
+            "perf", "--no-live", "-o", out, "--baseline", baseline_path,
+        ]) == 0
+        artifact = load_artifact(out)
+        # Speedup is computed against the full baseline, and both
+        # baselines survive the rewrite.
+        assert "ingest_sort_events_per_s" in artifact["speedup"]
+        assert artifact["speedup"]["ingest_sort_events_per_s"] > 1.0
+        assert artifact["baseline_smoke"] == smoke
+
+    def test_curve_writes_scaling_artifact(
+        self, monkeypatch, tmp_path, tiny_configs
+    ):
+        import json
+
+        from repro.bench import scaling
+
+        calls = []
+
+        def fake_curve(**kwargs):
+            calls.append(kwargs)
+            return [
+                {"n_locals": n, "events_per_second": 1000.0 * n}
+                for n in kwargs["locals_counts"]
+            ]
+
+        monkeypatch.setattr(scaling, "scaling_curve", fake_curve)
+        out = str(tmp_path / "bench.json")
+        curve_out = str(tmp_path / "scaling.json")
+        assert main([
+            "perf", "--smoke", "--no-live", "-o", out,
+            "--baseline", str(tmp_path / "absent.json"),
+            "--curve", "--curve-output", curve_out,
+        ]) == 0
+        assert calls and calls[0]["locals_counts"] == scaling.SMOKE_LOCALS
+        with open(curve_out) as handle:
+            artifact = json.load(handle)
+        assert artifact["benchmark"] == "scaling_curve"
+        assert [p["n_locals"] for p in artifact["points"]] == list(
+            scaling.SMOKE_LOCALS
+        )
